@@ -1,0 +1,174 @@
+//! Subset construction: NFA → DFA.
+//!
+//! Determinization is the first (and exponential) step of the rewriting
+//! algorithm of the paper (Section 2, step 1): the query expression `E0` is
+//! translated to an NFA and then determinized into `A_d`.  Theorem 3.1's
+//! 2EXPTIME upper bound and the blow-up measured in experiment E6 both hinge
+//! on this construction, so we expose the mapping from DFA states back to NFA
+//! state sets for inspection by benchmarks and tests.
+
+use std::collections::{BTreeSet, HashMap, VecDeque};
+
+use crate::dfa::Dfa;
+use crate::nfa::{Nfa, StateId};
+
+/// Result of determinization: the DFA plus the subset of NFA states that each
+/// DFA state represents.
+#[derive(Debug, Clone)]
+pub struct Determinized {
+    /// The deterministic automaton.
+    pub dfa: Dfa,
+    /// `subsets[s]` is the set of NFA states that DFA state `s` stands for.
+    pub subsets: Vec<BTreeSet<StateId>>,
+}
+
+/// Determinizes `nfa` by the subset construction, producing a **complete**
+/// DFA (the empty subset acts as the sink when reachable).
+///
+/// The result accepts exactly the same language.  Only subsets reachable from
+/// the closed initial configuration are materialized, so the output has at
+/// most `2^n` states but usually far fewer.
+pub fn determinize(nfa: &Nfa) -> Dfa {
+    determinize_with_subsets(nfa).dfa
+}
+
+/// Like [`determinize`] but also returns the subset each DFA state represents.
+pub fn determinize_with_subsets(nfa: &Nfa) -> Determinized {
+    let alphabet = nfa.alphabet().clone();
+    let start = nfa.start_configuration();
+
+    let mut subsets: Vec<BTreeSet<StateId>> = Vec::new();
+    let mut index: HashMap<BTreeSet<StateId>, usize> = HashMap::new();
+    let mut transitions: Vec<Vec<(crate::alphabet::Symbol, usize)>> = Vec::new();
+
+    let intern = |set: BTreeSet<StateId>,
+                      subsets: &mut Vec<BTreeSet<StateId>>,
+                      index: &mut HashMap<BTreeSet<StateId>, usize>,
+                      transitions: &mut Vec<Vec<(crate::alphabet::Symbol, usize)>>|
+     -> (usize, bool) {
+        if let Some(&i) = index.get(&set) {
+            (i, false)
+        } else {
+            let i = subsets.len();
+            index.insert(set.clone(), i);
+            subsets.push(set);
+            transitions.push(Vec::new());
+            (i, true)
+        }
+    };
+
+    let (start_id, _) = intern(start, &mut subsets, &mut index, &mut transitions);
+    let mut queue = VecDeque::from([start_id]);
+
+    while let Some(cur) = queue.pop_front() {
+        let cur_set = subsets[cur].clone();
+        for sym in alphabet.symbols() {
+            let next = nfa.epsilon_closure(&nfa.step(&cur_set, sym));
+            let (next_id, fresh) = intern(next, &mut subsets, &mut index, &mut transitions);
+            transitions[cur].push((sym, next_id));
+            if fresh {
+                queue.push_back(next_id);
+            }
+        }
+    }
+
+    let finals: Vec<usize> = subsets
+        .iter()
+        .enumerate()
+        .filter(|(_, set)| set.iter().any(|s| nfa.is_final(*s)))
+        .map(|(i, _)| i)
+        .collect();
+
+    let dfa = Dfa::from_parts(
+        alphabet,
+        subsets.len(),
+        start_id,
+        finals,
+        transitions
+            .iter()
+            .enumerate()
+            .flat_map(|(from, ts)| ts.iter().map(move |&(sym, to)| (from, sym, to))),
+    );
+
+    Determinized { dfa, subsets }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::{Alphabet, Symbol};
+
+    fn ab() -> Alphabet {
+        Alphabet::from_chars(['a', 'b']).unwrap()
+    }
+
+    fn w(alpha: &Alphabet, s: &str) -> Vec<Symbol> {
+        alpha.word_from_str(s).unwrap()
+    }
+
+    #[test]
+    fn determinize_preserves_language() {
+        let alpha = ab();
+        let a = Nfa::symbol(alpha.clone(), alpha.symbol("a").unwrap());
+        let b = Nfa::symbol(alpha.clone(), alpha.symbol("b").unwrap());
+        // (a+b)*·a·b
+        let nfa = Nfa::universal(alpha.clone()).concat(&a).concat(&b);
+        let dfa = determinize(&nfa);
+        assert!(dfa.is_complete());
+        for word in ["ab", "aab", "bab", "abab"] {
+            assert!(dfa.accepts(&w(&alpha, word)), "should accept {word}");
+            assert!(nfa.accepts(&w(&alpha, word)));
+        }
+        for word in ["", "a", "b", "ba", "abba"] {
+            assert!(!dfa.accepts(&w(&alpha, word)), "should reject {word}");
+        }
+    }
+
+    #[test]
+    fn determinize_empty_language() {
+        let dfa = determinize(&Nfa::empty(ab()));
+        assert!(dfa.is_empty_language());
+        assert!(dfa.is_complete());
+    }
+
+    #[test]
+    fn determinize_epsilon_language() {
+        let alpha = ab();
+        let dfa = determinize(&Nfa::epsilon(alpha.clone()));
+        assert!(dfa.accepts(&[]));
+        assert!(!dfa.accepts(&w(&alpha, "a")));
+    }
+
+    #[test]
+    fn subsets_reflect_nfa_states() {
+        let alpha = ab();
+        let a = alpha.symbol("a").unwrap();
+        let nfa = Nfa::symbol(alpha.clone(), a);
+        let det = determinize_with_subsets(&nfa);
+        assert_eq!(det.subsets.len(), det.dfa.num_states());
+        // The start subset is the epsilon closure of the NFA initial states.
+        assert_eq!(
+            det.subsets[det.dfa.initial_state()],
+            nfa.start_configuration()
+        );
+    }
+
+    #[test]
+    fn worst_case_family_blows_up() {
+        // (a+b)*·a·(a+b)^n requires ~2^(n+1) DFA states.
+        let alpha = ab();
+        let a = Nfa::symbol(alpha.clone(), alpha.symbol("a").unwrap());
+        let n = 5;
+        let mut nfa = Nfa::universal(alpha.clone()).concat(&a);
+        for _ in 0..n {
+            nfa = nfa.concat(&Nfa::any_symbol(alpha.clone()));
+        }
+        let dfa = determinize(&nfa);
+        assert!(
+            dfa.num_states() >= 1 << (n + 1),
+            "expected >= {} states, got {}",
+            1 << (n + 1),
+            dfa.num_states()
+        );
+    }
+}

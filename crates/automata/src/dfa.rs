@@ -1,0 +1,555 @@
+//! Deterministic finite automata.
+//!
+//! The rewriting construction of the paper (Section 2) requires the query
+//! automaton `A_d` to be **deterministic**: the `Σ_E`-automaton `A'` places an
+//! `e`-edge between `s_i` and `s_j` exactly when some word of the view's
+//! language drives `A_d` from `s_i` to `s_j`, and complementing `A'` is only
+//! sound because a word rejected by a deterministic `A_d` can never also be
+//! accepted by it.  The [`Dfa`] type here is therefore the centrepiece that
+//! `rewriter` builds on.
+//!
+//! A `Dfa` may be *partial* (missing transitions mean the run dies); the
+//! [`Dfa::complete`] method adds an explicit sink state, which is what
+//! complementation requires.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use crate::alphabet::{Alphabet, Symbol};
+use crate::nfa::StateId;
+
+/// A deterministic finite automaton, possibly partial.
+#[derive(Debug, Clone)]
+pub struct Dfa {
+    alphabet: Alphabet,
+    /// transitions[s][sym] = successor.  Missing entries are dead.
+    transitions: Vec<BTreeMap<Symbol, StateId>>,
+    initial: StateId,
+    finals: Vec<bool>,
+}
+
+impl Dfa {
+    /// Creates a DFA with a single non-accepting initial state and no
+    /// transitions (the empty language).
+    pub fn new(alphabet: Alphabet) -> Self {
+        Self {
+            alphabet,
+            transitions: vec![BTreeMap::new()],
+            initial: 0,
+            finals: vec![false],
+        }
+    }
+
+    /// Builds a DFA from raw parts.
+    ///
+    /// # Panics
+    /// Panics if `initial` or any transition endpoint is out of range.
+    pub fn from_parts(
+        alphabet: Alphabet,
+        num_states: usize,
+        initial: StateId,
+        finals: impl IntoIterator<Item = StateId>,
+        transitions: impl IntoIterator<Item = (StateId, Symbol, StateId)>,
+    ) -> Self {
+        assert!(initial < num_states, "initial state out of range");
+        let mut dfa = Self {
+            alphabet,
+            transitions: vec![BTreeMap::new(); num_states],
+            initial,
+            finals: vec![false; num_states],
+        };
+        for f in finals {
+            assert!(f < num_states, "final state out of range");
+            dfa.finals[f] = true;
+        }
+        for (from, sym, to) in transitions {
+            dfa.set_transition(from, sym, to);
+        }
+        dfa
+    }
+
+    /// The automaton accepting the empty language.
+    pub fn empty(alphabet: Alphabet) -> Self {
+        Self::new(alphabet)
+    }
+
+    /// The complete automaton accepting Σ*.
+    pub fn universal(alphabet: Alphabet) -> Self {
+        let mut dfa = Self::new(alphabet.clone());
+        dfa.finals[0] = true;
+        for sym in alphabet.symbols() {
+            dfa.set_transition(0, sym, 0);
+        }
+        dfa
+    }
+
+    /// The alphabet of the automaton.
+    pub fn alphabet(&self) -> &Alphabet {
+        &self.alphabet
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// Number of (defined) transitions.
+    pub fn num_transitions(&self) -> usize {
+        self.transitions.iter().map(BTreeMap::len).sum()
+    }
+
+    /// The initial state.
+    pub fn initial_state(&self) -> StateId {
+        self.initial
+    }
+
+    /// Sets the initial state.
+    pub fn set_initial(&mut self, s: StateId) {
+        assert!(s < self.num_states());
+        self.initial = s;
+    }
+
+    /// Whether `s` is accepting.
+    pub fn is_final(&self, s: StateId) -> bool {
+        self.finals[s]
+    }
+
+    /// The set of accepting states.
+    pub fn final_states(&self) -> BTreeSet<StateId> {
+        self.finals
+            .iter()
+            .enumerate()
+            .filter_map(|(s, &f)| f.then_some(s))
+            .collect()
+    }
+
+    /// Marks `s` accepting (`true`) or rejecting (`false`).
+    pub fn set_final(&mut self, s: StateId, accepting: bool) {
+        self.finals[s] = accepting;
+    }
+
+    /// Adds a fresh state, returning its id.
+    pub fn add_state(&mut self, accepting: bool) -> StateId {
+        self.transitions.push(BTreeMap::new());
+        self.finals.push(accepting);
+        self.transitions.len() - 1
+    }
+
+    /// Sets the transition `from --sym--> to`, replacing any previous target.
+    pub fn set_transition(&mut self, from: StateId, sym: Symbol, to: StateId) {
+        assert!(from < self.num_states() && to < self.num_states());
+        assert!(
+            sym.index() < self.alphabet.len(),
+            "symbol {sym} not in alphabet {}",
+            self.alphabet.render()
+        );
+        self.transitions[from].insert(sym, to);
+    }
+
+    /// The successor of `s` under `sym`, if defined.
+    pub fn next_state(&self, s: StateId, sym: Symbol) -> Option<StateId> {
+        self.transitions[s].get(&sym).copied()
+    }
+
+    /// Iterates over the transitions leaving `s`.
+    pub fn transitions_from(&self, s: StateId) -> impl Iterator<Item = (Symbol, StateId)> + '_ {
+        self.transitions[s].iter().map(|(&sym, &to)| (sym, to))
+    }
+
+    /// Iterates over all transitions as `(from, sym, to)` triples.
+    pub fn transitions(&self) -> impl Iterator<Item = (StateId, Symbol, StateId)> + '_ {
+        self.transitions
+            .iter()
+            .enumerate()
+            .flat_map(|(from, m)| m.iter().map(move |(&sym, &to)| (from, sym, to)))
+    }
+
+    /// Runs the automaton on `word` from the initial state, returning the
+    /// final state reached, or `None` if the run dies.
+    pub fn run(&self, word: &[Symbol]) -> Option<StateId> {
+        self.run_from(self.initial, word)
+    }
+
+    /// Runs the automaton on `word` starting from `state`.
+    pub fn run_from(&self, state: StateId, word: &[Symbol]) -> Option<StateId> {
+        let mut current = state;
+        for &sym in word {
+            current = self.next_state(current, sym)?;
+        }
+        Some(current)
+    }
+
+    /// Whether the automaton accepts `word`.
+    pub fn accepts(&self, word: &[Symbol]) -> bool {
+        self.run(word).map(|s| self.finals[s]).unwrap_or(false)
+    }
+
+    /// Whether the automaton accepts the word written as symbol names.
+    pub fn accepts_names(&self, names: &[&str]) -> bool {
+        match self.alphabet.word(names) {
+            Ok(w) => self.accepts(&w),
+            Err(_) => false,
+        }
+    }
+
+    /// Whether every state has a transition for every alphabet symbol.
+    pub fn is_complete(&self) -> bool {
+        self.transitions
+            .iter()
+            .all(|m| m.len() == self.alphabet.len())
+    }
+
+    /// Returns a complete version of the automaton: missing transitions are
+    /// redirected to an explicit non-accepting sink state (added only when
+    /// needed).
+    pub fn complete(&self) -> Dfa {
+        if self.is_complete() {
+            return self.clone();
+        }
+        let mut out = self.clone();
+        let sink = out.add_state(false);
+        for s in 0..out.num_states() {
+            for sym in out.alphabet.clone().symbols() {
+                if out.next_state(s, sym).is_none() {
+                    out.set_transition(s, sym, sink);
+                }
+            }
+        }
+        out
+    }
+
+    /// The complement automaton, accepting exactly the words this automaton
+    /// rejects.  The result is always complete.
+    pub fn complement(&self) -> Dfa {
+        let mut out = self.complete();
+        for f in out.finals.iter_mut() {
+            *f = !*f;
+        }
+        out
+    }
+
+    /// States reachable from the initial state.
+    pub fn reachable_states(&self) -> BTreeSet<StateId> {
+        let mut seen = BTreeSet::from([self.initial]);
+        let mut queue = VecDeque::from([self.initial]);
+        while let Some(s) = queue.pop_front() {
+            for (_, to) in self.transitions_from(s) {
+                if seen.insert(to) {
+                    queue.push_back(to);
+                }
+            }
+        }
+        seen
+    }
+
+    /// States from which some accepting state is reachable.
+    pub fn coreachable_states(&self) -> BTreeSet<StateId> {
+        let mut rev: Vec<Vec<StateId>> = vec![Vec::new(); self.num_states()];
+        for (from, _, to) in self.transitions() {
+            rev[to].push(from);
+        }
+        let mut seen: BTreeSet<StateId> = self.final_states();
+        let mut queue: VecDeque<StateId> = seen.iter().copied().collect();
+        while let Some(s) = queue.pop_front() {
+            for &p in &rev[s] {
+                if seen.insert(p) {
+                    queue.push_back(p);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Removes unreachable states (keeping the language).  The initial state
+    /// is always kept.  Note that trimming a complete automaton may make it
+    /// partial again (the sink disappears if it only served completeness).
+    pub fn trim_unreachable(&self) -> Dfa {
+        let reach = self.reachable_states();
+        let keep: Vec<StateId> = (0..self.num_states()).filter(|s| reach.contains(s)).collect();
+        let mut remap = vec![usize::MAX; self.num_states()];
+        for (new, &old) in keep.iter().enumerate() {
+            remap[old] = new;
+        }
+        let mut out = Dfa {
+            alphabet: self.alphabet.clone(),
+            transitions: vec![BTreeMap::new(); keep.len()],
+            initial: remap[self.initial],
+            finals: vec![false; keep.len()],
+        };
+        for &old in &keep {
+            let new = remap[old];
+            out.finals[new] = self.finals[old];
+            for (sym, to) in self.transitions_from(old) {
+                if reach.contains(&to) {
+                    out.transitions[new].insert(sym, remap[to]);
+                }
+            }
+        }
+        out
+    }
+
+    /// Whether the language is empty.
+    pub fn is_empty_language(&self) -> bool {
+        self.reachable_states()
+            .iter()
+            .all(|&s| !self.finals[s])
+    }
+
+    /// Whether the language is Σ* (accepts every word).
+    pub fn is_universal_language(&self) -> bool {
+        self.complement().is_empty_language()
+    }
+
+    /// A shortest accepted word, if any.
+    pub fn shortest_word(&self) -> Option<Vec<Symbol>> {
+        let mut pred: Vec<Option<(StateId, Symbol)>> = vec![None; self.num_states()];
+        let mut seen = vec![false; self.num_states()];
+        let mut queue = VecDeque::from([self.initial]);
+        seen[self.initial] = true;
+        let mut target = None;
+        if self.finals[self.initial] {
+            target = Some(self.initial);
+        }
+        'bfs: while let Some(s) = queue.pop_front() {
+            if target.is_some() {
+                break;
+            }
+            for (sym, to) in self.transitions_from(s) {
+                if !seen[to] {
+                    seen[to] = true;
+                    pred[to] = Some((s, sym));
+                    if self.finals[to] {
+                        target = Some(to);
+                        break 'bfs;
+                    }
+                    queue.push_back(to);
+                }
+            }
+        }
+        let mut cur = target?;
+        let mut word = Vec::new();
+        while let Some((prev, sym)) = pred[cur] {
+            word.push(sym);
+            cur = prev;
+        }
+        word.reverse();
+        Some(word)
+    }
+
+    /// Enumerates up to `limit` accepted words in length-lexicographic order.
+    /// Useful in tests and for displaying sample members of a language.
+    pub fn sample_words(&self, limit: usize) -> Vec<Vec<Symbol>> {
+        let mut out = Vec::new();
+        if limit == 0 {
+            return out;
+        }
+        // BFS over (state, word) pairs; words expand in length-lex order
+        // because the transition map is ordered by symbol.
+        let mut queue: VecDeque<(StateId, Vec<Symbol>)> = VecDeque::new();
+        queue.push_back((self.initial, Vec::new()));
+        // Cap the frontier to avoid explosion on large automata.
+        let max_frontier = 100_000;
+        while let Some((s, word)) = queue.pop_front() {
+            if self.finals[s] {
+                out.push(word.clone());
+                if out.len() >= limit {
+                    break;
+                }
+            }
+            if queue.len() > max_frontier {
+                break;
+            }
+            for (sym, to) in self.transitions_from(s) {
+                let mut w = word.clone();
+                w.push(sym);
+                queue.push_back((to, w));
+            }
+        }
+        out
+    }
+
+    /// Counts the accepted words of exactly length `len` (may be large; uses
+    /// u128 and saturates).
+    pub fn count_words_of_length(&self, len: usize) -> u128 {
+        let mut counts = vec![0u128; self.num_states()];
+        counts[self.initial] = 1;
+        for _ in 0..len {
+            let mut next = vec![0u128; self.num_states()];
+            for s in 0..self.num_states() {
+                if counts[s] == 0 {
+                    continue;
+                }
+                for (_, to) in self.transitions_from(s) {
+                    next[to] = next[to].saturating_add(counts[s]);
+                }
+            }
+            counts = next;
+        }
+        counts
+            .iter()
+            .enumerate()
+            .filter(|&(s, _)| self.finals[s])
+            .fold(0u128, |acc, (_, &c)| acc.saturating_add(c))
+    }
+
+    /// Renders the automaton compactly for debugging/logging.
+    pub fn describe(&self) -> String {
+        format!(
+            "DFA(states={}, transitions={}, initial={}, finals={:?}, complete={})",
+            self.num_states(),
+            self.num_transitions(),
+            self.initial,
+            self.final_states(),
+            self.is_complete()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ab() -> Alphabet {
+        Alphabet::from_chars(['a', 'b']).unwrap()
+    }
+
+    /// DFA for the language (ab)*  over {a,b}.
+    fn ab_star() -> Dfa {
+        let alpha = ab();
+        let a = alpha.symbol("a").unwrap();
+        let b = alpha.symbol("b").unwrap();
+        Dfa::from_parts(alpha, 2, 0, [0], [(0, a, 1), (1, b, 0)])
+    }
+
+    fn w(alpha: &Alphabet, s: &str) -> Vec<Symbol> {
+        alpha.word_from_str(s).unwrap()
+    }
+
+    #[test]
+    fn accepts_and_rejects() {
+        let dfa = ab_star();
+        let alpha = dfa.alphabet().clone();
+        assert!(dfa.accepts(&[]));
+        assert!(dfa.accepts(&w(&alpha, "ab")));
+        assert!(dfa.accepts(&w(&alpha, "abab")));
+        assert!(!dfa.accepts(&w(&alpha, "a")));
+        assert!(!dfa.accepts(&w(&alpha, "ba")));
+        assert!(dfa.accepts_names(&["a", "b"]));
+        assert!(!dfa.accepts_names(&["nope"]));
+    }
+
+    #[test]
+    fn completion_adds_sink_once() {
+        let dfa = ab_star();
+        assert!(!dfa.is_complete());
+        let complete = dfa.complete();
+        assert!(complete.is_complete());
+        assert_eq!(complete.num_states(), 3);
+        // Completing again is a no-op.
+        assert_eq!(complete.complete().num_states(), 3);
+        // Language unchanged.
+        let alpha = dfa.alphabet().clone();
+        assert!(complete.accepts(&w(&alpha, "abab")));
+        assert!(!complete.accepts(&w(&alpha, "aa")));
+    }
+
+    #[test]
+    fn complement_flips_membership() {
+        let dfa = ab_star();
+        let alpha = dfa.alphabet().clone();
+        let comp = dfa.complement();
+        assert!(!comp.accepts(&[]));
+        assert!(!comp.accepts(&w(&alpha, "ab")));
+        assert!(comp.accepts(&w(&alpha, "a")));
+        assert!(comp.accepts(&w(&alpha, "ba")));
+        // Double complement restores the language on sample words.
+        let cc = comp.complement();
+        for word in ["", "a", "b", "ab", "ba", "abab", "abb"] {
+            let word = w(&alpha, word);
+            assert_eq!(dfa.accepts(&word), cc.accepts(&word));
+        }
+    }
+
+    #[test]
+    fn empty_and_universal() {
+        let alpha = ab();
+        let empty = Dfa::empty(alpha.clone());
+        assert!(empty.is_empty_language());
+        assert!(!empty.is_universal_language());
+        let univ = Dfa::universal(alpha.clone());
+        assert!(univ.is_universal_language());
+        assert!(!univ.is_empty_language());
+        assert!(univ.accepts(&w(&alpha, "abba")));
+    }
+
+    #[test]
+    fn shortest_word_finds_minimum() {
+        let dfa = ab_star();
+        assert_eq!(dfa.shortest_word(), Some(vec![]));
+        // Language a·b (single word) has shortest word ab.
+        let alpha = ab();
+        let a = alpha.symbol("a").unwrap();
+        let b = alpha.symbol("b").unwrap();
+        let dfa = Dfa::from_parts(alpha.clone(), 3, 0, [2], [(0, a, 1), (1, b, 2)]);
+        assert_eq!(dfa.shortest_word(), Some(w(&alpha, "ab")));
+        assert_eq!(Dfa::empty(alpha).shortest_word(), None);
+    }
+
+    #[test]
+    fn trim_unreachable_drops_states() {
+        let alpha = ab();
+        let a = alpha.symbol("a").unwrap();
+        let mut dfa = Dfa::from_parts(alpha.clone(), 2, 0, [1], [(0, a, 1)]);
+        let orphan = dfa.add_state(true);
+        dfa.set_transition(orphan, a, orphan);
+        let trimmed = dfa.trim_unreachable();
+        assert_eq!(trimmed.num_states(), 2);
+        assert!(trimmed.accepts(&w(&alpha, "a")));
+    }
+
+    #[test]
+    fn sample_words_in_length_order() {
+        let dfa = ab_star();
+        let alpha = dfa.alphabet().clone();
+        let samples = dfa.sample_words(3);
+        assert_eq!(samples, vec![vec![], w(&alpha, "ab"), w(&alpha, "abab")]);
+        assert!(dfa.sample_words(0).is_empty());
+    }
+
+    #[test]
+    fn count_words_of_length() {
+        let alpha = ab();
+        let univ = Dfa::universal(alpha.clone());
+        assert_eq!(univ.count_words_of_length(0), 1);
+        assert_eq!(univ.count_words_of_length(3), 8);
+        let dfa = ab_star();
+        assert_eq!(dfa.count_words_of_length(0), 1);
+        assert_eq!(dfa.count_words_of_length(1), 0);
+        assert_eq!(dfa.count_words_of_length(2), 1);
+        assert_eq!(dfa.count_words_of_length(4), 1);
+    }
+
+    #[test]
+    fn run_from_intermediate_state() {
+        let dfa = ab_star();
+        let alpha = dfa.alphabet().clone();
+        let b = alpha.symbol("b").unwrap();
+        assert_eq!(dfa.run_from(1, &[b]), Some(0));
+        assert_eq!(dfa.run_from(1, &w(&alpha, "a")), None);
+    }
+
+    #[test]
+    fn coreachable_includes_paths_to_finals() {
+        let dfa = ab_star().complete();
+        let co = dfa.coreachable_states();
+        // the sink (state 2) cannot reach a final state
+        assert!(!co.contains(&2));
+        assert!(co.contains(&0));
+        assert!(co.contains(&1));
+    }
+
+    #[test]
+    fn describe_mentions_counts() {
+        let d = ab_star().describe();
+        assert!(d.contains("states=2"));
+    }
+}

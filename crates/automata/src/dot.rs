@@ -1,0 +1,109 @@
+//! Graphviz DOT rendering of automata, for documentation and debugging.
+//!
+//! The figures of the paper (in particular Figure 1: the deterministic query
+//! automaton `A_d`, the view-alphabet automaton `A'`, and the rewriting
+//! automaton) are easiest to inspect as rendered graphs; the experiment
+//! binary dumps DOT next to its JSON results.
+
+use std::fmt::Write as _;
+
+use crate::dfa::Dfa;
+use crate::nfa::Nfa;
+
+/// Renders an NFA as a Graphviz DOT digraph.
+pub fn nfa_to_dot(nfa: &Nfa, name: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", escape(name));
+    let _ = writeln!(out, "  rankdir=LR;");
+    let _ = writeln!(out, "  node [shape=circle];");
+    for s in 0..nfa.num_states() {
+        let shape = if nfa.is_final(s) { "doublecircle" } else { "circle" };
+        let _ = writeln!(out, "  s{s} [shape={shape}, label=\"s{s}\"];");
+    }
+    for (i, &s) in nfa.initial_states().iter().enumerate() {
+        let _ = writeln!(out, "  init{i} [shape=point, style=invis];");
+        let _ = writeln!(out, "  init{i} -> s{s};");
+    }
+    for (from, label, to) in nfa.transitions() {
+        let label = match label {
+            Some(sym) => escape(nfa.alphabet().name(sym)),
+            None => "ε".to_string(),
+        };
+        let _ = writeln!(out, "  s{from} -> s{to} [label=\"{label}\"];");
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Renders a DFA as a Graphviz DOT digraph.
+pub fn dfa_to_dot(dfa: &Dfa, name: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", escape(name));
+    let _ = writeln!(out, "  rankdir=LR;");
+    let _ = writeln!(out, "  node [shape=circle];");
+    for s in 0..dfa.num_states() {
+        let shape = if dfa.is_final(s) { "doublecircle" } else { "circle" };
+        let _ = writeln!(out, "  s{s} [shape={shape}, label=\"s{s}\"];");
+    }
+    let _ = writeln!(out, "  init [shape=point, style=invis];");
+    let _ = writeln!(out, "  init -> s{};", dfa.initial_state());
+    for (from, sym, to) in dfa.transitions() {
+        let label = escape(dfa.alphabet().name(sym));
+        let _ = writeln!(out, "  s{from} -> s{to} [label=\"{label}\"];");
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::Alphabet;
+
+    #[test]
+    fn nfa_dot_contains_states_and_edges() {
+        let alpha = Alphabet::from_chars(['a']).unwrap();
+        let nfa = Nfa::symbol(alpha.clone(), alpha.symbol("a").unwrap());
+        let dot = nfa_to_dot(&nfa, "test");
+        assert!(dot.starts_with("digraph \"test\""));
+        assert!(dot.contains("s0 -> s1 [label=\"a\"]"));
+        assert!(dot.contains("doublecircle"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn dfa_dot_contains_initial_marker() {
+        let alpha = Alphabet::from_chars(['a', 'b']).unwrap();
+        let dfa = Dfa::universal(alpha);
+        let dot = dfa_to_dot(&dfa, "univ");
+        assert!(dot.contains("init -> s0"));
+        assert!(dot.contains("label=\"a\""));
+        assert!(dot.contains("label=\"b\""));
+    }
+
+    #[test]
+    fn epsilon_edges_are_labeled() {
+        let alpha = Alphabet::from_chars(['a']).unwrap();
+        let mut nfa = Nfa::new(alpha);
+        let s0 = nfa.add_state();
+        let s1 = nfa.add_state();
+        nfa.set_initial(s0);
+        nfa.set_final(s1);
+        nfa.add_epsilon(s0, s1);
+        let dot = nfa_to_dot(&nfa, "eps");
+        assert!(dot.contains("label=\"ε\""));
+    }
+
+    #[test]
+    fn quotes_in_names_are_escaped() {
+        let alpha = Alphabet::from_names(["a\"b"]).unwrap();
+        let nfa = Nfa::symbol(alpha.clone(), alpha.symbol("a\"b").unwrap());
+        let dot = nfa_to_dot(&nfa, "esc\"ape");
+        assert!(dot.contains("a\\\"b"));
+        assert!(dot.contains("esc\\\"ape"));
+    }
+}

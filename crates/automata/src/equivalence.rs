@@ -1,0 +1,240 @@
+//! Language containment and equivalence checks.
+//!
+//! The exactness check of the paper (Theorem 2.3) reduces to a containment
+//! test `L(A_d) ⊆ L(B)` where `B` is the (nondeterministic) expansion of the
+//! rewriting.  Theorem 3.2 obtains the 2EXPSPACE upper bound by *not*
+//! materializing the complement of `B` and instead exploring the product of
+//! `A_d` with the lazily determinized `B` on the fly.  [`dfa_subset_of_nfa`]
+//! implements exactly that strategy; [`dfa_subset_of_nfa_explicit`] is the
+//! naive explicit-complement variant kept for the ablation benchmark (E11).
+
+use std::collections::{BTreeSet, VecDeque};
+
+use crate::alphabet::Symbol;
+use crate::determinize::determinize;
+use crate::dfa::Dfa;
+use crate::nfa::{Nfa, StateId};
+use crate::product::intersect_dfa;
+
+/// Outcome of a containment check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Containment {
+    /// The containment holds.
+    Holds,
+    /// The containment fails; the word is a witness in the left language but
+    /// not in the right one.
+    FailsWith(Vec<Symbol>),
+}
+
+impl Containment {
+    /// Whether the containment holds.
+    pub fn holds(&self) -> bool {
+        matches!(self, Containment::Holds)
+    }
+
+    /// The counterexample, if the containment fails.
+    pub fn counterexample(&self) -> Option<&[Symbol]> {
+        match self {
+            Containment::Holds => None,
+            Containment::FailsWith(w) => Some(w),
+        }
+    }
+}
+
+/// Checks `L(a) ⊆ L(b)` for a DFA `a` and an NFA `b` **without** building the
+/// complement of `b` explicitly.
+///
+/// The search explores pairs `(state of a, ε-closed subset of b's states)`
+/// breadth-first from the initial configuration; a pair where `a` accepts but
+/// the subset contains no accepting state of `b` yields a shortest
+/// counterexample.  This is the on-the-fly strategy of Theorem 3.2.
+pub fn dfa_subset_of_nfa(a: &Dfa, b: &Nfa) -> Containment {
+    a.alphabet()
+        .check_compatible(b.alphabet())
+        .expect("containment over incompatible alphabets");
+    // Only DFA states from which `a` can still accept matter: a word that has
+    // entered a dead state of `a` can never become a counterexample, and
+    // pruning those states keeps the product exploration proportional to the
+    // *useful* part of `a` instead of to the full determinization of `b`.
+    let live = a.coreachable_states();
+    type Config = (StateId, BTreeSet<StateId>);
+    let start: Config = (a.initial_state(), b.start_configuration());
+    let violates =
+        |c: &Config| a.is_final(c.0) && !c.1.iter().any(|&s| b.is_final(s));
+    if violates(&start) {
+        return Containment::FailsWith(Vec::new());
+    }
+    if !live.contains(&a.initial_state()) {
+        // L(a) is empty; the containment holds vacuously.
+        return Containment::Holds;
+    }
+    let mut seen: BTreeSet<Config> = BTreeSet::from([start.clone()]);
+    let mut queue: VecDeque<(Config, Vec<Symbol>)> = VecDeque::from([(start, Vec::new())]);
+    while let Some(((sa, cfg), word)) = queue.pop_front() {
+        for sym in a.alphabet().symbols() {
+            // A word that dies in `a` (or enters a dead state) is not in
+            // L(a), so it can never produce a counterexample.
+            let Some(ta) = a.next_state(sa, sym) else { continue };
+            if !live.contains(&ta) {
+                continue;
+            }
+            let stepped = b.epsilon_closure(&b.step(&cfg, sym));
+            let next: Config = (ta, stepped);
+            if seen.contains(&next) {
+                continue;
+            }
+            let mut next_word = word.clone();
+            next_word.push(sym);
+            if violates(&next) {
+                return Containment::FailsWith(next_word);
+            }
+            seen.insert(next.clone());
+            queue.push_back((next, next_word));
+        }
+    }
+    Containment::Holds
+}
+
+/// Explicit-complement variant of [`dfa_subset_of_nfa`]: determinizes `b`,
+/// complements it, intersects with `a`, and checks emptiness.  Exponentially
+/// more memory-hungry in the worst case; retained for the ablation benchmark.
+pub fn dfa_subset_of_nfa_explicit(a: &Dfa, b: &Nfa) -> Containment {
+    let b_det = determinize(b);
+    let b_comp = b_det.complement();
+    let product = intersect_dfa(a, &b_comp);
+    match product.shortest_word() {
+        None => Containment::Holds,
+        Some(word) => Containment::FailsWith(word),
+    }
+}
+
+/// Checks `L(a) ⊆ L(b)` for two NFAs by determinizing `a` and running the
+/// on-the-fly check.
+pub fn nfa_subset_of_nfa(a: &Nfa, b: &Nfa) -> Containment {
+    dfa_subset_of_nfa(&determinize(a), b)
+}
+
+/// Checks `L(a) ⊆ L(b)` for two DFAs.
+pub fn dfa_subset_of_dfa(a: &Dfa, b: &Dfa) -> Containment {
+    dfa_subset_of_nfa(a, &Nfa::from_dfa(b))
+}
+
+/// Checks language equivalence of two NFAs, returning a counterexample from
+/// whichever side breaks the symmetry.
+pub fn nfa_equivalent(a: &Nfa, b: &Nfa) -> Containment {
+    match nfa_subset_of_nfa(a, b) {
+        Containment::Holds => nfa_subset_of_nfa(b, a),
+        fail => fail,
+    }
+}
+
+/// Checks language equivalence of two DFAs.
+pub fn dfa_equivalent(a: &Dfa, b: &Dfa) -> Containment {
+    match dfa_subset_of_dfa(a, b) {
+        Containment::Holds => dfa_subset_of_dfa(b, a),
+        fail => fail,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::Alphabet;
+
+    fn ab() -> Alphabet {
+        Alphabet::from_chars(['a', 'b']).unwrap()
+    }
+
+    fn w(alpha: &Alphabet, s: &str) -> Vec<Symbol> {
+        alpha.word_from_str(s).unwrap()
+    }
+
+    #[test]
+    fn subset_holds_for_sublanguage() {
+        let alpha = ab();
+        let a_sym = Nfa::symbol(alpha.clone(), alpha.symbol("a").unwrap());
+        // a·a ⊆ a*
+        let small = determinize(&a_sym.concat(&a_sym));
+        let big = a_sym.star();
+        assert!(dfa_subset_of_nfa(&small, &big).holds());
+        assert!(dfa_subset_of_nfa_explicit(&small, &big).holds());
+    }
+
+    #[test]
+    fn subset_fails_with_shortest_counterexample() {
+        let alpha = ab();
+        let a_sym = Nfa::symbol(alpha.clone(), alpha.symbol("a").unwrap());
+        let b_sym = Nfa::symbol(alpha.clone(), alpha.symbol("b").unwrap());
+        // a* ⊄ a·a* because of ε; counterexample is the empty word.
+        let astar = determinize(&a_sym.star());
+        let aplus = a_sym.concat(&a_sym.star());
+        match dfa_subset_of_nfa(&astar, &aplus) {
+            Containment::FailsWith(cex) => assert_eq!(cex, Vec::<Symbol>::new()),
+            Containment::Holds => panic!("containment should fail"),
+        }
+        // (a+b) ⊄ a : counterexample is "b".
+        let any = determinize(&a_sym.union(&b_sym));
+        match dfa_subset_of_nfa(&any, &a_sym) {
+            Containment::FailsWith(cex) => assert_eq!(cex, w(&alpha, "b")),
+            Containment::Holds => panic!("containment should fail"),
+        }
+    }
+
+    #[test]
+    fn explicit_and_on_the_fly_agree() {
+        let alpha = ab();
+        let a_sym = Nfa::symbol(alpha.clone(), alpha.symbol("a").unwrap());
+        let b_sym = Nfa::symbol(alpha.clone(), alpha.symbol("b").unwrap());
+        let cases = [
+            (a_sym.concat(&b_sym).star(), a_sym.union(&b_sym).star()), // holds
+            (a_sym.union(&b_sym).star(), a_sym.concat(&b_sym).star()), // fails
+            (a_sym.star(), a_sym.star().concat(&b_sym.optional())),    // holds
+        ];
+        for (lhs, rhs) in cases {
+            let lhs_d = determinize(&lhs);
+            let lazy = dfa_subset_of_nfa(&lhs_d, &rhs);
+            let explicit = dfa_subset_of_nfa_explicit(&lhs_d, &rhs);
+            assert_eq!(lazy.holds(), explicit.holds());
+        }
+    }
+
+    #[test]
+    fn equivalence_of_different_constructions() {
+        let alpha = ab();
+        let a_sym = Nfa::symbol(alpha.clone(), alpha.symbol("a").unwrap());
+        let b_sym = Nfa::symbol(alpha.clone(), alpha.symbol("b").unwrap());
+        // (a + b)* == (a*·b*)*
+        let lhs = a_sym.union(&b_sym).star();
+        let rhs = a_sym.star().concat(&b_sym.star()).star();
+        assert!(nfa_equivalent(&lhs, &rhs).holds());
+        // a·(b·a)* == (a·b)*·a
+        let lhs = a_sym.concat(&b_sym.concat(&a_sym).star());
+        let rhs = a_sym.concat(&b_sym).star().concat(&a_sym);
+        assert!(nfa_equivalent(&lhs, &rhs).holds());
+        // a* != b*
+        assert!(!nfa_equivalent(&a_sym.star(), &b_sym.star()).holds());
+    }
+
+    #[test]
+    fn dfa_equivalence_and_counterexamples() {
+        let alpha = ab();
+        let a_sym = Nfa::symbol(alpha.clone(), alpha.symbol("a").unwrap());
+        let d1 = determinize(&a_sym.star());
+        let d2 = determinize(&a_sym.plus());
+        assert!(dfa_equivalent(&d1, &d1).holds());
+        let result = dfa_equivalent(&d1, &d2);
+        assert_eq!(result.counterexample(), Some(&[][..]));
+    }
+
+    #[test]
+    fn empty_language_is_subset_of_everything() {
+        let alpha = ab();
+        let empty = Dfa::empty(alpha.clone());
+        let a_sym = Nfa::symbol(alpha.clone(), alpha.symbol("a").unwrap());
+        assert!(dfa_subset_of_nfa(&empty, &a_sym).holds());
+        assert!(dfa_subset_of_nfa(&empty, &Nfa::empty(alpha.clone())).holds());
+        // Nothing but the empty language is a subset of the empty language.
+        let nonempty = determinize(&a_sym);
+        assert!(!dfa_subset_of_nfa(&nonempty, &Nfa::empty(alpha)).holds());
+    }
+}

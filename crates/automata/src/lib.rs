@@ -1,0 +1,66 @@
+//! # automata — finite-automata substrate for view-based rewriting
+//!
+//! This crate provides the automata-theoretic machinery that the rest of the
+//! workspace builds on to reproduce Calvanese, De Giacomo, Lenzerini and
+//! Vardi, *Rewriting of Regular Expressions and Regular Path Queries*
+//! (PODS'99 / JCSS 2002):
+//!
+//! * interned [`Alphabet`]s and [`Symbol`]s,
+//! * [`Nfa`]s with ε-moves and the usual rational operations,
+//! * [`Dfa`]s with completion and complementation,
+//! * the subset construction ([`determinize`]) producing the deterministic
+//!   query automaton `A_d` of the paper,
+//! * DFA minimization ([`minimize`]),
+//! * product constructions and the [`word_reachability_relation`] used to
+//!   build the rewriting automaton `A'`,
+//! * on-the-fly containment checks ([`dfa_subset_of_nfa`]) implementing the
+//!   complement-free strategy of Theorem 3.2,
+//! * DOT export and seeded random generation for tests and benchmarks.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use automata::{Alphabet, Nfa, determinize, minimize, dfa_subset_of_nfa};
+//!
+//! let alpha = Alphabet::from_chars(['a', 'b']).unwrap();
+//! let a = Nfa::symbol(alpha.clone(), alpha.symbol("a").unwrap());
+//! let b = Nfa::symbol(alpha.clone(), alpha.symbol("b").unwrap());
+//!
+//! // (a·b)* as an NFA, then as a minimal DFA.
+//! let nfa = a.concat(&b).star();
+//! let dfa = minimize(&determinize(&nfa));
+//! assert!(dfa.accepts(&alpha.word(&["a", "b", "a", "b"]).unwrap()));
+//!
+//! // (a·b)* ⊆ (a+b)* — checked without materializing any complement.
+//! let all = a.union(&b).star();
+//! assert!(dfa_subset_of_nfa(&dfa, &all).holds());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod alphabet;
+pub mod determinize;
+pub mod dfa;
+pub mod dot;
+pub mod equivalence;
+pub mod minimize;
+pub mod nfa;
+pub mod product;
+pub mod random;
+
+pub use alphabet::{Alphabet, AlphabetError, Symbol};
+pub use determinize::{determinize, determinize_with_subsets, Determinized};
+pub use dfa::Dfa;
+pub use dot::{dfa_to_dot, nfa_to_dot};
+pub use equivalence::{
+    dfa_equivalent, dfa_subset_of_dfa, dfa_subset_of_nfa, dfa_subset_of_nfa_explicit,
+    nfa_equivalent, nfa_subset_of_nfa, Containment,
+};
+pub use minimize::minimize;
+pub use nfa::{Nfa, StateId};
+pub use product::{
+    intersect_dfa, intersect_dfa_nfa, intersection_witness, intersection_witness_from, union_dfa,
+    word_reachability_relation, word_reaches,
+};
+pub use random::{random_dfa, random_nfa, random_word, RandomAutomatonConfig};

@@ -1,0 +1,193 @@
+//! DFA minimization by partition refinement (Moore's algorithm).
+//!
+//! Minimizing the deterministic query automaton `A_d` before building the
+//! rewriting automaton `A'` (ablation #3 of DESIGN.md) shrinks both the state
+//! space of the rewriting and the number of per-view reachability tests, so
+//! the rewriter exposes it as an optional preprocessing step.  Minimal DFAs
+//! are also canonical (up to isomorphism), which the equivalence tests rely
+//! on.
+//!
+//! Moore's algorithm refines the accepting/rejecting partition until the
+//! signature of every state (the block of each of its successors) is stable.
+//! It runs in `O(n² · |Σ|)` in the worst case, which is more than fast enough
+//! for the automata produced in this workspace, and — unlike Hopcroft's
+//! algorithm — has no subtle worklist bookkeeping.
+
+use std::collections::BTreeMap;
+
+use crate::dfa::Dfa;
+use crate::nfa::StateId;
+
+/// Minimizes a DFA: the result is the unique (up to isomorphism) smallest
+/// complete DFA for the same language, restricted to reachable states.
+pub fn minimize(dfa: &Dfa) -> Dfa {
+    // Work on the reachable, complete automaton so the successor function is
+    // total and unreachable states cannot pollute the partition.
+    let dfa = dfa.trim_unreachable().complete();
+    let n = dfa.num_states();
+    if n == 0 {
+        return dfa;
+    }
+    let alphabet = dfa.alphabet().clone();
+
+    // block[s] = index of the partition block containing s.
+    // Initial partition: accepting (1) vs non-accepting (0).
+    let mut block: Vec<usize> = (0..n).map(|s| usize::from(dfa.is_final(s))).collect();
+    let mut num_blocks = if dfa.final_states().is_empty() || dfa.final_states().len() == n {
+        1
+    } else {
+        2
+    };
+    if num_blocks == 1 {
+        // Normalize all block ids to 0.
+        block.iter_mut().for_each(|b| *b = 0);
+    }
+
+    loop {
+        // Signature of a state: (its block, the block of each successor).
+        let mut sig_index: BTreeMap<(usize, Vec<usize>), usize> = BTreeMap::new();
+        let mut new_block = vec![0usize; n];
+        for s in 0..n {
+            let succ_blocks: Vec<usize> = alphabet
+                .symbols()
+                .map(|sym| block[dfa.next_state(s, sym).expect("complete DFA")])
+                .collect();
+            let key = (block[s], succ_blocks);
+            let next = sig_index.len();
+            let id = *sig_index.entry(key).or_insert(next);
+            new_block[s] = id;
+        }
+        let new_num_blocks = sig_index.len();
+        block = new_block;
+        if new_num_blocks == num_blocks {
+            break;
+        }
+        num_blocks = new_num_blocks;
+    }
+
+    build_quotient(&dfa, &block, num_blocks)
+}
+
+/// Builds the quotient automaton given the block assignment of every state.
+fn build_quotient(dfa: &Dfa, block: &[usize], num_blocks: usize) -> Dfa {
+    let initial = block[dfa.initial_state()];
+    let mut transitions: BTreeMap<(usize, crate::alphabet::Symbol), usize> = BTreeMap::new();
+    for (from, sym, to) in dfa.transitions() {
+        transitions.insert((block[from], sym), block[to]);
+    }
+    let finals: Vec<StateId> = dfa.final_states().iter().map(|&s| block[s]).collect();
+    let quotient = Dfa::from_parts(
+        dfa.alphabet().clone(),
+        num_blocks,
+        initial,
+        finals,
+        transitions.iter().map(|(&(f, s), &t)| (f, s, t)),
+    );
+    quotient.trim_unreachable()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::{Alphabet, Symbol};
+    use crate::determinize::determinize;
+    use crate::nfa::Nfa;
+
+    fn ab() -> Alphabet {
+        Alphabet::from_chars(['a', 'b']).unwrap()
+    }
+
+    fn w(alpha: &Alphabet, s: &str) -> Vec<Symbol> {
+        alpha.word_from_str(s).unwrap()
+    }
+
+    #[test]
+    fn minimize_preserves_language_on_samples() {
+        let alpha = ab();
+        let a = Nfa::symbol(alpha.clone(), alpha.symbol("a").unwrap());
+        let b = Nfa::symbol(alpha.clone(), alpha.symbol("b").unwrap());
+        // (ab + ba)* — regular structure with mergeable states after subset
+        // construction.
+        let nfa = a.concat(&b).union(&b.concat(&a)).star();
+        let dfa = determinize(&nfa);
+        let min = minimize(&dfa);
+        assert!(min.num_states() <= dfa.num_states());
+        for word in ["", "ab", "ba", "abba", "abab", "baab", "a", "b", "aab", "bb"] {
+            let word = w(&alpha, word);
+            assert_eq!(dfa.accepts(&word), min.accepts(&word), "{word:?}");
+        }
+    }
+
+    #[test]
+    fn minimize_collapses_redundant_states() {
+        // Two copies of the same a-loop accepting state should merge.
+        let alpha = Alphabet::from_chars(['a']).unwrap();
+        let a = alpha.symbol("a").unwrap();
+        // states 0 -a-> 1 -a-> 2 -a-> 1 ; finals {1, 2} — language a·a* = a+
+        let dfa = Dfa::from_parts(alpha.clone(), 3, 0, [1, 2], [(0, a, 1), (1, a, 2), (2, a, 1)]);
+        let min = minimize(&dfa);
+        // Minimal complete DFA for a+ over {a} has 2 states.
+        assert_eq!(min.num_states(), 2);
+        assert!(!min.accepts(&[]));
+        assert!(min.accepts(&[a]));
+        assert!(min.accepts(&[a, a, a]));
+    }
+
+    #[test]
+    fn minimize_empty_language() {
+        let alpha = ab();
+        let min = minimize(&Dfa::empty(alpha));
+        assert!(min.is_empty_language());
+        assert!(min.num_states() <= 1);
+    }
+
+    #[test]
+    fn minimize_universal_language() {
+        let alpha = ab();
+        let min = minimize(&Dfa::universal(alpha));
+        assert!(min.is_universal_language());
+        assert_eq!(min.num_states(), 1);
+    }
+
+    #[test]
+    fn minimal_dfa_has_canonical_size() {
+        let alpha = ab();
+        let a = Nfa::symbol(alpha.clone(), alpha.symbol("a").unwrap());
+        let nfa = Nfa::universal(alpha.clone())
+            .concat(&a)
+            .concat(&Nfa::any_symbol(alpha.clone()))
+            .concat(&Nfa::any_symbol(alpha.clone()));
+        let dfa = determinize(&nfa);
+        let min = minimize(&dfa);
+        assert!(min.num_states() <= dfa.num_states());
+        // The canonical minimal DFA for (a+b)*a(a+b)(a+b) has 8 states
+        // (it must remember the last three symbols).
+        assert_eq!(min.num_states(), 8);
+    }
+
+    #[test]
+    fn minimize_is_idempotent() {
+        let alpha = ab();
+        let a = Nfa::symbol(alpha.clone(), alpha.symbol("a").unwrap());
+        let b = Nfa::symbol(alpha.clone(), alpha.symbol("b").unwrap());
+        let nfa = a.union(&b.concat(&a).star()).concat(&b.optional());
+        let min1 = minimize(&determinize(&nfa));
+        let min2 = minimize(&min1);
+        assert_eq!(min1.num_states(), min2.num_states());
+        assert_eq!(min1.num_transitions(), min2.num_transitions());
+    }
+
+    #[test]
+    fn equivalent_regexes_minimize_to_same_size() {
+        // a·(b·a)* and (a·b)*·a denote the same language; their minimal DFAs
+        // must therefore be isomorphic (same number of states).
+        let alpha = ab();
+        let a = Nfa::symbol(alpha.clone(), alpha.symbol("a").unwrap());
+        let b = Nfa::symbol(alpha.clone(), alpha.symbol("b").unwrap());
+        let lhs = a.concat(&b.concat(&a).star());
+        let rhs = a.concat(&b).star().concat(&a);
+        let m1 = minimize(&determinize(&lhs));
+        let m2 = minimize(&determinize(&rhs));
+        assert_eq!(m1.num_states(), m2.num_states());
+    }
+}

@@ -1,0 +1,41 @@
+//! Benchmark E6 (+ ablation #2): the exponential subset construction on the
+//! worst-case family `(a+b)*·a·(a+b)^k`, comparing the Thompson and Glushkov
+//! front-ends.
+
+use bench::determinization_family;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use regexlang::{glushkov, thompson};
+
+fn bench_determinization(c: &mut Criterion) {
+    let mut group = c.benchmark_group("determinization");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for &k in &[4usize, 8, 12] {
+        let (expr, _) = determinization_family(k);
+        let alphabet = expr.inferred_alphabet();
+        group.bench_with_input(BenchmarkId::new("thompson", k), &expr, |b, expr| {
+            b.iter(|| {
+                let nfa = thompson(expr, &alphabet).unwrap();
+                std::hint::black_box(automata::determinize(&nfa).num_states())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("glushkov", k), &expr, |b, expr| {
+            b.iter(|| {
+                let nfa = glushkov(expr, &alphabet).unwrap();
+                std::hint::black_box(automata::determinize(&nfa).num_states())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("plus_minimization", k), &expr, |b, expr| {
+            b.iter(|| {
+                let nfa = thompson(expr, &alphabet).unwrap();
+                std::hint::black_box(automata::minimize(&automata::determinize(&nfa)).num_states())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_determinization);
+criterion_main!(benches);

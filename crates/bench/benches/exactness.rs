@@ -1,0 +1,65 @@
+//! Benchmark E11 (+ ablation #1): the exactness check of Theorem 2.3 with the
+//! on-the-fly containment of Theorem 3.2 vs the explicit complement of the
+//! expansion automaton.
+
+use bench::{random_problem, RandomProblemConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use rewriter::{check_exactness_with, compute_maximal_rewriting, ExactnessStrategy};
+
+fn bench_exactness(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exactness_check");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for &query_size in &[8usize, 14, 20] {
+        let cfg = RandomProblemConfig {
+            alphabet_size: 3,
+            query_size,
+            num_views: 3,
+            view_size: 5,
+        };
+        // Pre-compute the rewritings so only the exactness check is timed.
+        let prepared: Vec<_> = (0..4)
+            .map(|seed| {
+                let problem = random_problem(&cfg, seed * 7 + 1);
+                let rewriting = compute_maximal_rewriting(&problem);
+                (problem, rewriting)
+            })
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::new("on_the_fly", query_size),
+            &prepared,
+            |b, prepared| {
+                b.iter(|| {
+                    for (problem, rewriting) in prepared {
+                        std::hint::black_box(check_exactness_with(
+                            rewriting,
+                            &problem.views,
+                            ExactnessStrategy::OnTheFly,
+                        ));
+                    }
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("explicit_complement", query_size),
+            &prepared,
+            |b, prepared| {
+                b.iter(|| {
+                    for (problem, rewriting) in prepared {
+                        std::hint::black_box(check_exactness_with(
+                            rewriting,
+                            &problem.views,
+                            ExactnessStrategy::ExplicitComplement,
+                        ));
+                    }
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_exactness);
+criterion_main!(benches);

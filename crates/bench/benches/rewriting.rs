@@ -1,0 +1,66 @@
+//! Benchmark E5 (+ ablations #3/#4): cost of the maximal-rewriting
+//! construction as the query grows, with and without minimizing `A_d`, and
+//! with batched vs per-pair reachability tests.
+
+use bench::{random_problem, RandomProblemConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use rewriter::{compute_maximal_rewriting_with, RewriterOptions};
+
+fn bench_rewriting(c: &mut Criterion) {
+    let mut group = c.benchmark_group("maximal_rewriting");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for &query_size in &[8usize, 16, 24] {
+        let cfg = RandomProblemConfig {
+            alphabet_size: 3,
+            query_size,
+            num_views: 3,
+            view_size: 5,
+        };
+        let problems: Vec<_> = (0..4).map(|seed| random_problem(&cfg, seed)).collect();
+        for (label, options) in [
+            (
+                "minimized+batched",
+                RewriterOptions {
+                    minimize_query_dfa: true,
+                    use_glushkov: false,
+                    per_pair_reachability: false,
+                },
+            ),
+            (
+                "unminimized",
+                RewriterOptions {
+                    minimize_query_dfa: false,
+                    use_glushkov: false,
+                    per_pair_reachability: false,
+                },
+            ),
+            (
+                "per_pair",
+                RewriterOptions {
+                    minimize_query_dfa: true,
+                    use_glushkov: false,
+                    per_pair_reachability: true,
+                },
+            ),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(label, query_size),
+                &problems,
+                |b, problems| {
+                    b.iter(|| {
+                        for problem in problems {
+                            std::hint::black_box(compute_maximal_rewriting_with(problem, &options));
+                        }
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rewriting);
+criterion_main!(benches);

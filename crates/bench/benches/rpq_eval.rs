@@ -1,0 +1,46 @@
+//! Benchmark E9: end-to-end regular-path-query processing — rewriting an RPQ
+//! over views and evaluating it on databases of growing size.
+
+use bench::random_rpq_workload;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_rpq_eval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rpq_eval");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for &(nodes, edges) in &[(50usize, 150usize), (100, 400), (200, 800)] {
+        let workload = random_rpq_workload(nodes, edges, 42);
+        let rewriting = rpq::rewrite_rpq(&workload.problem).expect("workload rewrites");
+        group.bench_with_input(
+            BenchmarkId::new("rewrite_only", nodes),
+            &workload,
+            |b, w| b.iter(|| std::hint::black_box(rpq::rewrite_rpq(&w.problem).unwrap())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("direct_eval", nodes),
+            &workload,
+            |b, w| {
+                b.iter(|| {
+                    std::hint::black_box(rpq::answer_rpq(&w.db, &w.problem.query, &w.problem.theory))
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("eval_via_views", nodes),
+            &(workload, rewriting),
+            |b, (w, rewriting)| {
+                b.iter(|| {
+                    std::hint::black_box(rpq::answer_rewriting_over_views(
+                        &w.db, &w.problem, rewriting,
+                    ))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rpq_eval);
+criterion_main!(benches);

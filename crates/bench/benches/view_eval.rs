@@ -1,0 +1,48 @@
+//! Benchmark E10: the cost structure of view-based answering — materializing
+//! the view extensions, building the view graph, and evaluating the rewriting
+//! over it — against direct evaluation of the query on the base data.
+
+use bench::random_rpq_workload;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use rpq::materialize_views;
+
+fn bench_view_eval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("view_eval");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for &(nodes, edges) in &[(50usize, 150usize), (150, 600), (300, 1200)] {
+        let workload = random_rpq_workload(nodes, edges, 7);
+        let rewriting = rpq::rewrite_rpq(&workload.problem).expect("workload rewrites");
+        let views = materialize_views(&workload.db, &workload.problem);
+        let over_views = automata::Nfa::from_dfa(&rewriting.maximal.automaton)
+            .with_alphabet(views.view_alphabet().clone());
+
+        group.bench_with_input(
+            BenchmarkId::new("materialize_views", nodes),
+            &workload,
+            |b, w| b.iter(|| std::hint::black_box(materialize_views(&w.db, &w.problem))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("eval_rewriting_over_views", nodes),
+            &(views, over_views),
+            |b, (views, over_views)| {
+                b.iter(|| std::hint::black_box(views.eval_over_views(over_views)))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("direct_eval_baseline", nodes),
+            &workload,
+            |b, w| {
+                b.iter(|| {
+                    std::hint::black_box(rpq::answer_rpq(&w.db, &w.problem.query, &w.problem.theory))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_view_eval);
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! # bench — workloads and experiment harness
+//!
+//! This crate holds the shared workload generators used by the Criterion
+//! benchmarks (`benches/`) and by the `experiments` binary that regenerates
+//! every figure, example, and complexity-scaling experiment listed in
+//! DESIGN.md / EXPERIMENTS.md.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod workloads;
+
+pub use workloads::{
+    determinization_family, random_problem, random_rpq_workload, RandomProblemConfig,
+    RpqWorkload,
+};

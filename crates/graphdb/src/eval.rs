@@ -1,0 +1,215 @@
+//! Regular path query evaluation over a graph database.
+//!
+//! The answer to a regular path query `Q` over a database `DB` is the set of
+//! node pairs `(x, y)` connected by a path whose label word belongs to
+//! `L(Q)` (Definition 4.2).  Evaluation is the classic product construction:
+//! explore the product of the graph with the query automaton; `(x, y)` is an
+//! answer iff some `(y, final)` product state is reachable from
+//! `(x, initial)`.
+
+use std::collections::{BTreeSet, VecDeque};
+
+use automata::{Nfa, StateId};
+use regexlang::{thompson, Regex};
+
+use crate::graph::{GraphDb, NodeId};
+
+/// The answer to a path query: a set of ordered node pairs.
+pub type Answer = BTreeSet<(NodeId, NodeId)>;
+
+/// Evaluates an automaton-form query over the database.
+///
+/// The automaton must be over the database's label domain.  Runs one BFS over
+/// the product per source node: `O(|V| · (|V| + |E|) · |Q|)` in the worst
+/// case, which is the textbook bound for RPQ evaluation.
+pub fn eval_automaton(db: &GraphDb, query: &Nfa) -> Answer {
+    db.domain()
+        .check_compatible(query.alphabet())
+        .expect("query automaton must be over the database domain");
+    let mut answer = Answer::new();
+    let start_config = query.start_configuration();
+    let accepts_here = |states: &BTreeSet<StateId>| states.iter().any(|&s| query.is_final(s));
+
+    for source in db.nodes() {
+        // BFS over product states (node, nfa state); we track visited pairs.
+        let mut seen: BTreeSet<(NodeId, StateId)> = BTreeSet::new();
+        let mut queue: VecDeque<(NodeId, StateId)> = VecDeque::new();
+        for &q in &start_config {
+            if seen.insert((source, q)) {
+                queue.push_back((source, q));
+            }
+        }
+        if accepts_here(&start_config) {
+            answer.insert((source, source));
+        }
+        while let Some((node, state)) = queue.pop_front() {
+            for (label, next_node) in db.edges_from(node) {
+                for next_state in query.successors(state, label) {
+                    // Close under ε so acceptance is detected promptly.
+                    let closure = query.epsilon_closure(&BTreeSet::from([next_state]));
+                    for &q in &closure {
+                        if seen.insert((next_node, q)) {
+                            queue.push_back((next_node, q));
+                            if query.is_final(q) {
+                                answer.insert((source, next_node));
+                            }
+                        } else if query.is_final(q) {
+                            answer.insert((source, next_node));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    answer
+}
+
+/// Evaluates a query given as a regular expression over the label names.
+pub fn eval_regex(db: &GraphDb, query: &Regex) -> Answer {
+    let nfa = thompson(query, db.domain()).unwrap_or_else(|unknown| {
+        panic!(
+            "query mentions `{}` which is not a label of the database domain",
+            unknown.name
+        )
+    });
+    eval_automaton(db, &nfa)
+}
+
+/// Evaluates a query written in the paper's concrete syntax.
+pub fn eval_str(db: &GraphDb, query: &str) -> Answer {
+    let expr = regexlang::parse(query).expect("query must parse");
+    eval_regex(db, &expr)
+}
+
+/// Renders an answer using node names where available (handy in examples and
+/// error messages).
+pub fn render_answer(db: &GraphDb, answer: &Answer) -> Vec<(String, String)> {
+    answer
+        .iter()
+        .map(|&(x, y)| (db.render_node(x), db.render_node(y)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use automata::Alphabet;
+
+    fn abc_domain() -> Alphabet {
+        Alphabet::from_chars(['a', 'b', 'c']).unwrap()
+    }
+
+    /// A small chain with a loop:  n0 -a-> n1 -b-> n2 -a-> n1,  n1 -c-> n1.
+    fn chain_db() -> GraphDb {
+        let mut db = GraphDb::new(abc_domain());
+        db.add_edge_named("n0", "a", "n1");
+        db.add_edge_named("n1", "b", "n2");
+        db.add_edge_named("n2", "a", "n1");
+        db.add_edge_named("n1", "c", "n1");
+        db
+    }
+
+    fn pair(db: &GraphDb, x: &str, y: &str) -> (NodeId, NodeId) {
+        (db.node_by_name(x).unwrap(), db.node_by_name(y).unwrap())
+    }
+
+    #[test]
+    fn single_symbol_queries_follow_edges() {
+        let db = chain_db();
+        let ans = eval_str(&db, "a");
+        assert!(ans.contains(&pair(&db, "n0", "n1")));
+        assert!(ans.contains(&pair(&db, "n2", "n1")));
+        assert_eq!(ans.len(), 2);
+    }
+
+    #[test]
+    fn epsilon_queries_return_all_identity_pairs() {
+        let db = chain_db();
+        let ans = eval_str(&db, "ε");
+        assert_eq!(ans.len(), db.num_nodes());
+        for v in db.nodes() {
+            assert!(ans.contains(&(v, v)));
+        }
+    }
+
+    #[test]
+    fn paper_query_on_chain() {
+        // a·(b·a+c)* from n0 reaches n1 (a), and stays at n1 via c* or b·a.
+        let db = chain_db();
+        let ans = eval_str(&db, "a·(b·a+c)*");
+        assert!(ans.contains(&pair(&db, "n0", "n1")));
+        assert!(!ans.contains(&pair(&db, "n0", "n2")));
+        // n2 -a-> n1 then (b·a+c)* stays at n1.
+        assert!(ans.contains(&pair(&db, "n2", "n1")));
+    }
+
+    #[test]
+    fn star_queries_include_transitive_closure() {
+        let domain = Alphabet::from_chars(['x']).unwrap();
+        let mut db = GraphDb::new(domain);
+        db.add_edge_named("v0", "x", "v1");
+        db.add_edge_named("v1", "x", "v2");
+        db.add_edge_named("v2", "x", "v3");
+        let ans = eval_str(&db, "x*");
+        // all pairs (i, j) with i ≤ j along the chain
+        assert_eq!(ans.len(), 4 + 3 + 2 + 1);
+        assert!(ans.contains(&pair(&db, "v0", "v3")));
+        assert!(!ans.contains(&pair(&db, "v3", "v0")));
+        let plus = eval_str(&db, "x^+");
+        assert_eq!(plus.len(), 3 + 2 + 1);
+    }
+
+    #[test]
+    fn disconnected_nodes_do_not_answer() {
+        let mut db = GraphDb::new(abc_domain());
+        db.add_edge_named("u", "a", "v");
+        let lonely = db.add_node();
+        let ans = eval_str(&db, "a");
+        assert_eq!(ans.len(), 1);
+        assert!(!ans.iter().any(|&(x, y)| x == lonely || y == lonely));
+    }
+
+    #[test]
+    fn empty_query_has_empty_answer() {
+        let db = chain_db();
+        assert!(eval_str(&db, "∅").is_empty());
+    }
+
+    #[test]
+    fn cyclic_graphs_terminate_and_answer_correctly() {
+        let domain = Alphabet::from_chars(['x', 'y']).unwrap();
+        let mut db = GraphDb::new(domain);
+        db.add_edge_named("p", "x", "q");
+        db.add_edge_named("q", "x", "p");
+        db.add_edge_named("q", "y", "r");
+        let ans = eval_str(&db, "x*·y");
+        assert!(ans.contains(&pair(&db, "p", "r")));
+        assert!(ans.contains(&pair(&db, "q", "r")));
+        assert_eq!(ans.len(), 2);
+    }
+
+    #[test]
+    fn render_answer_uses_names() {
+        let db = chain_db();
+        let ans = eval_str(&db, "b");
+        let rendered = render_answer(&db, &ans);
+        assert_eq!(rendered, vec![("n1".to_string(), "n2".to_string())]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a label")]
+    fn unknown_labels_in_queries_panic() {
+        let db = chain_db();
+        eval_str(&db, "zz");
+    }
+
+    #[test]
+    fn answers_on_multigraphs_are_sets() {
+        let domain = Alphabet::from_chars(['x']).unwrap();
+        let mut db = GraphDb::new(domain);
+        db.add_edge_named("a", "x", "b");
+        db.add_edge_named("a", "x", "b");
+        let ans = eval_str(&db, "x");
+        assert_eq!(ans.len(), 1);
+    }
+}

@@ -1,0 +1,198 @@
+//! Seeded graph-database generators for tests and benchmarks.
+//!
+//! The paper motivates regular path queries with web sites, digital libraries
+//! and data-integration graphs; the generators here produce synthetic
+//! databases with those shapes so experiments E9/E10 can sweep over database
+//! size and label selectivity reproducibly.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use automata::Alphabet;
+
+use crate::graph::GraphDb;
+
+/// Parameters for the uniform random graph generator.
+#[derive(Debug, Clone)]
+pub struct RandomGraphConfig {
+    /// Number of nodes.
+    pub num_nodes: usize,
+    /// Number of edges (drawn uniformly: random source, target and label).
+    pub num_edges: usize,
+}
+
+impl Default for RandomGraphConfig {
+    fn default() -> Self {
+        Self {
+            num_nodes: 50,
+            num_edges: 150,
+        }
+    }
+}
+
+/// Generates a uniform random edge-labeled graph.
+pub fn random_graph(domain: &Alphabet, config: &RandomGraphConfig, seed: u64) -> GraphDb {
+    assert!(!domain.is_empty(), "label domain must be nonempty");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut db = GraphDb::new(domain.clone());
+    for _ in 0..config.num_nodes.max(1) {
+        db.add_node();
+    }
+    let n = db.num_nodes();
+    for _ in 0..config.num_edges {
+        let from = rng.gen_range(0..n);
+        let to = rng.gen_range(0..n);
+        let label = automata::Symbol(rng.gen_range(0..domain.len()) as u32);
+        db.add_edge(from, label, to);
+    }
+    db
+}
+
+/// Generates a rooted tree-shaped database (every non-root node has exactly
+/// one parent), mimicking a web-site or document hierarchy.
+pub fn tree_graph(domain: &Alphabet, num_nodes: usize, seed: u64) -> GraphDb {
+    assert!(!domain.is_empty(), "label domain must be nonempty");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut db = GraphDb::new(domain.clone());
+    db.add_node(); // root
+    for v in 1..num_nodes.max(1) {
+        db.add_node();
+        let parent = rng.gen_range(0..v);
+        let label = automata::Symbol(rng.gen_range(0..domain.len()) as u32);
+        db.add_edge(parent, label, v);
+    }
+    db
+}
+
+/// Generates a layered "pipeline" database: `layers` layers of `width` nodes,
+/// with every node of layer `i` connected to a few random nodes of layer
+/// `i+1`.  This shape produces long paths, which stresses queries with
+/// transitive closure.
+pub fn layered_graph(
+    domain: &Alphabet,
+    layers: usize,
+    width: usize,
+    out_degree: usize,
+    seed: u64,
+) -> GraphDb {
+    assert!(!domain.is_empty(), "label domain must be nonempty");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut db = GraphDb::new(domain.clone());
+    let layers = layers.max(1);
+    let width = width.max(1);
+    for _ in 0..layers * width {
+        db.add_node();
+    }
+    for layer in 0..layers - 1 {
+        for i in 0..width {
+            let from = layer * width + i;
+            for _ in 0..out_degree.max(1) {
+                let to = (layer + 1) * width + rng.gen_range(0..width);
+                let label = automata::Symbol(rng.gen_range(0..domain.len()) as u32);
+                db.add_edge(from, label, to);
+            }
+        }
+    }
+    db
+}
+
+/// Generates a small travel-style database in the spirit of the paper's
+/// introduction: cities connected by `flight` edges, with `rome`/`jerusalem`
+/// landmark edges and `restaurant` edges hanging off cities.  Deterministic
+/// for a given size.
+pub fn travel_graph(num_cities: usize) -> GraphDb {
+    let domain = Alphabet::from_names(["rome", "jerusalem", "flight", "restaurant", "museum"])
+        .expect("fixed names are distinct");
+    let mut db = GraphDb::new(domain);
+    let hub = db.node("hub");
+    for i in 0..num_cities.max(1) {
+        let city = db.node(&format!("city{i}"));
+        // Alternate landmark labels.
+        let landmark = if i % 2 == 0 { "rome" } else { "jerusalem" };
+        let landmark = db.domain().symbol(landmark).unwrap();
+        db.add_edge(hub, landmark, city);
+        let flight = db.domain().symbol("flight").unwrap();
+        if i > 0 {
+            let prev = db.node(&format!("city{}", i - 1));
+            db.add_edge(prev, flight, city);
+        }
+        let restaurant = db.domain().symbol("restaurant").unwrap();
+        let place = db.node(&format!("restaurant{i}"));
+        db.add_edge(city, restaurant, place);
+        if i % 3 == 0 {
+            let museum = db.domain().symbol("museum").unwrap();
+            let m = db.node(&format!("museum{i}"));
+            db.add_edge(city, museum, m);
+        }
+    }
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::eval_str;
+
+    fn abc() -> Alphabet {
+        Alphabet::from_chars(['a', 'b', 'c']).unwrap()
+    }
+
+    #[test]
+    fn random_graph_is_reproducible_and_sized() {
+        let cfg = RandomGraphConfig {
+            num_nodes: 30,
+            num_edges: 90,
+        };
+        let g1 = random_graph(&abc(), &cfg, 5);
+        let g2 = random_graph(&abc(), &cfg, 5);
+        assert_eq!(g1.num_nodes(), 30);
+        assert_eq!(g1.num_edges(), 90);
+        assert_eq!(
+            g1.edges().collect::<Vec<_>>(),
+            g2.edges().collect::<Vec<_>>()
+        );
+        let g3 = random_graph(&abc(), &cfg, 6);
+        assert_ne!(
+            g1.edges().collect::<Vec<_>>(),
+            g3.edges().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn tree_graph_has_n_minus_one_edges() {
+        let tree = tree_graph(&abc(), 40, 3);
+        assert_eq!(tree.num_nodes(), 40);
+        assert_eq!(tree.num_edges(), 39);
+        // Every non-root node has exactly one incoming edge.
+        for v in 1..tree.num_nodes() {
+            assert_eq!(tree.edges_to(v).count(), 1);
+        }
+        assert_eq!(tree.edges_to(0).count(), 0);
+    }
+
+    #[test]
+    fn layered_graph_only_connects_adjacent_layers() {
+        let g = layered_graph(&abc(), 4, 5, 2, 9);
+        assert_eq!(g.num_nodes(), 20);
+        for e in g.edges() {
+            let from_layer = e.from / 5;
+            let to_layer = e.to / 5;
+            assert_eq!(to_layer, from_layer + 1);
+        }
+    }
+
+    #[test]
+    fn travel_graph_answers_the_intro_query() {
+        // The introduction's query: (Σ* · (rome+jerusalem) · Σ* · restaurant)
+        // — here specialized to  (rome+jerusalem)·flight*·restaurant.
+        let db = travel_graph(6);
+        let answer = eval_str(&db, "(rome+jerusalem)·flight*·restaurant");
+        assert!(!answer.is_empty());
+        let hub = db.node_by_name("hub").unwrap();
+        // All answers start at the hub (the only node with landmark edges).
+        assert!(answer.iter().all(|&(x, _)| x == hub));
+        // Every restaurant of a reachable city is found.
+        let r0 = db.node_by_name("restaurant0").unwrap();
+        assert!(answer.contains(&(hub, r0)));
+    }
+}

@@ -1,0 +1,244 @@
+//! Edge-labeled graph databases (the semi-structured data model of §4.1).
+//!
+//! Following [BDFS97] as the paper does, a database is a graph whose edges
+//! are labeled by elements of a finite domain `D`; nodes are plain objects.
+//! We additionally allow naming nodes for readability in examples (the
+//! paper's web-site / digital-library motivation), but all algorithms work on
+//! dense integer node ids.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use automata::{Alphabet, Symbol};
+
+/// Identifier of a node within a [`GraphDb`].
+pub type NodeId = usize;
+
+/// A directed edge `from --label--> to`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Edge {
+    /// Source node.
+    pub from: NodeId,
+    /// Edge label (a constant of the domain `D`).
+    pub label: Symbol,
+    /// Target node.
+    pub to: NodeId,
+}
+
+/// An edge-labeled graph database over a finite label domain `D`.
+#[derive(Debug, Clone)]
+pub struct GraphDb {
+    domain: Alphabet,
+    node_names: Vec<Option<String>>,
+    named: BTreeMap<String, NodeId>,
+    /// Outgoing adjacency: `out[v]` lists `(label, target)` pairs.
+    out: Vec<Vec<(Symbol, NodeId)>>,
+    /// Incoming adjacency: `inc[v]` lists `(label, source)` pairs.
+    inc: Vec<Vec<(Symbol, NodeId)>>,
+    num_edges: usize,
+}
+
+impl GraphDb {
+    /// Creates an empty database over the given label domain.
+    pub fn new(domain: Alphabet) -> Self {
+        Self {
+            domain,
+            node_names: Vec::new(),
+            named: BTreeMap::new(),
+            out: Vec::new(),
+            inc: Vec::new(),
+            num_edges: 0,
+        }
+    }
+
+    /// The label domain `D`.
+    pub fn domain(&self) -> &Alphabet {
+        &self.domain
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.out.len()
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Adds an anonymous node.
+    pub fn add_node(&mut self) -> NodeId {
+        self.node_names.push(None);
+        self.out.push(Vec::new());
+        self.inc.push(Vec::new());
+        self.out.len() - 1
+    }
+
+    /// Adds (or returns) a node with the given name.
+    pub fn node(&mut self, name: &str) -> NodeId {
+        if let Some(&id) = self.named.get(name) {
+            return id;
+        }
+        let id = self.add_node();
+        self.node_names[id] = Some(name.to_string());
+        self.named.insert(name.to_string(), id);
+        id
+    }
+
+    /// Looks up a node by name.
+    pub fn node_by_name(&self, name: &str) -> Option<NodeId> {
+        self.named.get(name).copied()
+    }
+
+    /// The name of a node, if it was created with one.
+    pub fn node_name(&self, id: NodeId) -> Option<&str> {
+        self.node_names.get(id).and_then(|n| n.as_deref())
+    }
+
+    /// Adds a labeled edge between existing nodes.
+    ///
+    /// # Panics
+    /// Panics if either endpoint is out of range or the label is not in the
+    /// domain.
+    pub fn add_edge(&mut self, from: NodeId, label: Symbol, to: NodeId) {
+        assert!(from < self.num_nodes() && to < self.num_nodes(), "node out of range");
+        assert!(
+            label.index() < self.domain.len(),
+            "label {label} not in domain {}",
+            self.domain.render()
+        );
+        self.out[from].push((label, to));
+        self.inc[to].push((label, from));
+        self.num_edges += 1;
+    }
+
+    /// Adds an edge between named nodes using a label name, creating the
+    /// nodes on demand.
+    pub fn add_edge_named(&mut self, from: &str, label: &str, to: &str) {
+        let label = self
+            .domain
+            .symbol(label)
+            .unwrap_or_else(|| panic!("label `{label}` not in domain {}", self.domain.render()));
+        let from = self.node(from);
+        let to = self.node(to);
+        self.add_edge(from, label, to);
+    }
+
+    /// Outgoing edges of a node.
+    pub fn edges_from(&self, node: NodeId) -> impl Iterator<Item = (Symbol, NodeId)> + '_ {
+        self.out[node].iter().copied()
+    }
+
+    /// Incoming edges of a node as `(label, source)` pairs.
+    pub fn edges_to(&self, node: NodeId) -> impl Iterator<Item = (Symbol, NodeId)> + '_ {
+        self.inc[node].iter().copied()
+    }
+
+    /// Outgoing edges of a node restricted to one label.
+    pub fn successors(&self, node: NodeId, label: Symbol) -> impl Iterator<Item = NodeId> + '_ {
+        self.out[node]
+            .iter()
+            .filter(move |&&(l, _)| l == label)
+            .map(|&(_, t)| t)
+    }
+
+    /// All edges of the database.
+    pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
+        self.out.iter().enumerate().flat_map(|(from, edges)| {
+            edges.iter().map(move |&(label, to)| Edge { from, label, to })
+        })
+    }
+
+    /// All node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        0..self.num_nodes()
+    }
+
+    /// The set of labels that actually occur on edges.
+    pub fn used_labels(&self) -> BTreeSet<Symbol> {
+        self.edges().map(|e| e.label).collect()
+    }
+
+    /// Renders a node for error messages and reports: its name when it has
+    /// one, otherwise `#id`.
+    pub fn render_node(&self, id: NodeId) -> String {
+        match self.node_name(id) {
+            Some(name) => name.to_string(),
+            None => format!("#{id}"),
+        }
+    }
+
+    /// Compact description of the database.
+    pub fn describe(&self) -> String {
+        format!(
+            "GraphDb(nodes={}, edges={}, domain={})",
+            self.num_nodes(),
+            self.num_edges(),
+            self.domain.render()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn city_domain() -> Alphabet {
+        Alphabet::from_names(["rome", "jerusalem", "flight", "restaurant"]).unwrap()
+    }
+
+    #[test]
+    fn builds_nodes_and_edges() {
+        let mut db = GraphDb::new(city_domain());
+        db.add_edge_named("start", "rome", "city");
+        db.add_edge_named("city", "restaurant", "place");
+        assert_eq!(db.num_nodes(), 3);
+        assert_eq!(db.num_edges(), 2);
+        let start = db.node_by_name("start").unwrap();
+        let city = db.node_by_name("city").unwrap();
+        let rome = db.domain().symbol("rome").unwrap();
+        assert_eq!(db.successors(start, rome).collect::<Vec<_>>(), vec![city]);
+        assert_eq!(db.edges_to(city).count(), 1);
+        assert_eq!(db.render_node(start), "start");
+    }
+
+    #[test]
+    fn named_nodes_are_reused() {
+        let mut db = GraphDb::new(city_domain());
+        let a = db.node("x");
+        let b = db.node("x");
+        assert_eq!(a, b);
+        assert_eq!(db.num_nodes(), 1);
+        let anon = db.add_node();
+        assert_eq!(db.node_name(anon), None);
+        assert_eq!(db.render_node(anon), "#1");
+    }
+
+    #[test]
+    #[should_panic(expected = "not in domain")]
+    fn unknown_labels_panic() {
+        let mut db = GraphDb::new(city_domain());
+        db.add_edge_named("a", "train", "b");
+    }
+
+    #[test]
+    fn edge_iteration_and_used_labels() {
+        let mut db = GraphDb::new(city_domain());
+        db.add_edge_named("a", "flight", "b");
+        db.add_edge_named("b", "flight", "c");
+        db.add_edge_named("c", "restaurant", "a");
+        assert_eq!(db.edges().count(), 3);
+        let labels = db.used_labels();
+        assert_eq!(labels.len(), 2);
+        assert!(db.describe().contains("nodes=3"));
+    }
+
+    #[test]
+    fn multi_edges_and_self_loops_are_allowed() {
+        let mut db = GraphDb::new(city_domain());
+        db.add_edge_named("a", "flight", "a");
+        db.add_edge_named("a", "flight", "a");
+        assert_eq!(db.num_edges(), 2);
+        let a = db.node_by_name("a").unwrap();
+        assert_eq!(db.edges_from(a).count(), 2);
+    }
+}

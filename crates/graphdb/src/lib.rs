@@ -1,0 +1,51 @@
+//! # graphdb — the semi-structured database substrate
+//!
+//! Section 4 of the reproduced paper applies regular-expression rewriting to
+//! *regular path queries* over semi-structured databases: edge-labeled graphs
+//! whose basic query mechanism retrieves all node pairs connected by a path
+//! conforming to a regular language.  This crate provides that substrate:
+//!
+//! * [`GraphDb`] — an edge-labeled graph over a finite label domain `D`,
+//! * [`eval_regex`]/[`eval_automaton`] — RPQ evaluation by product
+//!   reachability (Definition 4.2),
+//! * [`witness_regex`] — shortest witness paths for answer pairs,
+//! * [`MaterializedViews`] — view extensions and the evaluation of
+//!   Σ_E-languages (rewritings) over them,
+//! * [`Theory`]/[`Formula`] — the decidable complete theory over `D` used by
+//!   the formula-based data model of §4.1, and
+//! * seeded graph generators for the experiments.
+//!
+//! ```
+//! use automata::Alphabet;
+//! use graphdb::{GraphDb, eval_str};
+//!
+//! let mut db = GraphDb::new(Alphabet::from_chars(['a', 'b', 'c']).unwrap());
+//! db.add_edge_named("n0", "a", "n1");
+//! db.add_edge_named("n1", "c", "n1");
+//! db.add_edge_named("n1", "b", "n2");
+//! db.add_edge_named("n2", "a", "n1");
+//!
+//! let answer = eval_str(&db, "a·(b·a+c)*");
+//! let n0 = db.node_by_name("n0").unwrap();
+//! let n1 = db.node_by_name("n1").unwrap();
+//! assert!(answer.contains(&(n0, n1)));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod eval;
+pub mod generator;
+pub mod graph;
+pub mod paths;
+pub mod theory;
+pub mod views;
+
+pub use eval::{eval_automaton, eval_regex, eval_str, render_answer, Answer};
+pub use generator::{
+    layered_graph, random_graph, travel_graph, tree_graph, RandomGraphConfig,
+};
+pub use graph::{Edge, GraphDb, NodeId};
+pub use paths::{witness_automaton, witness_regex, PathWitness};
+pub use theory::{Formula, Theory};
+pub use views::MaterializedViews;

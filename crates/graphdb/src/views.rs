@@ -1,0 +1,217 @@
+//! Materialized views over a graph database and evaluation of rewritings over
+//! view extensions.
+//!
+//! In the view-based setting of §4 the database is (conceptually) accessed
+//! only through the extensions of the views `Q1, …, Qk`: each view, evaluated
+//! over the database, yields a binary relation over nodes.  A rewriting of
+//! the query over the view alphabet can then be evaluated *on the view
+//! extensions alone*, by treating each materialized pair `(x, y)` of view
+//! `q_i` as an edge `x --q_i--> y` of a derived "view graph".
+//!
+//! This module materializes view extensions and evaluates Σ_E-languages over
+//! them — which is what makes a rewriting operationally useful, and what the
+//! E10 experiment measures against direct evaluation.
+
+use std::collections::BTreeMap;
+
+use automata::{Alphabet, Nfa};
+use regexlang::Regex;
+
+use crate::eval::{eval_automaton, eval_regex, Answer};
+use crate::graph::GraphDb;
+
+/// The materialized extensions of a set of named views over one database.
+#[derive(Debug, Clone)]
+pub struct MaterializedViews {
+    /// The view alphabet (one symbol per view, in registration order).
+    view_alphabet: Alphabet,
+    /// Extension of each view, keyed by view symbol name.
+    extensions: BTreeMap<String, Answer>,
+    /// Number of nodes of the underlying database (the view graph reuses the
+    /// node ids of the original database).
+    num_nodes: usize,
+}
+
+impl MaterializedViews {
+    /// Evaluates every view expression over the database and stores the
+    /// resulting relations.
+    pub fn materialize_regexes(db: &GraphDb, views: &[(String, Regex)]) -> Self {
+        let view_alphabet = Alphabet::from_names(views.iter().map(|(name, _)| name.clone()))
+            .expect("view names must be distinct");
+        let extensions = views
+            .iter()
+            .map(|(name, expr)| (name.clone(), eval_regex(db, expr)))
+            .collect();
+        Self {
+            view_alphabet,
+            extensions,
+            num_nodes: db.num_nodes(),
+        }
+    }
+
+    /// Materializes views given as automata over the database domain.
+    pub fn materialize_automata(db: &GraphDb, views: &[(String, Nfa)]) -> Self {
+        let view_alphabet = Alphabet::from_names(views.iter().map(|(name, _)| name.clone()))
+            .expect("view names must be distinct");
+        let extensions = views
+            .iter()
+            .map(|(name, nfa)| (name.clone(), eval_automaton(db, nfa)))
+            .collect();
+        Self {
+            view_alphabet,
+            extensions,
+            num_nodes: db.num_nodes(),
+        }
+    }
+
+    /// The view alphabet Σ_E / Σ_Q.
+    pub fn view_alphabet(&self) -> &Alphabet {
+        &self.view_alphabet
+    }
+
+    /// The extension (set of node pairs) of a view.
+    pub fn extension(&self, view: &str) -> Option<&Answer> {
+        self.extensions.get(view)
+    }
+
+    /// Total number of materialized tuples across all views.
+    pub fn total_tuples(&self) -> usize {
+        self.extensions.values().map(Answer::len).sum()
+    }
+
+    /// Builds the *view graph*: a graph over the same node ids whose edges
+    /// are the materialized view tuples, labeled by view symbols.
+    pub fn view_graph(&self) -> GraphDb {
+        let mut graph = GraphDb::new(self.view_alphabet.clone());
+        for _ in 0..self.num_nodes {
+            graph.add_node();
+        }
+        for (name, extension) in &self.extensions {
+            let label = self
+                .view_alphabet
+                .symbol(name)
+                .expect("extension keys come from the view alphabet");
+            for &(x, y) in extension {
+                graph.add_edge(x, label, y);
+            }
+        }
+        graph
+    }
+
+    /// Evaluates a language over the view alphabet (e.g. a rewriting
+    /// automaton) against the materialized extensions: the answer contains
+    /// `(x, y)` iff some Σ_E-word `q_{i1} ⋯ q_{in}` of the language has a
+    /// chain `x = z_0, …, z_n = y` with `(z_{j-1}, z_j)` in the extension of
+    /// `q_{ij}`.
+    pub fn eval_over_views(&self, over_views: &Nfa) -> Answer {
+        eval_automaton(&self.view_graph(), over_views)
+    }
+
+    /// Evaluates a regex over the view symbols against the materialized
+    /// extensions.
+    pub fn eval_regex_over_views(&self, over_views: &Regex) -> Answer {
+        eval_regex(&self.view_graph(), over_views)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use regexlang::parse;
+
+    fn chain_db() -> GraphDb {
+        let mut db = GraphDb::new(Alphabet::from_chars(['a', 'b', 'c']).unwrap());
+        db.add_edge_named("n0", "a", "n1");
+        db.add_edge_named("n1", "b", "n2");
+        db.add_edge_named("n2", "a", "n1");
+        db.add_edge_named("n1", "c", "n1");
+        db
+    }
+
+    fn figure1_views(db: &GraphDb) -> MaterializedViews {
+        MaterializedViews::materialize_regexes(
+            db,
+            &[
+                ("e1".to_string(), parse("a").unwrap()),
+                ("e2".to_string(), parse("a·c*·b").unwrap()),
+                ("e3".to_string(), parse("c").unwrap()),
+            ],
+        )
+    }
+
+    #[test]
+    fn extensions_match_direct_evaluation() {
+        let db = chain_db();
+        let views = figure1_views(&db);
+        assert_eq!(views.extension("e1"), Some(&crate::eval::eval_str(&db, "a")));
+        assert_eq!(
+            views.extension("e2"),
+            Some(&crate::eval::eval_str(&db, "a·c*·b"))
+        );
+        assert!(views.extension("nope").is_none());
+        assert_eq!(
+            views.total_tuples(),
+            views.extension("e1").unwrap().len()
+                + views.extension("e2").unwrap().len()
+                + views.extension("e3").unwrap().len()
+        );
+    }
+
+    #[test]
+    fn view_graph_has_one_edge_per_tuple() {
+        let db = chain_db();
+        let views = figure1_views(&db);
+        let graph = views.view_graph();
+        assert_eq!(graph.num_nodes(), db.num_nodes());
+        assert_eq!(graph.num_edges(), views.total_tuples());
+    }
+
+    #[test]
+    fn evaluating_the_exact_rewriting_over_views_matches_the_query() {
+        // Figure 1: the rewriting e2*·e1·e3* is exact, so evaluating it over
+        // the materialized views must return exactly ans(Q0, DB).
+        let db = chain_db();
+        let views = figure1_views(&db);
+        let direct = crate::eval::eval_str(&db, "a·(b·a+c)*");
+        let via_views = views.eval_regex_over_views(&parse("e2*·e1·e3*").unwrap());
+        assert_eq!(direct, via_views);
+    }
+
+    #[test]
+    fn evaluating_a_contained_rewriting_is_sound_but_incomplete() {
+        // Without view e3 (= c), the maximal rewriting e2*·e1 only returns a
+        // subset of the query answer.
+        let db = chain_db();
+        let views = figure1_views(&db);
+        let direct = crate::eval::eval_str(&db, "a·(b·a+c)*");
+        let partial = views.eval_regex_over_views(&parse("e2*·e1").unwrap());
+        assert!(partial.is_subset(&direct));
+        assert_eq!(partial, direct, "on this database the answers coincide");
+    }
+
+    #[test]
+    fn automaton_materialization_matches_regex_materialization() {
+        let db = chain_db();
+        let regex_views = figure1_views(&db);
+        let nfa_views = MaterializedViews::materialize_automata(
+            &db,
+            &[
+                (
+                    "e1".to_string(),
+                    regexlang::thompson(&parse("a").unwrap(), db.domain()).unwrap(),
+                ),
+                (
+                    "e2".to_string(),
+                    regexlang::thompson(&parse("a·c*·b").unwrap(), db.domain()).unwrap(),
+                ),
+                (
+                    "e3".to_string(),
+                    regexlang::thompson(&parse("c").unwrap(), db.domain()).unwrap(),
+                ),
+            ],
+        );
+        for name in ["e1", "e2", "e3"] {
+            assert_eq!(regex_views.extension(name), nfa_views.extension(name));
+        }
+    }
+}

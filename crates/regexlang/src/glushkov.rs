@@ -1,0 +1,251 @@
+//! Glushkov (position automaton) translation: regular expression → ε-free NFA.
+//!
+//! The Glushkov automaton has exactly `#positions + 1` states and no
+//! ε-transitions, which often determinizes to fewer states than the Thompson
+//! automaton; DESIGN.md ablation #2 compares the two as front-ends of the
+//! rewriting pipeline (benchmark E6).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use automata::{Alphabet, Nfa};
+
+use crate::ast::Regex;
+use crate::thompson::UnknownSymbol;
+
+/// A regular expression annotated with distinct positions at every symbol
+/// occurrence, together with the classic `nullable` / `first` / `last` /
+/// `follow` sets.
+#[derive(Debug)]
+struct Positions {
+    /// Symbol name of each position (positions are 1-based; 0 is the fresh
+    /// initial state of the automaton).
+    symbol_of: Vec<String>,
+}
+
+#[derive(Debug, Clone)]
+struct Glu {
+    nullable: bool,
+    first: BTreeSet<usize>,
+    last: BTreeSet<usize>,
+    follow: BTreeMap<usize, BTreeSet<usize>>,
+}
+
+impl Glu {
+    fn empty_sets() -> Self {
+        Glu {
+            nullable: false,
+            first: BTreeSet::new(),
+            last: BTreeSet::new(),
+            follow: BTreeMap::new(),
+        }
+    }
+
+    fn merge_follow(mut a: BTreeMap<usize, BTreeSet<usize>>, b: BTreeMap<usize, BTreeSet<usize>>) -> BTreeMap<usize, BTreeSet<usize>> {
+        for (k, v) in b {
+            a.entry(k).or_default().extend(v);
+        }
+        a
+    }
+}
+
+fn analyze(expr: &Regex, positions: &mut Positions) -> Glu {
+    match expr {
+        Regex::Empty => Glu::empty_sets(),
+        Regex::Epsilon => Glu {
+            nullable: true,
+            ..Glu::empty_sets()
+        },
+        Regex::Symbol(name) => {
+            positions.symbol_of.push(name.to_string());
+            let p = positions.symbol_of.len(); // 1-based
+            Glu {
+                nullable: false,
+                first: BTreeSet::from([p]),
+                last: BTreeSet::from([p]),
+                follow: BTreeMap::new(),
+            }
+        }
+        Regex::Concat(parts) => {
+            let mut acc = Glu {
+                nullable: true,
+                ..Glu::empty_sets()
+            };
+            for part in parts {
+                let g = analyze(part, positions);
+                let mut follow = Glu::merge_follow(acc.follow.clone(), g.follow.clone());
+                // last(acc) × first(g) are follow pairs.
+                for &l in &acc.last {
+                    follow.entry(l).or_default().extend(g.first.iter().copied());
+                }
+                let first = if acc.nullable {
+                    acc.first.union(&g.first).copied().collect()
+                } else {
+                    acc.first.clone()
+                };
+                let last = if g.nullable {
+                    acc.last.union(&g.last).copied().collect()
+                } else {
+                    g.last.clone()
+                };
+                acc = Glu {
+                    nullable: acc.nullable && g.nullable,
+                    first,
+                    last,
+                    follow,
+                };
+            }
+            acc
+        }
+        Regex::Union(parts) => {
+            let mut acc = Glu::empty_sets();
+            for part in parts {
+                let g = analyze(part, positions);
+                acc = Glu {
+                    nullable: acc.nullable || g.nullable,
+                    first: acc.first.union(&g.first).copied().collect(),
+                    last: acc.last.union(&g.last).copied().collect(),
+                    follow: Glu::merge_follow(acc.follow, g.follow),
+                };
+            }
+            acc
+        }
+        Regex::Star(inner) | Regex::Plus(inner) => {
+            let g = analyze(inner, positions);
+            let mut follow = g.follow.clone();
+            for &l in &g.last {
+                follow.entry(l).or_default().extend(g.first.iter().copied());
+            }
+            Glu {
+                nullable: matches!(expr, Regex::Star(_)) || g.nullable,
+                first: g.first,
+                last: g.last,
+                follow,
+            }
+        }
+        Regex::Optional(inner) => {
+            let g = analyze(inner, positions);
+            Glu {
+                nullable: true,
+                ..g
+            }
+        }
+    }
+}
+
+/// Translates `expr` into an ε-free NFA over `alphabet` using the Glushkov
+/// position-automaton construction.
+pub fn glushkov(expr: &Regex, alphabet: &Alphabet) -> Result<Nfa, UnknownSymbol> {
+    // Check symbols up front so that the error matches Thompson's behaviour.
+    for name in expr.symbols() {
+        if alphabet.symbol(&name).is_none() {
+            return Err(UnknownSymbol {
+                name,
+                alphabet: alphabet.render(),
+            });
+        }
+    }
+    let mut positions = Positions { symbol_of: Vec::new() };
+    let g = analyze(expr, &mut positions);
+    let num_positions = positions.symbol_of.len();
+
+    let mut nfa = Nfa::new(alphabet.clone());
+    // State 0 is the fresh initial state; state p (1-based) is position p.
+    let states = nfa.add_states(num_positions + 1);
+    nfa.set_initial(states[0]);
+    if g.nullable {
+        nfa.set_final(states[0]);
+    }
+    for &p in &g.last {
+        nfa.set_final(states[p]);
+    }
+    for &p in &g.first {
+        let sym = alphabet
+            .symbol(&positions.symbol_of[p - 1])
+            .expect("checked above");
+        nfa.add_transition(states[0], sym, states[p]);
+    }
+    for (&p, follows) in &g.follow {
+        for &q in follows {
+            let sym = alphabet
+                .symbol(&positions.symbol_of[q - 1])
+                .expect("checked above");
+            nfa.add_transition(states[p], sym, states[q]);
+        }
+    }
+    Ok(nfa)
+}
+
+/// Translates `expr` over its own inferred alphabet.
+pub fn glushkov_auto(expr: &Regex) -> Nfa {
+    let alphabet = expr.inferred_alphabet();
+    glushkov(expr, &alphabet).expect("inferred alphabet covers all symbols")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::thompson::thompson;
+    use automata::nfa_equivalent;
+
+    fn abc() -> Alphabet {
+        Alphabet::from_chars(['a', 'b', 'c']).unwrap()
+    }
+
+    #[test]
+    fn position_automaton_has_no_epsilons_and_linear_states() {
+        let alpha = abc();
+        let expr = parse("a·(b·a+c)*").unwrap();
+        let nfa = glushkov(&expr, &alpha).unwrap();
+        // 4 symbol occurrences + 1 initial state.
+        assert_eq!(nfa.num_states(), 5);
+        assert!(nfa.transitions().all(|(_, label, _)| label.is_some()));
+    }
+
+    #[test]
+    fn accepts_same_words_as_thompson() {
+        let alpha = abc();
+        for src in [
+            "a·(b·a+c)*",
+            "a·c*·b",
+            "(a+b)*·c",
+            "ε",
+            "∅",
+            "a?·b^+",
+            "(a·b)*+(b·c)*",
+            "((a+ε)·c)*",
+        ] {
+            let expr = parse(src).unwrap();
+            let g = glushkov(&expr, &alpha).unwrap();
+            let t = thompson(&expr, &alpha).unwrap();
+            assert!(
+                nfa_equivalent(&g, &t).holds(),
+                "Glushkov and Thompson disagree on {src}"
+            );
+        }
+    }
+
+    #[test]
+    fn nullable_expressions_accept_epsilon() {
+        let alpha = abc();
+        let nfa = glushkov(&parse("(a·b)*").unwrap(), &alpha).unwrap();
+        assert!(nfa.accepts(&[]));
+        let nfa = glushkov(&parse("a·b?").unwrap(), &alpha).unwrap();
+        assert!(!nfa.accepts(&[]));
+    }
+
+    #[test]
+    fn unknown_symbol_is_an_error() {
+        let alpha = Alphabet::from_chars(['a']).unwrap();
+        let err = glushkov(&parse("a·q").unwrap(), &alpha).unwrap_err();
+        assert_eq!(err.name, "q");
+    }
+
+    #[test]
+    fn auto_alphabet_works() {
+        let nfa = glushkov_auto(&parse("x·y*·z").unwrap());
+        assert!(nfa.accepts_names(&["x", "z"]));
+        assert!(nfa.accepts_names(&["x", "y", "y", "z"]));
+        assert!(!nfa.accepts_names(&["x", "y"]));
+    }
+}

@@ -1,0 +1,390 @@
+//! Parser for the paper's concrete regular-expression syntax.
+//!
+//! Grammar (precedence from loosest to tightest):
+//!
+//! ```text
+//! union   ::= concat ( '+' concat )*
+//! concat  ::= repeat ( ('·' | '.')? repeat )*        (juxtaposition allowed)
+//! repeat  ::= atom ( '*' | '?' | '^+' )*
+//! atom    ::= IDENT | 'ε' | 'eps' | '∅' | 'empty' | '(' union ')'
+//! IDENT   ::= [A-Za-z_][A-Za-z0-9_]*  |  single digit
+//! ```
+//!
+//! The printer ([`crate::ast::Regex`]'s `Display`) emits exactly this syntax,
+//! so printing and re-parsing round-trips.
+
+use std::fmt;
+
+use crate::ast::Regex;
+
+/// A parse error with a character position and message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Zero-based character offset where the error was detected.
+    pub position: usize,
+    /// Human-readable description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Token {
+    Ident(String),
+    Epsilon,
+    Empty,
+    Plus,     // union
+    Dot,      // concatenation
+    Star,
+    Question,
+    CaretPlus, // ^+  (one-or-more)
+    LParen,
+    RParen,
+}
+
+struct Lexer<'a> {
+    chars: Vec<(usize, char)>,
+    pos: usize,
+    input: &'a str,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(input: &'a str) -> Self {
+        Self {
+            chars: input.char_indices().collect(),
+            pos: 0,
+            input,
+        }
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        let position = self
+            .chars
+            .get(self.pos)
+            .map(|&(i, _)| i)
+            .unwrap_or(self.input.len());
+        ParseError {
+            position,
+            message: message.into(),
+        }
+    }
+
+    fn tokenize(mut self) -> Result<Vec<(usize, Token)>, ParseError> {
+        let mut out = Vec::new();
+        while self.pos < self.chars.len() {
+            let (offset, c) = self.chars[self.pos];
+            match c {
+                ' ' | '\t' | '\n' | '\r' => {
+                    self.pos += 1;
+                }
+                '+' => {
+                    out.push((offset, Token::Plus));
+                    self.pos += 1;
+                }
+                '·' | '.' => {
+                    out.push((offset, Token::Dot));
+                    self.pos += 1;
+                }
+                '*' => {
+                    out.push((offset, Token::Star));
+                    self.pos += 1;
+                }
+                '?' => {
+                    out.push((offset, Token::Question));
+                    self.pos += 1;
+                }
+                '^' => {
+                    // only ^+ is valid
+                    if self.chars.get(self.pos + 1).map(|&(_, c)| c) == Some('+') {
+                        out.push((offset, Token::CaretPlus));
+                        self.pos += 2;
+                    } else {
+                        return Err(self.error("expected `+` after `^`"));
+                    }
+                }
+                '(' => {
+                    out.push((offset, Token::LParen));
+                    self.pos += 1;
+                }
+                ')' => {
+                    out.push((offset, Token::RParen));
+                    self.pos += 1;
+                }
+                'ε' => {
+                    out.push((offset, Token::Epsilon));
+                    self.pos += 1;
+                }
+                '∅' => {
+                    out.push((offset, Token::Empty));
+                    self.pos += 1;
+                }
+                c if c.is_alphanumeric() || c == '_' || c == '$' => {
+                    let start = self.pos;
+                    while self.pos < self.chars.len() {
+                        let (_, c) = self.chars[self.pos];
+                        if c.is_alphanumeric() || c == '_' || c == '$' {
+                            self.pos += 1;
+                        } else {
+                            break;
+                        }
+                    }
+                    let text: String = self.chars[start..self.pos].iter().map(|&(_, c)| c).collect();
+                    let token = match text.as_str() {
+                        "eps" | "epsilon" => Token::Epsilon,
+                        "empty" => Token::Empty,
+                        _ => Token::Ident(text),
+                    };
+                    out.push((offset, token));
+                }
+                other => {
+                    return Err(self.error(format!("unexpected character `{other}`")));
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+struct Parser {
+    tokens: Vec<(usize, Token)>,
+    pos: usize,
+    input_len: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|(_, t)| t)
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).map(|(_, t)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        let position = self
+            .tokens
+            .get(self.pos)
+            .map(|&(i, _)| i)
+            .unwrap_or(self.input_len);
+        ParseError {
+            position,
+            message: message.into(),
+        }
+    }
+
+    fn parse_union(&mut self) -> Result<Regex, ParseError> {
+        let mut parts = vec![self.parse_concat()?];
+        while self.peek() == Some(&Token::Plus) {
+            self.bump();
+            parts.push(self.parse_concat()?);
+        }
+        Ok(Regex::union_all(parts))
+    }
+
+    fn parse_concat(&mut self) -> Result<Regex, ParseError> {
+        let mut parts = vec![self.parse_repeat()?];
+        loop {
+            match self.peek() {
+                Some(Token::Dot) => {
+                    self.bump();
+                    parts.push(self.parse_repeat()?);
+                }
+                // Juxtaposition: another atom starts immediately.
+                Some(Token::Ident(_))
+                | Some(Token::Epsilon)
+                | Some(Token::Empty)
+                | Some(Token::LParen) => {
+                    parts.push(self.parse_repeat()?);
+                }
+                _ => break,
+            }
+        }
+        Ok(Regex::concat_all(parts))
+    }
+
+    fn parse_repeat(&mut self) -> Result<Regex, ParseError> {
+        let mut expr = self.parse_atom()?;
+        loop {
+            match self.peek() {
+                Some(Token::Star) => {
+                    self.bump();
+                    expr = expr.star();
+                }
+                Some(Token::Question) => {
+                    self.bump();
+                    expr = expr.optional();
+                }
+                Some(Token::CaretPlus) => {
+                    self.bump();
+                    expr = expr.plus();
+                }
+                _ => break,
+            }
+        }
+        Ok(expr)
+    }
+
+    fn parse_atom(&mut self) -> Result<Regex, ParseError> {
+        match self.bump() {
+            Some(Token::Ident(name)) => Ok(Regex::symbol(name)),
+            Some(Token::Epsilon) => Ok(Regex::epsilon()),
+            Some(Token::Empty) => Ok(Regex::empty()),
+            Some(Token::LParen) => {
+                let inner = self.parse_union()?;
+                match self.bump() {
+                    Some(Token::RParen) => Ok(inner),
+                    _ => Err(self.error("expected `)`")),
+                }
+            }
+            Some(other) => Err(self.error(format!("unexpected token {other:?}"))),
+            None => Err(self.error("unexpected end of input")),
+        }
+    }
+}
+
+/// Parses a regular expression in the paper's concrete syntax.
+///
+/// ```
+/// use regexlang::parse;
+///
+/// let e0 = parse("a·(b·a+c)*").unwrap();
+/// assert_eq!(e0.to_string(), "a·(b·a+c)*");
+/// // ASCII `.` works as concatenation too, and juxtaposition of
+/// // parenthesized groups is allowed.
+/// assert_eq!(parse("a.(b.a+c)*").unwrap(), e0);
+/// ```
+pub fn parse(input: &str) -> Result<Regex, ParseError> {
+    let tokens = Lexer::new(input).tokenize()?;
+    if tokens.is_empty() {
+        return Err(ParseError {
+            position: 0,
+            message: "empty input (write `ε` for the empty word or `∅` for the empty language)"
+                .to_string(),
+        });
+    }
+    let mut parser = Parser {
+        tokens,
+        pos: 0,
+        input_len: input.len(),
+    };
+    let expr = parser.parse_union()?;
+    if parser.pos != parser.tokens.len() {
+        return Err(parser.error("trailing input after expression"));
+    }
+    Ok(expr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_examples() {
+        let e0 = parse("a·(b·a+c)*").unwrap();
+        assert_eq!(e0.to_string(), "a·(b·a+c)*");
+        let e2 = parse("a·c*·b").unwrap();
+        assert_eq!(e2.to_string(), "a·c*·b");
+        let q = parse("a·(b+c)").unwrap();
+        assert_eq!(q.to_string(), "a·(b+c)");
+    }
+
+    #[test]
+    fn ascii_dot_and_juxtaposition() {
+        assert_eq!(parse("a.b.c").unwrap(), parse("a·b·c").unwrap());
+        assert_eq!(parse("a (b+c)").unwrap(), parse("a·(b+c)").unwrap());
+        assert_eq!(parse("(a)(b)").unwrap(), parse("a·b").unwrap());
+    }
+
+    #[test]
+    fn multi_character_symbols() {
+        let e = parse("rome + jerusalem").unwrap();
+        assert_eq!(e.symbols().len(), 2);
+        let e = parse("edge_1 · edge_2*").unwrap();
+        assert_eq!(e.to_string(), "edge_1·edge_2*");
+    }
+
+    #[test]
+    fn epsilon_and_empty_spellings() {
+        assert_eq!(parse("ε").unwrap(), Regex::epsilon());
+        assert_eq!(parse("eps").unwrap(), Regex::epsilon());
+        assert_eq!(parse("epsilon").unwrap(), Regex::epsilon());
+        assert_eq!(parse("∅").unwrap(), Regex::empty());
+        assert_eq!(parse("empty").unwrap(), Regex::empty());
+        assert_eq!(parse("a + ε").unwrap().to_string(), "a+ε");
+    }
+
+    #[test]
+    fn postfix_operators() {
+        assert_eq!(parse("a*").unwrap(), Regex::symbol("a").star());
+        assert_eq!(parse("a?").unwrap(), Regex::symbol("a").optional());
+        assert_eq!(parse("a^+").unwrap(), Regex::symbol("a").plus());
+        assert_eq!(parse("a**").unwrap(), Regex::symbol("a").star().star());
+        assert_eq!(
+            parse("(a·b)*?").unwrap(),
+            Regex::symbol("a").then(Regex::symbol("b")).star().optional()
+        );
+    }
+
+    #[test]
+    fn precedence_union_concat_star() {
+        // a+b·c* parses as a + (b·(c*))
+        let e = parse("a+b·c*").unwrap();
+        assert_eq!(
+            e,
+            Regex::symbol("a").or(Regex::symbol("b").then(Regex::symbol("c").star()))
+        );
+    }
+
+    #[test]
+    fn errors_are_reported_with_position() {
+        let err = parse("a·(b").unwrap_err();
+        assert!(err.message.contains(")"), "{err}");
+        let err = parse("").unwrap_err();
+        assert_eq!(err.position, 0);
+        let err = parse("a^b").unwrap_err();
+        assert!(err.message.contains("^"), "{err}");
+        let err = parse("a)b").unwrap_err();
+        assert!(err.message.contains("trailing"), "{err}");
+        let err = parse("{a}").unwrap_err();
+        assert!(err.message.contains("unexpected character"), "{err}");
+        let err = parse("a + ").unwrap_err();
+        assert!(err.message.contains("end of input"), "{err}");
+    }
+
+    #[test]
+    fn display_parse_roundtrip() {
+        for src in [
+            "a·(b·a+c)*",
+            "a·c*·b",
+            "(a+b)·c",
+            "a^+·b?",
+            "ε+a",
+            "∅",
+            "rome·(jerusalem+paris)*·restaurant",
+            "((a+b)*·c)?",
+        ] {
+            let parsed = parse(src).unwrap();
+            let reparsed = parse(&parsed.to_string()).unwrap();
+            assert_eq!(parsed, reparsed, "round-trip failed for {src}");
+        }
+    }
+
+    #[test]
+    fn dollar_and_digit_symbols() {
+        // The lower-bound constructions of Section 3.2 use `$`, `0`, `1` as
+        // alphabet symbols; the parser must accept them as identifiers.
+        let e = parse("$·(0+1)·$").unwrap();
+        assert_eq!(e.symbols().len(), 3);
+        assert_eq!(e.to_string(), "$·(0+1)·$");
+    }
+}

@@ -1,0 +1,215 @@
+//! Algebraic simplification of regular expressions.
+//!
+//! The rewritings produced by state elimination (automaton → expression) are
+//! syntactically noisy; these local rewrite rules — all of them sound
+//! language-preserving identities of Kleene algebra — keep them readable.
+//! Example 2.3 of the paper expects the rewriting automaton of Figure 1 to
+//! read back as `e2*·e1·e3*`, which only falls out after simplification.
+
+use crate::ast::Regex;
+
+/// Applies language-preserving simplification rules bottom-up until a fixed
+/// point is reached (bounded by a small iteration limit to guarantee
+/// termination even on pathological inputs).
+pub fn simplify(expr: &Regex) -> Regex {
+    let mut current = expr.clone();
+    for _ in 0..16 {
+        let next = simplify_once(&current);
+        if next == current {
+            return next;
+        }
+        current = next;
+    }
+    current
+}
+
+fn simplify_once(expr: &Regex) -> Regex {
+    match expr {
+        Regex::Empty | Regex::Epsilon | Regex::Symbol(_) => expr.clone(),
+        Regex::Concat(parts) => simplify_concat(parts),
+        Regex::Union(parts) => simplify_union(parts),
+        Regex::Star(inner) => simplify_star(&simplify_once(inner)),
+        Regex::Plus(inner) => simplify_plus(&simplify_once(inner)),
+        Regex::Optional(inner) => simplify_optional(&simplify_once(inner)),
+    }
+}
+
+fn simplify_concat(parts: &[Regex]) -> Regex {
+    let mut flat: Vec<Regex> = Vec::new();
+    for part in parts {
+        let p = simplify_once(part);
+        match p {
+            Regex::Empty => return Regex::Empty, // ∅ is absorbing for ·
+            Regex::Epsilon => {}                 // ε is the unit of ·
+            Regex::Concat(inner) => flat.extend(inner),
+            other => flat.push(other),
+        }
+    }
+    // x*·x* = x*   and   x*·x? = x*   (adjacent collapsible repetitions)
+    let mut collapsed: Vec<Regex> = Vec::new();
+    for p in flat {
+        if let (Some(Regex::Star(prev)), Regex::Star(cur)) = (collapsed.last(), &p) {
+            if prev == cur {
+                continue;
+            }
+        }
+        if let (Some(Regex::Star(prev)), Regex::Optional(cur)) = (collapsed.last(), &p) {
+            if prev == cur {
+                continue;
+            }
+        }
+        collapsed.push(p);
+    }
+    Regex::concat_all(collapsed)
+}
+
+fn simplify_union(parts: &[Regex]) -> Regex {
+    let mut flat: Vec<Regex> = Vec::new();
+    for part in parts {
+        let p = simplify_once(part);
+        match p {
+            Regex::Empty => {} // ∅ is the unit of +
+            Regex::Union(inner) => flat.extend(inner),
+            other => flat.push(other),
+        }
+    }
+    // Deduplicate while preserving the first-occurrence order.
+    let mut unique: Vec<Regex> = Vec::new();
+    for p in flat {
+        if !unique.contains(&p) {
+            unique.push(p);
+        }
+    }
+    // ε + x  where x is nullable  =  x.
+    if unique.len() > 1 && unique.iter().any(|p| *p != Regex::Epsilon && p.is_nullable()) {
+        unique.retain(|p| *p != Regex::Epsilon);
+    }
+    Regex::union_all(unique)
+}
+
+fn simplify_star(inner: &Regex) -> Regex {
+    match inner {
+        Regex::Empty | Regex::Epsilon => Regex::Epsilon, // ∅* = ε* = ε
+        Regex::Star(x) => Regex::Star(x.clone()),        // (x*)* = x*
+        Regex::Plus(x) => Regex::Star(x.clone()),        // (x^+)* = x*
+        Regex::Optional(x) => Regex::Star(x.clone()),    // (x?)* = x*
+        other => Regex::Star(Box::new(other.clone())),
+    }
+}
+
+fn simplify_plus(inner: &Regex) -> Regex {
+    match inner {
+        Regex::Empty => Regex::Empty,                    // ∅^+ = ∅
+        Regex::Epsilon => Regex::Epsilon,                // ε^+ = ε
+        Regex::Star(x) => Regex::Star(x.clone()),        // (x*)^+ = x*
+        Regex::Optional(x) => Regex::Star(x.clone()),    // (x?)^+ = x*
+        Regex::Plus(x) => Regex::Plus(x.clone()),        // (x^+)^+ = x^+
+        other => Regex::Plus(Box::new(other.clone())),
+    }
+}
+
+fn simplify_optional(inner: &Regex) -> Regex {
+    match inner {
+        Regex::Empty | Regex::Epsilon => Regex::Epsilon, // ∅? = ε? = ε
+        Regex::Star(x) => Regex::Star(x.clone()),        // (x*)? = x*
+        Regex::Plus(x) => Regex::Star(x.clone()),        // (x^+)? = x*
+        Regex::Optional(x) => Regex::Optional(x.clone()),
+        other if other.is_nullable() => other.clone(),   // x? = x when ε ∈ L(x)
+        other => Regex::Optional(Box::new(other.clone())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::thompson::thompson_auto;
+    use automata::nfa_equivalent;
+
+    fn simp(src: &str) -> String {
+        simplify(&parse(src).unwrap()).to_string()
+    }
+
+    #[test]
+    fn units_and_absorbing_elements() {
+        assert_eq!(simp("a·ε·b"), "a·b");
+        assert_eq!(simp("a·∅·b"), "∅");
+        assert_eq!(simp("∅+a+∅"), "a");
+        assert_eq!(simp("ε·ε"), "ε");
+    }
+
+    #[test]
+    fn star_laws() {
+        assert_eq!(simp("∅*"), "ε");
+        assert_eq!(simp("ε*"), "ε");
+        assert_eq!(simp("(a*)*"), "a*");
+        assert_eq!(simp("(a^+)*"), "a*");
+        assert_eq!(simp("(a?)*"), "a*");
+        assert_eq!(simp("a*·a*"), "a*");
+        assert_eq!(simp("a*·a?"), "a*");
+    }
+
+    #[test]
+    fn plus_and_optional_laws() {
+        assert_eq!(simp("∅^+"), "∅");
+        assert_eq!(simp("ε^+"), "ε");
+        assert_eq!(simp("(a*)^+"), "a*");
+        assert_eq!(simp("(a*)?"), "a*");
+        assert_eq!(simp("(a^+)?"), "a*");
+        assert_eq!(simp("(a·b*)?"), "(a·b*)?");
+        assert_eq!(simp("(a?·b*)?"), "a?·b*");
+    }
+
+    #[test]
+    fn union_dedup_and_epsilon_absorption() {
+        assert_eq!(simp("a+a+b"), "a+b");
+        assert_eq!(simp("ε+a*"), "a*");
+        assert_eq!(simp("a*+ε"), "a*");
+        assert_eq!(simp("ε+a"), "ε+a"); // a is not nullable: ε must stay
+    }
+
+    #[test]
+    fn nested_simplification_reaches_fixpoint() {
+        assert_eq!(simp("((a+∅)·ε)*·((a*)*)?"), "a*");
+        assert_eq!(simp("(∅·x+y·ε)?"), "y?");
+    }
+
+    #[test]
+    fn simplification_preserves_language() {
+        for src in [
+            "a·(b·a+c)*",
+            "((a+∅)·ε)*·((b*)*)?",
+            "(a?·b*)?+∅^+",
+            "a*·a*·a?",
+            "ε+a+a·b",
+            "(a·b)*·(a·b)*",
+            "(ε+a)·(ε+b)",
+        ] {
+            let original = parse(src).unwrap();
+            let simplified = simplify(&original);
+            let lhs = thompson_auto(&original);
+            let rhs = thompson_auto(&simplified);
+            // Guard: languages over symbols possibly missing from the
+            // simplified expression — lift both to the original's alphabet.
+            let alpha = original.inferred_alphabet();
+            let lhs = lhs.with_alphabet(alpha.clone());
+            let rhs_nfa = crate::thompson::thompson(&simplified, &alpha).unwrap();
+            assert!(
+                nfa_equivalent(&lhs, &rhs_nfa).holds(),
+                "simplification changed the language of {src}: {} vs {}",
+                original,
+                simplified
+            );
+            let _ = rhs;
+        }
+    }
+
+    #[test]
+    fn simplified_size_never_grows() {
+        for src in ["a·(b·a+c)*", "((a+∅)·ε)*", "a*·a*·a*", "(x?)*·(y^+)?"] {
+            let original = parse(src).unwrap();
+            let simplified = simplify(&original);
+            assert!(simplified.size() <= original.size(), "{src}");
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! State elimination: automaton → regular expression.
+//!
+//! The rewriting algorithm of the paper produces the Σ_E-maximal rewriting as
+//! an *automaton* (`R_{E,E0}` is the complement of `A'`).  To present it in
+//! the paper's notation — e.g. `e2*·e1·e3*` for Figure 1 — the automaton is
+//! converted back into a regular expression by generalized-NFA (GNFA) state
+//! elimination, simplifying edge labels as they are combined.
+
+use std::collections::BTreeMap;
+
+use automata::{Dfa, Nfa, StateId};
+
+use crate::ast::Regex;
+use crate::simplify::simplify;
+
+/// Converts an NFA into an equivalent regular expression over the symbol
+/// names of its alphabet.
+pub fn nfa_to_regex(nfa: &Nfa) -> Regex {
+    // Work on the trimmed automaton: dead states only bloat the elimination.
+    let nfa = nfa.trim();
+    if nfa.num_states() == 0 {
+        return Regex::Empty;
+    }
+    let n = nfa.num_states();
+    // GNFA states: 0 = fresh initial, 1..=n = original states, n+1 = fresh final.
+    let init = 0usize;
+    let fin = n + 1;
+    let mut edges: BTreeMap<(usize, usize), Regex> = BTreeMap::new();
+    let add_edge = |edges: &mut BTreeMap<(usize, usize), Regex>, from: usize, to: usize, label: Regex| {
+        edges
+            .entry((from, to))
+            .and_modify(|existing| *existing = existing.clone().or(label.clone()))
+            .or_insert(label);
+    };
+
+    for &s in nfa.initial_states() {
+        add_edge(&mut edges, init, s + 1, Regex::Epsilon);
+    }
+    for &s in nfa.final_states() {
+        add_edge(&mut edges, s + 1, fin, Regex::Epsilon);
+    }
+    for (from, label, to) in nfa.transitions() {
+        let regex = match label {
+            Some(sym) => Regex::symbol(nfa.alphabet().name(sym)),
+            None => Regex::Epsilon,
+        };
+        add_edge(&mut edges, from + 1, to + 1, regex);
+    }
+
+    // Eliminate original states one at a time, lowest fan-in×fan-out first
+    // (a standard heuristic that keeps intermediate expressions small).
+    let mut remaining: Vec<usize> = (1..=n).collect();
+    while let Some(pick_idx) = pick_state(&remaining, &edges) {
+        let s = remaining.remove(pick_idx);
+        let self_loop = edges.remove(&(s, s));
+        let loop_star = match self_loop {
+            Some(r) => simplify(&r.star()),
+            None => Regex::Epsilon,
+        };
+        let incoming: Vec<(usize, Regex)> = edges
+            .iter()
+            .filter(|(&(_, to), _)| to == s)
+            .map(|(&(from, _), r)| (from, r.clone()))
+            .collect();
+        let outgoing: Vec<(usize, Regex)> = edges
+            .iter()
+            .filter(|(&(from, _), _)| from == s)
+            .map(|(&(_, to), r)| (to, r.clone()))
+            .collect();
+        edges.retain(|&(from, to), _| from != s && to != s);
+        for (p, r_in) in &incoming {
+            for (q, r_out) in &outgoing {
+                let through = simplify(
+                    &r_in
+                        .clone()
+                        .then(loop_star.clone())
+                        .then(r_out.clone()),
+                );
+                if through == Regex::Empty {
+                    continue;
+                }
+                edges
+                    .entry((*p, *q))
+                    .and_modify(|existing| *existing = simplify(&existing.clone().or(through.clone())))
+                    .or_insert(through);
+            }
+        }
+    }
+
+    match edges.get(&(init, fin)) {
+        Some(r) => simplify(r),
+        None => Regex::Empty,
+    }
+}
+
+/// Converts a DFA into an equivalent regular expression.
+pub fn dfa_to_regex(dfa: &Dfa) -> Regex {
+    nfa_to_regex(&Nfa::from_dfa(dfa))
+}
+
+/// Picks the index (within `remaining`) of the next state to eliminate:
+/// the one minimizing `in-degree × out-degree`, which empirically keeps the
+/// resulting expression shortest.
+fn pick_state(remaining: &[StateId], edges: &BTreeMap<(usize, usize), Regex>) -> Option<usize> {
+    if remaining.is_empty() {
+        return None;
+    }
+    let mut best: Option<(usize, usize)> = None; // (index, cost)
+    for (idx, &s) in remaining.iter().enumerate() {
+        let fan_in = edges.keys().filter(|&&(from, to)| to == s && from != s).count();
+        let fan_out = edges.keys().filter(|&&(from, to)| from == s && to != s).count();
+        let cost = fan_in * fan_out;
+        if best.map(|(_, c)| cost < c).unwrap_or(true) {
+            best = Some((idx, cost));
+        }
+    }
+    best.map(|(idx, _)| idx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::thompson::{thompson, thompson_auto};
+    use automata::{determinize, nfa_equivalent, Alphabet};
+
+    /// Round-trips an expression through NFA → regex and checks language
+    /// equality.
+    fn roundtrip_preserves(src: &str) {
+        let expr = parse(src).unwrap();
+        let alpha = expr.inferred_alphabet();
+        let nfa = thompson(&expr, &alpha).unwrap();
+        let back = nfa_to_regex(&nfa);
+        let back_nfa = thompson(&back, &alpha).unwrap();
+        assert!(
+            nfa_equivalent(&nfa, &back_nfa).holds(),
+            "round-trip changed the language of {src}: got {back}"
+        );
+    }
+
+    #[test]
+    fn roundtrips_basic_expressions() {
+        for src in [
+            "a",
+            "a·b",
+            "a+b",
+            "a*",
+            "a·(b·a+c)*",
+            "a·c*·b",
+            "(a+b)*·c·(a+b)*",
+            "a^+·b?",
+        ] {
+            roundtrip_preserves(src);
+        }
+    }
+
+    #[test]
+    fn empty_language_automaton_gives_empty_regex() {
+        let alpha = Alphabet::from_chars(['a']).unwrap();
+        assert_eq!(nfa_to_regex(&Nfa::empty(alpha.clone())), Regex::Empty);
+        assert_eq!(dfa_to_regex(&Dfa::empty(alpha)), Regex::Empty);
+    }
+
+    #[test]
+    fn epsilon_automaton_gives_nullable_regex() {
+        let alpha = Alphabet::from_chars(['a']).unwrap();
+        let r = nfa_to_regex(&Nfa::epsilon(alpha));
+        assert!(r.is_nullable());
+        assert_eq!(thompson_auto(&r).accepts(&[]), true);
+    }
+
+    #[test]
+    fn dfa_roundtrip_preserves_language() {
+        let expr = parse("a·(b·a+c)*").unwrap();
+        let alpha = expr.inferred_alphabet();
+        let dfa = determinize(&thompson(&expr, &alpha).unwrap());
+        let back = dfa_to_regex(&dfa);
+        let back_nfa = thompson(&back, &alpha).unwrap();
+        let orig_nfa = thompson(&expr, &alpha).unwrap();
+        assert!(nfa_equivalent(&orig_nfa, &back_nfa).holds(), "got {back}");
+    }
+
+    #[test]
+    fn figure1_rewriting_shape() {
+        // The rewriting automaton of Figure 1 over the view alphabet
+        // {e1, e2, e3}: state 0 --e2--> 0, 0 --e1--> 1, 1 --e3--> 1,
+        // initial 0, final 1.  Expected expression: e2*·e1·e3*.
+        let alpha = Alphabet::from_names(["e1", "e2", "e3"]).unwrap();
+        let e1 = alpha.symbol("e1").unwrap();
+        let e2 = alpha.symbol("e2").unwrap();
+        let e3 = alpha.symbol("e3").unwrap();
+        let dfa = Dfa::from_parts(
+            alpha.clone(),
+            2,
+            0,
+            [1],
+            [(0, e2, 0), (0, e1, 1), (1, e3, 1)],
+        );
+        let regex = dfa_to_regex(&dfa);
+        assert_eq!(regex.to_string(), "e2*·e1·e3*");
+    }
+
+    #[test]
+    fn universal_automaton_roundtrips() {
+        let alpha = Alphabet::from_chars(['a', 'b']).unwrap();
+        let r = dfa_to_regex(&Dfa::universal(alpha.clone()));
+        let nfa = thompson(&r, &alpha).unwrap();
+        assert!(nfa_equivalent(&nfa, &Nfa::universal(alpha)).holds());
+    }
+}

@@ -1,0 +1,144 @@
+//! Thompson translation: regular expression → NFA with ε-moves.
+//!
+//! This is the default translation used when building the query automaton
+//! that gets determinized into `A_d`, and when building view automata for the
+//! reachability tests of the rewriting construction.  The output has size
+//! linear in the expression.
+
+use std::fmt;
+
+use automata::{Alphabet, Nfa};
+
+use crate::ast::Regex;
+
+/// Error raised when an expression mentions a symbol that is not in the
+/// target alphabet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownSymbol {
+    /// The offending symbol name.
+    pub name: String,
+    /// The alphabet the translation was attempted against.
+    pub alphabet: String,
+}
+
+impl fmt::Display for UnknownSymbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "symbol `{}` does not occur in alphabet {}",
+            self.name, self.alphabet
+        )
+    }
+}
+
+impl std::error::Error for UnknownSymbol {}
+
+/// Translates `expr` into an NFA over `alphabet` using Thompson's
+/// construction (each operator adds a constant number of states and
+/// ε-transitions).
+pub fn thompson(expr: &Regex, alphabet: &Alphabet) -> Result<Nfa, UnknownSymbol> {
+    match expr {
+        Regex::Empty => Ok(Nfa::empty(alphabet.clone())),
+        Regex::Epsilon => Ok(Nfa::epsilon(alphabet.clone())),
+        Regex::Symbol(name) => {
+            let sym = alphabet.symbol(name).ok_or_else(|| UnknownSymbol {
+                name: name.to_string(),
+                alphabet: alphabet.render(),
+            })?;
+            Ok(Nfa::symbol(alphabet.clone(), sym))
+        }
+        Regex::Concat(parts) => {
+            let mut acc = Nfa::epsilon(alphabet.clone());
+            for p in parts {
+                acc = acc.concat(&thompson(p, alphabet)?);
+            }
+            Ok(acc)
+        }
+        Regex::Union(parts) => {
+            let mut acc = Nfa::empty(alphabet.clone());
+            for p in parts {
+                acc = acc.union(&thompson(p, alphabet)?);
+            }
+            Ok(acc)
+        }
+        Regex::Star(inner) => Ok(thompson(inner, alphabet)?.star()),
+        Regex::Plus(inner) => Ok(thompson(inner, alphabet)?.plus()),
+        Regex::Optional(inner) => Ok(thompson(inner, alphabet)?.optional()),
+    }
+}
+
+/// Translates `expr` over its own inferred alphabet.
+pub fn thompson_auto(expr: &Regex) -> Nfa {
+    let alphabet = expr.inferred_alphabet();
+    thompson(expr, &alphabet).expect("inferred alphabet covers all symbols")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn accepts(expr: &str, alphabet: &Alphabet, word: &[&str]) -> bool {
+        let nfa = thompson(&parse(expr).unwrap(), alphabet).unwrap();
+        nfa.accepts_names(word)
+    }
+
+    fn abc() -> Alphabet {
+        Alphabet::from_chars(['a', 'b', 'c']).unwrap()
+    }
+
+    #[test]
+    fn translates_paper_query() {
+        let alpha = abc();
+        // E0 = a·(b·a+c)*
+        assert!(accepts("a·(b·a+c)*", &alpha, &["a"]));
+        assert!(accepts("a·(b·a+c)*", &alpha, &["a", "b", "a"]));
+        assert!(accepts("a·(b·a+c)*", &alpha, &["a", "c", "c", "b", "a"]));
+        assert!(!accepts("a·(b·a+c)*", &alpha, &[]));
+        assert!(!accepts("a·(b·a+c)*", &alpha, &["a", "b"]));
+        assert!(!accepts("a·(b·a+c)*", &alpha, &["b", "a"]));
+    }
+
+    #[test]
+    fn translates_views() {
+        let alpha = abc();
+        assert!(accepts("a·c*·b", &alpha, &["a", "b"]));
+        assert!(accepts("a·c*·b", &alpha, &["a", "c", "c", "b"]));
+        assert!(!accepts("a·c*·b", &alpha, &["a", "c"]));
+    }
+
+    #[test]
+    fn empty_epsilon_optional_plus() {
+        let alpha = abc();
+        assert!(!accepts("∅", &alpha, &[]));
+        assert!(accepts("ε", &alpha, &[]));
+        assert!(accepts("a?", &alpha, &[]));
+        assert!(accepts("a?", &alpha, &["a"]));
+        assert!(!accepts("a^+", &alpha, &[]));
+        assert!(accepts("a^+", &alpha, &["a", "a", "a"]));
+    }
+
+    #[test]
+    fn unknown_symbol_is_an_error() {
+        let alpha = Alphabet::from_chars(['a']).unwrap();
+        let err = thompson(&parse("a·z").unwrap(), &alpha).unwrap_err();
+        assert_eq!(err.name, "z");
+        assert!(err.to_string().contains("alphabet"));
+    }
+
+    #[test]
+    fn auto_alphabet_covers_expression() {
+        let nfa = thompson_auto(&parse("rome·(paris+london)*").unwrap());
+        assert_eq!(nfa.alphabet().len(), 3);
+        assert!(nfa.accepts_names(&["rome", "paris", "london"]));
+    }
+
+    #[test]
+    fn size_is_linear_in_expression() {
+        // Thompson's construction adds at most a constant number of states
+        // per AST node.
+        let expr = parse("(a+b)*·(a·b·c)^+·(a?+c*)").unwrap();
+        let nfa = thompson_auto(&expr);
+        assert!(nfa.num_states() <= 6 * expr.size());
+    }
+}

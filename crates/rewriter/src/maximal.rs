@@ -1,0 +1,416 @@
+//! The maximal-rewriting construction (Section 2 of the paper).
+//!
+//! Given a query `E0` over `Σ` and a view set `E`, the algorithm of
+//! Theorem 2.2 computes the Σ_E-maximal rewriting `R_{E,E0}`:
+//!
+//! 1. build a deterministic automaton `A_d` with `L(A_d) = L(E0)`;
+//! 2. build `A'` over `Σ_E`, with the same states as `A_d`, the same initial
+//!    state, and the *non*-final states of `A_d` as final states; `A'` has an
+//!    `e`-transition from `s_i` to `s_j` iff some word of `L(re(e))` drives
+//!    `A_d` from `s_i` to `s_j`;
+//! 3. the rewriting is the complement of `A'`.
+//!
+//! `A'` accepts exactly the `Σ_E`-words some expansion of which is rejected
+//! by `A_d`; its complement therefore accepts the words whose *every*
+//! expansion lies inside `L(E0)` — the Σ_E-maximal rewriting (and, by
+//! Theorem 2.1, also a Σ-maximal one).
+
+use automata::{
+    determinize, minimize, word_reachability_relation, word_reaches, Dfa, Nfa,
+};
+use regexlang::{dfa_to_regex, glushkov, simplify, thompson, Regex};
+use serde::Serialize;
+
+use crate::views::{RewriteError, View, ViewSet};
+
+/// A rewriting problem: the query `E0` and the views `E`.
+#[derive(Debug, Clone)]
+pub struct RewriteProblem {
+    /// The query expression `E0` over the base alphabet Σ.
+    pub query: Regex,
+    /// The views `E = {E1, …, Ek}` with their symbols and alphabets.
+    pub views: ViewSet,
+}
+
+impl RewriteProblem {
+    /// Creates a problem, checking that the query only uses symbols of Σ.
+    pub fn new(query: Regex, views: ViewSet) -> Result<Self, RewriteError> {
+        for sym in query.symbols() {
+            if views.sigma().symbol(&sym).is_none() {
+                return Err(RewriteError::UnknownBaseSymbol(sym));
+            }
+        }
+        Ok(Self { query, views })
+    }
+
+    /// Convenience constructor from concrete syntax: the base alphabet is
+    /// inferred from the query and the views.
+    ///
+    /// ```
+    /// use rewriter::RewriteProblem;
+    ///
+    /// let problem = RewriteProblem::parse(
+    ///     "a·(b·a+c)*",
+    ///     [("e1", "a"), ("e2", "a·c*·b"), ("e3", "c")],
+    /// ).unwrap();
+    /// assert_eq!(problem.views.len(), 3);
+    /// ```
+    pub fn parse(
+        query: &str,
+        views: impl IntoIterator<Item = (&'static str, &'static str)>,
+    ) -> Result<Self, RewriteError> {
+        let query = regexlang::parse(query)
+            .map_err(|e| RewriteError::UnknownBaseSymbol(e.to_string()))?;
+        let view_list: Result<Vec<View>, RewriteError> = views
+            .into_iter()
+            .map(|(symbol, src)| {
+                regexlang::parse(src)
+                    .map(|def| View::new(symbol, def))
+                    .map_err(|e| RewriteError::UnknownBaseSymbol(e.to_string()))
+            })
+            .collect();
+        let views = ViewSet::with_inferred_alphabet(view_list?, query.symbols())?;
+        Self::new(query, views)
+    }
+}
+
+/// Tunable knobs of the construction, exposed for the ablation benchmarks of
+/// DESIGN.md.  The defaults match the paper's algorithm plus the standard
+/// minimization preprocessing.
+#[derive(Debug, Clone)]
+pub struct RewriterOptions {
+    /// Minimize `A_d` before building `A'` (ablation #3).  Keeps the language
+    /// unchanged but shrinks the rewriting automaton.
+    pub minimize_query_dfa: bool,
+    /// Use the Glushkov position automaton instead of Thompson's construction
+    /// for the query (ablation #2).
+    pub use_glushkov: bool,
+    /// Test every `(s_i, s_j, e)` triple by a separate product-emptiness
+    /// check instead of one batched reachability sweep per view
+    /// (ablation #4).
+    pub per_pair_reachability: bool,
+}
+
+impl Default for RewriterOptions {
+    fn default() -> Self {
+        Self {
+            minimize_query_dfa: true,
+            use_glushkov: false,
+            per_pair_reachability: false,
+        }
+    }
+}
+
+/// Size statistics of one run of the construction (serialized by the
+/// experiment harness).
+#[derive(Debug, Clone, Serialize)]
+pub struct RewriteStats {
+    /// States of the query NFA before determinization.
+    pub query_nfa_states: usize,
+    /// States of the deterministic query automaton `A_d`.
+    pub query_dfa_states: usize,
+    /// States of `A'` (equals the states of `A_d`).
+    pub a_prime_states: usize,
+    /// Transitions of `A'` over the view alphabet.
+    pub a_prime_transitions: usize,
+    /// States of the (complete) rewriting automaton `R_{E,E0}`.
+    pub rewriting_states: usize,
+    /// States of the rewriting automaton after trimming dead states.
+    pub rewriting_trimmed_states: usize,
+    /// Whether the maximal rewriting is the empty language.
+    pub is_empty: bool,
+}
+
+/// The Σ_E-maximal rewriting together with every intermediate artifact of the
+/// construction.
+#[derive(Debug, Clone)]
+pub struct MaximalRewriting {
+    /// The deterministic query automaton `A_d` (complete).
+    pub query_dfa: Dfa,
+    /// The automaton `A'` over `Σ_E` (same state space as `A_d`).
+    pub a_prime: Nfa,
+    /// The rewriting automaton `R_{E,E0}` = complement of `A'`, over `Σ_E`.
+    pub automaton: Dfa,
+    /// Size statistics of the run.
+    pub stats: RewriteStats,
+}
+
+impl MaximalRewriting {
+    /// The rewriting as a simplified regular expression over the view
+    /// symbols, obtained by state elimination on the rewriting automaton.
+    ///
+    /// State elimination can be expensive for very large rewriting automata
+    /// (e.g. the lower-bound instances of §3.2), so the expression is
+    /// computed on demand rather than eagerly.
+    pub fn regex(&self) -> Regex {
+        simplify(&dfa_to_regex(&self.automaton))
+    }
+
+    /// Whether the maximal rewriting is empty (no Σ_E-word has all its
+    /// expansions inside `L(E0)`).
+    pub fn is_empty(&self) -> bool {
+        self.stats.is_empty
+    }
+
+    /// Whether the rewriting accepts the given word of view-symbol names.
+    pub fn accepts(&self, view_symbols: &[&str]) -> bool {
+        self.automaton.accepts_names(view_symbols)
+    }
+
+    /// A shortest accepted Σ_E-word, as view-symbol names.
+    pub fn shortest_word(&self) -> Option<Vec<String>> {
+        self.automaton.shortest_word().map(|word| {
+            word.iter()
+                .map(|&s| self.automaton.alphabet().name(s).to_string())
+                .collect()
+        })
+    }
+}
+
+/// Runs the construction of Theorem 2.2 with default options.
+pub fn compute_maximal_rewriting(problem: &RewriteProblem) -> MaximalRewriting {
+    compute_maximal_rewriting_with(problem, &RewriterOptions::default())
+}
+
+/// Runs the construction of Theorem 2.2 with explicit options.
+pub fn compute_maximal_rewriting_with(
+    problem: &RewriteProblem,
+    options: &RewriterOptions,
+) -> MaximalRewriting {
+    let sigma = problem.views.sigma().clone();
+    let sigma_e = problem.views.sigma_e().clone();
+
+    // Step 1: deterministic automaton A_d for E0.
+    let query_nfa = if options.use_glushkov {
+        glushkov(&problem.query, &sigma).expect("query symbols checked at problem construction")
+    } else {
+        thompson(&problem.query, &sigma).expect("query symbols checked at problem construction")
+    };
+    let query_nfa_states = query_nfa.num_states();
+    let mut query_dfa = determinize(&query_nfa);
+    if options.minimize_query_dfa {
+        query_dfa = minimize(&query_dfa);
+    }
+    // Complementation-by-final-swap in step 2 needs a complete automaton:
+    // a run of A_d must never die, otherwise a rejected expansion could be
+    // missed by A'.
+    let query_dfa = query_dfa.complete();
+
+    // Step 2: A' over Σ_E with the same states as A_d.
+    let mut a_prime = Nfa::new(sigma_e.clone());
+    a_prime.add_states(query_dfa.num_states());
+    a_prime.set_initial(query_dfa.initial_state());
+    for s in 0..query_dfa.num_states() {
+        if !query_dfa.is_final(s) {
+            a_prime.set_final(s);
+        }
+    }
+    for (index, view) in problem.views.views().enumerate() {
+        let view_sym = sigma_e
+            .symbol(&view.symbol)
+            .expect("view symbols are exactly sigma_e");
+        let view_nfa = problem.views.automaton(index);
+        if options.per_pair_reachability {
+            for si in 0..query_dfa.num_states() {
+                for sj in 0..query_dfa.num_states() {
+                    if word_reaches(&query_dfa, view_nfa, si, sj) {
+                        a_prime.add_transition(si, view_sym, sj);
+                    }
+                }
+            }
+        } else {
+            for (si, sj) in word_reachability_relation(&query_dfa, view_nfa) {
+                a_prime.add_transition(si, view_sym, sj);
+            }
+        }
+    }
+
+    // Step 3: the rewriting is the complement of A'.  A' is in general
+    // nondeterministic over Σ_E, so complement via subset construction.
+    let rewriting = determinize(&a_prime).complement();
+    let trimmed = rewriting.trim_unreachable();
+    let trimmed_productive: usize = trimmed
+        .coreachable_states()
+        .intersection(&trimmed.reachable_states())
+        .count();
+    let is_empty = rewriting.is_empty_language();
+
+    let stats = RewriteStats {
+        query_nfa_states,
+        query_dfa_states: query_dfa.num_states(),
+        a_prime_states: a_prime.num_states(),
+        a_prime_transitions: a_prime.num_transitions(),
+        rewriting_states: rewriting.num_states(),
+        rewriting_trimmed_states: trimmed_productive,
+        is_empty,
+    };
+
+    MaximalRewriting {
+        query_dfa,
+        a_prime,
+        automaton: rewriting,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use automata::{dfa_subset_of_nfa, nfa_equivalent};
+    use regexlang::parse;
+
+    /// The running example of the paper (Example 2.2 / Figure 1).
+    fn figure1_problem() -> RewriteProblem {
+        RewriteProblem::parse("a·(b·a+c)*", [("e1", "a"), ("e2", "a·c*·b"), ("e3", "c")]).unwrap()
+    }
+
+    #[test]
+    fn figure1_maximal_rewriting_is_e2star_e1_e3star() {
+        let rewriting = compute_maximal_rewriting(&figure1_problem());
+        assert!(!rewriting.is_empty());
+        // Language check: the rewriting over Σ_E equals e2*·e1·e3*.
+        let expected = thompson(
+            &parse("e2*·e1·e3*").unwrap(),
+            rewriting.automaton.alphabet(),
+        )
+        .unwrap();
+        assert!(
+            nfa_equivalent(&Nfa::from_dfa(&rewriting.automaton), &expected).holds(),
+            "rewriting language is {}",
+            rewriting.regex()
+        );
+        // Membership spot checks.
+        assert!(rewriting.accepts(&["e1"]));
+        assert!(rewriting.accepts(&["e2", "e2", "e1", "e3"]));
+        assert!(!rewriting.accepts(&["e3"]));
+        assert!(!rewriting.accepts(&["e1", "e2"]));
+        assert!(!rewriting.accepts(&[]));
+        assert_eq!(rewriting.shortest_word(), Some(vec!["e1".to_string()]));
+    }
+
+    #[test]
+    fn example21_sigma_e_maximal_uses_the_star() {
+        // Example 2.1: E0 = a*, E = {a*}.  Both e and e* are Σ-maximal but
+        // only e* is Σ_E-maximal; the construction must return e*.
+        let problem = RewriteProblem::parse("a*", [("e", "a*")]).unwrap();
+        let rewriting = compute_maximal_rewriting(&problem);
+        assert!(rewriting.accepts(&[]));
+        assert!(rewriting.accepts(&["e"]));
+        assert!(rewriting.accepts(&["e", "e", "e"]));
+        let expected = thompson(&parse("e*").unwrap(), rewriting.automaton.alphabet()).unwrap();
+        assert!(nfa_equivalent(&Nfa::from_dfa(&rewriting.automaton), &expected).holds());
+    }
+
+    #[test]
+    fn dropping_a_view_loses_exactness_but_stays_sound() {
+        // Example 2.3: without view c, the maximal rewriting is e2*·e1.
+        let problem =
+            RewriteProblem::parse("a·(b·a+c)*", [("e1", "a"), ("e2", "a·c*·b")]).unwrap();
+        let rewriting = compute_maximal_rewriting(&problem);
+        let expected = thompson(&parse("e2*·e1").unwrap(), rewriting.automaton.alphabet()).unwrap();
+        assert!(
+            nfa_equivalent(&Nfa::from_dfa(&rewriting.automaton), &expected).holds(),
+            "rewriting is {}",
+            rewriting.regex()
+        );
+    }
+
+    #[test]
+    fn rewriting_expansion_is_contained_in_query() {
+        // Soundness (Definition 2.1): exp_Σ(L(R)) ⊆ L(E0) on several
+        // problems, including ones with no useful views.
+        let problems = vec![
+            figure1_problem(),
+            RewriteProblem::parse("a·(b+c)", [("q1", "a"), ("q2", "b")]).unwrap(),
+            RewriteProblem::parse("(a·b)*", [("v", "a·b·a·b")]).unwrap(),
+            RewriteProblem::parse("a·b", [("v", "c")]).unwrap(),
+        ];
+        for problem in problems {
+            let rewriting = compute_maximal_rewriting(&problem);
+            let expansion = crate::expansion::expand_dfa(&rewriting.automaton, &problem.views);
+            let query_dfa = determinize(
+                &thompson(&problem.query, problem.views.sigma()).unwrap(),
+            );
+            // exp(L(R)) ⊆ L(E0)  ⟺  L(expansion) ⊆ L(query)
+            assert!(
+                dfa_subset_of_nfa(&determinize(&expansion), &Nfa::from_dfa(&query_dfa)).holds(),
+                "unsound rewriting {} for query {}",
+                rewriting.regex(),
+                problem.query
+            );
+        }
+    }
+
+    #[test]
+    fn useless_views_give_empty_rewriting() {
+        let problem = RewriteProblem::parse("a·b", [("v", "c")]).unwrap();
+        let rewriting = compute_maximal_rewriting(&problem);
+        assert!(rewriting.is_empty());
+        assert_eq!(rewriting.regex(), Regex::Empty);
+        assert_eq!(rewriting.shortest_word(), None);
+    }
+
+    #[test]
+    fn identity_views_reproduce_the_query() {
+        // With one view per base symbol the rewriting is the query itself,
+        // spelled with view symbols.
+        let problem =
+            RewriteProblem::parse("a·(b·a+c)*", [("va", "a"), ("vb", "b"), ("vc", "c")]).unwrap();
+        let rewriting = compute_maximal_rewriting(&problem);
+        let expected = thompson(
+            &parse("va·(vb·va+vc)*").unwrap(),
+            rewriting.automaton.alphabet(),
+        )
+        .unwrap();
+        assert!(nfa_equivalent(&Nfa::from_dfa(&rewriting.automaton), &expected).holds());
+    }
+
+    #[test]
+    fn all_option_combinations_agree_on_the_language() {
+        let problem = figure1_problem();
+        let reference = compute_maximal_rewriting(&problem);
+        for minimize_query_dfa in [false, true] {
+            for use_glushkov in [false, true] {
+                for per_pair_reachability in [false, true] {
+                    let options = RewriterOptions {
+                        minimize_query_dfa,
+                        use_glushkov,
+                        per_pair_reachability,
+                    };
+                    let other = compute_maximal_rewriting_with(&problem, &options);
+                    assert!(
+                        nfa_equivalent(
+                            &Nfa::from_dfa(&reference.automaton),
+                            &Nfa::from_dfa(&other.automaton)
+                        )
+                        .holds(),
+                        "options {options:?} changed the rewriting language"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stats_are_plausible() {
+        let rewriting = compute_maximal_rewriting(&figure1_problem());
+        let stats = &rewriting.stats;
+        assert!(stats.query_nfa_states >= 2);
+        assert!(stats.query_dfa_states >= 2);
+        assert_eq!(stats.a_prime_states, stats.query_dfa_states);
+        assert!(stats.a_prime_transitions > 0);
+        assert!(stats.rewriting_states >= stats.rewriting_trimmed_states);
+        assert!(!stats.is_empty);
+    }
+
+    #[test]
+    fn problem_construction_rejects_bad_queries() {
+        let views = ViewSet::parse(
+            automata::Alphabet::from_chars(['a']).unwrap(),
+            [("e", "a")],
+        )
+        .unwrap();
+        let err = RewriteProblem::new(parse("a·z").unwrap(), views).unwrap_err();
+        assert!(matches!(err, RewriteError::UnknownBaseSymbol(ref s) if s == "z"));
+    }
+}

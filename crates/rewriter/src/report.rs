@@ -1,0 +1,98 @@
+//! Machine-readable summaries of a full rewriting run.
+//!
+//! The experiment harness (`crates/bench`) records, for every instance it
+//! runs, the sizes of all intermediate automata, the rewriting expression and
+//! whether it is exact; EXPERIMENTS.md is regenerated from these reports.
+
+use serde::Serialize;
+
+use crate::exact::{check_exactness, ExactnessReport};
+use crate::maximal::{compute_maximal_rewriting_with, RewriteProblem, RewriteStats, RewriterOptions};
+
+/// A self-contained description of one rewriting run.
+#[derive(Debug, Clone, Serialize)]
+pub struct RewriteReport {
+    /// The query `E0` in concrete syntax.
+    pub query: String,
+    /// The views as `symbol := definition` strings.
+    pub views: Vec<String>,
+    /// The Σ_E-maximal rewriting as a (simplified) expression over the view
+    /// symbols; `"∅"` when empty.
+    pub rewriting: String,
+    /// Whether the maximal rewriting is empty.
+    pub empty: bool,
+    /// Whether the maximal rewriting is exact (Corollary 2.1: this is also
+    /// "does an exact rewriting exist?").
+    pub exact: bool,
+    /// A Σ-word of `L(E0)` missed by the rewriting, when not exact.
+    pub counterexample: Option<Vec<String>>,
+    /// Size statistics of the construction.
+    pub stats: RewriteStats,
+    /// Size of the expansion automaton used by the exactness check.
+    pub expansion_states: usize,
+}
+
+/// Runs the full pipeline (maximal rewriting + exactness check) and returns a
+/// serializable report.
+pub fn run_and_report(problem: &RewriteProblem) -> RewriteReport {
+    run_and_report_with(problem, &RewriterOptions::default())
+}
+
+/// Like [`run_and_report`] but with explicit construction options.
+pub fn run_and_report_with(problem: &RewriteProblem, options: &RewriterOptions) -> RewriteReport {
+    let rewriting = compute_maximal_rewriting_with(problem, options);
+    let exactness: ExactnessReport = check_exactness(&rewriting, &problem.views);
+    RewriteReport {
+        query: problem.query.to_string(),
+        views: problem
+            .views
+            .views()
+            .map(|v| format!("{} := {}", v.symbol, v.definition))
+            .collect(),
+        rewriting: rewriting.regex().to_string(),
+        empty: rewriting.is_empty(),
+        exact: exactness.exact,
+        counterexample: exactness.counterexample.clone(),
+        stats: rewriting.stats.clone(),
+        expansion_states: exactness.expansion_states,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_for_figure1() {
+        let problem =
+            RewriteProblem::parse("a·(b·a+c)*", [("e1", "a"), ("e2", "a·c*·b"), ("e3", "c")])
+                .unwrap();
+        let report = run_and_report(&problem);
+        assert_eq!(report.query, "a·(b·a+c)*");
+        assert_eq!(report.views.len(), 3);
+        assert!(report.exact);
+        assert!(!report.empty);
+        assert!(report.counterexample.is_none());
+        // The rewriting must use only view symbols.
+        for sym in regexlang::parse(&report.rewriting).unwrap().symbols() {
+            assert!(["e1", "e2", "e3"].contains(&sym.as_str()), "{sym}");
+        }
+    }
+
+    #[test]
+    fn report_serializes_to_json() {
+        let problem = RewriteProblem::parse("a·(b+c)", [("q1", "a"), ("q2", "b")]).unwrap();
+        let report = run_and_report(&problem);
+        let json = serde_json::to_string(&report).unwrap();
+        assert!(json.contains("\"exact\":false"));
+        assert!(json.contains("\"query\":\"a·(b+c)\""));
+    }
+
+    #[test]
+    fn empty_rewriting_reports_empty_symbol() {
+        let problem = RewriteProblem::parse("a", [("v", "b")]).unwrap();
+        let report = run_and_report(&problem);
+        assert!(report.empty);
+        assert_eq!(report.rewriting, "∅");
+    }
+}

@@ -1,0 +1,85 @@
+//! The lower-bound machinery of §3.2, run on feasible instances.
+//!
+//! Theorem 3.3 reduces bounded tiling to nonemptiness of the maximal
+//! rewriting; Theorem 3.4 exhibits poly-size instances whose shortest
+//! rewriting is astronomically long.  This example runs the reduction on
+//! width-2 instances, validates it at the word level against the brute-force
+//! tiling solver, and prints the doubly exponential yardstick the paper's
+//! counter construction forces.
+//!
+//! (Materializing the *full* rewriting automaton of these instances is
+//! exactly what the lower bound says is expensive; the ignored tests of the
+//! `tiling` crate do it for the smallest instance if you have the patience.)
+//!
+//! Run with: `cargo run --release --example lower_bounds`
+
+use tiling::{
+    counter_word, counter_word_length, exponential_family, solve, EncodedTiling, TileSystem,
+};
+
+fn main() {
+    println!("== Theorem 3.3: tiling ⇔ tiling word in the rewriting (n = 1, rows of width 2) ==\n");
+    for (name, system) in [
+        ("solvable chain", TileSystem::solvable_chain()),
+        ("striped", TileSystem::striped()),
+        ("unsolvable", TileSystem::unsolvable()),
+    ] {
+        let witness = solve(&system, 2, 6);
+        let encoded = EncodedTiling::encode(&system, 1);
+        println!("tile system `{name}`:");
+        println!(
+            "  reduction output size (|E0| + |E|)  : {}",
+            encoded.instance_size()
+        );
+        println!("  tiling of a 2×k region exists       : {}", witness.is_some());
+        match &witness {
+            Some(tiling) => {
+                let word: Vec<String> = tiling.iter().flatten().cloned().collect();
+                let refs: Vec<&str> = word.iter().map(String::as_str).collect();
+                let accepted = encoded.word_in_rewriting(&refs);
+                println!("  solver witness word                 : {}", word.join("·"));
+                println!("  witness accepted by the rewriting   : {accepted}");
+                for (i, row) in tiling.iter().enumerate().rev() {
+                    println!("     row {i}: {}", row.join(" "));
+                }
+                assert!(accepted, "Theorem 3.3: valid tilings are rewriting words");
+            }
+            None => {
+                // Every width-2 candidate word must be rejected.
+                let tiles: Vec<&str> = system.tiles.iter().map(String::as_str).collect();
+                let any_accepted = tiles
+                    .iter()
+                    .any(|&a| tiles.iter().any(|&b| encoded.word_in_rewriting(&[a, b])));
+                println!("  some 2-tile word in the rewriting   : {any_accepted}");
+                assert!(!any_accepted, "Theorem 3.3: no tiling ⇒ no tiling word");
+            }
+        }
+        println!();
+    }
+
+    println!("== Theorem 3.4: tiny inputs, enormous rewritings ==\n");
+    println!("first exponential level (validated at the word level):");
+    for n in 1..=3usize {
+        let enc = exponential_family(n);
+        let width = enc.row_width();
+        let mut word: Vec<&str> = vec!["s"];
+        word.extend(std::iter::repeat("m").take(width - 2));
+        word.push("f");
+        let accepted = enc.word_in_rewriting(&word);
+        println!(
+            "  n = {n}: instance size {:>5}, the unique tiling word has length 2^{n} = {width} (accepted: {accepted})",
+            enc.instance_size()
+        );
+    }
+
+    println!("\nthe full counter construction's yardstick |w_C| = 2^n · 2^(2^n):");
+    for n in 1..=4u32 {
+        println!("  n = {n}: {} blocks", counter_word_length(n));
+    }
+    let wc = counter_word(4);
+    println!(
+        "\nfor a 4-bit counter the evolution word has {} blocks; its first configuration reads {:?}",
+        wc.len(),
+        wc.iter().take(4).map(|b| b.symbol()).collect::<Vec<_>>()
+    );
+}

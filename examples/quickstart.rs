@@ -1,0 +1,58 @@
+//! Quickstart: rewrite a regular expression in terms of views.
+//!
+//! This reproduces the paper's running example (Example 2.2 / Figure 1):
+//! the query `a·(b·a+c)*` is rewritten in terms of the views
+//! `e1 := a`, `e2 := a·c*·b`, `e3 := c`, giving the exact rewriting
+//! `e2*·e1·e3*`.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use rewriter::{rewrite, RewriteProblem};
+
+fn main() {
+    // 1. State the problem: a query E0 and named views over the same
+    //    alphabet, all in the paper's concrete syntax.
+    let problem = RewriteProblem::parse(
+        "a·(b·a+c)*",
+        [("e1", "a"), ("e2", "a·c*·b"), ("e3", "c")],
+    )
+    .expect("well-formed problem");
+
+    println!("query E0 : {}", problem.query);
+    println!("views E  : {}", problem.views.render());
+
+    // 2. Compute the Σ_E-maximal rewriting and check whether it is exact.
+    let (rewriting, exactness) = rewrite(&problem);
+
+    println!("\nmaximal rewriting R : {}", rewriting.regex());
+    println!("rewriting automaton : {} states", rewriting.automaton.num_states());
+    println!("exact               : {}", exactness.exact);
+
+    // 3. The rewriting is a language over the view symbols; ask it questions.
+    println!("\nmembership checks over the view alphabet:");
+    for word in [vec!["e1"], vec!["e2", "e1", "e3"], vec!["e3", "e1"], vec![]] {
+        println!("  {:?} -> {}", word, rewriting.accepts(&word));
+    }
+
+    // 4. Every word of the rewriting expands to words of the original query:
+    //    here is the shortest member and its expansion.
+    if let Some(word) = rewriting.shortest_word() {
+        let refs: Vec<&str> = word.iter().map(String::as_str).collect();
+        let expansion = problem
+            .views
+            .expand_regex(&regexlang::parse(&refs.join("·")).unwrap());
+        println!("\nshortest rewriting word : {}", refs.join("·"));
+        println!("its expansion over Σ    : {expansion}");
+    }
+
+    // 5. Drop the view `c` and the best rewriting is no longer exact
+    //    (Example 2.3): the exactness report provides a counterexample word
+    //    of L(E0) that the views can no longer produce.
+    let smaller = RewriteProblem::parse("a·(b·a+c)*", [("e1", "a"), ("e2", "a·c*·b")])
+        .expect("well-formed problem");
+    let (rewriting, exactness) = rewrite(&smaller);
+    println!("\nwithout the view c:");
+    println!("  maximal rewriting : {}", rewriting.regex());
+    println!("  exact             : {}", exactness.exact);
+    println!("  missed query word : {:?}", exactness.counterexample);
+}

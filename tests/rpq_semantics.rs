@@ -1,0 +1,153 @@
+//! Integration tests for the regular-path-query layer (Section 4 /
+//! experiment E9): the semantic definition of a rewriting — soundness on
+//! *every* database, completeness exactly for exact rewritings — checked on
+//! generated graphs.
+
+use automata::Alphabet;
+use graphdb::{layered_graph, random_graph, travel_graph, tree_graph, GraphDb, RandomGraphConfig};
+use rpq::{answer_rpq, compare_on_database, rewrite_rpq, RpqRewriteProblem};
+
+fn figure1_problem() -> RpqRewriteProblem {
+    RpqRewriteProblem::parse_labels(
+        "a·(b·a+c)*",
+        [("e1", "a"), ("e2", "a·c*·b"), ("e3", "c")],
+    )
+    .unwrap()
+}
+
+fn abc() -> Alphabet {
+    Alphabet::from_chars(['a', 'b', 'c']).unwrap()
+}
+
+#[test]
+fn exact_rewritings_are_complete_on_many_graph_shapes() {
+    let problem = figure1_problem();
+    let rewriting = rewrite_rpq(&problem).unwrap();
+    assert!(rewriting.is_exact());
+    let mut databases: Vec<GraphDb> = Vec::new();
+    for seed in 0..6 {
+        databases.push(random_graph(
+            &abc(),
+            &RandomGraphConfig {
+                num_nodes: 30,
+                num_edges: 100,
+            },
+            seed,
+        ));
+        databases.push(tree_graph(&abc(), 40, seed));
+        databases.push(layered_graph(&abc(), 4, 6, 2, seed));
+    }
+    for (i, db) in databases.iter().enumerate() {
+        let cmp = compare_on_database(db, &problem, &rewriting);
+        assert!(cmp.sound, "unsound on database {i}");
+        assert!(cmp.complete, "incomplete on database {i} despite exactness");
+    }
+}
+
+#[test]
+fn non_exact_rewritings_are_sound_everywhere_and_incomplete_somewhere() {
+    let problem =
+        RpqRewriteProblem::parse_labels("a·(b+c)", [("q1", "a"), ("q2", "b")]).unwrap();
+    let rewriting = rewrite_rpq(&problem).unwrap();
+    assert!(!rewriting.is_exact());
+    let mut incomplete_somewhere = false;
+    for seed in 0..10 {
+        let db = random_graph(
+            &abc(),
+            &RandomGraphConfig {
+                num_nodes: 20,
+                num_edges: 70,
+            },
+            seed,
+        );
+        let cmp = compare_on_database(&db, &problem, &rewriting);
+        assert!(cmp.sound, "unsound on seed {seed}");
+        if !cmp.complete {
+            incomplete_somewhere = true;
+        }
+    }
+    assert!(
+        incomplete_somewhere,
+        "a non-exact rewriting should miss answers on some random database"
+    );
+}
+
+#[test]
+fn view_based_answers_equal_direct_answers_on_the_travel_graph() {
+    let db = travel_graph(10);
+    let problem = RpqRewriteProblem::parse_labels(
+        "(rome+jerusalem)·flight*·restaurant",
+        [
+            ("v_landmark", "rome+jerusalem"),
+            ("v_hop", "flight"),
+            ("v_eat", "restaurant"),
+        ],
+    )
+    .unwrap();
+    let rewriting = rewrite_rpq(&problem).unwrap();
+    assert!(rewriting.is_exact());
+    let direct = answer_rpq(&db, &problem.query, &problem.theory);
+    let via_views = rpq::answer_rewriting_over_views(&db, &problem, &rewriting);
+    assert_eq!(direct, via_views);
+    assert!(!direct.is_empty());
+}
+
+#[test]
+fn empty_rewritings_answer_nothing_but_stay_sound() {
+    let problem = RpqRewriteProblem::parse_labels("a·b", [("v", "c")]).unwrap();
+    let rewriting = rewrite_rpq(&problem).unwrap();
+    assert!(rewriting.is_empty());
+    for seed in 0..4 {
+        let db = random_graph(
+            &abc(),
+            &RandomGraphConfig {
+                num_nodes: 15,
+                num_edges: 60,
+            },
+            seed,
+        );
+        let cmp = compare_on_database(&db, &problem, &rewriting);
+        assert!(cmp.sound);
+        assert_eq!(cmp.via_views_size, 0);
+    }
+}
+
+#[test]
+fn theory_aware_rewriting_answers_through_predicate_views() {
+    // The §4.2 example: T ⊨ A → B, query over B, view over A.  On a graph
+    // the view-based answer returns exactly the A-labeled edges, a sound
+    // subset of the B answer.
+    let domain = Alphabet::from_names(["a1", "a2", "b_extra"]).unwrap();
+    let theory = graphdb::Theory::new(
+        domain.clone(),
+        [
+            ("A".to_string(), vec!["a1".to_string(), "a2".to_string()]),
+            (
+                "B".to_string(),
+                vec!["a1".to_string(), "a2".to_string(), "b_extra".to_string()],
+            ),
+        ],
+    );
+    let query = rpq::Rpq::new(
+        regexlang::parse("B").unwrap(),
+        [("B".to_string(), graphdb::Formula::pred("B"))],
+    )
+    .unwrap();
+    let view = rpq::Rpq::new(
+        regexlang::parse("A").unwrap(),
+        [("A".to_string(), graphdb::Formula::pred("A"))],
+    )
+    .unwrap();
+    let problem =
+        RpqRewriteProblem::new(query, [("vA".to_string(), view)], theory).unwrap();
+    let rewriting = rewrite_rpq(&problem).unwrap();
+
+    let mut db = GraphDb::new(domain);
+    db.add_edge_named("x", "a1", "y");
+    db.add_edge_named("y", "b_extra", "z");
+    let direct = answer_rpq(&db, &problem.query, &problem.theory);
+    let via_views = rpq::answer_rewriting_over_views(&db, &problem, &rewriting);
+    assert_eq!(direct.len(), 2);
+    assert_eq!(via_views.len(), 1);
+    assert!(via_views.is_subset(&direct));
+}
