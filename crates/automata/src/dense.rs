@@ -1,0 +1,653 @@
+//! Dense, cache-friendly automaton representations.
+//!
+//! The tree-based [`Nfa`]/[`Dfa`] types are convenient to *build* — rational
+//! operations, view expansions and DOT export all mutate per-state
+//! `BTreeMap`s — but every hot loop of the rewriting pipeline (subset
+//! construction, word-reachability sweeps, product containment, RPQ
+//! evaluation) only ever *reads* a frozen automaton.  This module provides
+//! frozen, flat read-side representations:
+//!
+//! * [`DenseNfa`] — CSR-style transition tables (`Vec<u32>` successor arrays
+//!   with a per-`(state, symbol)` offset index) in which every successor list
+//!   is already **ε-closed**: the closure of each state is computed once at
+//!   construction time and folded into the lists, so traversals never touch
+//!   ε-edges again.  Per-state ε-closures remain available via
+//!   [`DenseNfa::closure`].
+//! * [`DenseDfa`] — a flat `state × symbol` next-state table with a sentinel
+//!   for missing transitions.
+//! * [`BitSet`] — `u64`-word bitsets used for state sets, frontiers, and
+//!   visited maps throughout the dense algorithms.
+//!
+//! Conversion is one-way and cheap (`DenseNfa::from_nfa`,
+//! `DenseDfa::from_dfa`, also exposed as `From` impls); the tree types stay
+//! the public construction API, and [`crate::determinize`],
+//! [`crate::product::word_reachability_relation`],
+//! [`crate::equivalence::dfa_subset_of_nfa`] and `graphdb`'s RPQ evaluator
+//! all run on the dense core internally.
+
+use std::collections::{HashMap, VecDeque};
+use std::hash::{BuildHasherDefault, Hasher};
+
+use crate::alphabet::{Alphabet, Symbol};
+use crate::dfa::Dfa;
+use crate::nfa::Nfa;
+
+/// A fast, non-cryptographic hasher (the rustc/FxHash multiply-xor scheme).
+///
+/// The subset-interning maps of the dense algorithms hash millions of short
+/// `u32` slices; SipHash's per-write overhead dominates there, while Fx
+/// hashing is a rotate-xor-multiply per word.
+#[derive(Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(Self::SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // The hot keys are `[u32]` slices, which std's `hash_slice`
+        // specialization delivers here as one contiguous byte slice — chunk
+        // it into u64 words so hashing really is per-word, not per-byte.
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            self.add(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+}
+
+/// A `HashMap` using [`FxHasher`], for the hot interning maps.
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// The visited map of a product sweep: each distinct ε-closed configuration
+/// (sorted member list, allocated once and shared via `Rc`) maps to its own
+/// canonical `Rc` plus the bitset of automaton states it has been visited
+/// with.  The value-side `Rc` lets [`intern_visit`] hand the canonical key
+/// back from a single hash lookup.
+pub type ConfigVisitMap = FxHashMap<std::rc::Rc<[u32]>, (std::rc::Rc<[u32]>, BitSet)>;
+
+/// Marks `(state, config)` as visited, returning the canonical shared
+/// configuration when the pair is new (`None` when it was already visited).
+///
+/// `num_states` sizes the bitset for fresh configurations.  This is the
+/// common inner step of the product sweeps in
+/// [`crate::product::word_reachability_relation`] and
+/// [`crate::equivalence::dfa_subset_of_nfa`].
+pub fn intern_visit(
+    seen: &mut ConfigVisitMap,
+    config: &[u32],
+    state: u32,
+    num_states: usize,
+) -> Option<std::rc::Rc<[u32]>> {
+    match seen.get_mut(config) {
+        Some((canonical, visited)) => visited.insert(state).then(|| canonical.clone()),
+        None => {
+            let canonical: std::rc::Rc<[u32]> = config.into();
+            let mut visited = BitSet::new(num_states);
+            visited.insert(state);
+            seen.insert(canonical.clone(), (canonical.clone(), visited));
+            Some(canonical)
+        }
+    }
+}
+
+/// Seeds a [`ConfigVisitMap`] with a start pair (used once per sweep).
+pub fn intern_visit_start(
+    seen: &mut ConfigVisitMap,
+    config: &std::rc::Rc<[u32]>,
+    state: u32,
+    num_states: usize,
+) {
+    let mut visited = BitSet::new(num_states);
+    visited.insert(state);
+    seen.insert(config.clone(), (config.clone(), visited));
+}
+
+/// Sentinel for "no transition" in [`DenseDfa`] tables.
+pub const DEAD: u32 = u32::MAX;
+
+/// A fixed-capacity set of small integers backed by `u64` words.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitSet {
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    /// Creates an empty set with capacity for values `0..capacity`.
+    pub fn new(capacity: usize) -> Self {
+        BitSet {
+            words: vec![0; capacity.div_ceil(64)],
+        }
+    }
+
+    /// Number of `u64` words backing the set.
+    pub fn num_words(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Inserts `value`, returning `true` if it was absent.
+    #[inline]
+    pub fn insert(&mut self, value: u32) -> bool {
+        let (word, bit) = (value as usize / 64, value as usize % 64);
+        let mask = 1u64 << bit;
+        let was_absent = self.words[word] & mask == 0;
+        self.words[word] |= mask;
+        was_absent
+    }
+
+    /// Removes `value`.
+    #[inline]
+    pub fn remove(&mut self, value: u32) {
+        let (word, bit) = (value as usize / 64, value as usize % 64);
+        self.words[word] &= !(1u64 << bit);
+    }
+
+    /// Whether `value` is present.
+    #[inline]
+    pub fn contains(&self, value: u32) -> bool {
+        let (word, bit) = (value as usize / 64, value as usize % 64);
+        self.words[word] & (1u64 << bit) != 0
+    }
+
+    /// Removes every element.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Whether no element is present.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Whether the intersection with `other` is nonempty.
+    pub fn intersects(&self, other: &BitSet) -> bool {
+        self.words
+            .iter()
+            .zip(&other.words)
+            .any(|(&a, &b)| a & b != 0)
+    }
+
+    /// Moves the elements into `out` in ascending order, leaving the set
+    /// empty.  One pass over the backing words — no sorting, no per-element
+    /// removal — which is what makes bitset-accumulated configurations cheap
+    /// to extract in the subset-construction inner loop.
+    pub fn drain_sorted_into(&mut self, out: &mut Vec<u32>) {
+        for (i, word) in self.words.iter_mut().enumerate() {
+            let mut w = *word;
+            while w != 0 {
+                let bit = w.trailing_zeros();
+                out.push(i as u32 * 64 + bit);
+                w &= w - 1;
+            }
+            *word = 0;
+        }
+    }
+
+    /// Iterates over the elements in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.words.iter().enumerate().flat_map(|(i, &word)| {
+            let mut w = word;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    return None;
+                }
+                let bit = w.trailing_zeros();
+                w &= w - 1;
+                Some(i as u32 * 64 + bit)
+            })
+        })
+    }
+}
+
+/// A frozen NFA with CSR transition tables and precomputed ε-closures.
+///
+/// Successor lists are ε-closed and sorted, so a single lookup per
+/// `(state, symbol)` pair replaces the step-then-closure dance of the tree
+/// representation.  ε-transitions are gone after construction.
+#[derive(Debug, Clone)]
+pub struct DenseNfa {
+    alphabet: Alphabet,
+    num_states: usize,
+    num_symbols: usize,
+    /// `closed_offsets[s * num_symbols + a] .. [s * num_symbols + a + 1]`
+    /// bounds the slice of `closed_targets` holding the sorted ε-closed
+    /// successors of `s` under symbol `a`.
+    closed_offsets: Vec<u32>,
+    closed_targets: Vec<u32>,
+    /// `closure_offsets[s] .. [s + 1]` bounds the slice of `closure_targets`
+    /// holding the sorted ε-closure of `{s}` (always contains `s`).
+    closure_offsets: Vec<u32>,
+    closure_targets: Vec<u32>,
+    /// Sorted ε-closure of the initial states.
+    start: Vec<u32>,
+    finals: BitSet,
+}
+
+impl DenseNfa {
+    /// Freezes a tree NFA into the dense representation.
+    pub fn from_nfa(nfa: &Nfa) -> Self {
+        let n = nfa.num_states();
+        let k = nfa.alphabet().len();
+
+        // 1. ε-closure of each singleton, by BFS over ε-edges; the visited
+        // bitset drains directly into the CSR array in sorted order.
+        let mut closure_offsets = Vec::with_capacity(n + 1);
+        let mut closure_targets = Vec::new();
+        let mut seen = BitSet::new(n);
+        let mut queue = VecDeque::new();
+        closure_offsets.push(0u32);
+        for s in 0..n {
+            queue.clear();
+            seen.insert(s as u32);
+            queue.push_back(s);
+            while let Some(cur) = queue.pop_front() {
+                for t in nfa.epsilon_successors(cur) {
+                    if seen.insert(t as u32) {
+                        queue.push_back(t);
+                    }
+                }
+            }
+            seen.drain_sorted_into(&mut closure_targets);
+            closure_offsets.push(closure_targets.len() as u32);
+        }
+        let closure_of = |s: u32| {
+            let lo = closure_offsets[s as usize] as usize;
+            let hi = closure_offsets[s as usize + 1] as usize;
+            &closure_targets[lo..hi]
+        };
+
+        // 2. ε-closed successor lists per (state, symbol), in CSR layout.
+        let mut closed_offsets = Vec::with_capacity(n * k + 1);
+        let mut closed_targets = Vec::new();
+        closed_offsets.push(0u32);
+        for s in 0..n {
+            for a in 0..k {
+                for t in nfa.successors(s, Symbol(a as u32)) {
+                    for &c in closure_of(t as u32) {
+                        seen.insert(c);
+                    }
+                }
+                seen.drain_sorted_into(&mut closed_targets);
+                closed_offsets.push(closed_targets.len() as u32);
+            }
+        }
+
+        // 3. Closed start configuration and finals.
+        let mut start = Vec::new();
+        for &s in nfa.initial_states() {
+            for &c in closure_of(s as u32) {
+                seen.insert(c);
+            }
+        }
+        seen.drain_sorted_into(&mut start);
+
+        let mut finals = BitSet::new(n);
+        for &f in nfa.final_states() {
+            finals.insert(f as u32);
+        }
+
+        DenseNfa {
+            alphabet: nfa.alphabet().clone(),
+            num_states: n,
+            num_symbols: k,
+            closed_offsets,
+            closed_targets,
+            closure_offsets,
+            closure_targets,
+            start,
+            finals,
+        }
+    }
+
+    /// The alphabet of the automaton.
+    pub fn alphabet(&self) -> &Alphabet {
+        &self.alphabet
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.num_states
+    }
+
+    /// Number of symbols of the alphabet.
+    pub fn num_symbols(&self) -> usize {
+        self.num_symbols
+    }
+
+    /// The ε-closed initial configuration, sorted.
+    pub fn start(&self) -> &[u32] {
+        &self.start
+    }
+
+    /// The final-state bitset.
+    pub fn finals(&self) -> &BitSet {
+        &self.finals
+    }
+
+    /// Whether `state` is final.
+    #[inline]
+    pub fn is_final(&self, state: u32) -> bool {
+        self.finals.contains(state)
+    }
+
+    /// The sorted ε-closed successors of `state` under symbol index `sym`.
+    #[inline]
+    pub fn closed_successors(&self, state: u32, sym: usize) -> &[u32] {
+        debug_assert!(
+            sym < self.num_symbols,
+            "symbol index {sym} out of range for alphabet of {} symbols",
+            self.num_symbols
+        );
+        let idx = state as usize * self.num_symbols + sym;
+        let lo = self.closed_offsets[idx] as usize;
+        let hi = self.closed_offsets[idx + 1] as usize;
+        &self.closed_targets[lo..hi]
+    }
+
+    /// The sorted ε-closure of `{state}` (always contains `state`).
+    #[inline]
+    pub fn closure(&self, state: u32) -> &[u32] {
+        let lo = self.closure_offsets[state as usize] as usize;
+        let hi = self.closure_offsets[state as usize + 1] as usize;
+        &self.closure_targets[lo..hi]
+    }
+
+    /// Steps an ε-closed configuration by one symbol, producing the sorted
+    /// ε-closed successor configuration in `out`.  `scratch` must have
+    /// capacity for this automaton's states and be empty; it is left empty.
+    pub fn step_closed(&self, config: &[u32], sym: usize, scratch: &mut BitSet, out: &mut Vec<u32>) {
+        out.clear();
+        for &s in config {
+            for &t in self.closed_successors(s, sym) {
+                scratch.insert(t);
+            }
+        }
+        scratch.drain_sorted_into(out);
+    }
+
+    /// Whether any state of `config` is final.
+    pub fn any_final(&self, config: &[u32]) -> bool {
+        config.iter().any(|&s| self.finals.contains(s))
+    }
+
+    /// Whether the automaton accepts `word` (bitset-frontier evaluation).
+    pub fn accepts(&self, word: &[Symbol]) -> bool {
+        let mut scratch = BitSet::new(self.num_states);
+        let mut current = self.start.to_vec();
+        let mut next = Vec::new();
+        for &sym in word {
+            if current.is_empty() {
+                return false;
+            }
+            self.step_closed(&current, sym.index(), &mut scratch, &mut next);
+            std::mem::swap(&mut current, &mut next);
+        }
+        self.any_final(&current)
+    }
+}
+
+impl From<&Nfa> for DenseNfa {
+    fn from(nfa: &Nfa) -> Self {
+        DenseNfa::from_nfa(nfa)
+    }
+}
+
+/// A frozen DFA as a flat `state × symbol` next-state table.
+#[derive(Debug, Clone)]
+pub struct DenseDfa {
+    alphabet: Alphabet,
+    num_states: usize,
+    num_symbols: usize,
+    /// `table[s * num_symbols + a]` is the successor, or [`DEAD`].
+    table: Vec<u32>,
+    initial: u32,
+    finals: BitSet,
+}
+
+impl DenseDfa {
+    /// Freezes a tree DFA into the dense representation.
+    pub fn from_dfa(dfa: &Dfa) -> Self {
+        let n = dfa.num_states();
+        let k = dfa.alphabet().len();
+        let mut table = vec![DEAD; n * k];
+        for (from, sym, to) in dfa.transitions() {
+            table[from * k + sym.index()] = to as u32;
+        }
+        let mut finals = BitSet::new(n);
+        for s in 0..n {
+            if dfa.is_final(s) {
+                finals.insert(s as u32);
+            }
+        }
+        DenseDfa {
+            alphabet: dfa.alphabet().clone(),
+            num_states: n,
+            num_symbols: k,
+            table,
+            initial: dfa.initial_state() as u32,
+            finals,
+        }
+    }
+
+    /// The alphabet of the automaton.
+    pub fn alphabet(&self) -> &Alphabet {
+        &self.alphabet
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.num_states
+    }
+
+    /// Number of symbols of the alphabet.
+    pub fn num_symbols(&self) -> usize {
+        self.num_symbols
+    }
+
+    /// The initial state.
+    pub fn initial(&self) -> u32 {
+        self.initial
+    }
+
+    /// The final-state bitset.
+    pub fn finals(&self) -> &BitSet {
+        &self.finals
+    }
+
+    /// Whether `state` is final.
+    #[inline]
+    pub fn is_final(&self, state: u32) -> bool {
+        self.finals.contains(state)
+    }
+
+    /// The successor of `state` under symbol index `sym`, or `None` when the
+    /// run dies.
+    #[inline]
+    pub fn next(&self, state: u32, sym: usize) -> Option<u32> {
+        let t = self.table[state as usize * self.num_symbols + sym];
+        (t != DEAD).then_some(t)
+    }
+
+    /// The raw next-state entry ([`DEAD`] when missing) — branch-free inner
+    /// loops can compare against [`DEAD`] themselves.
+    #[inline]
+    pub fn next_raw(&self, state: u32, sym: usize) -> u32 {
+        self.table[state as usize * self.num_symbols + sym]
+    }
+
+    /// The set of states from which a final state is reachable.
+    pub fn coreachable(&self) -> BitSet {
+        let mut rev: Vec<Vec<u32>> = vec![Vec::new(); self.num_states];
+        for s in 0..self.num_states {
+            for a in 0..self.num_symbols {
+                let t = self.table[s * self.num_symbols + a];
+                if t != DEAD {
+                    rev[t as usize].push(s as u32);
+                }
+            }
+        }
+        let mut seen = self.finals.clone();
+        let mut queue: VecDeque<u32> = self.finals.iter().collect();
+        while let Some(s) = queue.pop_front() {
+            for &p in &rev[s as usize] {
+                if seen.insert(p) {
+                    queue.push_back(p);
+                }
+            }
+        }
+        seen
+    }
+}
+
+impl From<&Dfa> for DenseDfa {
+    fn from(dfa: &Dfa) -> Self {
+        DenseDfa::from_dfa(dfa)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ab() -> Alphabet {
+        Alphabet::from_chars(['a', 'b']).unwrap()
+    }
+
+    fn w(alpha: &Alphabet, s: &str) -> Vec<Symbol> {
+        alpha.word_from_str(s).unwrap()
+    }
+
+    #[test]
+    fn bitset_insert_remove_iter() {
+        let mut set = BitSet::new(200);
+        assert!(set.insert(0));
+        assert!(set.insert(63));
+        assert!(set.insert(64));
+        assert!(set.insert(199));
+        assert!(!set.insert(63));
+        assert_eq!(set.iter().collect::<Vec<_>>(), vec![0, 63, 64, 199]);
+        set.remove(64);
+        assert!(!set.contains(64));
+        assert!(set.contains(199));
+        set.clear();
+        assert!(set.is_empty());
+    }
+
+    #[test]
+    fn bitset_intersects() {
+        let mut a = BitSet::new(100);
+        let mut b = BitSet::new(100);
+        a.insert(70);
+        b.insert(71);
+        assert!(!a.intersects(&b));
+        b.insert(70);
+        assert!(a.intersects(&b));
+    }
+
+    #[test]
+    fn dense_nfa_folds_epsilon_closures() {
+        let alpha = ab();
+        let a = alpha.symbol("a").unwrap();
+        let mut nfa = Nfa::new(alpha.clone());
+        let s0 = nfa.add_state();
+        let s1 = nfa.add_state();
+        let s2 = nfa.add_state();
+        let s3 = nfa.add_state();
+        nfa.set_initial(s0);
+        nfa.set_final(s3);
+        nfa.add_epsilon(s0, s1);
+        nfa.add_transition(s1, a, s2);
+        nfa.add_epsilon(s2, s3);
+        let dense = DenseNfa::from_nfa(&nfa);
+        // Start closure covers s0 and s1; stepping by `a` lands in {s2, s3}.
+        assert_eq!(dense.start(), &[0, 1]);
+        assert_eq!(dense.closed_successors(1, a.index()), &[2, 3]);
+        assert_eq!(dense.closure(0), &[0, 1]);
+        assert!(dense.accepts(&w(&alpha, "a")));
+        assert!(!dense.accepts(&w(&alpha, "aa")));
+        assert!(!dense.accepts(&[]));
+    }
+
+    #[test]
+    fn dense_nfa_accepts_agrees_with_tree_nfa() {
+        let alpha = ab();
+        let a = Nfa::symbol(alpha.clone(), alpha.symbol("a").unwrap());
+        let b = Nfa::symbol(alpha.clone(), alpha.symbol("b").unwrap());
+        let nfa = a.concat(&b).star().union(&b.plus());
+        let dense = DenseNfa::from_nfa(&nfa);
+        for word in ["", "ab", "abab", "b", "bbb", "a", "ba", "abb"] {
+            let word = w(&alpha, word);
+            assert_eq!(nfa.accepts(&word), dense.accepts(&word), "{word:?}");
+        }
+    }
+
+    #[test]
+    fn dense_dfa_matches_tree_dfa() {
+        let alpha = ab();
+        let a = alpha.symbol("a").unwrap();
+        let b = alpha.symbol("b").unwrap();
+        let dfa = Dfa::from_parts(alpha.clone(), 2, 0, [0], [(0, a, 1), (1, b, 0)]);
+        let dense = DenseDfa::from_dfa(&dfa);
+        assert_eq!(dense.initial(), 0);
+        assert_eq!(dense.next(0, a.index()), Some(1));
+        assert_eq!(dense.next(0, b.index()), None);
+        assert_eq!(dense.next_raw(0, b.index()), DEAD);
+        assert!(dense.is_final(0));
+        assert!(!dense.is_final(1));
+        // state 1 can reach final state 0 via b; both are coreachable.
+        let co = dense.coreachable();
+        assert!(co.contains(0) && co.contains(1));
+    }
+
+    #[test]
+    fn step_closed_leaves_scratch_empty() {
+        let alpha = ab();
+        let a = Nfa::symbol(alpha.clone(), alpha.symbol("a").unwrap());
+        let nfa = a.star();
+        let dense = DenseNfa::from_nfa(&nfa);
+        let mut scratch = BitSet::new(dense.num_states());
+        let mut out = Vec::new();
+        dense.step_closed(dense.start(), 0, &mut scratch, &mut out);
+        assert!(scratch.is_empty());
+        assert!(dense.any_final(&out));
+    }
+}

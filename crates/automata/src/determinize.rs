@@ -6,9 +6,21 @@
 //! 2EXPTIME upper bound and the blow-up measured in experiment E6 both hinge
 //! on this construction, so we expose the mapping from DFA states back to NFA
 //! state sets for inspection by benchmarks and tests.
+//!
+//! The construction runs on the dense core ([`crate::dense::DenseNfa`]):
+//! ε-closures are precomputed once per NFA state and folded into CSR
+//! successor lists, subsets are interned as sorted `Vec<u32>` keys in a
+//! `HashMap` (no per-iteration set cloning — scratch buffers are reused
+//! across states and symbols), and membership during subset union is tracked
+//! by a bitset.  The original tree-based construction is retained as
+//! [`determinize_with_subsets_baseline`] for the differential property tests
+//! and the `determinization` Criterion benchmark.
 
 use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::rc::Rc;
 
+use crate::alphabet::Symbol;
+use crate::dense::{BitSet, DenseNfa, FxHashMap};
 use crate::dfa::Dfa;
 use crate::nfa::{Nfa, StateId};
 
@@ -34,17 +46,100 @@ pub fn determinize(nfa: &Nfa) -> Dfa {
 
 /// Like [`determinize`] but also returns the subset each DFA state represents.
 pub fn determinize_with_subsets(nfa: &Nfa) -> Determinized {
+    let dense = DenseNfa::from_nfa(nfa);
+    determinize_dense(&dense)
+}
+
+/// Subset construction over an already-frozen [`DenseNfa`].
+///
+/// Exposed so pipelines that already hold a dense automaton (e.g. repeated
+/// determinizations in benchmarks) can skip the freezing step.
+pub fn determinize_dense(dense: &DenseNfa) -> Determinized {
+    let k = dense.num_symbols();
+
+    // Interned subsets: sorted state lists, looked up by slice (no cloning on
+    // the hit path — `Rc<[u32]>` borrows as `[u32]`), with each subset's
+    // member list allocated once and shared between the map and the vector.
+    let mut subsets: Vec<Rc<[u32]>> = Vec::new();
+    let mut accepting: Vec<bool> = Vec::new();
+    let mut index: FxHashMap<Rc<[u32]>, u32> = FxHashMap::default();
+    // Flat transition table: `transitions[s * k + a]` = successor id.  The
+    // construction is complete by design (the empty subset is interned as an
+    // ordinary sink state when reached).
+    let mut transitions: Vec<u32> = Vec::new();
+
+    let start: Rc<[u32]> = dense.start().into();
+    index.insert(start.clone(), 0);
+    accepting.push(dense.any_final(&start));
+    subsets.push(start);
+
+    // Scratch buffers reused across every state and symbol.
+    let mut scratch = BitSet::new(dense.num_states());
+    let mut cur_members: Vec<u32> = Vec::new();
+    let mut next_members: Vec<u32> = Vec::new();
+
+    let mut queue: VecDeque<u32> = VecDeque::from([0]);
+    while let Some(cur) = queue.pop_front() {
+        // One copy of the current subset per state (the subsets vector may
+        // reallocate while we intern successors), reused for all symbols.
+        cur_members.clear();
+        cur_members.extend_from_slice(&subsets[cur as usize]);
+        debug_assert_eq!(transitions.len(), cur as usize * k);
+        for a in 0..k {
+            dense.step_closed(&cur_members, a, &mut scratch, &mut next_members);
+            let next_id = match index.get(next_members.as_slice()) {
+                Some(&id) => id,
+                None => {
+                    let id = subsets.len() as u32;
+                    let key: Rc<[u32]> = next_members.as_slice().into();
+                    index.insert(key.clone(), id);
+                    accepting.push(dense.any_final(&key));
+                    subsets.push(key);
+                    queue.push_back(id);
+                    id
+                }
+            };
+            transitions.push(next_id);
+        }
+    }
+
+    let dfa = Dfa::from_parts(
+        dense.alphabet().clone(),
+        subsets.len(),
+        0,
+        accepting
+            .iter()
+            .enumerate()
+            .filter_map(|(s, &acc)| acc.then_some(s)),
+        transitions
+            .iter()
+            .enumerate()
+            .map(|(i, &to)| (i / k, Symbol((i % k) as u32), to as usize)),
+    );
+
+    let subsets = subsets
+        .into_iter()
+        .map(|set| set.iter().map(|&s| s as StateId).collect())
+        .collect();
+    Determinized { dfa, subsets }
+}
+
+/// The seed's tree-based subset construction (`BTreeSet` configurations with
+/// per-step ε-closure recomputation).  Retained verbatim as the differential
+/// baseline: the dense path must produce a structurally identical automaton,
+/// and the `determinization` benchmark quantifies the speedup.
+pub fn determinize_with_subsets_baseline(nfa: &Nfa) -> Determinized {
     let alphabet = nfa.alphabet().clone();
     let start = nfa.start_configuration();
 
     let mut subsets: Vec<BTreeSet<StateId>> = Vec::new();
     let mut index: HashMap<BTreeSet<StateId>, usize> = HashMap::new();
-    let mut transitions: Vec<Vec<(crate::alphabet::Symbol, usize)>> = Vec::new();
+    let mut transitions: Vec<Vec<(Symbol, usize)>> = Vec::new();
 
     let intern = |set: BTreeSet<StateId>,
                       subsets: &mut Vec<BTreeSet<StateId>>,
                       index: &mut HashMap<BTreeSet<StateId>, usize>,
-                      transitions: &mut Vec<Vec<(crate::alphabet::Symbol, usize)>>|
+                      transitions: &mut Vec<Vec<(Symbol, usize)>>|
      -> (usize, bool) {
         if let Some(&i) = index.get(&set) {
             (i, false)
@@ -170,5 +265,37 @@ mod tests {
             1 << (n + 1),
             dfa.num_states()
         );
+    }
+
+    #[test]
+    fn dense_construction_is_structurally_identical_to_baseline() {
+        // Both constructions explore subsets breadth-first in symbol order,
+        // so state numbering, transitions, finals and subsets must coincide
+        // exactly — not just up to language equivalence.
+        let alpha = ab();
+        let a = Nfa::symbol(alpha.clone(), alpha.symbol("a").unwrap());
+        let b = Nfa::symbol(alpha.clone(), alpha.symbol("b").unwrap());
+        let cases = [
+            Nfa::universal(alpha.clone()).concat(&a).concat(&b),
+            a.union(&b).star().concat(&a.concat(&b).optional()),
+            a.star().concat(&b.star()).star(),
+            Nfa::empty(alpha.clone()),
+            Nfa::epsilon(alpha.clone()),
+        ];
+        for nfa in cases {
+            let dense = determinize_with_subsets(&nfa);
+            let baseline = determinize_with_subsets_baseline(&nfa);
+            assert_eq!(dense.subsets, baseline.subsets);
+            assert_eq!(dense.dfa.num_states(), baseline.dfa.num_states());
+            assert_eq!(dense.dfa.initial_state(), baseline.dfa.initial_state());
+            assert_eq!(
+                dense.dfa.final_states(),
+                baseline.dfa.final_states()
+            );
+            assert_eq!(
+                dense.dfa.transitions().collect::<Vec<_>>(),
+                baseline.dfa.transitions().collect::<Vec<_>>()
+            );
+        }
     }
 }

@@ -8,12 +8,15 @@
 //! implements exactly that strategy; [`dfa_subset_of_nfa_explicit`] is the
 //! naive explicit-complement variant kept for the ablation benchmark (E11).
 
-use std::collections::{BTreeSet, VecDeque};
+use std::rc::Rc;
 
 use crate::alphabet::Symbol;
+use crate::dense::{
+    intern_visit, intern_visit_start, BitSet, ConfigVisitMap, DenseDfa, DenseNfa,
+};
 use crate::determinize::determinize;
 use crate::dfa::Dfa;
-use crate::nfa::{Nfa, StateId};
+use crate::nfa::Nfa;
 use crate::product::intersect_dfa;
 
 /// Outcome of a containment check.
@@ -52,45 +55,75 @@ pub fn dfa_subset_of_nfa(a: &Dfa, b: &Nfa) -> Containment {
     a.alphabet()
         .check_compatible(b.alphabet())
         .expect("containment over incompatible alphabets");
+    let da = DenseDfa::from_dfa(a);
+    let db = DenseNfa::from_nfa(b);
+    let k = da.num_symbols();
+
     // Only DFA states from which `a` can still accept matter: a word that has
     // entered a dead state of `a` can never become a counterexample, and
     // pruning those states keeps the product exploration proportional to the
     // *useful* part of `a` instead of to the full determinization of `b`.
-    let live = a.coreachable_states();
-    type Config = (StateId, BTreeSet<StateId>);
-    let start: Config = (a.initial_state(), b.start_configuration());
-    let violates =
-        |c: &Config| a.is_final(c.0) && !c.1.iter().any(|&s| b.is_final(s));
-    if violates(&start) {
+    let live = da.coreachable();
+
+    let start_cfg: Rc<[u32]> = db.start().into();
+    let violates = |sa: u32, cfg: &[u32]| da.is_final(sa) && !db.any_final(cfg);
+    if violates(da.initial(), &start_cfg) {
         return Containment::FailsWith(Vec::new());
     }
-    if !live.contains(&a.initial_state()) {
+    if !live.contains(da.initial()) {
         // L(a) is empty; the containment holds vacuously.
         return Containment::Holds;
     }
-    let mut seen: BTreeSet<Config> = BTreeSet::from([start.clone()]);
-    let mut queue: VecDeque<(Config, Vec<Symbol>)> = VecDeque::from([(start, Vec::new())]);
-    while let Some(((sa, cfg), word)) = queue.pop_front() {
-        for sym in a.alphabet().symbols() {
+
+    // BFS over (DFA state, ε-closed configuration) pairs in symbol order, so
+    // the first violation yields a shortest (and lexicographically first)
+    // counterexample — identical to the tree-based exploration it replaces.
+    // Each distinct configuration is allocated once (`Rc<[u32]>` shared
+    // between the interning map and the BFS nodes); `seen` maps it to the
+    // bitset of DFA states it has been visited with, and the parent links
+    // reconstruct the counterexample word without per-node word cloning.
+    let mut configs: Vec<(u32, Rc<[u32]>)> = vec![(da.initial(), start_cfg.clone())];
+    let mut parents: Vec<(usize, u32)> = vec![(usize::MAX, 0)];
+    let mut seen = ConfigVisitMap::default();
+    intern_visit_start(&mut seen, &start_cfg, da.initial(), da.num_states());
+
+    let mut scratch = BitSet::new(db.num_states());
+    let mut stepped: Vec<u32> = Vec::new();
+    let rebuild_word = |parents: &[(usize, u32)], mut at: usize, last_sym: u32| {
+        let mut word = vec![Symbol(last_sym)];
+        while at != 0 {
+            let (parent, sym) = parents[at];
+            word.push(Symbol(sym));
+            at = parent;
+        }
+        word.reverse();
+        word
+    };
+
+    let mut cursor = 0;
+    while cursor < configs.len() {
+        let (sa, cfg) = configs[cursor].clone();
+        for a_idx in 0..k {
             // A word that dies in `a` (or enters a dead state) is not in
             // L(a), so it can never produce a counterexample.
-            let Some(ta) = a.next_state(sa, sym) else { continue };
-            if !live.contains(&ta) {
+            let Some(ta) = da.next(sa, a_idx) else { continue };
+            if !live.contains(ta) {
                 continue;
             }
-            let stepped = b.epsilon_closure(&b.step(&cfg, sym));
-            let next: Config = (ta, stepped);
-            if seen.contains(&next) {
-                continue;
+            db.step_closed(&cfg, a_idx, &mut scratch, &mut stepped);
+            if let Some(canonical) = intern_visit(&mut seen, &stepped, ta, da.num_states()) {
+                if violates(ta, &stepped) {
+                    return Containment::FailsWith(rebuild_word(
+                        &parents,
+                        cursor,
+                        a_idx as u32,
+                    ));
+                }
+                configs.push((ta, canonical));
+                parents.push((cursor, a_idx as u32));
             }
-            let mut next_word = word.clone();
-            next_word.push(sym);
-            if violates(&next) {
-                return Containment::FailsWith(next_word);
-            }
-            seen.insert(next.clone());
-            queue.push_back((next, next_word));
         }
+        cursor += 1;
     }
     Containment::Holds
 }

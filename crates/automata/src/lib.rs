@@ -17,6 +17,32 @@
 //!   complement-free strategy of Theorem 3.2,
 //! * DOT export and seeded random generation for tests and benchmarks.
 //!
+//! ## Architecture: tree front end, dense core
+//!
+//! The crate deliberately splits construction from traversal:
+//!
+//! * [`Nfa`]/[`Dfa`] are the mutable, adjacency-map **construction** types.
+//!   Rational operations (`union`, `concat`, `star`, …), view expansion in
+//!   `rewriter`, and DOT export all work on them, and they remain the public
+//!   API surface.
+//! * [`dense::DenseNfa`]/[`dense::DenseDfa`] are frozen, flat **traversal**
+//!   types: CSR successor arrays indexed by `(state, symbol)` with per-state
+//!   ε-closures precomputed once and folded into the successor lists, plus
+//!   `u64`-word [`dense::BitSet`]s for state sets.
+//!
+//! Conversion points: [`dense::DenseNfa::from_nfa`] /
+//! [`dense::DenseDfa::from_dfa`] (also available via `From<&Nfa>` /
+//! `From<&Dfa>`).  Every hot loop converts once at its entry and then runs
+//! dense: [`determinize`] interns sorted `Vec<u32>` subset keys with reusable
+//! scratch buffers, [`word_reachability_relation`] and [`dfa_subset_of_nfa`]
+//! sweep (DFA state × ε-closed configuration) products with bitset-backed
+//! visited maps, and `graphdb::eval_automaton` runs a product-BFS over a CSR
+//! adjacency with a dense visited bitmap.  Callers in `regexlang`,
+//! `rewriter` and `rpq` keep passing tree automata; the dense core is an
+//! internal representation change with identical observable semantics
+//! (enforced by differential property tests against the retained
+//! `*_baseline` implementations).
+//!
 //! ## Quick example
 //!
 //! ```
@@ -40,6 +66,7 @@
 #![warn(missing_docs)]
 
 pub mod alphabet;
+pub mod dense;
 pub mod determinize;
 pub mod dfa;
 pub mod dot;
@@ -50,7 +77,11 @@ pub mod product;
 pub mod random;
 
 pub use alphabet::{Alphabet, AlphabetError, Symbol};
-pub use determinize::{determinize, determinize_with_subsets, Determinized};
+pub use dense::{BitSet, DenseDfa, DenseNfa};
+pub use determinize::{
+    determinize, determinize_dense, determinize_with_subsets, determinize_with_subsets_baseline,
+    Determinized,
+};
 pub use dfa::Dfa;
 pub use dot::{dfa_to_dot, nfa_to_dot};
 pub use equivalence::{
@@ -61,6 +92,6 @@ pub use minimize::minimize;
 pub use nfa::{Nfa, StateId};
 pub use product::{
     intersect_dfa, intersect_dfa_nfa, intersection_witness, intersection_witness_from, union_dfa,
-    word_reachability_relation, word_reaches,
+    word_reachability_relation, word_reachability_relation_baseline, word_reaches,
 };
 pub use random::{random_dfa, random_nfa, random_word, RandomAutomatonConfig};

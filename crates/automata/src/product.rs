@@ -13,8 +13,12 @@
 //!   DESIGN.md and the default strategy of the rewriter.
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::rc::Rc;
 
 use crate::alphabet::Symbol;
+use crate::dense::{
+    intern_visit, intern_visit_start, BitSet, ConfigVisitMap, DenseDfa, DenseNfa,
+};
 use crate::dfa::Dfa;
 use crate::nfa::{Nfa, StateId};
 
@@ -214,6 +218,63 @@ pub fn intersection_witness_from(
 /// language.  This is the batched transition test used to build the rewriting
 /// automaton `A'` (Section 2, step 2 of the construction).
 pub fn word_reachability_relation(dfa: &Dfa, view: &Nfa) -> BTreeSet<(StateId, StateId)> {
+    dfa.alphabet()
+        .check_compatible(view.alphabet())
+        .expect("reachability over incompatible alphabets");
+    let dense_dfa = DenseDfa::from_dfa(dfa);
+    let dense_view = DenseNfa::from_nfa(view);
+    let k = dense_dfa.num_symbols();
+
+    let mut relation = BTreeSet::new();
+    let start_cfg: Rc<[u32]> = dense_view.start().into();
+
+    // Scratch reused across every sweep: `seen` maps an ε-closed view
+    // configuration (sorted member list) to the bitset of DFA states it has
+    // been visited with, so the hot-path membership test allocates nothing;
+    // each distinct configuration is allocated once and shared (`Rc`)
+    // between the map and the BFS queue.
+    let mut seen = ConfigVisitMap::default();
+    let mut queue: VecDeque<(u32, Rc<[u32]>)> = VecDeque::new();
+    let mut scratch = BitSet::new(dense_view.num_states());
+    let mut stepped: Vec<u32> = Vec::new();
+    let start_accepts = dense_view.any_final(&start_cfg);
+
+    for si in 0..dense_dfa.num_states() {
+        seen.clear();
+        queue.clear();
+        if start_accepts {
+            relation.insert((si, si));
+        }
+        intern_visit_start(&mut seen, &start_cfg, si as u32, dense_dfa.num_states());
+        queue.push_back((si as u32, start_cfg.clone()));
+        while let Some((sa, cfg)) = queue.pop_front() {
+            for a in 0..k {
+                let Some(ta) = dense_dfa.next(sa, a) else { continue };
+                dense_view.step_closed(&cfg, a, &mut scratch, &mut stepped);
+                if stepped.is_empty() {
+                    continue;
+                }
+                if let Some(canonical) =
+                    intern_visit(&mut seen, &stepped, ta, dense_dfa.num_states())
+                {
+                    if dense_view.any_final(&stepped) {
+                        relation.insert((si, ta as StateId));
+                    }
+                    queue.push_back((ta, canonical));
+                }
+            }
+        }
+    }
+    relation
+}
+
+/// The seed's tree-based reachability sweep (`BTreeSet` configurations with
+/// per-step ε-closure recomputation).  Retained as the differential baseline
+/// for the dense sweep above; see the property tests and benchmarks.
+pub fn word_reachability_relation_baseline(
+    dfa: &Dfa,
+    view: &Nfa,
+) -> BTreeSet<(StateId, StateId)> {
     dfa.alphabet()
         .check_compatible(view.alphabet())
         .expect("reachability over incompatible alphabets");

@@ -1,11 +1,16 @@
 //! Benchmark E6 (+ ablation #2): the exponential subset construction on the
 //! worst-case family `(a+b)*·a·(a+b)^k`, comparing the Thompson and Glushkov
-//! front-ends.
+//! front-ends — plus the dense-core vs tree-based baseline comparison on
+//! random NFAs (n ≥ 64 states) and on the worst-case family itself.
 
+use automata::{
+    determinize_with_subsets, determinize_with_subsets_baseline, random_nfa, Alphabet,
+    RandomAutomatonConfig,
+};
 use bench::determinization_family;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use regexlang::{glushkov, thompson};
+use std::time::Duration;
 
 fn bench_determinization(c: &mut Criterion) {
     let mut group = c.benchmark_group("determinization");
@@ -37,5 +42,52 @@ fn bench_determinization(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_determinization);
+/// Head-to-head: the dense subset construction vs the seed's tree-based one,
+/// on the same inputs.  `dense`/`baseline` pairs share a parameter so the
+/// speedup reads off directly.
+fn bench_dense_vs_baseline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("determinization_dense_vs_baseline");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+
+    // Random NFAs, n ≥ 64 states over three symbols.
+    let alpha = Alphabet::from_chars(['a', 'b', 'c']).expect("distinct");
+    for &n in &[64usize, 128] {
+        let config = RandomAutomatonConfig {
+            num_states: n,
+            density: 0.02,
+            final_probability: 0.2,
+        };
+        let nfa = random_nfa(&alpha, &config, 42);
+        group.bench_with_input(BenchmarkId::new("dense_random", n), &nfa, |b, nfa| {
+            b.iter(|| std::hint::black_box(determinize_with_subsets(nfa).dfa.num_states()))
+        });
+        group.bench_with_input(BenchmarkId::new("baseline_random", n), &nfa, |b, nfa| {
+            b.iter(|| {
+                std::hint::black_box(determinize_with_subsets_baseline(nfa).dfa.num_states())
+            })
+        });
+    }
+
+    // The exponential worst-case family at k = 12 (Thompson front end).
+    let (expr, _) = determinization_family(12);
+    let family_alpha = expr.inferred_alphabet();
+    let family_nfa = thompson(&expr, &family_alpha).unwrap();
+    group.bench_with_input(
+        BenchmarkId::new("dense_family", 12),
+        &family_nfa,
+        |b, nfa| b.iter(|| std::hint::black_box(determinize_with_subsets(nfa).dfa.num_states())),
+    );
+    group.bench_with_input(
+        BenchmarkId::new("baseline_family", 12),
+        &family_nfa,
+        |b, nfa| {
+            b.iter(|| std::hint::black_box(determinize_with_subsets_baseline(nfa).dfa.num_states()))
+        },
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_determinization, bench_dense_vs_baseline);
 criterion_main!(benches);

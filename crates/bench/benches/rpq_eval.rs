@@ -1,8 +1,11 @@
 //! Benchmark E9: end-to-end regular-path-query processing — rewriting an RPQ
-//! over views and evaluating it on databases of growing size.
+//! over views and evaluating it on databases of growing size — plus the
+//! dense product-BFS evaluator vs the seed's tree-based baseline on
+//! |V| ≥ 1000 generated graphs.
 
 use bench::random_rpq_workload;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graphdb::{eval_automaton, eval_automaton_baseline, eval_dense};
 use std::time::Duration;
 
 fn bench_rpq_eval(c: &mut Criterion) {
@@ -42,5 +45,37 @@ fn bench_rpq_eval(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_rpq_eval);
+/// Head-to-head: the dense product-BFS evaluator vs the seed's tree-based
+/// one, on the same grounded query over generated graphs with |V| ≥ 1000.
+fn bench_dense_vs_baseline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rpq_eval_dense_vs_baseline");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+    for &(nodes, edges) in &[(1000usize, 4000usize), (2000, 8000)] {
+        let workload = random_rpq_workload(nodes, edges, 42);
+        let grounded = workload.problem.query.ground(&workload.problem.theory);
+        let nfa = regexlang::thompson(&grounded, workload.db.domain())
+            .expect("grounded query is over the domain");
+        let frozen = automata::DenseNfa::from_nfa(&nfa);
+        group.bench_with_input(
+            BenchmarkId::new("dense", nodes),
+            &(&workload.db, &nfa),
+            |b, (db, nfa)| b.iter(|| std::hint::black_box(eval_automaton(db, nfa).len())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("dense_prefrozen", nodes),
+            &(&workload.db, &frozen),
+            |b, (db, frozen)| b.iter(|| std::hint::black_box(eval_dense(db, frozen).len())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("baseline", nodes),
+            &(&workload.db, &nfa),
+            |b, (db, nfa)| b.iter(|| std::hint::black_box(eval_automaton_baseline(db, nfa).len())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rpq_eval, bench_dense_vs_baseline);
 criterion_main!(benches);

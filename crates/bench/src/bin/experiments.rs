@@ -12,6 +12,12 @@
 //!
 //! Results are printed as human-readable tables and also dumped as JSON to
 //! `target/experiments/<id>.json` so EXPERIMENTS.md can be regenerated.
+//!
+//! Default, `all`, and `bench` runs additionally refresh `BENCH_rpq.json`
+//! in the working directory: dense-core vs tree-baseline timings for
+//! determinization and RPQ evaluation, so the perf trajectory of the hot
+//! paths is tracked from PR to PR.  Targeted runs (`experiments e6`) skip
+//! the snapshot to stay fast; `experiments bench` emits only the snapshot.
 
 use std::fs;
 use std::time::Instant;
@@ -62,6 +68,121 @@ fn main() {
             id.to_uppercase(),
             started.elapsed()
         );
+    }
+    // The perf snapshot takes ~30s (it times the tree baselines too), so
+    // targeted single-experiment runs skip it unless asked for.
+    if args.is_empty() || args.iter().any(|a| a == "all" || a == "bench") {
+        bench_rpq_json();
+    }
+}
+
+/// Times one closure: best of `runs` wall-clock measurements, in ms.
+/// Best-of is stable under scheduler noise and treats both sides of a
+/// comparison symmetrically regardless of run count.
+fn time_ms<T>(runs: usize, mut f: impl FnMut() -> T) -> f64 {
+    (0..runs.max(1))
+        .map(|_| {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            t0.elapsed().as_secs_f64() * 1e3
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Dense-core vs tree-baseline timings for the two hottest loops
+/// (determinization and RPQ evaluation), written to `BENCH_rpq.json` so the
+/// perf trajectory is tracked across PRs.
+fn bench_rpq_json() {
+    use automata::{
+        determinize_with_subsets, determinize_with_subsets_baseline, random_nfa,
+        RandomAutomatonConfig,
+    };
+    use graphdb::{eval_automaton, eval_automaton_baseline};
+
+    println!("\n================ BENCH_rpq.json ================");
+    let mut determinization = Vec::new();
+
+    // Random NFA, n = 64 states over {a, b, c}.
+    let alpha = automata::Alphabet::from_chars(['a', 'b', 'c']).expect("distinct");
+    let nfa = random_nfa(
+        &alpha,
+        &RandomAutomatonConfig {
+            num_states: 64,
+            density: 0.02,
+            final_probability: 0.2,
+        },
+        42,
+    );
+    // Few runs: one subset construction here explores ~500k subsets, and the
+    // Criterion bench is the statistically careful measurement.
+    let dense_ms = time_ms(2, || determinize_with_subsets(&nfa).dfa.num_states());
+    let baseline_ms = time_ms(2, || {
+        determinize_with_subsets_baseline(&nfa).dfa.num_states()
+    });
+    println!(
+        "determinize random n=64   : dense {dense_ms:.3} ms, baseline {baseline_ms:.3} ms ({:.1}x)",
+        baseline_ms / dense_ms
+    );
+    determinization.push(json!({
+        "workload": "random_nfa_n64_density0.02",
+        "dense_ms": dense_ms,
+        "baseline_ms": baseline_ms,
+        "speedup": baseline_ms / dense_ms,
+    }));
+
+    // The exponential worst-case family at k = 11.
+    let (expr, _) = determinization_family(11);
+    let family_alpha = expr.inferred_alphabet();
+    let family_nfa = regexlang::thompson(&expr, &family_alpha).expect("family over {a,b}");
+    let dense_ms = time_ms(5, || determinize_with_subsets(&family_nfa).dfa.num_states());
+    let baseline_ms = time_ms(5, || {
+        determinize_with_subsets_baseline(&family_nfa).dfa.num_states()
+    });
+    println!(
+        "determinize family k=11   : dense {dense_ms:.3} ms, baseline {baseline_ms:.3} ms ({:.1}x)",
+        baseline_ms / dense_ms
+    );
+    determinization.push(json!({
+        "workload": "blowup_family_k11",
+        "dense_ms": dense_ms,
+        "baseline_ms": baseline_ms,
+        "speedup": baseline_ms / dense_ms,
+    }));
+
+    // RPQ evaluation on a generated |V| = 1000 graph.
+    let mut eval = Vec::new();
+    let workload = random_rpq_workload(1000, 4000, 42);
+    let grounded = workload.problem.query.ground(&workload.problem.theory);
+    let query_nfa = regexlang::thompson(&grounded, workload.db.domain())
+        .expect("grounded query is over the domain");
+    let dense_ms = time_ms(3, || eval_automaton(&workload.db, &query_nfa).len());
+    let baseline_ms = time_ms(3, || {
+        eval_automaton_baseline(&workload.db, &query_nfa).len()
+    });
+    println!(
+        "rpq eval |V|=1000         : dense {dense_ms:.3} ms, baseline {baseline_ms:.3} ms ({:.1}x)",
+        baseline_ms / dense_ms
+    );
+    eval.push(json!({
+        "workload": "random_graph_v1000_e4000",
+        "dense_ms": dense_ms,
+        "baseline_ms": baseline_ms,
+        "speedup": baseline_ms / dense_ms,
+    }));
+
+    let value = json!({
+        "determinization": determinization,
+        "eval": eval,
+    });
+    match fs::write(
+        "BENCH_rpq.json",
+        serde_json::to_string_pretty(&value).expect("serializable"),
+    ) {
+        Ok(()) => println!("written to BENCH_rpq.json"),
+        Err(err) => {
+            eprintln!("failed to write BENCH_rpq.json: {err}");
+            std::process::exit(1);
+        }
     }
 }
 

@@ -176,6 +176,67 @@ impl GraphDb {
             self.domain.render()
         )
     }
+
+    /// Freezes the outgoing adjacency into a CSR layout for traversal-heavy
+    /// algorithms (one flat `(label, target)` array plus a per-node offset
+    /// index).  The RPQ evaluator builds this once per query instead of
+    /// chasing per-node `Vec`s during every product-BFS.
+    pub fn csr_out(&self) -> CsrAdjacency {
+        let mut offsets = Vec::with_capacity(self.num_nodes() + 1);
+        let mut labels = Vec::with_capacity(self.num_edges());
+        let mut targets = Vec::with_capacity(self.num_edges());
+        offsets.push(0u32);
+        for edges in &self.out {
+            for &(label, to) in edges {
+                labels.push(label.0);
+                targets.push(to as u32);
+            }
+            offsets.push(labels.len() as u32);
+        }
+        CsrAdjacency {
+            domain: self.domain.clone(),
+            offsets,
+            labels,
+            targets,
+        }
+    }
+}
+
+/// Frozen outgoing adjacency of a [`GraphDb`] in CSR layout.
+///
+/// Edge `i` of node `v` has label index `labels[offsets[v] + i]` and target
+/// `targets[offsets[v] + i]`; labels are raw [`Symbol`] indices into the
+/// database domain, which travels along so evaluators can check query
+/// compatibility against the frozen adjacency alone.
+#[derive(Debug, Clone)]
+pub struct CsrAdjacency {
+    domain: Alphabet,
+    offsets: Vec<u32>,
+    labels: Vec<u32>,
+    targets: Vec<u32>,
+}
+
+impl CsrAdjacency {
+    /// The label domain of the database this adjacency was frozen from.
+    pub fn domain(&self) -> &Alphabet {
+        &self.domain
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// The `(label index, target)` pairs leaving `node`.
+    #[inline]
+    pub fn edges_from(&self, node: u32) -> impl Iterator<Item = (u32, u32)> + '_ {
+        let lo = self.offsets[node as usize] as usize;
+        let hi = self.offsets[node as usize + 1] as usize;
+        self.labels[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.targets[lo..hi].iter().copied())
+    }
 }
 
 #[cfg(test)]
@@ -230,6 +291,24 @@ mod tests {
         let labels = db.used_labels();
         assert_eq!(labels.len(), 2);
         assert!(db.describe().contains("nodes=3"));
+    }
+
+    #[test]
+    fn csr_out_mirrors_adjacency_lists() {
+        let mut db = GraphDb::new(city_domain());
+        db.add_edge_named("a", "flight", "b");
+        db.add_edge_named("a", "rome", "c");
+        db.add_edge_named("b", "flight", "c");
+        let csr = db.csr_out();
+        assert_eq!(csr.num_nodes(), db.num_nodes());
+        for v in db.nodes() {
+            let direct: Vec<(u32, u32)> = db
+                .edges_from(v)
+                .map(|(label, to)| (label.0, to as u32))
+                .collect();
+            let frozen: Vec<(u32, u32)> = csr.edges_from(v as u32).collect();
+            assert_eq!(direct, frozen, "node {v}");
+        }
     }
 
     #[test]

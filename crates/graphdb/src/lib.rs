@@ -41,11 +41,14 @@ pub mod paths;
 pub mod theory;
 pub mod views;
 
-pub use eval::{eval_automaton, eval_regex, eval_str, render_answer, Answer};
+pub use eval::{
+    eval_automaton, eval_automaton_baseline, eval_csr, eval_dense, eval_regex, eval_str,
+    render_answer, Answer,
+};
 pub use generator::{
     layered_graph, random_graph, travel_graph, tree_graph, RandomGraphConfig,
 };
-pub use graph::{Edge, GraphDb, NodeId};
+pub use graph::{CsrAdjacency, Edge, GraphDb, NodeId};
 pub use paths::{witness_automaton, witness_regex, PathWitness};
 pub use theory::{Formula, Theory};
 pub use views::MaterializedViews;

@@ -14,10 +14,10 @@
 
 use std::collections::BTreeMap;
 
-use automata::{Alphabet, Nfa};
+use automata::{Alphabet, DenseNfa, Nfa};
 use regexlang::Regex;
 
-use crate::eval::{eval_automaton, eval_regex, Answer};
+use crate::eval::{eval_automaton, eval_csr, eval_regex, query_nfa, Answer};
 use crate::graph::GraphDb;
 
 /// The materialized extensions of a set of named views over one database.
@@ -38,9 +38,14 @@ impl MaterializedViews {
     pub fn materialize_regexes(db: &GraphDb, views: &[(String, Regex)]) -> Self {
         let view_alphabet = Alphabet::from_names(views.iter().map(|(name, _)| name.clone()))
             .expect("view names must be distinct");
+        // One CSR freeze of the database shared by every view evaluation.
+        let csr = db.csr_out();
         let extensions = views
             .iter()
-            .map(|(name, expr)| (name.clone(), eval_regex(db, expr)))
+            .map(|(name, expr)| {
+                let nfa = query_nfa(db, expr);
+                (name.clone(), eval_csr(&csr, &DenseNfa::from_nfa(&nfa)))
+            })
             .collect();
         Self {
             view_alphabet,
@@ -53,9 +58,10 @@ impl MaterializedViews {
     pub fn materialize_automata(db: &GraphDb, views: &[(String, Nfa)]) -> Self {
         let view_alphabet = Alphabet::from_names(views.iter().map(|(name, _)| name.clone()))
             .expect("view names must be distinct");
+        let csr = db.csr_out();
         let extensions = views
             .iter()
-            .map(|(name, nfa)| (name.clone(), eval_automaton(db, nfa)))
+            .map(|(name, nfa)| (name.clone(), eval_csr(&csr, &DenseNfa::from_nfa(nfa))))
             .collect();
         Self {
             view_alphabet,

@@ -1,0 +1,107 @@
+//! Differential tests: the dense product-BFS RPQ evaluator must return
+//! exactly the same answer set as the seed's tree-based evaluator on
+//! randomized databases and queries.
+
+use automata::{random_nfa, Alphabet, DenseNfa, RandomAutomatonConfig};
+use graphdb::{
+    eval_automaton, eval_automaton_baseline, eval_dense, layered_graph, random_graph, tree_graph,
+    GraphDb, RandomGraphConfig,
+};
+use regexlang::{random_regex, thompson, RandomRegexConfig};
+
+fn domain(size: usize) -> Alphabet {
+    Alphabet::from_names((0..size).map(|i| ((b'a' + i as u8) as char).to_string()))
+        .expect("distinct letters")
+}
+
+fn random_db(case: u64, domain: &Alphabet) -> GraphDb {
+    match case % 3 {
+        0 => random_graph(
+            domain,
+            &RandomGraphConfig {
+                num_nodes: 4 + (case % 20) as usize,
+                num_edges: 6 + (case % 50) as usize,
+            },
+            case,
+        ),
+        1 => tree_graph(domain, 4 + (case % 25) as usize, case),
+        _ => layered_graph(domain, 2 + (case % 4) as usize, 3, 2, case),
+    }
+}
+
+#[test]
+fn dense_eval_matches_baseline_on_random_regex_queries() {
+    for case in 0..220u64 {
+        let dom = domain(2 + (case % 3) as usize);
+        let db = random_db(case, &dom);
+        let regex = random_regex(
+            &dom,
+            &RandomRegexConfig {
+                target_size: 3 + (case % 10) as usize,
+                ..Default::default()
+            },
+            case * 17 + 3,
+        );
+        let nfa = thompson(&regex, &dom).expect("generated over the domain");
+        let dense = eval_automaton(&db, &nfa);
+        let baseline = eval_automaton_baseline(&db, &nfa);
+        assert_eq!(dense, baseline, "case {case}, query {regex}");
+    }
+}
+
+#[test]
+fn dense_eval_matches_baseline_on_random_nfa_queries() {
+    // Random NFAs (no regex structure, arbitrary ε-free transition soup plus
+    // unions adding ε-moves) over random databases.
+    for case in 0..220u64 {
+        let dom = domain(2 + (case % 2) as usize);
+        let db = random_db(case ^ 0xa5a5, &dom);
+        let config = RandomAutomatonConfig {
+            num_states: 2 + (case % 6) as usize,
+            density: 0.15 + (case % 4) as f64 * 0.1,
+            final_probability: 0.3,
+        };
+        let base = random_nfa(&dom, &config, case * 31 + 7);
+        // Half the cases get ε-transitions via rational operations.
+        let nfa = match case % 4 {
+            0 => base,
+            1 => base.star(),
+            2 => base.optional(),
+            _ => base.plus(),
+        };
+        let dense = eval_automaton(&db, &nfa);
+        let baseline = eval_automaton_baseline(&db, &nfa);
+        assert_eq!(dense, baseline, "case {case}");
+    }
+}
+
+#[test]
+fn prefrozen_queries_answer_identically() {
+    let dom = domain(3);
+    let db = random_db(11, &dom);
+    let regex = random_regex(&dom, &RandomRegexConfig::default(), 5);
+    let nfa = thompson(&regex, &dom).expect("generated over the domain");
+    let frozen = DenseNfa::from_nfa(&nfa);
+    assert_eq!(eval_dense(&db, &frozen), eval_automaton(&db, &nfa));
+}
+
+#[test]
+fn dense_eval_handles_empty_and_edgeless_databases() {
+    let dom = domain(2);
+    let empty = GraphDb::new(dom.clone());
+    let a = automata::Nfa::symbol(dom.clone(), dom.symbol("a").unwrap());
+    assert!(eval_automaton(&empty, &a).is_empty());
+    assert!(eval_automaton(&empty, &a.star()).is_empty());
+
+    let mut nodes_only = GraphDb::new(dom.clone());
+    for _ in 0..5 {
+        nodes_only.add_node();
+    }
+    assert!(eval_automaton(&nodes_only, &a).is_empty());
+    // ε ∈ L(a*): every node answers with itself.
+    assert_eq!(eval_automaton(&nodes_only, &a.star()).len(), 5);
+    assert_eq!(
+        eval_automaton(&nodes_only, &a.star()),
+        eval_automaton_baseline(&nodes_only, &a.star())
+    );
+}

@@ -1,0 +1,278 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no access to crates.io, so this workspace ships
+//! a minimal wall-clock harness with criterion's surface API: `Criterion`,
+//! `benchmark_group`, `bench_with_input`/`bench_function`, `Bencher::iter`,
+//! `BenchmarkId`, and the `criterion_group!`/`criterion_main!` macros.
+//!
+//! Behavior:
+//!
+//! * normal runs warm up briefly, then time batches of iterations until the
+//!   group's `measurement_time` budget is spent, and print
+//!   `group/function/param  time: <median per iter>`;
+//! * `cargo bench -- --test` runs every closure exactly once (smoke mode),
+//!   matching criterion's own `--test` flag used by CI.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// The harness entry point, holding global options parsed from the CLI.
+pub struct Criterion {
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut test_mode = false;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                // Flags cargo/criterion pass that the shim safely ignores.
+                "--bench" | "--verbose" | "-n" | "--noplot" => {}
+                other if other.starts_with('-') => {}
+                other => filter = Some(other.to_string()),
+            }
+        }
+        Criterion { test_mode, filter }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+            sample_size: 10,
+        }
+    }
+
+    /// Runs a standalone benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) {
+        let label = id.to_string();
+        let mut group = self.benchmark_group("bench");
+        group.run(&label, &mut f);
+    }
+}
+
+/// Identifier `function/parameter` for one benchmark within a group.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a displayable parameter.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function.into(), parameter),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// A group of benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples (kept for API compatibility; the shim
+    /// uses the time budget as the primary knob).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the warm-up duration before measurement.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the measurement time budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = id.label.clone();
+        self.run(&label, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Benchmarks a closure with no extra input.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) -> &mut Self {
+        let label = id.to_string();
+        self.run(&label, &mut f);
+        self
+    }
+
+    fn run(&mut self, label: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let full = format!("{}/{}", self.name, label);
+        if let Some(filter) = &self.criterion.filter {
+            if !full.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            test_mode: self.criterion.test_mode,
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            sample_size: self.sample_size,
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        if bencher.test_mode {
+            println!("test {full} ... ok (smoke)");
+        } else if let Some(median) = bencher.median_ns() {
+            println!("{full:<55} time: {}", format_ns(median));
+        }
+    }
+
+    /// Ends the group (printing is done per benchmark; kept for API parity).
+    pub fn finish(&mut self) {}
+}
+
+/// Runs and times one benchmark body.
+pub struct Bencher {
+    test_mode: bool,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Calls `f` repeatedly and records per-iteration wall-clock times.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.test_mode {
+            std::hint::black_box(f());
+            return;
+        }
+        // Warm-up: also estimates the per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.warm_up_time || warm_iters == 0 {
+            std::hint::black_box(f());
+            warm_iters += 1;
+            if warm_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let est_per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        let budget = self.measurement_time.as_secs_f64();
+        let total_iters = ((budget / est_per_iter.max(1e-9)) as u64).clamp(1, 10_000_000);
+        let samples = self.sample_size.max(1) as u64;
+        let iters_per_sample = (total_iters / samples).max(1);
+        for _ in 0..samples {
+            let t0 = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(f());
+            }
+            let per_iter = t0.elapsed().as_secs_f64() / iters_per_sample as f64;
+            self.samples.push(per_iter * 1e9);
+        }
+    }
+
+    fn median_ns(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        Some(sorted[sorted.len() / 2])
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Declares a benchmark group function calling each listed bench.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Declares `main` running each listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default();
+            $( $group(&mut criterion); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_id_formats_as_function_slash_param() {
+        assert_eq!(BenchmarkId::new("dense", 64).to_string(), "dense/64");
+    }
+
+    #[test]
+    fn smoke_mode_runs_body_once() {
+        let mut c = Criterion {
+            test_mode: true,
+            filter: None,
+        };
+        let mut runs = 0;
+        let mut group = c.benchmark_group("g");
+        group.bench_function("f", |b| b.iter(|| runs += 1));
+        group.finish();
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn measurement_records_samples() {
+        let mut c = Criterion {
+            test_mode: false,
+            filter: None,
+        };
+        let mut group = c.benchmark_group("g");
+        group
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        group.bench_with_input(BenchmarkId::new("noop", 1), &7u32, |b, &x| {
+            b.iter(|| std::hint::black_box(x + 1))
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,163 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Supports the subset this workspace uses: the [`proptest!`] macro with an
+//! optional `#![proptest_config(...)]` inner attribute, `arg in range`
+//! argument strategies over integer ranges, and the
+//! [`prop_assert!`]/[`prop_assert_eq!`] assertion macros.  Inputs are sampled
+//! deterministically (seeded per test by case index), with no shrinking —
+//! failures print the sampled arguments via the panic message instead.
+
+#![forbid(unsafe_code)]
+
+use std::ops::Range;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration accepted by `#![proptest_config(...)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+    /// Accepted for API compatibility; the shim never shrinks.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 64,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+/// A source of random test inputs (the shim's strategy notion).
+pub trait Strategy {
+    /// The type of values this strategy produces.
+    type Value;
+    /// Samples one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! impl_strategy_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_strategy_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Runs one property over `config.cases` sampled inputs.
+///
+/// Used by the [`proptest!`] macro expansion; not meant to be called
+/// directly.
+pub fn run_cases(config: &ProptestConfig, test_name: &str, mut body: impl FnMut(&mut StdRng, u32)) {
+    // Seed deterministically from the test name so runs are reproducible.
+    let mut name_hash = 0xcbf2_9ce4_8422_2325u64;
+    for b in test_name.bytes() {
+        name_hash ^= b as u64;
+        name_hash = name_hash.wrapping_mul(0x1000_0000_01b3);
+    }
+    for case in 0..config.cases {
+        let mut rng = StdRng::seed_from_u64(name_hash ^ (case as u64).wrapping_mul(0x9e37_79b9));
+        body(&mut rng, case);
+    }
+}
+
+/// Declares property tests over sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                $crate::run_cases(&config, stringify!($name), |rng, _case| {
+                    $(let $arg = $crate::Strategy::sample(&$strategy, rng);)*
+                    $body
+                });
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($arg in $strategy),*) $body
+            )*
+        }
+    };
+}
+
+/// Asserts a condition inside a property (plain `assert!` in the shim).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property (plain `assert_eq!` in the shim).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property (plain `assert_ne!` in the shim).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// The glob-imported prelude mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, Strategy};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+        #[test]
+        fn sampled_values_stay_in_range(x in 0u64..50, y in 3usize..9) {
+            prop_assert!(x < 50);
+            prop_assert!((3..9).contains(&y));
+        }
+    }
+
+    #[test]
+    fn run_cases_is_deterministic() {
+        let config = ProptestConfig {
+            cases: 8,
+            ..ProptestConfig::default()
+        };
+        let mut first = Vec::new();
+        super::run_cases(&config, "t", |rng, _| {
+            first.push(Strategy::sample(&(0u64..1000), rng))
+        });
+        let mut second = Vec::new();
+        super::run_cases(&config, "t", |rng, _| {
+            second.push(Strategy::sample(&(0u64..1000), rng))
+        });
+        assert_eq!(first, second);
+    }
+}

@@ -1,0 +1,167 @@
+//! Derive macros for the offline `serde` shim.
+//!
+//! Supports exactly the item shapes present in this workspace:
+//!
+//! * structs with named fields → JSON objects in declaration order,
+//! * tuple structs with one field (newtypes) → the inner value,
+//! * fieldless enums → the variant name as a JSON string.
+//!
+//! `Deserialize` is accepted but generates nothing (no caller deserializes).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the shim `serde::Serialize` trait.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Object(vec![{}])", entries.join(", "))
+        }
+        Shape::Newtype => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::FieldlessEnum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("Self::{v} => ::serde::Value::String(\"{v}\".to_string())"))
+                .collect();
+            format!("match self {{ {} }}", arms.join(", "))
+        }
+    };
+    let output = format!(
+        "impl ::serde::Serialize for {} {{ fn to_value(&self) -> ::serde::Value {{ {} }} }}",
+        item.name, body
+    );
+    output.parse().expect("generated impl parses")
+}
+
+/// Accepted for compatibility; generates no code.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+enum Shape {
+    NamedStruct(Vec<String>),
+    Newtype,
+    FieldlessEnum(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Skip outer attributes and visibility up to `struct` / `enum`.
+    let kind = loop {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2, // `#` + `[...]`
+            TokenTree::Ident(id) if id.to_string() == "struct" => break "struct",
+            TokenTree::Ident(id) if id.to_string() == "enum" => break "enum",
+            _ => i += 1,
+        }
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected item name, found {other}"),
+    };
+    i += 1;
+    let group = loop {
+        match &tokens[i] {
+            TokenTree::Group(g) => break g,
+            _ => i += 1,
+        }
+    };
+    let shape = match (kind, group.delimiter()) {
+        ("struct", Delimiter::Brace) => Shape::NamedStruct(named_fields(group.stream())),
+        ("struct", Delimiter::Parenthesis) => {
+            let commas = top_level_commas(group.stream());
+            assert!(
+                commas == 0,
+                "derive(Serialize) shim only supports single-field tuple structs"
+            );
+            Shape::Newtype
+        }
+        ("enum", Delimiter::Brace) => Shape::FieldlessEnum(enum_variants(group.stream())),
+        other => panic!("unsupported item shape {other:?}"),
+    };
+    Item { name, shape }
+}
+
+/// Splits a brace-group token stream on commas that sit outside `<...>`.
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut chunks = vec![Vec::new()];
+    let mut angle_depth = 0i32;
+    for tt in stream {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    chunks.push(Vec::new());
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        chunks.last_mut().expect("nonempty").push(tt);
+    }
+    chunks.retain(|c| !c.is_empty());
+    chunks
+}
+
+fn top_level_commas(stream: TokenStream) -> usize {
+    split_top_level(stream).len().saturating_sub(1)
+}
+
+/// Field names of a named struct: in each comma chunk, the identifier
+/// immediately before the first top-level `:` (skipping attributes and
+/// visibility).
+fn named_fields(stream: TokenStream) -> Vec<String> {
+    split_top_level(stream)
+        .into_iter()
+        .map(|chunk| {
+            let mut last_ident: Option<String> = None;
+            for tt in &chunk {
+                match tt {
+                    TokenTree::Punct(p) if p.as_char() == ':' => {
+                        return last_ident.expect("field name before `:`");
+                    }
+                    TokenTree::Ident(id) => last_ident = Some(id.to_string()),
+                    _ => {}
+                }
+            }
+            panic!("struct field chunk without `:`")
+        })
+        .collect()
+}
+
+/// Variant names of a fieldless enum (skipping doc attributes).
+fn enum_variants(stream: TokenStream) -> Vec<String> {
+    split_top_level(stream)
+        .into_iter()
+        .map(|chunk| {
+            let mut iter = chunk.into_iter().peekable();
+            loop {
+                match iter.next().expect("variant name") {
+                    TokenTree::Punct(p) if p.as_char() == '#' => {
+                        iter.next(); // skip the bracket group
+                    }
+                    TokenTree::Ident(id) => return id.to_string(),
+                    _ => {}
+                }
+            }
+        })
+        .collect()
+}

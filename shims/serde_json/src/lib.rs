@@ -1,0 +1,167 @@
+//! Offline stand-in for the `serde_json` crate, layered on the `serde` shim.
+//!
+//! Provides [`Value`] (re-exported from the shim `serde`), [`to_value`],
+//! [`to_string`], [`to_string_pretty`] and a [`json!`] macro supporting the
+//! flat `json!({ "key": expr, ... })` object form (plus bare expressions and
+//! `json!([ ... ])` arrays), which is the surface this workspace uses.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+pub use serde::Value;
+use serde::Serialize;
+
+/// Serialization error (the shim's direct-to-value encoding cannot fail, but
+/// the `Result` API mirrors the real crate).
+#[derive(Debug, Clone)]
+pub struct Error(());
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serialization error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Converts any serializable value into a [`Value`] tree.
+pub fn to_value<T: Serialize>(value: T) -> Result<Value, Error> {
+    Ok(value.to_value())
+}
+
+/// Serializes to a compact JSON string.
+pub fn to_string<T: Serialize>(value: T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), &mut out, None, 0);
+    Ok(out)
+}
+
+/// Serializes to an indented JSON string.
+pub fn to_string_pretty<T: Serialize>(value: T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), &mut out, Some(2), 0);
+    Ok(out)
+}
+
+fn write_value(value: &Value, out: &mut String, indent: Option<usize>, depth: usize) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::Float(x) => {
+            if x.is_finite() {
+                out.push_str(&format!("{x}"));
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::String(s) => write_json_string(s, out),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_value(item, out, indent, depth + 1);
+            }
+            if !items.is_empty() {
+                newline_indent(out, indent, depth);
+            }
+            out.push(']');
+        }
+        Value::Object(entries) => {
+            out.push('{');
+            for (i, (key, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_json_string(key, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(item, out, indent, depth + 1);
+            }
+            if !entries.is_empty() {
+                newline_indent(out, indent, depth);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        out.push_str(&" ".repeat(width * depth));
+    }
+}
+
+fn write_json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Builds a [`Value`] from a flat object, array, or single expression.
+#[macro_export]
+macro_rules! json {
+    ({ $($key:literal : $value:expr),* $(,)? }) => {
+        $crate::Value::Object(vec![
+            $( ($key.to_string(), $crate::to_value(&$value).expect("shim to_value is infallible")) ),*
+        ])
+    };
+    ([ $($item:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![
+            $( $crate::to_value(&$item).expect("shim to_value is infallible") ),*
+        ])
+    };
+    (null) => { $crate::Value::Null };
+    ($other:expr) => {
+        $crate::to_value(&$other).expect("shim to_value is infallible")
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_rendering_matches_serde_json_shape() {
+        let v = json!({ "exact": false, "query": "a·(b+c)", "n": 3 });
+        let s = to_string(&v).unwrap();
+        assert_eq!(s, "{\"exact\":false,\"query\":\"a·(b+c)\",\"n\":3}");
+    }
+
+    #[test]
+    fn pretty_rendering_is_indented_and_reparsable_shape() {
+        let v = json!({ "rows": vec![json!({ "k": 1 })] });
+        let s = to_string_pretty(&v).unwrap();
+        assert!(s.contains("\n  \"rows\": ["));
+    }
+
+    #[test]
+    fn escapes_quotes_and_controls() {
+        let s = to_string(&"a\"b\\c\nd").unwrap();
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn index_and_eq_work_through_the_reexport() {
+        let v = json!({ "flag": true });
+        assert_eq!(v["flag"], Value::Bool(true));
+    }
+}

@@ -1,0 +1,24 @@
+//! Workspace facade for the PODS'99 rewriting reproduction.
+//!
+//! This crate exists to anchor the workspace-level integration tests
+//! (`tests/`) and runnable examples (`examples/`); it simply re-exports the
+//! member crates so downstream code can depend on one package:
+//!
+//! * [`automata`] — NFAs/DFAs, the dense bitset/CSR core, determinization,
+//!   products, containment;
+//! * [`regexlang`] — the paper's regular-expression language and
+//!   translations;
+//! * [`graphdb`] — edge-labeled graph databases and RPQ evaluation;
+//! * [`rewriter`] — the Σ_E-maximal rewriting construction and exactness;
+//! * [`rpq`] — regular path query rewriting over views (§4);
+//! * [`tiling`] — the lower-bound constructions (§3.2).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use automata;
+pub use graphdb;
+pub use regexlang;
+pub use rewriter;
+pub use rpq;
+pub use tiling;
