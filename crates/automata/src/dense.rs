@@ -409,6 +409,48 @@ impl DenseNfa {
         config.iter().any(|&s| self.finals.contains(s))
     }
 
+    /// Freezes the reverse of the ε-closed transition relation into a CSR
+    /// table: `t ∈ closed_successors(s, a)` ⟺ `s ∈ closed_predecessors(t, a)`.
+    ///
+    /// Backward product sweeps (e.g. the delta maintenance of `engine`, which
+    /// asks "from which `(source, state)` pairs can a run reach the endpoint
+    /// of a freshly inserted edge?") need exactly this relation; building it
+    /// once per frozen automaton keeps the sweep itself allocation-free.
+    pub fn reverse_closed(&self) -> DenseReverse {
+        let n = self.num_states;
+        let k = self.num_symbols;
+        // Counting sort into CSR: one pass to size each (target, symbol)
+        // bucket, one pass to fill it.
+        let mut offsets = vec![0u32; n * k + 1];
+        for s in 0..n as u32 {
+            for a in 0..k {
+                for &t in self.closed_successors(s, a) {
+                    offsets[t as usize * k + a + 1] += 1;
+                }
+            }
+        }
+        for i in 1..offsets.len() {
+            offsets[i] += offsets[i - 1];
+        }
+        let mut cursor = offsets.clone();
+        let mut sources = vec![0u32; self.closed_targets.len()];
+        for s in 0..n as u32 {
+            for a in 0..k {
+                for &t in self.closed_successors(s, a) {
+                    let slot = &mut cursor[t as usize * k + a];
+                    sources[*slot as usize] = s;
+                    *slot += 1;
+                }
+            }
+        }
+        DenseReverse {
+            num_states: n,
+            num_symbols: k,
+            offsets,
+            sources,
+        }
+    }
+
     /// Whether the automaton accepts `word` (bitset-frontier evaluation).
     pub fn accepts(&self, word: &[Symbol]) -> bool {
         let mut scratch = BitSet::new(self.num_states);
@@ -428,6 +470,49 @@ impl DenseNfa {
 impl From<&Nfa> for DenseNfa {
     fn from(nfa: &Nfa) -> Self {
         DenseNfa::from_nfa(nfa)
+    }
+}
+
+/// The reverse of a [`DenseNfa`]'s ε-closed transition relation, frozen into
+/// a CSR table by [`DenseNfa::reverse_closed`].
+///
+/// `closed_predecessors(t, a)` lists every state `s` with
+/// `t ∈ closed_successors(s, a)` — i.e. the states from which one `a`-step
+/// (with ε-closure folded in) can land in `t`.  Sources within a bucket
+/// appear in ascending order, mirroring the forward table.
+#[derive(Debug, Clone)]
+pub struct DenseReverse {
+    num_states: usize,
+    num_symbols: usize,
+    /// `offsets[t * num_symbols + a] .. [t * num_symbols + a + 1]` bounds the
+    /// slice of `sources` holding the predecessors of `t` under symbol `a`.
+    offsets: Vec<u32>,
+    sources: Vec<u32>,
+}
+
+impl DenseReverse {
+    /// Number of states of the underlying automaton.
+    pub fn num_states(&self) -> usize {
+        self.num_states
+    }
+
+    /// Number of symbols of the underlying alphabet.
+    pub fn num_symbols(&self) -> usize {
+        self.num_symbols
+    }
+
+    /// The sorted states `s` with `state ∈ closed_successors(s, sym)`.
+    #[inline]
+    pub fn closed_predecessors(&self, state: u32, sym: usize) -> &[u32] {
+        debug_assert!(
+            sym < self.num_symbols,
+            "symbol index {sym} out of range for alphabet of {} symbols",
+            self.num_symbols
+        );
+        let idx = state as usize * self.num_symbols + sym;
+        let lo = self.offsets[idx] as usize;
+        let hi = self.offsets[idx + 1] as usize;
+        &self.sources[lo..hi]
     }
 }
 
@@ -636,6 +721,34 @@ mod tests {
         // state 1 can reach final state 0 via b; both are coreachable.
         let co = dense.coreachable();
         assert!(co.contains(0) && co.contains(1));
+    }
+
+    #[test]
+    fn reverse_closed_inverts_the_forward_table() {
+        let alpha = ab();
+        let a = Nfa::symbol(alpha.clone(), alpha.symbol("a").unwrap());
+        let b = Nfa::symbol(alpha.clone(), alpha.symbol("b").unwrap());
+        let nfa = a.concat(&b).star().union(&b.plus());
+        let dense = DenseNfa::from_nfa(&nfa);
+        let rev = dense.reverse_closed();
+        assert_eq!(rev.num_states(), dense.num_states());
+        assert_eq!(rev.num_symbols(), dense.num_symbols());
+        for s in 0..dense.num_states() as u32 {
+            for sym in 0..dense.num_symbols() {
+                for &t in dense.closed_successors(s, sym) {
+                    assert!(
+                        rev.closed_predecessors(t, sym).contains(&s),
+                        "missing reverse edge {s} -{sym}-> {t}"
+                    );
+                }
+                for &t in rev.closed_predecessors(s, sym) {
+                    assert!(
+                        dense.closed_successors(t, sym).contains(&s),
+                        "spurious reverse edge {t} -{sym}-> {s}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

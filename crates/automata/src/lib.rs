@@ -77,7 +77,7 @@ pub mod product;
 pub mod random;
 
 pub use alphabet::{Alphabet, AlphabetError, Symbol};
-pub use dense::{BitSet, DenseDfa, DenseNfa};
+pub use dense::{BitSet, DenseDfa, DenseNfa, DenseReverse};
 pub use determinize::{
     determinize, determinize_dense, determinize_with_subsets, determinize_with_subsets_baseline,
     Determinized,

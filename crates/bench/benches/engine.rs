@@ -1,0 +1,103 @@
+//! Engine benchmarks: the sharded parallel evaluator vs the sequential one
+//! on |V| ≥ 1000 workloads, and incremental view maintenance (delta
+//! product-BFS per inserted edge) vs re-materializing after every insertion.
+
+use bench::random_rpq_workload;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use engine::{available_threads, eval_csr_parallel, QueryEngine};
+use graphdb::eval_csr;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+fn frozen_query(workload: &bench::RpqWorkload) -> automata::DenseNfa {
+    let grounded = workload.problem.query.ground(&workload.problem.theory);
+    let nfa = regexlang::thompson(&grounded, workload.db.domain())
+        .expect("grounded query is over the domain");
+    automata::DenseNfa::from_nfa(&nfa)
+}
+
+/// Sequential vs parallel product-BFS over the same frozen query and CSR.
+fn bench_parallel_eval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_parallel");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+    let threads = available_threads();
+    for &(nodes, edges) in &[(1000usize, 4000usize), (2000, 8000)] {
+        let workload = random_rpq_workload(nodes, edges, 42);
+        let frozen = frozen_query(&workload);
+        let csr = workload.db.csr_out();
+        group.bench_with_input(
+            BenchmarkId::new("sequential", nodes),
+            &(&csr, &frozen),
+            |b, (csr, frozen)| b.iter(|| std::hint::black_box(eval_csr(csr, frozen).len())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new(format!("parallel_x{threads}"), nodes),
+            &(&csr, &frozen),
+            |b, (csr, frozen)| {
+                b.iter(|| std::hint::black_box(eval_csr_parallel(csr, frozen, threads).len()))
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Keeping one view extension current across 8 edge insertions: delta repair
+/// through the engine vs a full re-evaluation after every insertion.  Both
+/// sides pay the same setup (database clone, initial materialization).
+fn bench_incremental_maintenance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_incremental");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+    let workload = random_rpq_workload(1000, 4000, 7);
+    let grounded = workload.problem.query.ground(&workload.problem.theory);
+    let frozen = frozen_query(&workload);
+    let mut rng = StdRng::seed_from_u64(99);
+    let inserts: Vec<(usize, automata::Symbol, usize)> = (0..8)
+        .map(|_| {
+            (
+                rng.gen_range(0..workload.db.num_nodes()),
+                automata::Symbol(rng.gen_range(0..workload.db.domain().len()) as u32),
+                rng.gen_range(0..workload.db.num_nodes()),
+            )
+        })
+        .collect();
+
+    group.bench_with_input(
+        BenchmarkId::new("delta_repair", "v1000_plus8"),
+        &(&workload, &grounded, &inserts),
+        |b, (workload, grounded, inserts)| {
+            b.iter(|| {
+                let mut engine = QueryEngine::new(workload.db.clone());
+                engine.register_view("q", (*grounded).clone());
+                engine.view_extension("q");
+                for &(f, l, t) in inserts.iter() {
+                    engine.add_edge(f, l, t);
+                }
+                std::hint::black_box(engine.view_extension("q").map(|e| e.len()))
+            })
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("rematerialize", "v1000_plus8"),
+        &(&workload, &frozen, &inserts),
+        |b, (workload, frozen, inserts)| {
+            b.iter(|| {
+                let mut db = workload.db.clone();
+                let mut size = eval_csr(&db.csr_out(), frozen).len();
+                for &(f, l, t) in inserts.iter() {
+                    db.add_edge(f, l, t);
+                    size = eval_csr(&db.csr_out(), frozen).len();
+                }
+                std::hint::black_box(size)
+            })
+        },
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel_eval, bench_incremental_maintenance);
+criterion_main!(benches);

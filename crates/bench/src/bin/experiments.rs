@@ -90,8 +90,11 @@ fn time_ms<T>(runs: usize, mut f: impl FnMut() -> T) -> f64 {
 }
 
 /// Dense-core vs tree-baseline timings for the two hottest loops
-/// (determinization and RPQ evaluation), written to `BENCH_rpq.json` so the
-/// perf trajectory is tracked across PRs.
+/// (determinization and RPQ evaluation), plus the engine's parallel and
+/// incremental paths, written to `BENCH_rpq.json` so the perf trajectory is
+/// tracked across PRs.  If a committed snapshot is present in the working
+/// directory it is diffed first: >20% regressions on any `*_ms` field are
+/// flagged as GitHub warning annotations (see the CI workflow).
 fn bench_rpq_json() {
     use automata::{
         determinize_with_subsets, determinize_with_subsets_baseline, random_nfa,
@@ -100,6 +103,10 @@ fn bench_rpq_json() {
     use graphdb::{eval_automaton, eval_automaton_baseline};
 
     println!("\n================ BENCH_rpq.json ================");
+    // The committed snapshot, for the regression diff after remeasuring.
+    let previous = fs::read_to_string("BENCH_rpq.json")
+        .ok()
+        .and_then(|s| serde_json::from_str(&s).ok());
     let mut determinization = Vec::new();
 
     // Random NFA, n = 64 states over {a, b, c}.
@@ -170,10 +177,111 @@ fn bench_rpq_json() {
         "speedup": baseline_ms / dense_ms,
     }));
 
+    // Parallel evaluation: the engine's sharded product-BFS vs the
+    // sequential evaluator on the |V| = 2000 workload.
+    let mut parallel = Vec::new();
+    {
+        use engine::{available_threads, eval_csr_parallel};
+        use graphdb::eval_csr;
+
+        let workload = random_rpq_workload(2000, 8000, 42);
+        let grounded = workload.problem.query.ground(&workload.problem.theory);
+        let nfa = regexlang::thompson(&grounded, workload.db.domain())
+            .expect("grounded query is over the domain");
+        let frozen = automata::DenseNfa::from_nfa(&nfa);
+        let csr = workload.db.csr_out();
+        let threads = available_threads();
+        let sequential_ms = time_ms(3, || eval_csr(&csr, &frozen).len());
+        let parallel_ms = time_ms(3, || eval_csr_parallel(&csr, &frozen, threads).len());
+        println!(
+            "rpq eval |V|=2000         : sequential {sequential_ms:.3} ms, parallel {parallel_ms:.3} ms on {threads} thread(s) ({:.1}x)",
+            sequential_ms / parallel_ms
+        );
+        parallel.push(json!({
+            "workload": "random_graph_v2000_e8000",
+            "threads": threads,
+            "sequential_ms": sequential_ms,
+            "parallel_ms": parallel_ms,
+            "speedup": sequential_ms / parallel_ms,
+        }));
+    }
+
+    // Incremental maintenance: per-edge delta repair of a cached view
+    // extension vs re-materializing from scratch after each insertion.
+    let mut incremental = Vec::new();
+    {
+        use engine::QueryEngine;
+        use graphdb::eval_csr;
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+
+        let workload = random_rpq_workload(1000, 4000, 7);
+        let grounded = workload.problem.query.ground(&workload.problem.theory);
+        let nfa = regexlang::thompson(&grounded, workload.db.domain())
+            .expect("grounded query is over the domain");
+        let frozen = automata::DenseNfa::from_nfa(&nfa);
+        let num_nodes = workload.db.num_nodes();
+        let domain_len = workload.db.domain().len();
+        let mut rng = StdRng::seed_from_u64(99);
+        let inserts: Vec<(usize, automata::Symbol, usize)> = (0..8)
+            .map(|_| {
+                (
+                    rng.gen_range(0..num_nodes),
+                    automata::Symbol(rng.gen_range(0..domain_len) as u32),
+                    rng.gen_range(0..num_nodes),
+                )
+            })
+            .collect();
+
+        // From-scratch strategy: one full evaluation per inserted edge (the
+        // final graph's evaluation is representative of each step's cost).
+        let mut grown = workload.db.clone();
+        for &(f, l, t) in &inserts {
+            grown.add_edge(f, l, t);
+        }
+        let grown_csr = grown.csr_out();
+        let rematerialize_ms = time_ms(3, || eval_csr(&grown_csr, &frozen).len());
+
+        // Delta strategy: repair the cached extension on every insertion
+        // (setup — engine construction and initial materialization — is
+        // outside the timed window).
+        let delta_repair_ms = (0..3)
+            .map(|_| {
+                let mut engine = QueryEngine::new(workload.db.clone());
+                engine.register_view("q", grounded.clone());
+                engine.view_extension("q").expect("registered");
+                let t0 = Instant::now();
+                for &(f, l, t) in &inserts {
+                    engine.add_edge(f, l, t);
+                }
+                std::hint::black_box(engine.view_extension("q").map(|e| e.len()));
+                t0.elapsed().as_secs_f64() * 1e3 / inserts.len() as f64
+            })
+            .fold(f64::INFINITY, f64::min);
+        println!(
+            "incremental |V|=1000 +8e  : rematerialize {rematerialize_ms:.3} ms/edge, delta repair {delta_repair_ms:.3} ms/edge ({:.1}x)",
+            rematerialize_ms / delta_repair_ms
+        );
+        incremental.push(json!({
+            "workload": "random_graph_v1000_e4000_plus8edges",
+            "edges_inserted": inserts.len(),
+            "rematerialize_ms": rematerialize_ms,
+            "delta_repair_ms": delta_repair_ms,
+            "speedup": rematerialize_ms / delta_repair_ms,
+        }));
+    }
+
     let value = json!({
         "determinization": determinization,
         "eval": eval,
+        "parallel": parallel,
+        "incremental": incremental,
     });
+    if let Some(previous) = &previous {
+        diff_bench_snapshots(previous, &value);
+    } else {
+        println!("no committed BENCH_rpq.json found; skipping regression diff");
+    }
     match fs::write(
         "BENCH_rpq.json",
         serde_json::to_string_pretty(&value).expect("serializable"),
@@ -184,6 +292,69 @@ fn bench_rpq_json() {
             std::process::exit(1);
         }
     }
+}
+
+/// Compares every `*_ms` field of the new snapshot against the committed one
+/// (rows matched by section and workload) and flags slowdowns beyond 20% as
+/// GitHub warning annotations.  New sections/workloads/fields pass silently
+/// — only measured-vs-measured regressions are flagged.
+fn diff_bench_snapshots(old: &Value, new: &Value) {
+    println!("---- diff vs committed BENCH_rpq.json (threshold: +20% on *_ms) ----");
+    let mut regressions = 0usize;
+    let mut compared = 0usize;
+    for (section, rows) in new.as_object().unwrap_or(&[]) {
+        let Some(rows) = rows.as_array() else { continue };
+        for row in rows {
+            let Some(workload) = row.get("workload").and_then(Value::as_str) else {
+                continue;
+            };
+            let old_row = old
+                .get(section)
+                .and_then(Value::as_array)
+                .and_then(|rows| {
+                    rows.iter()
+                        .find(|r| r.get("workload").and_then(Value::as_str) == Some(workload))
+                });
+            let Some(old_row) = old_row else {
+                println!("  [new row] {section}/{workload}");
+                continue;
+            };
+            for (field, value) in row.as_object().unwrap_or(&[]) {
+                if !field.ends_with("_ms") {
+                    continue;
+                }
+                let (Some(new_ms), Some(old_ms)) =
+                    (value.as_f64(), old_row.get(field).and_then(Value::as_f64))
+                else {
+                    continue;
+                };
+                // Only the product's own hot paths gate; baseline_ms /
+                // sequential_ms / rematerialize_ms time the deliberately
+                // slow reference strategies and would train everyone to
+                // ignore the annotation.
+                let gated = matches!(
+                    field.as_str(),
+                    "dense_ms" | "parallel_ms" | "delta_repair_ms"
+                );
+                compared += 1;
+                let change = (new_ms - old_ms) / old_ms.max(f64::MIN_POSITIVE) * 100.0;
+                if gated && new_ms > old_ms * 1.2 {
+                    regressions += 1;
+                    // GitHub renders `::warning::` lines as annotations.
+                    println!(
+                        "::warning title=perf regression::{section}/{workload}/{field}: \
+                         {old_ms:.3} ms -> {new_ms:.3} ms ({change:+.0}%)"
+                    );
+                } else {
+                    let tag = if gated { "ok " } else { "ref" };
+                    println!(
+                        "  {tag} {section}/{workload}/{field}: {old_ms:.3} -> {new_ms:.3} ms ({change:+.0}%)"
+                    );
+                }
+            }
+        }
+    }
+    println!("{compared} timings compared, {regressions} regression(s) beyond 20%");
 }
 
 /// E1 — Figure 1 / Examples 2.2 & 2.3: the full pipeline on the paper's

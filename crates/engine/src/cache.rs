@@ -1,0 +1,127 @@
+//! The automaton compile cache.
+//!
+//! Freezing a query into a [`DenseNfa`] — grounding the regex to an NFA,
+//! precomputing ε-closures, laying out CSR successor tables — is pure
+//! per-query work that the one-shot library paths repeat on every call:
+//! `rpq::materialize_views` froze each view per database, and every
+//! `compare_on_database` froze the same rewriting automaton again.  The
+//! cache interns frozen automata by [`Fingerprint`] so each distinct query
+//! is compiled exactly once per engine, no matter how many revisions or
+//! evaluation paths touch it.
+
+use std::rc::Rc;
+
+use automata::dense::FxHashMap;
+use automata::{Alphabet, DenseNfa, Nfa};
+use regexlang::Regex;
+
+use crate::fingerprint::{fingerprint_nfa, fingerprint_regex, Fingerprint};
+
+/// An interning cache of frozen [`DenseNfa`]s keyed by query fingerprint.
+#[derive(Debug, Default)]
+pub struct CompileCache {
+    map: FxHashMap<Fingerprint, Rc<DenseNfa>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl CompileCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Compiles (or reuses) a regex over `domain`.
+    ///
+    /// # Panics
+    /// Panics if the regex mentions a symbol outside `domain`, mirroring the
+    /// label-oriented message of `graphdb`'s evaluators.
+    pub fn compile_regex(&mut self, domain: &Alphabet, regex: &Regex) -> Rc<DenseNfa> {
+        let fp = fingerprint_regex(domain, regex);
+        if let Some(dense) = self.map.get(&fp) {
+            self.hits += 1;
+            return dense.clone();
+        }
+        self.misses += 1;
+        let nfa = regexlang::thompson(regex, domain).unwrap_or_else(|unknown| {
+            panic!(
+                "query mentions `{}` which is not a label of the database domain",
+                unknown.name
+            )
+        });
+        let dense = Rc::new(DenseNfa::from_nfa(&nfa));
+        self.map.insert(fp, dense.clone());
+        dense
+    }
+
+    /// Freezes (or reuses) an automaton-form query.
+    pub fn compile_nfa(&mut self, nfa: &Nfa) -> Rc<DenseNfa> {
+        let fp = fingerprint_nfa(nfa);
+        if let Some(dense) = self.map.get(&fp) {
+            self.hits += 1;
+            return dense.clone();
+        }
+        self.misses += 1;
+        let dense = Rc::new(DenseNfa::from_nfa(nfa));
+        self.map.insert(fp, dense.clone());
+        dense
+    }
+
+    /// Number of distinct compiled automata currently interned.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Number of cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Number of cache misses (i.e. actual compilations) so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regex_compilation_is_interned() {
+        let domain = Alphabet::from_chars(['a', 'b']).unwrap();
+        let mut cache = CompileCache::new();
+        let r = regexlang::parse("a·b*").unwrap();
+        let d1 = cache.compile_regex(&domain, &r);
+        let d2 = cache.compile_regex(&domain, &regexlang::parse("a·b*").unwrap());
+        assert!(Rc::ptr_eq(&d1, &d2));
+        assert_eq!(cache.len(), 1);
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+    }
+
+    #[test]
+    fn nfa_and_regex_entries_coexist() {
+        let domain = Alphabet::from_chars(['a']).unwrap();
+        let mut cache = CompileCache::new();
+        let r = regexlang::parse("a*").unwrap();
+        let dense_from_regex = cache.compile_regex(&domain, &r);
+        let nfa = regexlang::thompson(&r, &domain).unwrap();
+        let dense_from_nfa = cache.compile_nfa(&nfa);
+        assert_eq!(cache.len(), 2); // different canonical forms, both cached
+        let w = domain.word(&["a", "a"]).unwrap();
+        assert_eq!(dense_from_regex.accepts(&w), dense_from_nfa.accepts(&w));
+        assert!(Rc::ptr_eq(&dense_from_nfa, &cache.compile_nfa(&nfa)));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a label")]
+    fn unknown_symbols_panic_like_the_evaluators() {
+        let domain = Alphabet::from_chars(['a']).unwrap();
+        CompileCache::new().compile_regex(&domain, &regexlang::parse("zz").unwrap());
+    }
+}

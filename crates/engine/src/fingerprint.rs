@@ -1,0 +1,132 @@
+//! 128-bit structural fingerprints for queries.
+//!
+//! The compile cache must recognize "the same query again" across call
+//! sites that hold different in-memory values: a regex parsed twice, a view
+//! definition grounded per problem, a rewriting automaton rebuilt per
+//! comparison.  Fingerprints hash a canonical form — the regex rendering or
+//! the NFA transition structure, always together with the alphabet — into
+//! 128 bits (two independently-seeded [`FxHasher`] streams), wide enough
+//! that accidental collisions are not a practical concern.
+
+use std::hash::Hasher;
+
+use automata::dense::FxHasher;
+use automata::Nfa;
+use regexlang::Regex;
+
+/// A 128-bit query fingerprint (two independently-seeded 64-bit halves).
+pub type Fingerprint = u128;
+
+/// Two [`FxHasher`] streams with distinct initial states, combined into one
+/// [`Fingerprint`] at the end.
+struct Fp2 {
+    lo: FxHasher,
+    hi: FxHasher,
+}
+
+impl Fp2 {
+    fn new(discriminant: u64) -> Self {
+        let mut lo = FxHasher::default();
+        let mut hi = FxHasher::default();
+        lo.write_u64(discriminant);
+        // Different seeds keep the halves independent even though the
+        // streams see identical input afterwards.
+        hi.write_u64(!discriminant);
+        hi.write_u64(0x9e37_79b9_7f4a_7c15);
+        Fp2 { lo, hi }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.lo.write_u64(v);
+        self.hi.write_u64(v);
+    }
+
+    fn write_str(&mut self, s: &str) {
+        self.write_u64(s.len() as u64);
+        self.lo.write(s.as_bytes());
+        self.hi.write(s.as_bytes());
+    }
+
+    fn finish(self) -> Fingerprint {
+        ((self.hi.finish() as u128) << 64) | self.lo.finish() as u128
+    }
+}
+
+fn write_alphabet(fp: &mut Fp2, alphabet: &automata::Alphabet) {
+    fp.write_u64(alphabet.len() as u64);
+    for name in alphabet.names() {
+        fp.write_str(name);
+    }
+}
+
+/// Fingerprint of a regex to be compiled over `domain`.
+///
+/// The rendering of a [`Regex`] is canonical (it round-trips through the
+/// parser), so two structurally equal expressions fingerprint equally even
+/// when built through different constructors.
+pub fn fingerprint_regex(domain: &automata::Alphabet, regex: &Regex) -> Fingerprint {
+    let mut fp = Fp2::new(0x5245_4745_58_u64); // "REGEX"
+    write_alphabet(&mut fp, domain);
+    fp.write_str(&regex.to_string());
+    fp.finish()
+}
+
+/// Fingerprint of an NFA's transition structure and alphabet.
+pub fn fingerprint_nfa(nfa: &Nfa) -> Fingerprint {
+    let mut fp = Fp2::new(0x4e46_41_u64); // "NFA"
+    write_alphabet(&mut fp, nfa.alphabet());
+    fp.write_u64(nfa.num_states() as u64);
+    for &s in nfa.initial_states() {
+        fp.write_u64(s as u64);
+    }
+    fp.write_u64(u64::MAX); // section separator
+    for &s in nfa.final_states() {
+        fp.write_u64(s as u64);
+    }
+    fp.write_u64(u64::MAX);
+    for (from, sym, to) in nfa.transitions() {
+        fp.write_u64(from as u64);
+        fp.write_u64(match sym {
+            Some(s) => s.index() as u64,
+            None => u64::MAX, // ε
+        });
+        fp.write_u64(to as u64);
+    }
+    fp.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use automata::Alphabet;
+
+    #[test]
+    fn equal_regexes_fingerprint_equally() {
+        let domain = Alphabet::from_chars(['a', 'b']).unwrap();
+        let r1 = regexlang::parse("a·(b+a)*").unwrap();
+        let r2 = regexlang::parse("a·(b+a)*").unwrap();
+        assert_eq!(fingerprint_regex(&domain, &r1), fingerprint_regex(&domain, &r2));
+        let r3 = regexlang::parse("a·(b+a)").unwrap();
+        assert_ne!(fingerprint_regex(&domain, &r1), fingerprint_regex(&domain, &r3));
+    }
+
+    #[test]
+    fn alphabet_is_part_of_the_fingerprint() {
+        let d1 = Alphabet::from_chars(['a', 'b']).unwrap();
+        let d2 = Alphabet::from_chars(['a', 'b', 'c']).unwrap();
+        let r = regexlang::parse("a·b").unwrap();
+        assert_ne!(fingerprint_regex(&d1, &r), fingerprint_regex(&d2, &r));
+    }
+
+    #[test]
+    fn nfa_fingerprint_distinguishes_structure() {
+        let alpha = Alphabet::from_chars(['a', 'b']).unwrap();
+        let a = Nfa::symbol(alpha.clone(), alpha.symbol("a").unwrap());
+        let b = Nfa::symbol(alpha.clone(), alpha.symbol("b").unwrap());
+        let n1 = a.concat(&b);
+        let n2 = a.concat(&b);
+        let n3 = b.concat(&a);
+        assert_eq!(fingerprint_nfa(&n1), fingerprint_nfa(&n2));
+        assert_ne!(fingerprint_nfa(&n1), fingerprint_nfa(&n3));
+    }
+}

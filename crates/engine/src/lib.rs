@@ -1,0 +1,102 @@
+//! # engine — a parallel, caching, incrementally-maintained RPQ query engine
+//!
+//! The rest of the workspace answers regular path queries with one-shot
+//! library calls: `rpq::materialize_views` re-evaluates every view from
+//! scratch per database, and `graphdb::eval_dense` runs its independent
+//! per-source product-BFS sweeps on a single thread.  This crate packages
+//! the paper's central workload — RPQs over a database and over materialized
+//! view extensions (§4 of Calvanese–De Giacomo–Lenzerini–Vardi, PODS'99) —
+//! as a stateful [`QueryEngine`] with three cooperating mechanisms:
+//!
+//! ## Parallel evaluation
+//!
+//! RPQ evaluation ([`graphdb::eval_csr`]) runs one independent product-BFS
+//! per source node over a shared read-only [`automata::DenseNfa`] and CSR
+//! adjacency.  [`eval_csr_parallel`] shards the source range across a
+//! hand-rolled scoped-thread work pool (`std::thread::scope` plus an atomic
+//! chunk cursor — the build environment has no external crates): each worker
+//! owns an [`graphdb::EvalScratch`] and a private answer buffer, claims
+//! chunks of sources until the range is drained, and the buffers are merged
+//! into the answer set at the end.  Workers only *read* shared state, so the
+//! sharded evaluation is answer-identical to the sequential one by
+//! construction (and pinned to it by differential tests).
+//!
+//! ## The caches and the revision counter
+//!
+//! The engine owns its [`graphdb::GraphDb`] together with the frozen CSR
+//! adjacencies (outgoing for forward sweeps, always current; incoming
+//! frozen on demand for the backward sweeps of delta maintenance) and a
+//! monotone **revision** counter that bumps on every mutation.  Three
+//! caches hang off this state:
+//!
+//! * a **compile cache** ([`CompileCache`]): frozen [`automata::DenseNfa`]s
+//!   keyed by a 128-bit fingerprint of the regex (rendering + alphabet) or
+//!   NFA (structure + alphabet).  Freezing — ε-closure precomputation and
+//!   CSR layout — happens once per distinct query/view/rewriting automaton,
+//!   no matter how many times or over how many revisions it is evaluated.
+//! * a **view-extension cache**: each registered view stores its
+//!   materialized extension tagged with the revision it is valid at
+//!   (conceptually keyed by `(db revision, view name)`).  Extensions are
+//!   materialized lazily, repaired incrementally on mutation (below), and
+//!   only re-materialized from scratch when no valid cached state exists.
+//! * an **answer cache**: ad-hoc query answers keyed by
+//!   `(fingerprint, revision)`, invalidated wholesale on mutation.
+//!
+//! ## Incremental maintenance under edge insertion
+//!
+//! The engine's mutation surface is insert-only ([`QueryEngine::add_edge`] /
+//! [`QueryEngine::add_edges`] — "remove-free"), which makes RPQ answers
+//! *monotone*: inserting an edge only ever adds pairs.  On insertion of
+//! `u --a--> v` the engine repairs every cached view extension with a
+//! **delta product-BFS** ([`delta_pairs`]) instead of re-materializing:
+//! every new answer pair crosses the new edge, so for each automaton
+//! transition `q --a--> q'`:
+//!
+//! * a *backward* sweep over the incoming CSR and the reversed ε-closed
+//!   transition table ([`automata::DenseReverse`]) finds the sources `x`
+//!   with `(x, start) →* (u, q)`, and
+//! * a *forward* sweep from `(v, q')` (memoized per `q'`) finds the targets
+//!   `y` from which acceptance is reachable;
+//!
+//! their cross product is exactly the set of candidate new pairs, and both
+//! sweeps run over the *updated* graph so paths crossing the new edge
+//! several times are found too.  Cost is `O(|Q|·(V+E)·|Q|)` per inserted
+//! edge versus `O(V·(V+E)·|Q|)` for a from-scratch re-materialization — the
+//! win the `engine` criterion bench and `BENCH_rpq.json` track.
+//!
+//! ```
+//! use automata::Alphabet;
+//! use engine::QueryEngine;
+//! use graphdb::GraphDb;
+//!
+//! let mut db = GraphDb::new(Alphabet::from_chars(['a', 'b', 'c']).unwrap());
+//! db.add_edge_named("n0", "a", "n1");
+//! db.add_edge_named("n1", "b", "n2");
+//! let mut engine = QueryEngine::new(db);
+//!
+//! engine.register_view("e1", regexlang::parse("a·b?").unwrap());
+//! let before = engine.view_extension("e1").unwrap().len();
+//!
+//! // Insert an edge: the cached extension is repaired, not recomputed.
+//! let n2 = engine.db().node_by_name("n2").unwrap();
+//! let n0 = engine.db().node_by_name("n0").unwrap();
+//! let a = engine.db().domain().symbol("a").unwrap();
+//! engine.add_edge(n2, a, n0);
+//! assert!(engine.view_extension("e1").unwrap().len() > before);
+//! assert_eq!(engine.stats().view_delta_repairs, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod delta;
+pub mod fingerprint;
+pub mod parallel;
+pub mod query_engine;
+
+pub use cache::CompileCache;
+pub use delta::delta_pairs;
+pub use fingerprint::{fingerprint_nfa, fingerprint_regex, Fingerprint};
+pub use parallel::{available_threads, eval_csr_parallel};
+pub use query_engine::{EngineConfig, EngineStats, QueryEngine};

@@ -1,0 +1,138 @@
+//! Scoped-thread parallel RPQ evaluation.
+//!
+//! [`graphdb::eval_csr`] runs one independent product-BFS per source node;
+//! nothing is shared between sources except the read-only query automaton
+//! and CSR adjacency.  That makes the source range embarrassingly parallel:
+//! this module shards it across a hand-rolled work pool —
+//! `std::thread::scope` workers pulling fixed-size chunks off an atomic
+//! cursor (no external thread-pool crates exist in this environment) — with
+//! one [`EvalScratch`] and one private answer buffer per worker, merged into
+//! the final answer set after the scope joins.
+//!
+//! Chunked self-scheduling (rather than one static slice per worker) keeps
+//! the pool balanced when source costs are skewed, e.g. when a hub node's
+//! BFS touches most of the graph while leaf sources finish immediately.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use automata::DenseNfa;
+use graphdb::{eval_csr, eval_csr_range, Answer, CsrAdjacency, EvalScratch, NodeId};
+
+/// Number of worker threads the hardware supports (≥ 1).
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Evaluates `query` over `csr` with `threads` workers, sharding the
+/// per-source product-BFS range.  Answer-identical to [`eval_csr`] (each
+/// source's sweep is independent and workers only read shared state);
+/// `threads <= 1` falls through to the sequential evaluator.
+pub fn eval_csr_parallel(csr: &CsrAdjacency, query: &DenseNfa, threads: usize) -> Answer {
+    let num_nodes = csr.num_nodes();
+    let threads = threads.min(num_nodes.max(1));
+    if threads <= 1 {
+        return eval_csr(csr, query);
+    }
+    // Fail on the caller's thread (with the caller's message) rather than
+    // poisoning a worker join.
+    csr.domain()
+        .check_compatible(query.alphabet())
+        .expect("query automaton must be over the database domain");
+
+    // Chunks small enough to self-balance, large enough that the atomic
+    // cursor stays cold: aim for ~8 chunks per worker.
+    let chunk = (num_nodes / (threads * 8)).clamp(1, 1024);
+    let cursor = AtomicUsize::new(0);
+
+    let buffers: Vec<Vec<(u32, u32)>> = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut scratch = EvalScratch::new(csr, query);
+                    let mut pairs = Vec::new();
+                    loop {
+                        let lo = cursor.fetch_add(chunk, Ordering::Relaxed);
+                        if lo >= num_nodes {
+                            break;
+                        }
+                        let hi = (lo + chunk).min(num_nodes);
+                        eval_csr_range(csr, query, lo as u32..hi as u32, &mut scratch, &mut pairs);
+                    }
+                    pairs
+                })
+            })
+            .collect();
+        workers
+            .into_iter()
+            .map(|w| w.join().expect("evaluation worker panicked"))
+            .collect()
+    });
+
+    buffers
+        .into_iter()
+        .flatten()
+        .map(|(x, y)| (x as NodeId, y as NodeId))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use automata::Alphabet;
+    use graphdb::GraphDb;
+
+    fn sample_db() -> GraphDb {
+        let mut db = GraphDb::new(Alphabet::from_chars(['a', 'b', 'c']).unwrap());
+        db.add_edge_named("n0", "a", "n1");
+        db.add_edge_named("n1", "b", "n2");
+        db.add_edge_named("n2", "a", "n1");
+        db.add_edge_named("n1", "c", "n1");
+        db.add_edge_named("n2", "c", "n3");
+        db
+    }
+
+    fn dense(db: &GraphDb, src: &str) -> DenseNfa {
+        let nfa = regexlang::thompson(&regexlang::parse(src).unwrap(), db.domain()).unwrap();
+        DenseNfa::from_nfa(&nfa)
+    }
+
+    #[test]
+    fn parallel_matches_sequential_on_small_graphs() {
+        let db = sample_db();
+        let csr = db.csr_out();
+        for q in ["a·(b·a+c)*", "c*", "ε", "∅", "a+b·c?"] {
+            let query = dense(&db, q);
+            let seq = eval_csr(&csr, &query);
+            for threads in [1, 2, 3, 8, 64] {
+                assert_eq!(seq, eval_csr_parallel(&csr, &query, threads), "{q} x{threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_threads_degrades_to_sequential() {
+        let db = sample_db();
+        let csr = db.csr_out();
+        let query = dense(&db, "a·b");
+        assert_eq!(eval_csr(&csr, &query), eval_csr_parallel(&csr, &query, 0));
+    }
+
+    #[test]
+    fn empty_databases_are_handled() {
+        let db = GraphDb::new(Alphabet::from_chars(['a']).unwrap());
+        let csr = db.csr_out();
+        let query = dense(&db, "a*");
+        assert!(eval_csr_parallel(&csr, &query, 4).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "must be over the database domain")]
+    fn incompatible_alphabets_panic_on_the_caller_thread() {
+        let db = sample_db();
+        let other = GraphDb::new(Alphabet::from_chars(['x', 'y']).unwrap());
+        let query = dense(&other, "x·y");
+        let _ = eval_csr_parallel(&db.csr_out(), &query, 4);
+    }
+}

@@ -1,0 +1,618 @@
+//! The stateful query engine tying parallel evaluation, compile caching,
+//! and incremental view maintenance together (see the crate docs for the
+//! revision/caching model).
+
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use automata::dense::FxHashMap;
+use automata::{Alphabet, DenseNfa, DenseReverse, Nfa};
+use graphdb::{Answer, CsrAdjacency, GraphDb, MaterializedViews, NodeId};
+use regexlang::Regex;
+
+use crate::cache::CompileCache;
+use crate::delta::delta_pairs;
+use crate::fingerprint::{fingerprint_nfa, fingerprint_regex, Fingerprint};
+use crate::parallel::{available_threads, eval_csr_parallel};
+
+/// Tuning knobs of a [`QueryEngine`].
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Worker threads for parallel evaluation; `0` means "use
+    /// [`available_threads`]".
+    pub threads: usize,
+    /// Below this node count evaluation stays sequential (thread spawn and
+    /// merge overhead dominates on small graphs).
+    pub parallel_threshold: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            threads: 0,
+            parallel_threshold: 256,
+        }
+    }
+}
+
+/// Observable counters: cache effectiveness and which evaluation/maintenance
+/// paths ran.  The differential tests assert on these to prove the cached
+/// and incremental paths (not silent fallbacks) produced the answers.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Compile-cache hits (query already frozen).
+    pub compile_hits: u64,
+    /// Compile-cache misses (query frozen now).
+    pub compile_misses: u64,
+    /// Ad-hoc answers served from the answer cache.
+    pub answer_hits: u64,
+    /// Ad-hoc answers evaluated.
+    pub answer_misses: u64,
+    /// View extensions materialized from scratch.
+    pub view_full_materializations: u64,
+    /// View extensions served from cache at the current revision.
+    pub view_cache_hits: u64,
+    /// View extensions repaired incrementally after an edge insertion.
+    pub view_delta_repairs: u64,
+    /// Evaluations that ran on the sharded thread pool.
+    pub parallel_evals: u64,
+    /// Evaluations that ran sequentially (small graph or 1 thread).
+    pub sequential_evals: u64,
+}
+
+/// One registered view: its grounded definition, compiled automaton, lazily
+/// built reverse table, and revisioned cached extension.
+#[derive(Debug)]
+struct ViewEntry {
+    name: String,
+    fingerprint: Fingerprint,
+    nfa: Rc<DenseNfa>,
+    reverse: Option<Rc<DenseReverse>>,
+    /// `(revision the pairs are valid at, the extension)`.
+    extension: Option<(u64, Answer)>,
+}
+
+/// A stateful RPQ query engine over one owned database.
+///
+/// Construct with [`QueryEngine::new`], register views with
+/// [`register_view`](Self::register_view), query with
+/// [`eval_regex`](Self::eval_regex) /
+/// [`view_extension`](Self::view_extension) /
+/// [`eval_over_views`](Self::eval_over_views), and mutate with
+/// [`add_edge`](Self::add_edge) — cached view extensions survive mutations
+/// via incremental repair.
+#[derive(Debug)]
+pub struct QueryEngine {
+    db: GraphDb,
+    revision: u64,
+    /// Monotone counter of view-set changes; part of the materialized-views
+    /// cache key.
+    views_epoch: u64,
+    csr_out: CsrAdjacency,
+    /// Incoming adjacency, frozen only when a mutation actually needs the
+    /// backward delta sweeps (read-only engines never pay for it).
+    csr_in: Option<CsrAdjacency>,
+    config: EngineConfig,
+    compile: CompileCache,
+    /// Registered views in registration order (the order defines the view
+    /// alphabet, matching `MaterializedViews::materialize_regexes`).
+    views: Vec<ViewEntry>,
+    /// Ad-hoc answers keyed by query fingerprint, tagged with the revision
+    /// they were computed at; cleared on mutation.
+    answers: FxHashMap<Fingerprint, (u64, Rc<Answer>)>,
+    /// Cached Σ_E view of the current extensions, keyed by
+    /// `(revision, views_epoch)`.
+    materialized: Option<(u64, u64, Rc<MaterializedViews>)>,
+    stats: EngineStats,
+}
+
+impl QueryEngine {
+    /// Wraps a database with default configuration.
+    pub fn new(db: GraphDb) -> Self {
+        Self::with_config(db, EngineConfig::default())
+    }
+
+    /// Wraps a database with explicit configuration.
+    pub fn with_config(db: GraphDb, config: EngineConfig) -> Self {
+        let csr_out = db.csr_out();
+        QueryEngine {
+            db,
+            revision: 0,
+            views_epoch: 0,
+            csr_out,
+            csr_in: None,
+            config,
+            compile: CompileCache::new(),
+            views: Vec::new(),
+            answers: FxHashMap::default(),
+            materialized: None,
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// The underlying database (read-only; mutate through the engine).
+    pub fn db(&self) -> &GraphDb {
+        &self.db
+    }
+
+    /// The current database revision (bumped by every mutation).
+    pub fn revision(&self) -> u64 {
+        self.revision
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Cache/evaluation counters (compile-cache numbers folded in).
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            compile_hits: self.compile.hits(),
+            compile_misses: self.compile.misses(),
+            ..self.stats
+        }
+    }
+
+    /// The frozen outgoing adjacency at the current revision.
+    pub fn csr_out(&self) -> &CsrAdjacency {
+        &self.csr_out
+    }
+
+    fn threads_for(&self, num_nodes: usize) -> usize {
+        if num_nodes < self.config.parallel_threshold {
+            return 1;
+        }
+        match self.config.threads {
+            0 => available_threads(),
+            n => n,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Ad-hoc queries
+
+    /// Evaluates a regex query over the database, through the compile and
+    /// answer caches.
+    pub fn eval_regex(&mut self, query: &Regex) -> Rc<Answer> {
+        let fp = fingerprint_regex(self.db.domain(), query);
+        if let Some((rev, cached)) = self.answers.get(&fp) {
+            if *rev == self.revision {
+                self.stats.answer_hits += 1;
+                return cached.clone();
+            }
+        }
+        self.stats.answer_misses += 1;
+        let dense = self.compile.compile_regex(self.db.domain(), query);
+        let answer = Rc::new(self.eval_on_db(&dense));
+        self.answers.insert(fp, (self.revision, answer.clone()));
+        answer
+    }
+
+    /// Evaluates a query written in the paper's concrete syntax.
+    pub fn eval_str(&mut self, query: &str) -> Rc<Answer> {
+        let expr = regexlang::parse(query).expect("query must parse");
+        self.eval_regex(&expr)
+    }
+
+    /// Evaluates an automaton-form query over the database, through the
+    /// compile and answer caches.
+    pub fn eval_nfa(&mut self, query: &Nfa) -> Rc<Answer> {
+        let fp = fingerprint_nfa(query);
+        if let Some((rev, cached)) = self.answers.get(&fp) {
+            if *rev == self.revision {
+                self.stats.answer_hits += 1;
+                return cached.clone();
+            }
+        }
+        self.stats.answer_misses += 1;
+        let dense = self.compile.compile_nfa(query);
+        let answer = Rc::new(self.eval_on_db(&dense));
+        self.answers.insert(fp, (self.revision, answer.clone()));
+        answer
+    }
+
+    fn eval_on_db(&mut self, dense: &DenseNfa) -> Answer {
+        let threads = self.threads_for(self.csr_out.num_nodes());
+        if threads > 1 {
+            self.stats.parallel_evals += 1;
+        } else {
+            self.stats.sequential_evals += 1;
+        }
+        eval_csr_parallel(&self.csr_out, dense, threads)
+    }
+
+    // ------------------------------------------------------------------
+    // Views
+
+    /// Registers (or replaces) a named view.  Re-registering the same
+    /// definition under the same name keeps the cached extension; a changed
+    /// definition drops it.
+    pub fn register_view(&mut self, name: &str, definition: Regex) {
+        let fp = fingerprint_regex(self.db.domain(), &definition);
+        if let Some(entry) = self.views.iter().find(|v| v.name == name) {
+            if entry.fingerprint == fp {
+                return; // identical registration, cache intact
+            }
+        }
+        let nfa = self.compile.compile_regex(self.db.domain(), &definition);
+        let entry = ViewEntry {
+            name: name.to_string(),
+            fingerprint: fp,
+            nfa,
+            reverse: None,
+            extension: None,
+        };
+        match self.views.iter_mut().find(|v| v.name == name) {
+            Some(slot) => *slot = entry,
+            None => self.views.push(entry),
+        }
+        self.views_epoch += 1;
+        self.materialized = None;
+    }
+
+    /// Registers several views at once (e.g. a whole rewriting problem's).
+    pub fn register_views<'a>(&mut self, views: impl IntoIterator<Item = (&'a str, Regex)>) {
+        for (name, def) in views {
+            self.register_view(name, def);
+        }
+    }
+
+    /// Names of the registered views, in registration order.
+    pub fn view_names(&self) -> impl Iterator<Item = &str> {
+        self.views.iter().map(|v| v.name.as_str())
+    }
+
+    /// The materialized extension of a registered view at the current
+    /// revision, materializing it (in parallel, when configured) on first
+    /// access.  Returns `None` for unregistered names.
+    pub fn view_extension(&mut self, name: &str) -> Option<&Answer> {
+        let idx = self.views.iter().position(|v| v.name == name)?;
+        self.materialize_entry(idx);
+        self.views[idx].extension.as_ref().map(|(_, pairs)| pairs)
+    }
+
+    fn materialize_entry(&mut self, idx: usize) {
+        match &self.views[idx].extension {
+            Some((rev, _)) if *rev == self.revision => {
+                self.stats.view_cache_hits += 1;
+            }
+            _ => {
+                let dense = self.views[idx].nfa.clone();
+                let pairs = self.eval_on_db(&dense);
+                self.views[idx].extension = Some((self.revision, pairs));
+                self.stats.view_full_materializations += 1;
+            }
+        }
+    }
+
+    /// Materializes every registered view and exposes the extensions as a
+    /// [`MaterializedViews`] (cached per `(revision, view set)`), ready for
+    /// Σ_E-evaluation of rewritings.
+    pub fn materialized_views(&mut self) -> Rc<MaterializedViews> {
+        if let Some((rev, epoch, cached)) = &self.materialized {
+            if *rev == self.revision && *epoch == self.views_epoch {
+                return cached.clone();
+            }
+        }
+        for idx in 0..self.views.len() {
+            self.materialize_entry(idx);
+        }
+        let view_alphabet = Alphabet::from_names(self.views.iter().map(|v| v.name.clone()))
+            .expect("view names are distinct by construction");
+        let extensions: BTreeMap<String, Answer> = self
+            .views
+            .iter()
+            .map(|v| {
+                let (_, pairs) = v.extension.as_ref().expect("just materialized");
+                (v.name.clone(), pairs.clone())
+            })
+            .collect();
+        let views = Rc::new(MaterializedViews::from_extensions(
+            view_alphabet,
+            extensions,
+            self.db.num_nodes(),
+        ));
+        self.materialized = Some((self.revision, self.views_epoch, views.clone()));
+        views
+    }
+
+    /// Evaluates a language over the view alphabet (e.g. a rewriting
+    /// automaton) against the materialized extensions, freezing the
+    /// automaton through the compile cache.
+    pub fn eval_over_views(&mut self, over_views: &Nfa) -> Answer {
+        let dense = self.compile.compile_nfa(over_views);
+        let views = self.materialized_views();
+        views.eval_dense_over_views(&dense)
+    }
+
+    // ------------------------------------------------------------------
+    // Mutation
+
+    /// Inserts an edge, bumps the revision, refreezes both adjacencies, and
+    /// incrementally repairs every cached view extension by delta
+    /// product-BFS seeded from the edge's endpoints.
+    ///
+    /// # Panics
+    /// Panics like [`GraphDb::add_edge`] on out-of-range endpoints or a
+    /// label outside the domain.
+    pub fn add_edge(&mut self, from: NodeId, label: automata::Symbol, to: NodeId) {
+        self.db.add_edge(from, label, to);
+        self.finish_mutation(&[(from, label, to)]);
+    }
+
+    /// Inserts an edge between named nodes (creating them on demand, like
+    /// [`GraphDb::add_edge_named`]).
+    pub fn add_edge_named(&mut self, from: &str, label: &str, to: &str) {
+        let label = self
+            .db
+            .domain()
+            .symbol(label)
+            .unwrap_or_else(|| panic!("label `{label}` not in domain"));
+        let from = self.db.node(from);
+        let to = self.db.node(to);
+        self.db.add_edge(from, label, to);
+        self.finish_mutation(&[(from, label, to)]);
+    }
+
+    /// Inserts a batch of edges under a single revision bump, refreezing the
+    /// adjacencies once and repairing each cached extension with one delta
+    /// sweep per inserted edge.
+    pub fn add_edges(&mut self, edges: &[(NodeId, automata::Symbol, NodeId)]) {
+        if edges.is_empty() {
+            return;
+        }
+        for &(from, label, to) in edges {
+            self.db.add_edge(from, label, to);
+        }
+        self.finish_mutation(edges);
+    }
+
+    /// Adds an isolated node (no repair needed: a fresh node answers no
+    /// non-ε query, and ε-style identity pairs only appear for it once a
+    /// query is evaluated at the new revision).
+    pub fn add_node(&mut self) -> NodeId {
+        let id = self.db.add_node();
+        self.finish_mutation(&[]);
+        id
+    }
+
+    fn finish_mutation(&mut self, new_edges: &[(NodeId, automata::Symbol, NodeId)]) {
+        self.revision += 1;
+        self.csr_out = self.db.csr_out();
+        self.answers.clear();
+        self.materialized = None;
+
+        // The incoming adjacency only exists to serve the backward delta
+        // sweeps below; freeze it only when some cached extension needs
+        // repairing against real new edges.
+        let needs_delta =
+            !new_edges.is_empty() && self.views.iter().any(|v| v.extension.is_some());
+        self.csr_in = needs_delta.then(|| self.db.csr_in());
+
+        // Repair cached extensions.  Delta sweeps run over the updated
+        // adjacencies; per inserted edge, per view with a live cache.
+        let num_nodes = self.db.num_nodes();
+        for entry in &mut self.views {
+            // A cache more than one revision behind cannot happen through
+            // this API, but drop it (forcing lazy re-materialization) rather
+            // than trusting a stale baseline.
+            if matches!(&entry.extension, Some((rev, _)) if *rev + 1 != self.revision) {
+                entry.extension = None;
+                continue;
+            }
+            let Some((cached_rev, pairs)) = entry.extension.as_mut() else {
+                continue; // never materialized — nothing to repair
+            };
+            // A start-accepting view answers (v, v) for every node; cover
+            // nodes created by this mutation, which the cached extension
+            // predates.  Idempotent for pre-existing nodes.
+            if entry.nfa.any_final(entry.nfa.start()) {
+                for v in 0..num_nodes {
+                    pairs.insert((v, v));
+                }
+            }
+            let reverse = entry
+                .reverse
+                .get_or_insert_with(|| Rc::new(entry.nfa.reverse_closed()))
+                .clone();
+            for &(from, label, to) in new_edges {
+                let csr_in = self.csr_in.as_ref().expect("frozen above when edges exist");
+                let delta = delta_pairs(
+                    &self.csr_out,
+                    csr_in,
+                    &entry.nfa,
+                    &reverse,
+                    from,
+                    label,
+                    to,
+                );
+                pairs.extend(delta);
+            }
+            *cached_rev = self.revision;
+            if !new_edges.is_empty() {
+                self.stats.view_delta_repairs += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain_engine() -> QueryEngine {
+        let mut db = GraphDb::new(Alphabet::from_chars(['a', 'b', 'c']).unwrap());
+        db.add_edge_named("n0", "a", "n1");
+        db.add_edge_named("n1", "b", "n2");
+        db.add_edge_named("n2", "a", "n1");
+        db.add_edge_named("n1", "c", "n1");
+        QueryEngine::new(db)
+    }
+
+    #[test]
+    fn eval_matches_graphdb_and_caches_answers() {
+        let mut engine = chain_engine();
+        let direct = graphdb::eval_str(engine.db(), "a·(b·a+c)*");
+        let first = engine.eval_str("a·(b·a+c)*");
+        assert_eq!(*first, direct);
+        let second = engine.eval_str("a·(b·a+c)*");
+        assert!(Rc::ptr_eq(&first, &second));
+        let stats = engine.stats();
+        assert_eq!((stats.answer_hits, stats.answer_misses), (1, 1));
+        assert_eq!(stats.compile_misses, 1);
+    }
+
+    #[test]
+    fn mutation_invalidates_ad_hoc_answers() {
+        let mut engine = chain_engine();
+        let before = engine.eval_str("a·b").len();
+        engine.add_edge_named("n1", "a", "n1");
+        assert_eq!(engine.revision(), 1);
+        let after = engine.eval_str("a·b").len();
+        assert!(after > before, "n1-a->n1 then n1-b->n2 adds (n1, n2)");
+        assert_eq!(engine.stats().answer_misses, 2);
+    }
+
+    #[test]
+    fn view_extensions_are_cached_and_repaired() {
+        let mut engine = chain_engine();
+        engine.register_view("e2", regexlang::parse("a·c*·b").unwrap());
+        let before = engine.view_extension("e2").unwrap().clone();
+        assert_eq!(before, graphdb::eval_str(engine.db(), "a·c*·b"));
+        // Cached on second access.
+        engine.view_extension("e2");
+        assert_eq!(engine.stats().view_cache_hits, 1);
+
+        // n1-b->n0 gives every a·c*-path into n1 a new b-exit: the repair
+        // must actually grow the extension.
+        engine.add_edge_named("n1", "b", "n0");
+        let repaired = engine.view_extension("e2").unwrap().clone();
+        assert_eq!(repaired, graphdb::eval_str(engine.db(), "a·c*·b"));
+        assert!(repaired.len() > before.len());
+        assert!(before.is_subset(&repaired));
+        let stats = engine.stats();
+        assert_eq!(stats.view_delta_repairs, 1);
+        assert_eq!(stats.view_full_materializations, 1, "never re-materialized");
+    }
+
+    #[test]
+    fn unmaterialized_views_are_not_repaired() {
+        let mut engine = chain_engine();
+        engine.register_view("e1", regexlang::parse("a").unwrap());
+        engine.add_edge_named("n0", "a", "n2");
+        assert_eq!(engine.stats().view_delta_repairs, 0);
+        let ext = engine.view_extension("e1").unwrap().clone();
+        assert_eq!(ext, graphdb::eval_str(engine.db(), "a"));
+    }
+
+    #[test]
+    fn identity_views_cover_nodes_created_after_materialization() {
+        let mut engine = chain_engine();
+        engine.register_view("eps", regexlang::parse("c*").unwrap());
+        // Three nodes, each with its identity pair; the c-loop at n1 adds
+        // nothing new.
+        assert_eq!(engine.view_extension("eps").unwrap().len(), 3);
+        // add_edge_named creates a brand-new node n9 after materialization.
+        engine.add_edge_named("n9", "c", "n1");
+        let ext = engine.view_extension("eps").unwrap().clone();
+        assert_eq!(ext, graphdb::eval_str(engine.db(), "c*"));
+        assert_eq!(engine.stats().view_full_materializations, 1);
+    }
+
+    #[test]
+    fn materialized_views_match_graphdb_materialization() {
+        let mut engine = chain_engine();
+        let defs = [
+            ("e1", "a"),
+            ("e2", "a·c*·b"),
+            ("e3", "c"),
+        ];
+        for (name, src) in defs {
+            engine.register_view(name, regexlang::parse(src).unwrap());
+        }
+        let via_engine = engine.materialized_views();
+        let reference = MaterializedViews::materialize_regexes(
+            engine.db(),
+            &defs
+                .iter()
+                .map(|(n, s)| (n.to_string(), regexlang::parse(s).unwrap()))
+                .collect::<Vec<_>>(),
+        );
+        for (name, _) in defs {
+            assert_eq!(via_engine.extension(name), reference.extension(name));
+        }
+        assert!(via_engine
+            .view_alphabet()
+            .is_compatible(reference.view_alphabet()));
+        // Cached per revision.
+        let again = engine.materialized_views();
+        assert!(Rc::ptr_eq(&via_engine, &again));
+    }
+
+    #[test]
+    fn eval_over_views_matches_direct_evaluation_of_exact_rewriting() {
+        let mut engine = chain_engine();
+        for (name, src) in [("e1", "a"), ("e2", "a·c*·b"), ("e3", "c")] {
+            engine.register_view(name, regexlang::parse(src).unwrap());
+        }
+        let views = engine.materialized_views();
+        let rewriting = regexlang::thompson(
+            &regexlang::parse("e2*·e1·e3*").unwrap(),
+            views.view_alphabet(),
+        )
+        .unwrap();
+        drop(views);
+        let via_views = engine.eval_over_views(&rewriting);
+        assert_eq!(via_views, graphdb::eval_str(engine.db(), "a·(b·a+c)*"));
+    }
+
+    #[test]
+    fn batch_insertion_bumps_one_revision_and_repairs_once_per_edge() {
+        let mut engine = chain_engine();
+        engine.register_view("v", regexlang::parse("a·b").unwrap());
+        engine.view_extension("v");
+        let a = engine.db().domain().symbol("a").unwrap();
+        let b = engine.db().domain().symbol("b").unwrap();
+        engine.add_edges(&[(2, a, 0), (0, b, 2)]);
+        assert_eq!(engine.revision(), 1);
+        let ext = engine.view_extension("v").unwrap().clone();
+        assert_eq!(ext, graphdb::eval_str(engine.db(), "a·b"));
+    }
+
+    #[test]
+    fn re_registering_identical_definition_keeps_the_cache() {
+        let mut engine = chain_engine();
+        engine.register_view("v", regexlang::parse("a·b").unwrap());
+        engine.view_extension("v");
+        engine.register_view("v", regexlang::parse("a·b").unwrap());
+        engine.view_extension("v");
+        let stats = engine.stats();
+        assert_eq!(stats.view_full_materializations, 1);
+        assert_eq!(stats.view_cache_hits, 1);
+        // A changed definition drops the cached extension.
+        engine.register_view("v", regexlang::parse("a·c").unwrap());
+        let ext = engine.view_extension("v").unwrap().clone();
+        assert_eq!(ext, graphdb::eval_str(engine.db(), "a·c"));
+        assert_eq!(engine.stats().view_full_materializations, 2);
+    }
+
+    #[test]
+    fn forced_parallel_config_is_exercised_on_small_graphs() {
+        let mut db = GraphDb::new(Alphabet::from_chars(['a', 'b', 'c']).unwrap());
+        db.add_edge_named("n0", "a", "n1");
+        db.add_edge_named("n1", "b", "n2");
+        db.add_edge_named("n2", "a", "n1");
+        let mut engine = QueryEngine::with_config(
+            db,
+            EngineConfig {
+                threads: 4,
+                parallel_threshold: 0,
+            },
+        );
+        let ans = engine.eval_str("a·b·a");
+        assert_eq!(*ans, graphdb::eval_str(engine.db(), "a·b·a"));
+        assert_eq!(engine.stats().parallel_evals, 1);
+        assert_eq!(engine.stats().sequential_evals, 0);
+    }
+}

@@ -1,0 +1,208 @@
+//! Differential suite pinning the engine's fast paths to the reference
+//! implementations:
+//!
+//! * **parallel vs sequential**: `eval_csr_parallel` (forced onto multiple
+//!   workers regardless of the host's core count) must be answer-identical
+//!   to `eval_csr` on randomized (database, query) cases;
+//! * **incremental vs from-scratch**: after each randomized edge insertion,
+//!   every cached view extension repaired by delta product-BFS must equal a
+//!   full re-materialization on the updated database, and ad-hoc engine
+//!   answers must equal direct `graphdb` evaluation.
+//!
+//! Together the loops below exercise well over 200 randomized
+//! (db, query, edge-insertion) cases; counts are asserted at the end of
+//! each test so the coverage cannot silently erode.
+
+use automata::{Alphabet, DenseNfa};
+use engine::{eval_csr_parallel, EngineConfig, QueryEngine};
+use graphdb::{eval_csr, random_graph, GraphDb, RandomGraphConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use regexlang::{random_regex, RandomRegexConfig, Regex};
+
+fn abc() -> Alphabet {
+    Alphabet::from_chars(['a', 'b', 'c']).unwrap()
+}
+
+fn random_query(domain: &Alphabet, seed: u64) -> Regex {
+    random_regex(
+        domain,
+        &RandomRegexConfig {
+            target_size: 9,
+            ..Default::default()
+        },
+        seed,
+    )
+}
+
+fn compile(db: &GraphDb, query: &Regex) -> DenseNfa {
+    let nfa = regexlang::thompson(query, db.domain()).expect("query over the domain");
+    DenseNfa::from_nfa(&nfa)
+}
+
+#[test]
+fn parallel_eval_matches_sequential_on_random_cases() {
+    let domain = abc();
+    let mut cases = 0usize;
+    for seed in 0..50u64 {
+        let nodes = 20 + (seed as usize % 5) * 10;
+        let db = random_graph(
+            &domain,
+            &RandomGraphConfig {
+                num_nodes: nodes,
+                num_edges: nodes * 3,
+            },
+            seed,
+        );
+        let csr = db.csr_out();
+        for qseed in 0..2u64 {
+            let query = random_query(&domain, seed * 101 + qseed);
+            let dense = compile(&db, &query);
+            let sequential = eval_csr(&csr, &dense);
+            for threads in [2, 4] {
+                let parallel = eval_csr_parallel(&csr, &dense, threads);
+                assert_eq!(
+                    sequential, parallel,
+                    "seed {seed} query {query} threads {threads}"
+                );
+                cases += 1;
+            }
+        }
+    }
+    assert!(cases >= 200, "only {cases} parallel cases ran");
+}
+
+#[test]
+fn incremental_maintenance_matches_full_rematerialization() {
+    let domain = abc();
+    let mut cases = 0usize;
+    for seed in 0..70u64 {
+        let nodes = 12 + (seed as usize % 4) * 6;
+        let db = random_graph(
+            &domain,
+            &RandomGraphConfig {
+                num_nodes: nodes,
+                num_edges: nodes * 2,
+            },
+            seed ^ 0xbeef,
+        );
+        // Force the pool even on small graphs/1-core hosts so the parallel
+        // materialization path is the one under differential test too.
+        let mut engine = QueryEngine::with_config(
+            db,
+            EngineConfig {
+                threads: 3,
+                parallel_threshold: 0,
+            },
+        );
+        let view_a = random_query(&domain, seed * 7 + 1);
+        let view_b = random_query(&domain, seed * 7 + 2);
+        engine.register_view("va", view_a.clone());
+        engine.register_view("vb", view_b.clone());
+        engine.view_extension("va");
+        engine.view_extension("vb");
+
+        let mut rng = StdRng::seed_from_u64(seed * 31 + 5);
+        for _ in 0..3 {
+            let from = rng.gen_range(0..nodes);
+            let to = rng.gen_range(0..nodes);
+            let label = automata::Symbol(rng.gen_range(0..domain.len()) as u32);
+            engine.add_edge(from, label, to);
+
+            for (name, def) in [("va", &view_a), ("vb", &view_b)] {
+                let repaired = engine.view_extension(name).unwrap().clone();
+                let fresh = eval_csr(&engine.db().csr_out(), &compile(engine.db(), def));
+                assert_eq!(
+                    repaired, fresh,
+                    "seed {seed} view {name} ({def}) after +({from},{label:?},{to})"
+                );
+                cases += 1;
+            }
+        }
+        // Every extension came from one materialization + repairs only.
+        let stats = engine.stats();
+        assert_eq!(stats.view_full_materializations, 2, "seed {seed}");
+        assert_eq!(stats.view_delta_repairs, 6, "seed {seed}");
+    }
+    assert!(cases >= 200, "only {cases} incremental cases ran");
+}
+
+#[test]
+fn engine_ad_hoc_answers_match_direct_evaluation_across_mutations() {
+    let domain = abc();
+    let mut cases = 0usize;
+    for seed in 0..25u64 {
+        let nodes = 15 + (seed as usize % 3) * 5;
+        let db = random_graph(
+            &domain,
+            &RandomGraphConfig {
+                num_nodes: nodes,
+                num_edges: nodes * 2,
+            },
+            seed ^ 0xfeed,
+        );
+        let mut engine = QueryEngine::new(db);
+        let query = random_query(&domain, seed * 13 + 3);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..2 {
+            let answer = engine.eval_regex(&query);
+            let direct = graphdb::eval_regex(engine.db(), &query);
+            assert_eq!(*answer, direct, "seed {seed} query {query}");
+            cases += 1;
+            let from = rng.gen_range(0..nodes);
+            let to = rng.gen_range(0..nodes);
+            let label = automata::Symbol(rng.gen_range(0..domain.len()) as u32);
+            engine.add_edge(from, label, to);
+        }
+    }
+    assert!(cases >= 50, "only {cases} ad-hoc cases ran");
+}
+
+#[test]
+fn batch_insertion_matches_single_insertions() {
+    let domain = abc();
+    for seed in 0..10u64 {
+        let db = random_graph(
+            &domain,
+            &RandomGraphConfig {
+                num_nodes: 20,
+                num_edges: 40,
+            },
+            seed ^ 0x5a5a,
+        );
+        let view = random_query(&domain, seed + 77);
+        let mut rng = StdRng::seed_from_u64(seed * 3 + 1);
+        let batch: Vec<_> = (0..4)
+            .map(|_| {
+                (
+                    rng.gen_range(0..20),
+                    automata::Symbol(rng.gen_range(0..domain.len()) as u32),
+                    rng.gen_range(0..20),
+                )
+            })
+            .collect();
+
+        let mut batched = QueryEngine::new(db.clone());
+        batched.register_view("v", view.clone());
+        batched.view_extension("v");
+        batched.add_edges(&batch);
+
+        let mut stepped = QueryEngine::new(db);
+        stepped.register_view("v", view.clone());
+        stepped.view_extension("v");
+        for &(f, l, t) in &batch {
+            stepped.add_edge(f, l, t);
+        }
+
+        let via_batch = batched.view_extension("v").unwrap().clone();
+        let via_steps = stepped.view_extension("v").unwrap().clone();
+        assert_eq!(via_batch, via_steps, "seed {seed} view {view}");
+        assert_eq!(batched.revision(), 1);
+        assert_eq!(stepped.revision(), 4);
+        let fresh = eval_csr(
+            &stepped.db().csr_out(),
+            &compile(stepped.db(), &view),
+        );
+        assert_eq!(via_batch, fresh, "seed {seed}");
+    }
+}

@@ -44,29 +44,119 @@ pub fn eval_dense(db: &GraphDb, query: &DenseNfa) -> Answer {
 /// benchmarks) build the CSR once.  The adjacency carries its database's
 /// domain, so incompatible query alphabets fail loudly here too.
 pub fn eval_csr(csr: &CsrAdjacency, query: &DenseNfa) -> Answer {
+    let mut scratch = EvalScratch::new(csr, query);
+    let mut pairs = Vec::new();
+    eval_csr_range(csr, query, 0..csr.num_nodes() as u32, &mut scratch, &mut pairs);
+    pairs
+        .into_iter()
+        .map(|(x, y)| (x as NodeId, y as NodeId))
+        .collect()
+}
+
+/// Dense visited bitmap over `(node, state)` product pairs with an
+/// `O(visited)` reset: the set bits are journaled so unmarking costs one
+/// pass over what the sweep touched, not `O(V·Q)`.
+///
+/// This is the shared core of every product sweep — the forward evaluation
+/// below and the backward/forward delta sweeps of the `engine` crate.
+#[derive(Debug)]
+pub struct ProductVisited {
+    num_states: usize,
+    words: Vec<u64>,
+    set_bits: Vec<usize>,
+}
+
+impl ProductVisited {
+    /// Allocates a bitmap for sweeps of a `num_states`-state automaton over
+    /// a `num_nodes`-node graph.
+    pub fn new(num_nodes: usize, num_states: usize) -> Self {
+        let num_states = num_states.max(1);
+        ProductVisited {
+            num_states,
+            words: vec![0u64; (num_nodes * num_states).div_ceil(64)],
+            set_bits: Vec::new(),
+        }
+    }
+
+    /// Marks `(node, state)`, returning `true` if it was unvisited.
+    #[inline]
+    pub fn visit(&mut self, node: u32, state: u32) -> bool {
+        let idx = node as usize * self.num_states + state as usize;
+        let mask = 1u64 << (idx % 64);
+        if self.words[idx / 64] & mask != 0 {
+            return false;
+        }
+        self.words[idx / 64] |= mask;
+        self.set_bits.push(idx);
+        true
+    }
+
+    /// Unmarks everything the last sweep visited, in `O(visited)`.
+    pub fn reset(&mut self) {
+        for &idx in &self.set_bits {
+            self.words[idx / 64] &= !(1 << (idx % 64));
+        }
+        self.set_bits.clear();
+    }
+}
+
+/// Reusable per-worker buffers for [`eval_csr_range`]: the [`ProductVisited`]
+/// bitmap, the per-source found-target flags, and the BFS queue.
+///
+/// One scratch serves any number of `eval_csr_range` calls against the same
+/// `(csr, query)` shape; the parallel evaluator in the `engine` crate keeps
+/// one per worker thread.
+#[derive(Debug)]
+pub struct EvalScratch {
+    visited: ProductVisited,
+    found: Vec<bool>,
+    found_nodes: Vec<u32>,
+    queue: VecDeque<(u32, u32)>,
+}
+
+impl EvalScratch {
+    /// Allocates buffers sized for product sweeps of `query` over `csr`.
+    pub fn new(csr: &CsrAdjacency, query: &DenseNfa) -> Self {
+        let num_nodes = csr.num_nodes();
+        EvalScratch {
+            visited: ProductVisited::new(num_nodes, query.num_states()),
+            found: vec![false; num_nodes],
+            found_nodes: Vec::new(),
+            queue: VecDeque::new(),
+        }
+    }
+}
+
+/// Runs the per-source product-BFS of [`eval_csr`] for the sources in
+/// `sources` only, pushing every answer pair `(source, target)` onto `pairs`
+/// (unordered, duplicate-free within one call).
+///
+/// This is the shardable core of RPQ evaluation: each source's sweep is
+/// independent, so disjoint ranges can run on different threads against the
+/// same shared `csr` and `query`, each with its own [`EvalScratch`] and
+/// output buffer.
+pub fn eval_csr_range(
+    csr: &CsrAdjacency,
+    query: &DenseNfa,
+    sources: std::ops::Range<u32>,
+    scratch: &mut EvalScratch,
+    pairs: &mut Vec<(u32, u32)>,
+) {
     csr.domain()
         .check_compatible(query.alphabet())
         .expect("query automaton must be over the database domain");
-    let nq = query.num_states().max(1);
-    let num_nodes = csr.num_nodes();
-
-    let mut answer = Answer::new();
-    // Dense visited bitmap over (node, state) product pairs, plus the list of
-    // set bits so clearing between sources costs O(visited), not O(V·Q).
-    let mut visited = vec![0u64; (num_nodes * nq).div_ceil(64)];
-    let mut visited_pairs: Vec<usize> = Vec::new();
-    // Target nodes found for the current source, deduplicated by flag.
-    let mut found = vec![false; num_nodes];
-    let mut found_nodes: Vec<u32> = Vec::new();
-    let mut queue: VecDeque<(u32, u32)> = VecDeque::new();
+    let EvalScratch {
+        visited,
+        found,
+        found_nodes,
+        queue,
+    } = scratch;
 
     let start_accepts = query.any_final(query.start());
-    for source in 0..num_nodes as u32 {
+    for source in sources {
         queue.clear();
         for &q in query.start() {
-            let idx = source as usize * nq + q as usize;
-            visited[idx / 64] |= 1 << (idx % 64);
-            visited_pairs.push(idx);
+            visited.visit(source, q);
             queue.push_back((source, q));
         }
         if start_accepts {
@@ -79,11 +169,7 @@ pub fn eval_csr(csr: &CsrAdjacency, query: &DenseNfa) -> Answer {
                 // lookup replaces the per-edge closure recomputation of the
                 // tree-based evaluator.
                 for &q in query.closed_successors(state, label as usize) {
-                    let idx = next_node as usize * nq + q as usize;
-                    let mask = 1u64 << (idx % 64);
-                    if visited[idx / 64] & mask == 0 {
-                        visited[idx / 64] |= mask;
-                        visited_pairs.push(idx);
+                    if visited.visit(next_node, q) {
                         queue.push_back((next_node, q));
                         if query.is_final(q) && !found[next_node as usize] {
                             found[next_node as usize] = true;
@@ -93,19 +179,15 @@ pub fn eval_csr(csr: &CsrAdjacency, query: &DenseNfa) -> Answer {
                 }
             }
         }
-        for &target in &found_nodes {
-            answer.insert((source as NodeId, target as NodeId));
+        for &target in found_nodes.iter() {
+            pairs.push((source, target));
         }
-        for &idx in &visited_pairs {
-            visited[idx / 64] &= !(1 << (idx % 64));
-        }
-        visited_pairs.clear();
-        for &target in &found_nodes {
+        visited.reset();
+        for &target in found_nodes.iter() {
             found[target as usize] = false;
         }
         found_nodes.clear();
     }
-    answer
 }
 
 /// The seed's tree-based evaluator (`BTreeSet` visited pairs, per-edge
@@ -297,6 +379,29 @@ mod tests {
     fn unknown_labels_in_queries_panic() {
         let db = chain_db();
         eval_str(&db, "zz");
+    }
+
+    #[test]
+    fn sharded_ranges_cover_the_full_answer() {
+        // Evaluating disjoint source ranges with separate scratches must
+        // reproduce eval_csr exactly — this is the invariant the parallel
+        // engine relies on.
+        let db = chain_db();
+        let csr = db.csr_out();
+        let nfa = query_nfa(&db, &regexlang::parse("a·(b·a+c)*").unwrap());
+        let dense = DenseNfa::from_nfa(&nfa);
+        let whole = eval_csr(&csr, &dense);
+        let n = csr.num_nodes() as u32;
+        let mut pairs = Vec::new();
+        for lo in 0..n {
+            let mut scratch = EvalScratch::new(&csr, &dense);
+            eval_csr_range(&csr, &dense, lo..lo + 1, &mut scratch, &mut pairs);
+        }
+        let sharded: Answer = pairs
+            .into_iter()
+            .map(|(x, y)| (x as NodeId, y as NodeId))
+            .collect();
+        assert_eq!(whole, sharded);
     }
 
     #[test]

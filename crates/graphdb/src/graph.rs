@@ -182,11 +182,27 @@ impl GraphDb {
     /// index).  The RPQ evaluator builds this once per query instead of
     /// chasing per-node `Vec`s during every product-BFS.
     pub fn csr_out(&self) -> CsrAdjacency {
-        let mut offsets = Vec::with_capacity(self.num_nodes() + 1);
-        let mut labels = Vec::with_capacity(self.num_edges());
-        let mut targets = Vec::with_capacity(self.num_edges());
+        Self::freeze_lists(&self.domain, &self.out, self.num_edges)
+    }
+
+    /// Freezes the *incoming* adjacency into the same CSR layout:
+    /// `edges_from(v)` on the result yields `(label, source)` pairs, i.e. the
+    /// edges *entering* `v`.  Backward traversals (the delta maintenance of
+    /// the `engine` crate) walk this instead of scanning every edge.
+    pub fn csr_in(&self) -> CsrAdjacency {
+        Self::freeze_lists(&self.domain, &self.inc, self.num_edges)
+    }
+
+    fn freeze_lists(
+        domain: &Alphabet,
+        lists: &[Vec<(Symbol, NodeId)>],
+        num_edges: usize,
+    ) -> CsrAdjacency {
+        let mut offsets = Vec::with_capacity(lists.len() + 1);
+        let mut labels = Vec::with_capacity(num_edges);
+        let mut targets = Vec::with_capacity(num_edges);
         offsets.push(0u32);
-        for edges in &self.out {
+        for edges in lists {
             for &(label, to) in edges {
                 labels.push(label.0);
                 targets.push(to as u32);
@@ -194,7 +210,7 @@ impl GraphDb {
             offsets.push(labels.len() as u32);
         }
         CsrAdjacency {
-            domain: self.domain.clone(),
+            domain: domain.clone(),
             offsets,
             labels,
             targets,
@@ -305,6 +321,24 @@ mod tests {
             let direct: Vec<(u32, u32)> = db
                 .edges_from(v)
                 .map(|(label, to)| (label.0, to as u32))
+                .collect();
+            let frozen: Vec<(u32, u32)> = csr.edges_from(v as u32).collect();
+            assert_eq!(direct, frozen, "node {v}");
+        }
+    }
+
+    #[test]
+    fn csr_in_mirrors_incoming_lists() {
+        let mut db = GraphDb::new(city_domain());
+        db.add_edge_named("a", "flight", "b");
+        db.add_edge_named("c", "rome", "b");
+        db.add_edge_named("b", "flight", "a");
+        let csr = db.csr_in();
+        assert_eq!(csr.num_nodes(), db.num_nodes());
+        for v in db.nodes() {
+            let direct: Vec<(u32, u32)> = db
+                .edges_to(v)
+                .map(|(label, from)| (label.0, from as u32))
                 .collect();
             let frozen: Vec<(u32, u32)> = csr.edges_from(v as u32).collect();
             assert_eq!(direct, frozen, "node {v}");

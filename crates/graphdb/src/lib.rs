@@ -42,8 +42,8 @@ pub mod theory;
 pub mod views;
 
 pub use eval::{
-    eval_automaton, eval_automaton_baseline, eval_csr, eval_dense, eval_regex, eval_str,
-    render_answer, Answer,
+    eval_automaton, eval_automaton_baseline, eval_csr, eval_csr_range, eval_dense, eval_regex,
+    eval_str, render_answer, Answer, EvalScratch, ProductVisited,
 };
 pub use generator::{
     layered_graph, random_graph, travel_graph, tree_graph, RandomGraphConfig,

@@ -17,10 +17,17 @@ use std::collections::BTreeMap;
 use automata::{Alphabet, DenseNfa, Nfa};
 use regexlang::Regex;
 
-use crate::eval::{eval_automaton, eval_csr, eval_regex, query_nfa, Answer};
-use crate::graph::GraphDb;
+use crate::eval::{eval_csr, query_nfa, Answer};
+use crate::graph::{CsrAdjacency, GraphDb};
 
 /// The materialized extensions of a set of named views over one database.
+///
+/// The *view graph* (one edge per materialized tuple, labeled by its view
+/// symbol) is built once at materialization time and its frozen CSR is kept
+/// alongside the extensions, so every [`eval_over_views`] call reuses the
+/// same adjacency instead of rebuilding the graph per query.
+///
+/// [`eval_over_views`]: MaterializedViews::eval_over_views
 #[derive(Debug, Clone)]
 pub struct MaterializedViews {
     /// The view alphabet (one symbol per view, in registration order).
@@ -30,6 +37,11 @@ pub struct MaterializedViews {
     /// Number of nodes of the underlying database (the view graph reuses the
     /// node ids of the original database).
     num_nodes: usize,
+    /// The view graph, built once from the extensions.
+    view_graph: GraphDb,
+    /// Frozen outgoing adjacency of `view_graph`, shared by every
+    /// `eval_over_views` call.
+    view_csr: CsrAdjacency,
 }
 
 impl MaterializedViews {
@@ -47,11 +59,7 @@ impl MaterializedViews {
                 (name.clone(), eval_csr(&csr, &DenseNfa::from_nfa(&nfa)))
             })
             .collect();
-        Self {
-            view_alphabet,
-            extensions,
-            num_nodes: db.num_nodes(),
-        }
+        Self::from_extensions(view_alphabet, extensions, db.num_nodes())
     }
 
     /// Materializes views given as automata over the database domain.
@@ -63,10 +71,40 @@ impl MaterializedViews {
             .iter()
             .map(|(name, nfa)| (name.clone(), eval_csr(&csr, &DenseNfa::from_nfa(nfa))))
             .collect();
+        Self::from_extensions(view_alphabet, extensions, db.num_nodes())
+    }
+
+    /// Builds materialized views directly from already-computed extensions
+    /// (the `engine` crate materializes and incrementally maintains
+    /// extensions itself and uses this to expose them for Σ_E-evaluation).
+    ///
+    /// # Panics
+    /// Panics if an extension key is not a symbol of `view_alphabet` or a
+    /// tuple mentions a node id `≥ num_nodes`.
+    pub fn from_extensions(
+        view_alphabet: Alphabet,
+        extensions: BTreeMap<String, Answer>,
+        num_nodes: usize,
+    ) -> Self {
+        let mut view_graph = GraphDb::new(view_alphabet.clone());
+        for _ in 0..num_nodes {
+            view_graph.add_node();
+        }
+        for (name, extension) in &extensions {
+            let label = view_alphabet
+                .symbol(name)
+                .expect("extension keys come from the view alphabet");
+            for &(x, y) in extension {
+                view_graph.add_edge(x, label, y);
+            }
+        }
+        let view_csr = view_graph.csr_out();
         Self {
             view_alphabet,
             extensions,
-            num_nodes: db.num_nodes(),
+            num_nodes,
+            view_graph,
+            view_csr,
         }
     }
 
@@ -85,23 +123,22 @@ impl MaterializedViews {
         self.extensions.values().map(Answer::len).sum()
     }
 
-    /// Builds the *view graph*: a graph over the same node ids whose edges
-    /// are the materialized view tuples, labeled by view symbols.
-    pub fn view_graph(&self) -> GraphDb {
-        let mut graph = GraphDb::new(self.view_alphabet.clone());
-        for _ in 0..self.num_nodes {
-            graph.add_node();
-        }
-        for (name, extension) in &self.extensions {
-            let label = self
-                .view_alphabet
-                .symbol(name)
-                .expect("extension keys come from the view alphabet");
-            for &(x, y) in extension {
-                graph.add_edge(x, label, y);
-            }
-        }
-        graph
+    /// Number of nodes of the underlying database.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// The *view graph*: a graph over the same node ids whose edges are the
+    /// materialized view tuples, labeled by view symbols.  Built once at
+    /// materialization time.
+    pub fn view_graph(&self) -> &GraphDb {
+        &self.view_graph
+    }
+
+    /// The frozen CSR adjacency of the view graph (shared by every
+    /// evaluation over the views).
+    pub fn view_csr(&self) -> &CsrAdjacency {
+        &self.view_csr
     }
 
     /// Evaluates a language over the view alphabet (e.g. a rewriting
@@ -110,13 +147,20 @@ impl MaterializedViews {
     /// chain `x = z_0, …, z_n = y` with `(z_{j-1}, z_j)` in the extension of
     /// `q_{ij}`.
     pub fn eval_over_views(&self, over_views: &Nfa) -> Answer {
-        eval_automaton(&self.view_graph(), over_views)
+        self.eval_dense_over_views(&DenseNfa::from_nfa(over_views))
+    }
+
+    /// Like [`eval_over_views`](Self::eval_over_views) but over an
+    /// already-frozen automaton, so callers holding a compile cache (the
+    /// `engine` crate) skip the freezing step too.
+    pub fn eval_dense_over_views(&self, over_views: &DenseNfa) -> Answer {
+        eval_csr(&self.view_csr, over_views)
     }
 
     /// Evaluates a regex over the view symbols against the materialized
     /// extensions.
     pub fn eval_regex_over_views(&self, over_views: &Regex) -> Answer {
-        eval_regex(&self.view_graph(), over_views)
+        self.eval_over_views(&query_nfa(&self.view_graph, over_views))
     }
 }
 
@@ -170,6 +214,27 @@ mod tests {
         let graph = views.view_graph();
         assert_eq!(graph.num_nodes(), db.num_nodes());
         assert_eq!(graph.num_edges(), views.total_tuples());
+    }
+
+    #[test]
+    fn from_extensions_round_trips_and_freezes_once() {
+        let db = chain_db();
+        let views = figure1_views(&db);
+        let rebuilt = MaterializedViews::from_extensions(
+            views.view_alphabet().clone(),
+            ["e1", "e2", "e3"]
+                .into_iter()
+                .map(|n| (n.to_string(), views.extension(n).unwrap().clone()))
+                .collect(),
+            db.num_nodes(),
+        );
+        assert_eq!(rebuilt.total_tuples(), views.total_tuples());
+        assert_eq!(rebuilt.view_csr().num_nodes(), db.num_nodes());
+        let q = parse("e2*·e1·e3*").unwrap();
+        assert_eq!(
+            rebuilt.eval_regex_over_views(&q),
+            views.eval_regex_over_views(&q)
+        );
     }
 
     #[test]

@@ -14,7 +14,17 @@
 //!
 //! [`compare_on_database`] packages the soundness/completeness comparison the
 //! integration tests and experiment E9/E10 rely on.
+//!
+//! Every view-based path runs through an [`engine::QueryEngine`]: the
+//! database-owning entry points (`materialize_views`, `compare_on_database`,
+//! `answer_rewriting_over_views`) spin up a one-shot engine internally, and
+//! the `*_in` variants take a caller-held engine so repeated calls share its
+//! compile cache (each view and rewriting automaton is frozen once), its
+//! revisioned view-extension cache, and its parallel evaluator.
 
+use std::rc::Rc;
+
+use engine::QueryEngine;
 use graphdb::{eval_regex, Answer, GraphDb, MaterializedViews, Theory};
 use serde::Serialize;
 
@@ -32,14 +42,58 @@ pub fn answer_rpq(db: &GraphDb, query: &Rpq, theory: &Theory) -> Answer {
     eval_regex(db, &grounded)
 }
 
-/// Materializes the (grounded) views of `problem` over `db`.
+/// Like [`answer_rpq`] but through an engine, so the grounded query is
+/// compiled once and the answer is cached per database revision.
+pub fn answer_rpq_in(engine: &mut QueryEngine, query: &Rpq, theory: &Theory) -> Rc<Answer> {
+    engine.eval_regex(&query.ground(theory))
+}
+
+/// Registers the (grounded) views of `problem` on `engine`, reusing cached
+/// compilations and extensions for views already registered under the same
+/// name and definition.
+pub fn register_problem_views(engine: &mut QueryEngine, problem: &RpqRewriteProblem) {
+    for (name, view) in &problem.views {
+        engine.register_view(name, view.ground(&problem.theory));
+    }
+}
+
+/// Materializes the views of `problem` through `engine`: definitions are
+/// frozen via the engine's compile cache, extensions come from its
+/// revisioned view cache (incrementally maintained across `add_edge`), and
+/// evaluation runs on its thread pool.
+pub fn materialize_views_in(
+    engine: &mut QueryEngine,
+    problem: &RpqRewriteProblem,
+) -> Rc<MaterializedViews> {
+    register_problem_views(engine, problem);
+    engine.materialized_views()
+}
+
+/// Materializes the (grounded) views of `problem` over `db` with a one-shot
+/// engine.  Callers evaluating repeatedly should hold a [`QueryEngine`] and
+/// use [`materialize_views_in`] to keep its caches warm.
 pub fn materialize_views(db: &GraphDb, problem: &RpqRewriteProblem) -> MaterializedViews {
-    let grounded: Vec<(String, regexlang::Regex)> = problem
-        .views
-        .iter()
-        .map(|(name, view)| (name.clone(), view.ground(&problem.theory)))
-        .collect();
-    MaterializedViews::materialize_regexes(db, &grounded)
+    let mut engine = QueryEngine::new(db.clone());
+    let views = materialize_views_in(&mut engine, problem);
+    (*views).clone()
+}
+
+/// The rewriting automaton lifted to the engine's view alphabet.
+fn rewriting_nfa(engine: &mut QueryEngine, rewriting: &RpqRewriting) -> automata::Nfa {
+    let views = engine.materialized_views();
+    automata::Nfa::from_dfa(&rewriting.maximal.automaton)
+        .with_alphabet(views.view_alphabet().clone())
+}
+
+/// Like [`answer_rewriting_over_views`] but through a caller-held engine.
+pub fn answer_rewriting_over_views_in(
+    engine: &mut QueryEngine,
+    problem: &RpqRewriteProblem,
+    rewriting: &RpqRewriting,
+) -> Answer {
+    register_problem_views(engine, problem);
+    let over_views = rewriting_nfa(engine, rewriting);
+    engine.eval_over_views(&over_views)
 }
 
 /// Evaluates the rewriting over the materialized views only (never touching
@@ -49,10 +103,8 @@ pub fn answer_rewriting_over_views(
     problem: &RpqRewriteProblem,
     rewriting: &RpqRewriting,
 ) -> Answer {
-    let views = materialize_views(db, problem);
-    let over_views = automata::Nfa::from_dfa(&rewriting.maximal.automaton)
-        .with_alphabet(views.view_alphabet().clone());
-    views.eval_over_views(&over_views)
+    let mut engine = QueryEngine::new(db.clone());
+    answer_rewriting_over_views_in(&mut engine, problem, rewriting)
 }
 
 /// Side-by-side comparison of direct evaluation and view-based evaluation on
@@ -74,23 +126,37 @@ pub struct AnswerComparison {
     pub view_tuples: usize,
 }
 
-/// Evaluates both sides on `db` and reports the comparison.
+/// Evaluates both sides on `db` and reports the comparison, sharing one
+/// engine (hence one compile cache and one view materialization) between
+/// the direct and view-based sides.
 pub fn compare_on_database(
     db: &GraphDb,
     problem: &RpqRewriteProblem,
     rewriting: &RpqRewriting,
 ) -> AnswerComparison {
-    let direct = answer_rpq(db, &problem.query, &problem.theory);
-    let views = materialize_views(db, problem);
-    let over_views = automata::Nfa::from_dfa(&rewriting.maximal.automaton)
-        .with_alphabet(views.view_alphabet().clone());
-    let via_views = views.eval_over_views(&over_views);
+    let mut engine = QueryEngine::new(db.clone());
+    compare_on_database_in(&mut engine, problem, rewriting)
+}
+
+/// Like [`compare_on_database`] but through a caller-held engine: across
+/// repeated calls (per-seed experiment loops, incremental workloads) every
+/// view, query, and rewriting automaton is frozen exactly once.
+pub fn compare_on_database_in(
+    engine: &mut QueryEngine,
+    problem: &RpqRewriteProblem,
+    rewriting: &RpqRewriting,
+) -> AnswerComparison {
+    let direct = answer_rpq_in(engine, &problem.query, &problem.theory);
+    register_problem_views(engine, problem);
+    let over_views = rewriting_nfa(engine, rewriting);
+    let via_views = engine.eval_over_views(&over_views);
+    let view_tuples = engine.materialized_views().total_tuples();
     AnswerComparison {
         direct_size: direct.len(),
         via_views_size: via_views.len(),
         sound: via_views.is_subset(&direct),
         complete: direct.is_subset(&via_views),
-        view_tuples: views.total_tuples(),
+        view_tuples,
     }
 }
 
@@ -188,6 +254,47 @@ mod tests {
             let cmp = compare_on_database(&db, &problem, &rewriting);
             assert!(cmp.sound && cmp.complete, "mismatch on seed {seed}");
         }
+    }
+
+    #[test]
+    fn engine_reuse_shares_compilations_across_comparisons() {
+        let problem = figure1_problem();
+        let rewriting = rewrite_rpq(&problem).unwrap();
+        let mut engine = QueryEngine::new(chain_db());
+        let first = compare_on_database_in(&mut engine, &problem, &rewriting);
+        let compiles_after_first = engine.stats().compile_misses;
+        let second = compare_on_database_in(&mut engine, &problem, &rewriting);
+        assert_eq!(first.direct_size, second.direct_size);
+        assert_eq!(first.via_views_size, second.via_views_size);
+        assert_eq!(
+            engine.stats().compile_misses,
+            compiles_after_first,
+            "second comparison must reuse every frozen automaton"
+        );
+        assert!(engine.stats().compile_hits > 0);
+        // And it matches the one-shot path.
+        let one_shot = compare_on_database(engine.db(), &problem, &rewriting);
+        assert_eq!(one_shot.direct_size, second.direct_size);
+        assert_eq!(one_shot.via_views_size, second.via_views_size);
+    }
+
+    #[test]
+    fn incremental_engine_keeps_view_based_answers_correct() {
+        // Mutate through the engine: the repaired extensions must keep the
+        // exact rewriting's view-based answer equal to direct evaluation.
+        let problem = figure1_problem();
+        let rewriting = rewrite_rpq(&problem).unwrap();
+        assert!(rewriting.is_exact());
+        let mut engine = QueryEngine::new(chain_db());
+        register_problem_views(&mut engine, &problem);
+        let _ = materialize_views_in(&mut engine, &problem);
+        engine.add_edge_named("n2", "c", "n0");
+        engine.add_edge_named("n0", "b", "n1");
+        let direct = answer_rpq_in(&mut engine, &problem.query, &problem.theory).clone();
+        let via_views = answer_rewriting_over_views_in(&mut engine, &problem, &rewriting);
+        assert_eq!(*direct, via_views);
+        assert!(engine.stats().view_delta_repairs > 0);
+        assert_eq!(engine.stats().view_full_materializations, 3);
     }
 
     #[test]

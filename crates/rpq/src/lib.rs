@@ -38,8 +38,9 @@ pub mod query;
 pub mod rewrite;
 
 pub use answer::{
-    answer_rewriting_over_views, answer_rpq, compare_on_database, materialize_views,
-    AnswerComparison,
+    answer_rewriting_over_views, answer_rewriting_over_views_in, answer_rpq, answer_rpq_in,
+    compare_on_database, compare_on_database_in, materialize_views, materialize_views_in,
+    register_problem_views, AnswerComparison,
 };
 pub use partial::{
     candidate_atomic_views, compare_preference, extend_problem, find_partial_rewriting,

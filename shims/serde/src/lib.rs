@@ -67,6 +67,31 @@ impl Value {
         }
     }
 
+    /// The value as an `f64`: floats directly, integers widened.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Float(x) => Some(*x),
+            Value::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The entries of an object value, in insertion order.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
     /// Looks up a key of an object value.
     pub fn get(&self, key: &str) -> Option<&Value> {
         match self {

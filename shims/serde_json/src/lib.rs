@@ -1,9 +1,11 @@
 //! Offline stand-in for the `serde_json` crate, layered on the `serde` shim.
 //!
 //! Provides [`Value`] (re-exported from the shim `serde`), [`to_value`],
-//! [`to_string`], [`to_string_pretty`] and a [`json!`] macro supporting the
-//! flat `json!({ "key": expr, ... })` object form (plus bare expressions and
-//! `json!([ ... ])` arrays), which is the surface this workspace uses.
+//! [`to_string`], [`to_string_pretty`], a [`from_str`] parser (enough JSON to
+//! round-trip this workspace's own output — used by the bench harness to diff
+//! `BENCH_rpq.json` against the committed snapshot), and a [`json!`] macro
+//! supporting the flat `json!({ "key": expr, ... })` object form (plus bare
+//! expressions and `json!([ ... ])` arrays).
 
 #![forbid(unsafe_code)]
 
@@ -42,6 +44,177 @@ pub fn to_string_pretty<T: Serialize>(value: T) -> Result<String, Error> {
     let mut out = String::new();
     write_value(&value.to_value(), &mut out, Some(2), 0);
     Ok(out)
+}
+
+/// Parses a JSON document into a [`Value`] tree.
+///
+/// Supports the full value grammar this workspace emits: objects, arrays,
+/// strings with `\uXXXX` and the common escapes, integers, floats (including
+/// exponents), booleans, and `null`.  Trailing garbage is an error.
+pub fn from_str(input: &str) -> Result<Value, Error> {
+    let bytes = input.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(Error(()));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), Error> {
+    if *pos < bytes.len() && bytes[*pos] == b {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(Error(()))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        Some(b'{') => {
+            *pos += 1;
+            let mut entries = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Value::Object(entries));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                expect(bytes, pos, b':')?;
+                let value = parse_value(bytes, pos)?;
+                entries.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Value::Object(entries));
+                    }
+                    _ => return Err(Error(())),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Value::Array(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Value::Array(items));
+                    }
+                    _ => return Err(Error(())),
+                }
+            }
+        }
+        Some(b'"') => parse_string(bytes, pos).map(Value::String),
+        Some(b't') if bytes[*pos..].starts_with(b"true") => {
+            *pos += 4;
+            Ok(Value::Bool(true))
+        }
+        Some(b'f') if bytes[*pos..].starts_with(b"false") => {
+            *pos += 5;
+            Ok(Value::Bool(false))
+        }
+        Some(b'n') if bytes[*pos..].starts_with(b"null") => {
+            *pos += 4;
+            Ok(Value::Null)
+        }
+        Some(_) => parse_number(bytes, pos),
+        None => Err(Error(())),
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, Error> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{0008}'),
+                    Some(b'f') => out.push('\u{000c}'),
+                    Some(b'u') => {
+                        let hex = bytes.get(*pos + 1..*pos + 5).ok_or(Error(()))?;
+                        let hex = std::str::from_utf8(hex).map_err(|_| Error(()))?;
+                        let code = u32::from_str_radix(hex, 16).map_err(|_| Error(()))?;
+                        // Surrogate pairs don't occur in this workspace's
+                        // output; reject rather than mis-decode.
+                        out.push(char::from_u32(code).ok_or(Error(()))?);
+                        *pos += 4;
+                    }
+                    _ => return Err(Error(())),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (multi-byte sequences intact).
+                let rest = std::str::from_utf8(&bytes[*pos..]).map_err(|_| Error(()))?;
+                let c = rest.chars().next().ok_or(Error(()))?;
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+            None => return Err(Error(())),
+        }
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let mut is_float = false;
+    while let Some(&b) = bytes.get(*pos) {
+        match b {
+            b'0'..=b'9' => *pos += 1,
+            b'.' | b'e' | b'E' | b'+' | b'-' => {
+                is_float = true;
+                *pos += 1;
+            }
+            _ => break,
+        }
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|_| Error(()))?;
+    if text.is_empty() || text == "-" {
+        return Err(Error(()));
+    }
+    if is_float {
+        text.parse::<f64>().map(Value::Float).map_err(|_| Error(()))
+    } else {
+        text.parse::<i128>().map(Value::Int).map_err(|_| Error(()))
+    }
 }
 
 fn write_value(value: &Value, out: &mut String, indent: Option<usize>, depth: usize) {
@@ -163,5 +336,40 @@ mod tests {
     fn index_and_eq_work_through_the_reexport() {
         let v = json!({ "flag": true });
         assert_eq!(v["flag"], Value::Bool(true));
+    }
+
+    #[test]
+    fn from_str_round_trips_own_output() {
+        let v = json!({
+            "name": "rpq eval |V|=2000",
+            "dense_ms": 12.5,
+            "count": 42,
+            "neg": -3,
+            "flags": vec![true, false],
+            "nested": json!({ "unicode": "a·b\nε", "none": Value::Null }),
+        });
+        for rendered in [to_string(&v).unwrap(), to_string_pretty(&v).unwrap()] {
+            let parsed = from_str(&rendered).expect("own output parses");
+            assert_eq!(parsed, v, "round trip through {rendered}");
+        }
+        // Exponent floats parse; numeric accessors widen integers.
+        assert_eq!(from_str("1.5e3").unwrap().as_f64(), Some(1500.0));
+        assert_eq!(v["count"].as_f64(), Some(42.0));
+        assert_eq!(v["flags"].as_array().map(<[Value]>::len), Some(2));
+    }
+
+    #[test]
+    fn from_str_rejects_malformed_documents() {
+        for bad in ["", "{", "[1,", "{\"a\" 1}", "12 34", "\"unterminated", "truthy"] {
+            assert!(from_str(bad).is_err(), "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn from_str_handles_escapes_and_empty_containers() {
+        let v = from_str(r#"{"s":"a\"b\\cé","arr":[],"obj":{}}"#).unwrap();
+        assert_eq!(v["s"].as_str(), Some("a\"b\\cé"));
+        assert_eq!(v["arr"], Value::Array(vec![]));
+        assert_eq!(v["obj"], Value::Object(vec![]));
     }
 }

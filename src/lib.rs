@@ -9,6 +9,8 @@
 //! * [`regexlang`] — the paper's regular-expression language and
 //!   translations;
 //! * [`graphdb`] — edge-labeled graph databases and RPQ evaluation;
+//! * [`engine`] — the stateful query engine: parallel evaluation, compile
+//!   and view-extension caches, incremental maintenance under insertion;
 //! * [`rewriter`] — the Σ_E-maximal rewriting construction and exactness;
 //! * [`rpq`] — regular path query rewriting over views (§4);
 //! * [`tiling`] — the lower-bound constructions (§3.2).
@@ -17,6 +19,7 @@
 #![warn(missing_docs)]
 
 pub use automata;
+pub use engine;
 pub use graphdb;
 pub use regexlang;
 pub use rewriter;
