@@ -263,6 +263,125 @@ pub struct DenseNfa {
 }
 
 impl DenseNfa {
+    /// Builds an **ε-free** dense NFA directly from parts: every state's
+    /// closure is the singleton `{s}` and the successor lists are exactly the
+    /// given transitions (deduplicated and sorted per `(state, symbol)`).
+    ///
+    /// This is the construction entry point for dense algorithms that
+    /// produce NFAs natively — the product [`crate::product::intersect_dfa_nfa`]
+    /// and the rewriting automaton `A'` of `rewriter` — without routing
+    /// through a mutable tree [`Nfa`].
+    ///
+    /// # Panics
+    /// Panics if a state or symbol index is out of range.
+    pub fn from_parts(
+        alphabet: Alphabet,
+        num_states: usize,
+        initials: impl IntoIterator<Item = u32>,
+        finals: impl IntoIterator<Item = u32>,
+        transitions: impl IntoIterator<Item = (u32, u32, u32)>,
+    ) -> Self {
+        let n = num_states;
+        let k = alphabet.len();
+        // Bucket transitions by (state, symbol) via counting sort into CSR.
+        let mut bucketed: Vec<Vec<u32>> = vec![Vec::new(); n * k];
+        for (from, sym, to) in transitions {
+            assert!((from as usize) < n && (to as usize) < n, "state out of range");
+            assert!((sym as usize) < k, "symbol index {sym} out of range");
+            bucketed[from as usize * k + sym as usize].push(to);
+        }
+        let mut closed_offsets = Vec::with_capacity(n * k + 1);
+        let mut closed_targets = Vec::new();
+        closed_offsets.push(0u32);
+        for bucket in &mut bucketed {
+            bucket.sort_unstable();
+            bucket.dedup();
+            closed_targets.extend_from_slice(bucket);
+            closed_offsets.push(closed_targets.len() as u32);
+        }
+        // Singleton closures: closure(s) = {s}.
+        let closure_offsets: Vec<u32> = (0..=n as u32).collect();
+        let closure_targets: Vec<u32> = (0..n as u32).collect();
+        let mut start: Vec<u32> = initials
+            .into_iter()
+            .inspect(|&s| assert!((s as usize) < n, "initial state out of range"))
+            .collect();
+        start.sort_unstable();
+        start.dedup();
+        let mut final_set = BitSet::new(n);
+        for f in finals {
+            assert!((f as usize) < n, "final state out of range");
+            final_set.insert(f);
+        }
+        DenseNfa {
+            alphabet,
+            num_states: n,
+            num_symbols: k,
+            closed_offsets,
+            closed_targets,
+            closure_offsets,
+            closure_targets,
+            start,
+            finals: final_set,
+        }
+    }
+
+    /// Views a frozen DFA as an ε-free dense NFA (singleton successor lists).
+    ///
+    /// Used where a deterministic automaton — e.g. a rewriting automaton —
+    /// flows into an NFA-consuming evaluator without a tree round trip.
+    pub fn from_dense_dfa(dfa: &DenseDfa) -> Self {
+        let n = dfa.num_states();
+        let k = dfa.num_symbols();
+        Self::from_parts(
+            dfa.alphabet().clone(),
+            n,
+            [dfa.initial()],
+            dfa.finals().iter(),
+            (0..n as u32).flat_map(move |s| {
+                (0..k as u32).filter_map(move |a| {
+                    dfa.next(s, a as usize).map(|t| (s, a, t))
+                })
+            }),
+        )
+    }
+
+    /// Re-labels the automaton over a compatible alphabet (same symbol
+    /// indices, possibly a different interned instance).
+    ///
+    /// # Panics
+    /// Panics when the alphabets are incompatible.
+    pub fn with_alphabet(mut self, target: Alphabet) -> Self {
+        self.alphabet
+            .check_compatible(&target)
+            .expect("re-labeling over an incompatible alphabet");
+        self.alphabet = target;
+        self
+    }
+
+    /// Thaws the dense automaton back into a tree [`Nfa`] (ε-free: the
+    /// folded closures become plain transitions).  Accepts the same
+    /// language; used to expose dense-built automata through tree-typed
+    /// public fields.
+    pub fn to_nfa(&self) -> Nfa {
+        let mut out = Nfa::new(self.alphabet.clone());
+        out.add_states(self.num_states);
+        for &s in &self.start {
+            out.set_initial(s as usize);
+        }
+        for f in self.finals.iter() {
+            out.set_final(f as usize);
+        }
+        for s in 0..self.num_states as u32 {
+            for a in 0..self.num_symbols {
+                for &t in self.closed_successors(s, a) {
+                    out.add_transition(s as usize, Symbol(a as u32), t as usize);
+                }
+            }
+        }
+        out
+    }
+
     /// Freezes a tree NFA into the dense representation.
     pub fn from_nfa(nfa: &Nfa) -> Self {
         let n = nfa.num_states();
@@ -529,6 +648,65 @@ pub struct DenseDfa {
 }
 
 impl DenseDfa {
+    /// Builds a dense DFA directly from a flat next-state table
+    /// (`table[s * alphabet.len() + a]`, [`DEAD`] for missing transitions).
+    ///
+    /// This is the construction entry point for the dense algorithms
+    /// ([`crate::determinize::determinize_to_dense`],
+    /// [`crate::dense_ops`]) — results are laid out flat from the start
+    /// instead of round-tripping through the tree [`Dfa`].
+    ///
+    /// # Panics
+    /// Panics if the table size disagrees with `num_states` or if `initial`
+    /// or any live table entry is out of range.
+    pub fn from_parts(
+        alphabet: Alphabet,
+        num_states: usize,
+        initial: u32,
+        finals: impl IntoIterator<Item = u32>,
+        table: Vec<u32>,
+    ) -> Self {
+        let k = alphabet.len();
+        assert_eq!(table.len(), num_states * k, "table size mismatch");
+        assert!((initial as usize) < num_states, "initial state out of range");
+        assert!(
+            table.iter().all(|&t| t == DEAD || (t as usize) < num_states),
+            "transition target out of range"
+        );
+        let mut final_set = BitSet::new(num_states);
+        for f in finals {
+            assert!((f as usize) < num_states, "final state out of range");
+            final_set.insert(f);
+        }
+        DenseDfa {
+            alphabet,
+            num_states,
+            num_symbols: k,
+            table,
+            initial,
+            finals: final_set,
+        }
+    }
+
+    /// Thaws the dense automaton back into a tree [`Dfa`] with identical
+    /// states, transitions, initial and final states.  Pure representation
+    /// change; used to expose dense-computed results through tree-typed
+    /// public APIs.
+    pub fn to_dfa(&self) -> Dfa {
+        Dfa::from_parts(
+            self.alphabet.clone(),
+            self.num_states,
+            self.initial as usize,
+            self.finals.iter().map(|f| f as usize),
+            (0..self.num_states).flat_map(|s| {
+                (0..self.num_symbols).filter_map(move |a| {
+                    let t = self.table[s * self.num_symbols + a];
+                    (t != DEAD).then(|| (s, Symbol(a as u32), t as usize))
+                })
+            }),
+        )
+    }
+
     /// Freezes a tree DFA into the dense representation.
     pub fn from_dfa(dfa: &Dfa) -> Self {
         let n = dfa.num_states();
@@ -620,6 +798,144 @@ impl DenseDfa {
             }
         }
         seen
+    }
+
+    /// The set of states reachable from the initial state.
+    pub fn reachable(&self) -> BitSet {
+        let mut seen = BitSet::new(self.num_states);
+        seen.insert(self.initial);
+        let mut queue = VecDeque::from([self.initial]);
+        while let Some(s) = queue.pop_front() {
+            for a in 0..self.num_symbols {
+                let t = self.table[s as usize * self.num_symbols + a];
+                if t != DEAD && seen.insert(t) {
+                    queue.push_back(t);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Whether every state has a transition for every symbol.
+    pub fn is_complete(&self) -> bool {
+        !self.table.contains(&DEAD)
+    }
+
+    /// A complete version of the automaton: missing transitions are
+    /// redirected to an explicit non-accepting sink appended as the last
+    /// state (only when needed), mirroring [`Dfa::complete`] including the
+    /// sink's position in the state numbering.
+    pub fn complete(&self) -> DenseDfa {
+        if self.is_complete() {
+            return self.clone();
+        }
+        let k = self.num_symbols;
+        let n = self.num_states + 1;
+        let sink = self.num_states as u32;
+        let mut table = Vec::with_capacity(n * k);
+        for &t in &self.table {
+            table.push(if t == DEAD { sink } else { t });
+        }
+        table.extend(std::iter::repeat(sink).take(k));
+        let mut finals = BitSet::new(n);
+        for f in self.finals.iter() {
+            finals.insert(f);
+        }
+        DenseDfa {
+            alphabet: self.alphabet.clone(),
+            num_states: n,
+            num_symbols: k,
+            table,
+            initial: self.initial,
+            finals,
+        }
+    }
+
+    /// The complement automaton (complete, with accepting states flipped),
+    /// mirroring [`Dfa::complement`].
+    pub fn complement(&self) -> DenseDfa {
+        let mut out = self.complete();
+        let mut finals = BitSet::new(out.num_states);
+        for s in 0..out.num_states as u32 {
+            if !out.finals.contains(s) {
+                finals.insert(s);
+            }
+        }
+        out.finals = finals;
+        out
+    }
+
+    /// Removes unreachable states, renumbering the survivors in ascending
+    /// order of their old ids (the initial state is always kept), mirroring
+    /// [`Dfa::trim_unreachable`].
+    pub fn trim_unreachable(&self) -> DenseDfa {
+        let reach = self.reachable();
+        let k = self.num_symbols;
+        let mut remap = vec![DEAD; self.num_states];
+        let mut kept = 0u32;
+        for s in 0..self.num_states as u32 {
+            if reach.contains(s) {
+                remap[s as usize] = kept;
+                kept += 1;
+            }
+        }
+        let mut table = Vec::with_capacity(kept as usize * k);
+        let mut finals = BitSet::new(kept as usize);
+        for s in 0..self.num_states as u32 {
+            if !reach.contains(s) {
+                continue;
+            }
+            for a in 0..k {
+                let t = self.table[s as usize * k + a];
+                table.push(if t == DEAD { DEAD } else { remap[t as usize] });
+            }
+            if self.finals.contains(s) {
+                finals.insert(remap[s as usize]);
+            }
+        }
+        DenseDfa {
+            alphabet: self.alphabet.clone(),
+            num_states: kept as usize,
+            num_symbols: k,
+            table,
+            initial: remap[self.initial as usize],
+            finals,
+        }
+    }
+
+    /// A shortest accepted word, if any — BFS from the initial state in
+    /// symbol order, so ties break exactly like [`Dfa::shortest_word`].
+    pub fn shortest_word(&self) -> Option<Vec<Symbol>> {
+        if self.finals.contains(self.initial) {
+            return Some(Vec::new());
+        }
+        let mut pred: Vec<(u32, u32)> = vec![(DEAD, 0); self.num_states];
+        let mut seen = BitSet::new(self.num_states);
+        seen.insert(self.initial);
+        let mut queue = VecDeque::from([self.initial]);
+        let mut target = None;
+        'bfs: while let Some(s) = queue.pop_front() {
+            for a in 0..self.num_symbols {
+                let t = self.table[s as usize * self.num_symbols + a];
+                if t != DEAD && seen.insert(t) {
+                    pred[t as usize] = (s, a as u32);
+                    if self.finals.contains(t) {
+                        target = Some(t);
+                        break 'bfs;
+                    }
+                    queue.push_back(t);
+                }
+            }
+        }
+        let mut cur = target?;
+        let mut word = Vec::new();
+        while cur != self.initial {
+            let (prev, sym) = pred[cur as usize];
+            word.push(Symbol(sym));
+            cur = prev;
+        }
+        word.reverse();
+        Some(word)
     }
 }
 

@@ -1,0 +1,474 @@
+//! Dense automaton algorithms: minimization, products, complement.
+//!
+//! PR "dense end-to-end" ports the remaining tree algorithms onto the CSR
+//! core: everything here consumes and produces [`DenseDfa`]/[`DenseNfa`]
+//! directly, so the rewriting pipeline of `rewriter` never walks a
+//! `BTreeMap`-based automaton on its hot path.
+//!
+//! * [`minimize_dense`] — Hopcroft's partition-refinement algorithm over a
+//!   CSR reverse-transition table, `O(k·n·log n)` versus the seed's
+//!   `O(k·n²)` Moore refinement.  Block numbering is canonicalized to
+//!   first-occurrence-in-state-order, which makes the output *structurally
+//!   identical* to the retained Moore baseline (`minimize_baseline`), not
+//!   just language-equal — the differential tests rely on this.
+//! * [`intersect_dense`] / [`union_dense`] / [`complement_dense`] — product
+//!   constructions on flat next-state tables, discovering pairs breadth-first
+//!   in symbol order exactly like the tree versions so state numbering
+//!   coincides.
+//! * [`intersect_dfa_nfa_dense`] — the lazily ε-closed DFA × NFA product,
+//!   producing an ε-free [`DenseNfa`] natively.
+//!
+//! The tree-typed entry points in [`crate::minimize`] and [`crate::product`]
+//! are thin freeze → dense-op → thaw wrappers around these.
+
+use std::collections::VecDeque;
+
+use crate::dense::{DenseDfa, DenseNfa, FxHashMap, DEAD};
+
+/// Minimizes a dense DFA with Hopcroft's algorithm: the result is the unique
+/// smallest complete DFA for the same language, restricted to reachable
+/// states, with blocks numbered by first occurrence in state order (matching
+/// the Moore baseline structurally).
+pub fn minimize_dense(dfa: &DenseDfa) -> DenseDfa {
+    // Work on the reachable, complete automaton so the successor function is
+    // total and unreachable states cannot pollute the partition.
+    let dfa = dfa.trim_unreachable().complete();
+    let n = dfa.num_states();
+    let k = dfa.num_symbols();
+    if n == 0 {
+        return dfa;
+    }
+
+    // Reverse transition table in CSR layout, bucketed by (target, symbol):
+    // one counting pass to size the buckets, one to fill them.
+    let mut roffsets = vec![0u32; n * k + 1];
+    for s in 0..n {
+        for a in 0..k {
+            let t = dfa.next_raw(s as u32, a) as usize;
+            roffsets[t * k + a + 1] += 1;
+        }
+    }
+    for i in 1..roffsets.len() {
+        roffsets[i] += roffsets[i - 1];
+    }
+    let mut cursor = roffsets.clone();
+    let mut rsources = vec![0u32; n * k];
+    for s in 0..n {
+        for a in 0..k {
+            let t = dfa.next_raw(s as u32, a) as usize;
+            let slot = &mut cursor[t * k + a];
+            rsources[*slot as usize] = s as u32;
+            *slot += 1;
+        }
+    }
+    let preds = |t: usize, a: usize| {
+        let lo = roffsets[t * k + a] as usize;
+        let hi = roffsets[t * k + a + 1] as usize;
+        &rsources[lo..hi]
+    };
+
+    // Refinable partition: `elems` holds the states grouped by block,
+    // `pos[s]` is the index of `s` in `elems`, `blk[s]` its block, and
+    // `start/len` delimit each block's segment of `elems`.
+    let mut elems: Vec<u32> = Vec::with_capacity(n);
+    let mut pos: Vec<u32> = vec![0; n];
+    let mut blk: Vec<u32> = vec![0; n];
+    let mut start: Vec<u32> = Vec::new();
+    let mut len: Vec<u32> = Vec::new();
+
+    let num_final = dfa.finals().iter().count();
+    if num_final == 0 || num_final == n {
+        // A single block: already stable (the quotient is one state), no
+        // refinement needed.
+        start.push(0);
+        len.push(n as u32);
+        elems.extend(0..n as u32);
+        for (i, p) in pos.iter_mut().enumerate() {
+            *p = i as u32;
+        }
+    } else {
+        // Block 0 = whichever class contains state 0 (first occurrence),
+        // block 1 = the other; final renumbering re-canonicalizes anyway.
+        let zero_final = dfa.is_final(0);
+        let mut grouped: Vec<u32> = (0..n as u32)
+            .filter(|&s| dfa.is_final(s) == zero_final)
+            .collect();
+        let split_at = grouped.len() as u32;
+        grouped.extend((0..n as u32).filter(|&s| dfa.is_final(s) != zero_final));
+        for (i, &s) in grouped.iter().enumerate() {
+            pos[s as usize] = i as u32;
+            blk[s as usize] = u32::from(i as u32 >= split_at);
+        }
+        elems = grouped;
+        start.extend([0, split_at]);
+        len.extend([split_at, n as u32 - split_at]);
+    }
+
+    // Worklist of (block, symbol) splitters.  Pushing both initial blocks is
+    // correct (Hopcroft's smaller-half rule is an optimization applied on
+    // splits below); a single-block partition is already stable.
+    let mut work: Vec<(u32, u32)> = Vec::new();
+    let mut on_work = vec![false; n * k]; // indexed block * k + symbol
+    if start.len() > 1 {
+        for b in 0..start.len() as u32 {
+            for a in 0..k as u32 {
+                work.push((b, a));
+                on_work[b as usize * k + a as usize] = true;
+            }
+        }
+    }
+
+    // Scratch for one refinement step.
+    let mut moved: Vec<u32> = Vec::new(); // blocks touched this step
+    let mut moved_count: Vec<u32> = vec![0; n]; // per block: states moved to front
+
+    while let Some((b, a)) = work.pop() {
+        on_work[b as usize * k + a as usize] = false;
+        // Snapshot the splitter's members: splitting may reshuffle `elems`
+        // inside block `b` itself.
+        let members: Vec<u32> = {
+            let lo = start[b as usize] as usize;
+            let hi = lo + len[b as usize] as usize;
+            elems[lo..hi].to_vec()
+        };
+        // X = δ⁻¹(B, a); move each x to the front of its block.
+        moved.clear();
+        for &m in &members {
+            for &x in preds(m as usize, a as usize) {
+                let y = blk[x as usize];
+                if moved_count[y as usize] == 0 {
+                    moved.push(y);
+                }
+                let dest = start[y as usize] + moved_count[y as usize];
+                moved_count[y as usize] += 1;
+                // Swap x into the front region of its block.
+                let px = pos[x as usize];
+                if px != dest {
+                    let other = elems[dest as usize];
+                    elems[dest as usize] = x;
+                    elems[px as usize] = other;
+                    pos[x as usize] = dest;
+                    pos[other as usize] = px;
+                }
+            }
+        }
+        // Split every block whose front region is a proper subset.
+        for &y in &moved {
+            let m = moved_count[y as usize];
+            moved_count[y as usize] = 0;
+            if m == len[y as usize] {
+                continue; // whole block hit: no split
+            }
+            // New block = the moved front region; `y` keeps the rest.
+            let nb = start.len() as u32;
+            start.push(start[y as usize]);
+            len.push(m);
+            start[y as usize] += m;
+            len[y as usize] -= m;
+            for i in start[nb as usize]..start[nb as usize] + m {
+                blk[elems[i as usize] as usize] = nb;
+            }
+            for sym in 0..k as u32 {
+                if on_work[y as usize * k + sym as usize] {
+                    // (y, sym) already pending: its old extent is now covered
+                    // by (rest of y, sym) + (nb, sym).
+                    work.push((nb, sym));
+                    on_work[nb as usize * k + sym as usize] = true;
+                } else {
+                    // Hopcroft's rule: the smaller half suffices.
+                    let (small, small_len) = if m <= len[y as usize] {
+                        (nb, m)
+                    } else {
+                        (y, len[y as usize])
+                    };
+                    debug_assert!(small_len > 0);
+                    work.push((small, sym));
+                    on_work[small as usize * k + sym as usize] = true;
+                }
+            }
+        }
+    }
+
+    // Renumber blocks by first occurrence in state order — the numbering the
+    // Moore baseline produces — and build the quotient table.
+    let num_blocks = start.len();
+    let mut renumber = vec![DEAD; num_blocks];
+    let mut representative: Vec<u32> = Vec::with_capacity(num_blocks);
+    for s in 0..n as u32 {
+        let b = blk[s as usize] as usize;
+        if renumber[b] == DEAD {
+            renumber[b] = representative.len() as u32;
+            representative.push(s);
+        }
+    }
+    let mut table = Vec::with_capacity(num_blocks * k);
+    let mut finals = Vec::new();
+    for (nb, &rep) in representative.iter().enumerate() {
+        for a in 0..k {
+            let t = dfa.next_raw(rep, a);
+            table.push(renumber[blk[t as usize] as usize]);
+        }
+        if dfa.is_final(rep) {
+            finals.push(nb as u32);
+        }
+    }
+    let quotient = DenseDfa::from_parts(
+        dfa.alphabet().clone(),
+        num_blocks,
+        renumber[blk[dfa.initial() as usize] as usize],
+        finals,
+        table,
+    );
+    // The input was trimmed, so every block contains a reachable state and
+    // the quotient is already trim; the call keeps parity with the baseline
+    // (`build_quotient(..).trim_unreachable()`) at negligible cost.
+    quotient.trim_unreachable()
+}
+
+/// Breadth-first pair interner shared by the product constructions: pairs
+/// are numbered in discovery order (seeds first, then queue FIFO with
+/// symbols ascending), exactly like the tree products, so the results
+/// coincide structurally.
+#[derive(Default)]
+struct PairProduct {
+    index: FxHashMap<(u32, u32), u32>,
+    pairs: Vec<(u32, u32)>,
+    queue: VecDeque<u32>,
+}
+
+impl PairProduct {
+    fn seeded(seeds: impl IntoIterator<Item = (u32, u32)>) -> Self {
+        let mut product = PairProduct::default();
+        for seed in seeds {
+            product.intern(seed);
+        }
+        product
+    }
+
+    fn intern(&mut self, pair: (u32, u32)) -> u32 {
+        match self.index.get(&pair) {
+            Some(&id) => id,
+            None => {
+                let id = self.pairs.len() as u32;
+                self.index.insert(pair, id);
+                self.pairs.push(pair);
+                self.queue.push_back(id);
+                id
+            }
+        }
+    }
+}
+
+/// Intersection of two dense DFAs over the same alphabet: accepts
+/// `L(a) ∩ L(b)`.  Only product states reachable from the initial pair are
+/// materialized; the result may be partial.
+pub fn intersect_dense(a: &DenseDfa, b: &DenseDfa) -> DenseDfa {
+    a.alphabet()
+        .check_compatible(b.alphabet())
+        .expect("intersection over incompatible alphabets");
+    let k = a.num_symbols();
+    let mut product = PairProduct::seeded([(a.initial(), b.initial())]);
+    let mut table: Vec<u32> = vec![DEAD; k];
+    while let Some(cur) = product.queue.pop_front() {
+        let (sa, sb) = product.pairs[cur as usize];
+        for sym in 0..k {
+            let (ta, tb) = (a.next_raw(sa, sym), b.next_raw(sb, sym));
+            if ta == DEAD || tb == DEAD {
+                continue;
+            }
+            let next = product.intern((ta, tb));
+            table.resize(table.len().max(product.pairs.len() * k), DEAD);
+            table[cur as usize * k + sym] = next;
+        }
+    }
+    let finals = product
+        .pairs
+        .iter()
+        .enumerate()
+        .filter(|&(_, &(sa, sb))| a.is_final(sa) && b.is_final(sb))
+        .map(|(i, _)| i as u32);
+    DenseDfa::from_parts(a.alphabet().clone(), product.pairs.len(), 0, finals, table)
+}
+
+/// Union of two dense DFAs over the same alphabet: accepts `L(a) ∪ L(b)`.
+/// Built as a product over the completed automata so a run may die in one
+/// component while surviving in the other.
+pub fn union_dense(a: &DenseDfa, b: &DenseDfa) -> DenseDfa {
+    a.alphabet()
+        .check_compatible(b.alphabet())
+        .expect("union over incompatible alphabets");
+    let a = a.complete();
+    let b = b.complete();
+    let k = a.num_symbols();
+    let mut product = PairProduct::seeded([(a.initial(), b.initial())]);
+    let mut table: Vec<u32> = vec![DEAD; k];
+    while let Some(cur) = product.queue.pop_front() {
+        let (sa, sb) = product.pairs[cur as usize];
+        for sym in 0..k {
+            let (ta, tb) = (a.next_raw(sa, sym), b.next_raw(sb, sym));
+            debug_assert!(ta != DEAD && tb != DEAD, "inputs completed above");
+            let next = product.intern((ta, tb));
+            table.resize(table.len().max(product.pairs.len() * k), DEAD);
+            table[cur as usize * k + sym] = next;
+        }
+    }
+    let finals = product
+        .pairs
+        .iter()
+        .enumerate()
+        .filter(|&(_, &(sa, sb))| a.is_final(sa) || b.is_final(sb))
+        .map(|(i, _)| i as u32);
+    DenseDfa::from_parts(a.alphabet().clone(), product.pairs.len(), 0, finals, table)
+}
+
+/// Complement of a dense DFA (complete, accepting states flipped).
+pub fn complement_dense(dfa: &DenseDfa) -> DenseDfa {
+    dfa.complement()
+}
+
+/// Intersection of a dense DFA and a dense NFA: accepts `L(a) ∩ L(b)` as an
+/// ε-free [`DenseNfa`].  Product states are `(DFA state, NFA state)` pairs
+/// with the NFA side drawn from ε-closed configurations (the closures are
+/// already folded into `b`'s successor lists).
+pub fn intersect_dfa_nfa_dense(a: &DenseDfa, b: &DenseNfa) -> DenseNfa {
+    a.alphabet()
+        .check_compatible(b.alphabet())
+        .expect("intersection over incompatible alphabets");
+    let k = a.num_symbols();
+    // Initial product states: one per member of b's closed start
+    // configuration (sorted), numbered first.
+    let mut product = PairProduct::seeded(b.start().iter().map(|&nb| (a.initial(), nb)));
+    let num_initials = product.pairs.len() as u32;
+    let mut transitions: Vec<(u32, u32, u32)> = Vec::new();
+    while let Some(cur) = product.queue.pop_front() {
+        let (sa, sb) = product.pairs[cur as usize];
+        for sym in 0..k {
+            let ta = a.next_raw(sa, sym);
+            if ta == DEAD {
+                continue;
+            }
+            for &tb in b.closed_successors(sb, sym) {
+                let next = product.intern((ta, tb));
+                transitions.push((cur, sym as u32, next));
+            }
+        }
+    }
+    let finals = product
+        .pairs
+        .iter()
+        .enumerate()
+        .filter(|&(_, &(sa, sb))| a.is_final(sa) && b.is_final(sb))
+        .map(|(i, _)| i as u32);
+    DenseNfa::from_parts(
+        a.alphabet().clone(),
+        product.pairs.len(),
+        0..num_initials,
+        finals,
+        transitions,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::{Alphabet, Symbol};
+    use crate::determinize::determinize;
+    use crate::minimize::minimize_baseline;
+    use crate::nfa::Nfa;
+
+    fn ab() -> Alphabet {
+        Alphabet::from_chars(['a', 'b']).unwrap()
+    }
+
+    fn w(alpha: &Alphabet, s: &str) -> Vec<Symbol> {
+        alpha.word_from_str(s).unwrap()
+    }
+
+    fn dense(nfa: &Nfa) -> DenseDfa {
+        DenseDfa::from_dfa(&determinize(nfa))
+    }
+
+    #[test]
+    fn hopcroft_matches_moore_structurally() {
+        let alpha = ab();
+        let a = Nfa::symbol(alpha.clone(), alpha.symbol("a").unwrap());
+        let b = Nfa::symbol(alpha.clone(), alpha.symbol("b").unwrap());
+        let cases = [
+            a.concat(&b).union(&b.concat(&a)).star(),
+            Nfa::universal(alpha.clone()).concat(&a).concat(&b),
+            a.star().concat(&b.star()).star(),
+            Nfa::empty(alpha.clone()),
+            Nfa::epsilon(alpha.clone()),
+        ];
+        for nfa in cases {
+            let tree = determinize(&nfa);
+            let ours = minimize_dense(&DenseDfa::from_dfa(&tree));
+            let moore = minimize_baseline(&tree);
+            assert_eq!(ours.num_states(), moore.num_states());
+            assert_eq!(ours.initial() as usize, moore.initial_state());
+            for s in 0..ours.num_states() {
+                assert_eq!(ours.is_final(s as u32), moore.is_final(s));
+                for sym in alpha.symbols() {
+                    assert_eq!(
+                        ours.next(s as u32, sym.index()).map(|t| t as usize),
+                        moore.next_state(s, sym),
+                        "state {s} sym {sym}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn minimize_dense_hits_canonical_sizes() {
+        let alpha = ab();
+        let a = Nfa::symbol(alpha.clone(), alpha.symbol("a").unwrap());
+        // (a+b)*a(a+b)(a+b): canonical minimal DFA has 8 states.
+        let nfa = Nfa::universal(alpha.clone())
+            .concat(&a)
+            .concat(&Nfa::any_symbol(alpha.clone()))
+            .concat(&Nfa::any_symbol(alpha.clone()));
+        let min = minimize_dense(&dense(&nfa));
+        assert_eq!(min.num_states(), 8);
+        assert!(min.is_complete());
+    }
+
+    #[test]
+    fn dense_products_agree_with_membership() {
+        let alpha = ab();
+        let a_sym = Nfa::symbol(alpha.clone(), alpha.symbol("a").unwrap());
+        let starts_a = dense(&a_sym.concat(&Nfa::universal(alpha.clone())));
+        let ends_a = dense(&Nfa::universal(alpha.clone()).concat(&a_sym));
+        let both = intersect_dense(&starts_a, &ends_a);
+        let either = union_dense(&starts_a, &ends_a);
+        let neither = complement_dense(&either);
+        for word in ["", "a", "b", "ab", "ba", "aba", "bab", "abba"] {
+            let word = w(&alpha, word);
+            let sa = {
+                let d = starts_a.to_dfa();
+                d.accepts(&word)
+            };
+            let ea = ends_a.to_dfa().accepts(&word);
+            assert_eq!(both.to_dfa().accepts(&word), sa && ea);
+            assert_eq!(either.to_dfa().accepts(&word), sa || ea);
+            assert_eq!(neither.to_dfa().accepts(&word), !(sa || ea));
+        }
+    }
+
+    #[test]
+    fn dfa_nfa_product_is_conjunction() {
+        let alpha = ab();
+        let a_sym = Nfa::symbol(alpha.clone(), alpha.symbol("a").unwrap());
+        let starts_a = dense(&a_sym.concat(&Nfa::universal(alpha.clone())));
+        let ends_a = DenseNfa::from_nfa(&Nfa::universal(alpha.clone()).concat(&a_sym));
+        let product = intersect_dfa_nfa_dense(&starts_a, &ends_a);
+        for word in ["a", "aa", "aba", "abba"] {
+            assert!(product.accepts(&w(&alpha, word)), "{word}");
+        }
+        for word in ["", "b", "ab", "ba", "bab"] {
+            assert!(!product.accepts(&w(&alpha, word)), "{word}");
+        }
+        // Shortest witness of the intersection, via the thawed product.
+        assert_eq!(product.to_nfa().shortest_word(), Some(w(&alpha, "a")));
+    }
+}

@@ -20,7 +20,7 @@ use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::rc::Rc;
 
 use crate::alphabet::Symbol;
-use crate::dense::{BitSet, DenseNfa, FxHashMap};
+use crate::dense::{BitSet, DenseDfa, DenseNfa, FxHashMap};
 use crate::dfa::Dfa;
 use crate::nfa::{Nfa, StateId};
 
@@ -32,6 +32,19 @@ pub struct Determinized {
     pub dfa: Dfa,
     /// `subsets[s]` is the set of NFA states that DFA state `s` stands for.
     pub subsets: Vec<BTreeSet<StateId>>,
+}
+
+/// Result of [`determinize_to_dense`]: the flat-table DFA plus the interned
+/// subset each state represents (sorted member lists, shared with the
+/// construction's interning map).
+#[derive(Debug, Clone)]
+pub struct DeterminizedDense {
+    /// The deterministic automaton as a flat next-state table (complete by
+    /// construction: the empty subset is an ordinary sink state).
+    pub dfa: DenseDfa,
+    /// `subsets[s]` is the sorted list of NFA states that state `s` stands
+    /// for.
+    pub subsets: Vec<Rc<[u32]>>,
 }
 
 /// Determinizes `nfa` by the subset construction, producing a **complete**
@@ -50,11 +63,26 @@ pub fn determinize_with_subsets(nfa: &Nfa) -> Determinized {
     determinize_dense(&dense)
 }
 
-/// Subset construction over an already-frozen [`DenseNfa`].
+/// Subset construction over an already-frozen [`DenseNfa`], thawing the
+/// result into a tree [`Dfa`] for the tree-typed public API.
 ///
 /// Exposed so pipelines that already hold a dense automaton (e.g. repeated
 /// determinizations in benchmarks) can skip the freezing step.
 pub fn determinize_dense(dense: &DenseNfa) -> Determinized {
+    let DeterminizedDense { dfa, subsets } = determinize_to_dense(dense);
+    Determinized {
+        dfa: dfa.to_dfa(),
+        subsets: subsets
+            .into_iter()
+            .map(|set| set.iter().map(|&s| s as StateId).collect())
+            .collect(),
+    }
+}
+
+/// Subset construction producing a [`DenseDfa`] natively — no tree `Dfa` is
+/// materialized at any point.  This is the determinization the rewriting
+/// pipeline runs on (steps 1 and 3 of the Theorem 2.2 construction).
+pub fn determinize_to_dense(dense: &DenseNfa) -> DeterminizedDense {
     let k = dense.num_symbols();
 
     // Interned subsets: sorted state lists, looked up by slice (no cloning on
@@ -103,25 +131,17 @@ pub fn determinize_dense(dense: &DenseNfa) -> Determinized {
         }
     }
 
-    let dfa = Dfa::from_parts(
+    let dfa = DenseDfa::from_parts(
         dense.alphabet().clone(),
         subsets.len(),
         0,
         accepting
             .iter()
             .enumerate()
-            .filter_map(|(s, &acc)| acc.then_some(s)),
-        transitions
-            .iter()
-            .enumerate()
-            .map(|(i, &to)| (i / k, Symbol((i % k) as u32), to as usize)),
+            .filter_map(|(s, &acc)| acc.then_some(s as u32)),
+        transitions,
     );
-
-    let subsets = subsets
-        .into_iter()
-        .map(|set| set.iter().map(|&s| s as StateId).collect())
-        .collect();
-    Determinized { dfa, subsets }
+    DeterminizedDense { dfa, subsets }
 }
 
 /// The seed's tree-based subset construction (`BTreeSet` configurations with

@@ -14,10 +14,11 @@ use crate::alphabet::Symbol;
 use crate::dense::{
     intern_visit, intern_visit_start, BitSet, ConfigVisitMap, DenseDfa, DenseNfa,
 };
-use crate::determinize::determinize;
+use crate::dense_ops::intersect_dense;
+use crate::determinize::{determinize, determinize_to_dense, determinize_with_subsets_baseline};
 use crate::dfa::Dfa;
 use crate::nfa::Nfa;
-use crate::product::intersect_dfa;
+use crate::product::intersect_dfa_baseline;
 
 /// Outcome of a containment check.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -52,11 +53,16 @@ impl Containment {
 /// the subset contains no accepting state of `b` yields a shortest
 /// counterexample.  This is the on-the-fly strategy of Theorem 3.2.
 pub fn dfa_subset_of_nfa(a: &Dfa, b: &Nfa) -> Containment {
-    a.alphabet()
-        .check_compatible(b.alphabet())
+    dfa_subset_of_nfa_dense(&DenseDfa::from_dfa(a), &DenseNfa::from_nfa(b))
+}
+
+/// [`dfa_subset_of_nfa`] on already-frozen dense inputs — the form the
+/// exactness check calls with automata that are already dense, skipping the
+/// refreezing step.
+pub fn dfa_subset_of_nfa_dense(da: &DenseDfa, db: &DenseNfa) -> Containment {
+    da.alphabet()
+        .check_compatible(db.alphabet())
         .expect("containment over incompatible alphabets");
-    let da = DenseDfa::from_dfa(a);
-    let db = DenseNfa::from_nfa(b);
     let k = da.num_symbols();
 
     // Only DFA states from which `a` can still accept matter: a word that has
@@ -131,10 +137,25 @@ pub fn dfa_subset_of_nfa(a: &Dfa, b: &Nfa) -> Containment {
 /// Explicit-complement variant of [`dfa_subset_of_nfa`]: determinizes `b`,
 /// complements it, intersects with `a`, and checks emptiness.  Exponentially
 /// more memory-hungry in the worst case; retained for the ablation benchmark.
+///
+/// The whole chain — subset construction, complement, product, shortest-word
+/// BFS — runs on the dense core; the seed's tree chain is retained as
+/// [`dfa_subset_of_nfa_explicit_baseline`].
 pub fn dfa_subset_of_nfa_explicit(a: &Dfa, b: &Nfa) -> Containment {
-    let b_det = determinize(b);
+    let b_comp = determinize_to_dense(&DenseNfa::from_nfa(b)).dfa.complement();
+    let product = intersect_dense(&DenseDfa::from_dfa(a), &b_comp);
+    match product.shortest_word() {
+        None => Containment::Holds,
+        Some(word) => Containment::FailsWith(word),
+    }
+}
+
+/// The seed's tree-based explicit-complement containment, retained as the
+/// differential baseline for the dense chain above.
+pub fn dfa_subset_of_nfa_explicit_baseline(a: &Dfa, b: &Nfa) -> Containment {
+    let b_det = determinize_with_subsets_baseline(b).dfa;
     let b_comp = b_det.complement();
-    let product = intersect_dfa(a, &b_comp);
+    let product = intersect_dfa_baseline(a, &b_comp);
     match product.shortest_word() {
         None => Containment::Holds,
         Some(word) => Containment::FailsWith(word),

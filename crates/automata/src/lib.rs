@@ -30,18 +30,23 @@
 //!   ε-closures precomputed once and folded into the successor lists, plus
 //!   `u64`-word [`dense::BitSet`]s for state sets.
 //!
-//! Conversion points: [`dense::DenseNfa::from_nfa`] /
-//! [`dense::DenseDfa::from_dfa`] (also available via `From<&Nfa>` /
-//! `From<&Dfa>`).  Every hot loop converts once at its entry and then runs
-//! dense: [`determinize`] interns sorted `Vec<u32>` subset keys with reusable
-//! scratch buffers, [`word_reachability_relation`] and [`dfa_subset_of_nfa`]
-//! sweep (DFA state × ε-closed configuration) products with bitset-backed
-//! visited maps, and `graphdb::eval_automaton` runs a product-BFS over a CSR
-//! adjacency with a dense visited bitmap.  Callers in `regexlang`,
-//! `rewriter` and `rpq` keep passing tree automata; the dense core is an
-//! internal representation change with identical observable semantics
-//! (enforced by differential property tests against the retained
-//! `*_baseline` implementations).
+//! Conversion is two-way and cheap: freeze via [`dense::DenseNfa::from_nfa`]
+//! / [`dense::DenseDfa::from_dfa`] (also `From<&Nfa>` / `From<&Dfa>`), thaw
+//! via `DenseDfa::to_dfa` / `DenseNfa::to_nfa`, and build dense natively via
+//! `from_parts`.  Every algorithm runs dense: [`determinize`] /
+//! [`determinize_to_dense`] intern sorted `Vec<u32>` subset keys straight
+//! into a flat next-state table, [`minimize`] is Hopcroft's partition
+//! refinement over a CSR reverse-transition table
+//! ([`dense_ops::minimize_dense`]), [`intersect_dfa`] / [`union_dfa`] /
+//! [`intersect_dfa_nfa`] and complement are flat-table product
+//! constructions ([`dense_ops`]), [`word_reachability_relation`] and
+//! [`dfa_subset_of_nfa`] sweep (DFA state × ε-closed configuration)
+//! products with bitset-backed visited maps, and `graphdb::eval_automaton`
+//! runs a product-BFS over a CSR adjacency with a dense visited bitmap.
+//! Callers in `regexlang`, `rewriter` and `rpq` keep passing tree automata;
+//! the dense core produces *structurally identical* results (state
+//! numbering included), enforced by differential property tests against the
+//! retained `*_baseline` implementations.
 //!
 //! ## Quick example
 //!
@@ -67,6 +72,7 @@
 
 pub mod alphabet;
 pub mod dense;
+pub mod dense_ops;
 pub mod determinize;
 pub mod dfa;
 pub mod dot;
@@ -78,20 +84,26 @@ pub mod random;
 
 pub use alphabet::{Alphabet, AlphabetError, Symbol};
 pub use dense::{BitSet, DenseDfa, DenseNfa, DenseReverse};
+pub use dense_ops::{
+    complement_dense, intersect_dense, intersect_dfa_nfa_dense, minimize_dense, union_dense,
+};
 pub use determinize::{
-    determinize, determinize_dense, determinize_with_subsets, determinize_with_subsets_baseline,
-    Determinized,
+    determinize, determinize_dense, determinize_to_dense, determinize_with_subsets,
+    determinize_with_subsets_baseline, Determinized, DeterminizedDense,
 };
 pub use dfa::Dfa;
 pub use dot::{dfa_to_dot, nfa_to_dot};
 pub use equivalence::{
-    dfa_equivalent, dfa_subset_of_dfa, dfa_subset_of_nfa, dfa_subset_of_nfa_explicit,
-    nfa_equivalent, nfa_subset_of_nfa, Containment,
+    dfa_equivalent, dfa_subset_of_dfa, dfa_subset_of_nfa, dfa_subset_of_nfa_dense,
+    dfa_subset_of_nfa_explicit, dfa_subset_of_nfa_explicit_baseline, nfa_equivalent,
+    nfa_subset_of_nfa, Containment,
 };
-pub use minimize::minimize;
+pub use minimize::{minimize, minimize_baseline};
 pub use nfa::{Nfa, StateId};
 pub use product::{
-    intersect_dfa, intersect_dfa_nfa, intersection_witness, intersection_witness_from, union_dfa,
-    word_reachability_relation, word_reachability_relation_baseline, word_reaches,
+    intersect_dfa, intersect_dfa_baseline, intersect_dfa_nfa, intersect_dfa_nfa_baseline,
+    intersection_witness, intersection_witness_from, union_dfa, union_dfa_baseline,
+    word_reachability_relation, word_reachability_relation_baseline,
+    word_reachability_relation_dense, word_reaches,
 };
 pub use random::{random_dfa, random_nfa, random_word, RandomAutomatonConfig};

@@ -19,14 +19,23 @@ use crate::alphabet::Symbol;
 use crate::dense::{
     intern_visit, intern_visit_start, BitSet, ConfigVisitMap, DenseDfa, DenseNfa,
 };
+use crate::dense_ops::{intersect_dense, intersect_dfa_nfa_dense, union_dense};
 use crate::dfa::Dfa;
 use crate::nfa::{Nfa, StateId};
 
 /// Intersection of two DFAs over the same alphabet: accepts `L(a) ∩ L(b)`.
 ///
 /// Only the product states reachable from the pair of initial states are
-/// materialized.
+/// materialized.  Runs on the dense core ([`intersect_dense`]), producing
+/// the same automaton (state numbering included) as the retained
+/// [`intersect_dfa_baseline`].
 pub fn intersect_dfa(a: &Dfa, b: &Dfa) -> Dfa {
+    intersect_dense(&DenseDfa::from_dfa(a), &DenseDfa::from_dfa(b)).to_dfa()
+}
+
+/// The seed's tree-based intersection product, retained as the differential
+/// baseline for [`intersect_dense`].
+pub fn intersect_dfa_baseline(a: &Dfa, b: &Dfa) -> Dfa {
     a.alphabet()
         .check_compatible(b.alphabet())
         .expect("intersection over incompatible alphabets");
@@ -68,8 +77,15 @@ pub fn intersect_dfa(a: &Dfa, b: &Dfa) -> Dfa {
 /// Union of two DFAs over the same alphabet: accepts `L(a) ∪ L(b)`.
 ///
 /// Built as a product over the completed automata so that a run may die in
-/// one component while surviving in the other.
+/// one component while surviving in the other.  Runs on the dense core
+/// ([`union_dense`]); structurally identical to [`union_dfa_baseline`].
 pub fn union_dfa(a: &Dfa, b: &Dfa) -> Dfa {
+    union_dense(&DenseDfa::from_dfa(a), &DenseDfa::from_dfa(b)).to_dfa()
+}
+
+/// The seed's tree-based union product, retained as the differential
+/// baseline for [`union_dense`].
+pub fn union_dfa_baseline(a: &Dfa, b: &Dfa) -> Dfa {
     a.alphabet()
         .check_compatible(b.alphabet())
         .expect("union over incompatible alphabets");
@@ -107,7 +123,16 @@ pub fn union_dfa(a: &Dfa, b: &Dfa) -> Dfa {
 }
 
 /// Intersection of a DFA and an NFA: accepts `L(a) ∩ L(b)` as an NFA.
+///
+/// Runs on the dense core ([`intersect_dfa_nfa_dense`]); structurally
+/// identical to [`intersect_dfa_nfa_baseline`].
 pub fn intersect_dfa_nfa(a: &Dfa, b: &Nfa) -> Nfa {
+    intersect_dfa_nfa_dense(&DenseDfa::from_dfa(a), &DenseNfa::from_nfa(b)).to_nfa()
+}
+
+/// The seed's tree-based DFA × NFA product, retained as the differential
+/// baseline for [`intersect_dfa_nfa_dense`].
+pub fn intersect_dfa_nfa_baseline(a: &Dfa, b: &Nfa) -> Nfa {
     a.alphabet()
         .check_compatible(b.alphabet())
         .expect("intersection over incompatible alphabets");
@@ -218,11 +243,23 @@ pub fn intersection_witness_from(
 /// language.  This is the batched transition test used to build the rewriting
 /// automaton `A'` (Section 2, step 2 of the construction).
 pub fn word_reachability_relation(dfa: &Dfa, view: &Nfa) -> BTreeSet<(StateId, StateId)> {
-    dfa.alphabet()
-        .check_compatible(view.alphabet())
+    word_reachability_relation_dense(&DenseDfa::from_dfa(dfa), &DenseNfa::from_nfa(view))
+        .into_iter()
+        .map(|(si, sj)| (si as StateId, sj as StateId))
+        .collect()
+}
+
+/// [`word_reachability_relation`] on already-frozen dense inputs — the form
+/// the rewriting pipeline calls once per view with the dense `A_d` and the
+/// frozen view automaton, skipping all per-view refreezing.
+pub fn word_reachability_relation_dense(
+    dense_dfa: &DenseDfa,
+    dense_view: &DenseNfa,
+) -> BTreeSet<(u32, u32)> {
+    dense_dfa
+        .alphabet()
+        .check_compatible(dense_view.alphabet())
         .expect("reachability over incompatible alphabets");
-    let dense_dfa = DenseDfa::from_dfa(dfa);
-    let dense_view = DenseNfa::from_nfa(view);
     let k = dense_dfa.num_symbols();
 
     let mut relation = BTreeSet::new();
@@ -239,14 +276,14 @@ pub fn word_reachability_relation(dfa: &Dfa, view: &Nfa) -> BTreeSet<(StateId, S
     let mut stepped: Vec<u32> = Vec::new();
     let start_accepts = dense_view.any_final(&start_cfg);
 
-    for si in 0..dense_dfa.num_states() {
+    for si in 0..dense_dfa.num_states() as u32 {
         seen.clear();
         queue.clear();
         if start_accepts {
             relation.insert((si, si));
         }
-        intern_visit_start(&mut seen, &start_cfg, si as u32, dense_dfa.num_states());
-        queue.push_back((si as u32, start_cfg.clone()));
+        intern_visit_start(&mut seen, &start_cfg, si, dense_dfa.num_states());
+        queue.push_back((si, start_cfg.clone()));
         while let Some((sa, cfg)) = queue.pop_front() {
             for a in 0..k {
                 let Some(ta) = dense_dfa.next(sa, a) else { continue };
@@ -258,7 +295,7 @@ pub fn word_reachability_relation(dfa: &Dfa, view: &Nfa) -> BTreeSet<(StateId, S
                     intern_visit(&mut seen, &stepped, ta, dense_dfa.num_states())
                 {
                     if dense_view.any_final(&stepped) {
-                        relation.insert((si, ta as StateId));
+                        relation.insert((si, ta));
                     }
                     queue.push_back((ta, canonical));
                 }

@@ -1,0 +1,203 @@
+//! Differential tests for the dense algorithm layer (PR "dense end-to-end"):
+//! Hopcroft minimization, the product constructions, and complement must be
+//! **structurally identical** — state numbering, transitions, finals — to
+//! the retained tree baselines on randomized inputs, mirroring
+//! `dense_equivalence.rs` for the PR 1 algorithms.
+//!
+//! Every suite runs ≥ 200 seeded random cases.  On a structural mismatch
+//! the assertion message carries a shortest distinguishing word (or reports
+//! language equality, isolating the defect to numbering), so failures are
+//! immediately actionable.
+
+use automata::{
+    complement_dense, determinize, dfa_subset_of_nfa_explicit, dfa_subset_of_nfa_explicit_baseline,
+    intersect_dense, intersect_dfa_baseline, intersect_dfa_nfa, intersect_dfa_nfa_baseline,
+    minimize, minimize_baseline, random_dfa, random_nfa, union_dense, union_dfa_baseline, Alphabet,
+    DenseDfa, Dfa, Nfa, RandomAutomatonConfig,
+};
+
+fn alphabet(size: usize) -> Alphabet {
+    Alphabet::from_names((0..size).map(|i| ((b'a' + i as u8) as char).to_string()))
+        .expect("distinct letters")
+}
+
+fn dfa_config(case: u64) -> (Alphabet, RandomAutomatonConfig) {
+    let alpha = alphabet(2 + (case % 3) as usize);
+    let config = RandomAutomatonConfig {
+        num_states: 2 + (case % 8) as usize,
+        density: 0.15 + (case % 6) as f64 * 0.12,
+        final_probability: 0.15 + (case % 4) as f64 * 0.2,
+    };
+    (alpha, config)
+}
+
+/// Asserts two DFAs coincide structurally; on mismatch the panic message
+/// includes a shortest distinguishing word when the *languages* differ (the
+/// worst kind of failure), or flags a pure numbering divergence otherwise.
+fn assert_dfa_identical(ours: &Dfa, baseline: &Dfa, ctx: &str) {
+    let structural = ours.num_states() == baseline.num_states()
+        && ours.initial_state() == baseline.initial_state()
+        && ours.final_states() == baseline.final_states()
+        && ours.transitions().collect::<Vec<_>>() == baseline.transitions().collect::<Vec<_>>();
+    if structural {
+        return;
+    }
+    let diagnosis = match automata::dfa_equivalent(ours, baseline) {
+        automata::Containment::Holds => "languages agree (numbering diverged)".to_string(),
+        automata::Containment::FailsWith(word) => {
+            format!("shortest counterexample: {word:?}")
+        }
+    };
+    panic!(
+        "{ctx}: dense result diverged from baseline — ours {} vs baseline {}; {diagnosis}",
+        ours.describe(),
+        baseline.describe()
+    );
+}
+
+fn assert_nfa_identical(ours: &Nfa, baseline: &Nfa, ctx: &str) {
+    assert_eq!(ours.num_states(), baseline.num_states(), "{ctx}: state count");
+    assert_eq!(
+        ours.initial_states(),
+        baseline.initial_states(),
+        "{ctx}: initial states"
+    );
+    assert_eq!(ours.final_states(), baseline.final_states(), "{ctx}: final states");
+    assert_eq!(
+        ours.transitions().collect::<Vec<_>>(),
+        baseline.transitions().collect::<Vec<_>>(),
+        "{ctx}: transitions"
+    );
+}
+
+#[test]
+fn dense_minimize_matches_moore_structurally() {
+    let mut cases = 0usize;
+    for case in 0..220u64 {
+        let (alpha, config) = dfa_config(case);
+        // Raw random DFAs stress the trim + complete pre-steps; determinized
+        // random NFAs stress realistic subset-construction outputs.
+        let inputs: Vec<Dfa> = vec![
+            random_dfa(&alpha, &config, case * 5 + 1),
+            determinize(&random_nfa(&alpha, &config, case * 5 + 2)),
+        ];
+        for (i, dfa) in inputs.iter().enumerate() {
+            let ours = minimize(dfa);
+            let moore = minimize_baseline(dfa);
+            assert_dfa_identical(&ours, &moore, &format!("minimize case {case}.{i}"));
+            // Minimality invariants: idempotent, never larger than the input
+            // modulo completion's sink.
+            assert!(ours.num_states() <= dfa.num_states() + 1, "case {case}.{i}");
+            assert_eq!(
+                minimize(&ours).num_states(),
+                ours.num_states(),
+                "case {case}.{i}: not idempotent"
+            );
+            cases += 1;
+        }
+    }
+    assert!(cases >= 200, "only {cases} minimize cases ran");
+}
+
+#[test]
+fn dense_intersect_matches_baseline_structurally() {
+    let mut cases = 0usize;
+    let mut nonempty = 0usize;
+    for case in 0..210u64 {
+        let (alpha, config) = dfa_config(case);
+        let a = random_dfa(&alpha, &config, case * 11 + 3);
+        let b = random_dfa(&alpha, &config, case * 11 + 7);
+        let ours = intersect_dense(&DenseDfa::from_dfa(&a), &DenseDfa::from_dfa(&b)).to_dfa();
+        let baseline = intersect_dfa_baseline(&a, &b);
+        assert_dfa_identical(&ours, &baseline, &format!("intersect case {case}"));
+        if !ours.is_empty_language() {
+            nonempty += 1;
+        }
+        cases += 1;
+    }
+    assert!(cases >= 200, "only {cases} intersect cases ran");
+    assert!(nonempty >= 20, "only {nonempty} nonempty intersections — sweep too weak");
+}
+
+#[test]
+fn dense_union_matches_baseline_structurally() {
+    let mut cases = 0usize;
+    for case in 0..210u64 {
+        let (alpha, config) = dfa_config(case ^ 0x5a5a);
+        let a = random_dfa(&alpha, &config, case * 13 + 1);
+        let b = random_dfa(&alpha, &config, case * 13 + 9);
+        let ours = union_dense(&DenseDfa::from_dfa(&a), &DenseDfa::from_dfa(&b)).to_dfa();
+        let baseline = union_dfa_baseline(&a, &b);
+        assert_dfa_identical(&ours, &baseline, &format!("union case {case}"));
+        cases += 1;
+    }
+    assert!(cases >= 200, "only {cases} union cases ran");
+}
+
+#[test]
+fn dense_complement_matches_baseline_structurally() {
+    let mut cases = 0usize;
+    for case in 0..210u64 {
+        let (alpha, config) = dfa_config(case ^ 0xc0c0);
+        let dfa = random_dfa(&alpha, &config, case * 17 + 5);
+        let ours = complement_dense(&DenseDfa::from_dfa(&dfa)).to_dfa();
+        let baseline = dfa.complement();
+        assert_dfa_identical(&ours, &baseline, &format!("complement case {case}"));
+        // Double complement restores the completed automaton's language.
+        let back = complement_dense(&DenseDfa::from_dfa(&ours)).to_dfa();
+        assert!(
+            automata::dfa_equivalent(&back, &dfa.complete()).holds(),
+            "complement case {case}: involution broken"
+        );
+        cases += 1;
+    }
+    assert!(cases >= 200, "only {cases} complement cases ran");
+}
+
+#[test]
+fn dense_dfa_nfa_product_matches_baseline_structurally() {
+    let mut cases = 0usize;
+    for case in 0..210u64 {
+        let (alpha, config) = dfa_config(case ^ 0x1234);
+        let a = random_dfa(&alpha, &config, case * 19 + 2);
+        let b = random_nfa(&alpha, &config, case * 19 + 6);
+        let ours = intersect_dfa_nfa(&a, &b);
+        let baseline = intersect_dfa_nfa_baseline(&a, &b);
+        assert_nfa_identical(&ours, &baseline, &format!("dfa×nfa case {case}"));
+        cases += 1;
+    }
+    assert!(cases >= 200, "only {cases} dfa×nfa cases ran");
+}
+
+#[test]
+fn dense_explicit_containment_matches_tree_chain() {
+    // The explicit-complement containment chains determinize + complement +
+    // intersect + shortest-word; the dense and tree chains must agree on the
+    // verdict and produce equal-length (shortest) counterexamples.
+    let mut holds = 0usize;
+    let mut fails = 0usize;
+    for case in 0..220u64 {
+        let alpha = alphabet(2);
+        let config = RandomAutomatonConfig {
+            num_states: 2 + (case % 5) as usize,
+            density: 0.25 + (case % 3) as f64 * 0.15,
+            final_probability: 0.35,
+        };
+        let lhs = determinize(&random_nfa(&alpha, &config, case * 23 + 5));
+        let rhs = random_nfa(&alpha, &config, case * 23 + 11);
+        let dense = dfa_subset_of_nfa_explicit(&lhs, &rhs);
+        let tree = dfa_subset_of_nfa_explicit_baseline(&lhs, &rhs);
+        assert_eq!(dense.holds(), tree.holds(), "case {case}");
+        match (dense.counterexample(), tree.counterexample()) {
+            (None, None) => holds += 1,
+            (Some(d), Some(t)) => {
+                assert_eq!(d.len(), t.len(), "case {case}: counterexample length");
+                assert!(lhs.accepts(d) && !rhs.accepts(d), "case {case}: bad witness");
+                fails += 1;
+            }
+            _ => unreachable!("verdicts agree"),
+        }
+    }
+    assert!(holds >= 10, "only {holds} holding cases");
+    assert!(fails >= 10, "only {fails} failing cases");
+}

@@ -1,11 +1,14 @@
 //! Benchmark E5 (+ ablations #3/#4): cost of the maximal-rewriting
-//! construction as the query grows, with and without minimizing `A_d`, and
-//! with batched vs per-pair reachability tests.
+//! construction as the query grows, with and without minimizing `A_d`, with
+//! batched vs per-pair reachability tests, and the dense pipeline vs the
+//! seed's tree baseline.
 
 use bench::{random_problem, RandomProblemConfig};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
-use rewriter::{compute_maximal_rewriting_with, RewriterOptions};
+use rewriter::{
+    compute_maximal_rewriting_with, compute_maximal_rewriting_with_baseline, RewriterOptions,
+};
 
 fn bench_rewriting(c: &mut Criterion) {
     let mut group = c.benchmark_group("maximal_rewriting");
@@ -58,6 +61,22 @@ fn bench_rewriting(c: &mut Criterion) {
                 },
             );
         }
+        // The seed's tree pipeline on the same problems — the yardstick the
+        // `rewriting` rows of BENCH_rpq.json track.
+        group.bench_with_input(
+            BenchmarkId::new("tree_baseline", query_size),
+            &problems,
+            |b, problems| {
+                b.iter(|| {
+                    for problem in problems {
+                        std::hint::black_box(compute_maximal_rewriting_with_baseline(
+                            problem,
+                            &RewriterOptions::default(),
+                        ));
+                    }
+                })
+            },
+        );
     }
     group.finish();
 }

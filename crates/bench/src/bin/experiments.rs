@@ -22,10 +22,14 @@
 use std::fs;
 use std::time::Instant;
 
-use bench::{determinization_family, random_problem, random_rpq_workload, RandomProblemConfig};
+use bench::{
+    blowup_rewriting_problem, determinization_family, random_problem, random_rpq_workload,
+    RandomProblemConfig,
+};
 use rewriter::{
-    check_exactness_with, compute_maximal_rewriting, compute_maximal_rewriting_with,
-    run_and_report, ExactnessStrategy, RewriteProblem, RewriterOptions,
+    check_exactness_with, compute_maximal_rewriting, compute_maximal_rewriting_baseline,
+    compute_maximal_rewriting_with, run_and_report, ExactnessStrategy, RewriteProblem,
+    RewriterOptions,
 };
 use serde_json::{json, Value};
 
@@ -73,6 +77,13 @@ fn main() {
     // targeted single-experiment runs skip it unless asked for.
     if args.is_empty() || args.iter().any(|a| a == "all" || a == "bench") {
         bench_rpq_json();
+    } else if args.iter().any(|a| a == "rewriting") {
+        // `experiments rewriting`: the rewriting-construction workload alone
+        // (the CI "Rewriting bench smoke" step) — measured and printed, but
+        // the committed snapshot is left untouched; the full `bench` run is
+        // what refreshes and diffs BENCH_rpq.json.
+        println!("\n================ rewriting construction (smoke) ================");
+        rewriting_rows();
     }
 }
 
@@ -190,7 +201,15 @@ fn bench_rpq_json() {
             .expect("grounded query is over the domain");
         let frozen = automata::DenseNfa::from_nfa(&nfa);
         let csr = workload.db.csr_out();
-        let threads = available_threads();
+        // BENCH_THREADS overrides the detected core count, so CI containers
+        // that report a single core (where "parallel" would tautologically
+        // record a ~1.0× speedup) can still exercise and time the pool; the
+        // thread count is recorded in the JSON row either way.
+        let threads = std::env::var("BENCH_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(available_threads);
         let sequential_ms = time_ms(3, || eval_csr(&csr, &frozen).len());
         let parallel_ms = time_ms(3, || eval_csr_parallel(&csr, &frozen, threads).len());
         println!(
@@ -271,11 +290,16 @@ fn bench_rpq_json() {
         }));
     }
 
+    // The maximal-rewriting construction itself (Theorem 2.2): the dense
+    // CSR pipeline vs the retained tree baseline.
+    let rewriting = rewriting_rows();
+
     let value = json!({
         "determinization": determinization,
         "eval": eval,
         "parallel": parallel,
         "incremental": incremental,
+        "rewriting": rewriting,
     });
     if let Some(previous) = &previous {
         diff_bench_snapshots(previous, &value);
@@ -292,6 +316,68 @@ fn bench_rpq_json() {
             std::process::exit(1);
         }
     }
+}
+
+/// Times the full Theorem 2.2 construction — dense pipeline vs tree
+/// baseline — on the random-problem family and on the determinization
+/// blow-up family, printing a table and returning the JSON rows for the
+/// `rewriting` section of `BENCH_rpq.json`.
+fn rewriting_rows() -> Vec<Value> {
+    let mut rows = Vec::new();
+
+    // Random family: a batch of moderately sized problems (the E5 regime).
+    let cfg = RandomProblemConfig {
+        alphabet_size: 3,
+        query_size: 22,
+        num_views: 3,
+        view_size: 5,
+    };
+    let problems: Vec<RewriteProblem> =
+        (0..4).map(|seed| random_problem(&cfg, seed * 37 + 11)).collect();
+    let dense_ms = time_ms(3, || {
+        problems
+            .iter()
+            .map(|p| compute_maximal_rewriting(p).stats.rewriting_states)
+            .sum::<usize>()
+    });
+    let baseline_ms = time_ms(3, || {
+        problems
+            .iter()
+            .map(|p| compute_maximal_rewriting_baseline(p).stats.rewriting_states)
+            .sum::<usize>()
+    });
+    println!(
+        "rewriting random q22 x4   : dense {dense_ms:.3} ms, baseline {baseline_ms:.3} ms ({:.1}x)",
+        baseline_ms / dense_ms
+    );
+    rows.push(json!({
+        "workload": "random_q22_v3_x4",
+        "dense_ms": dense_ms,
+        "baseline_ms": baseline_ms,
+        "speedup": baseline_ms / dense_ms,
+    }));
+
+    // Blow-up family: A_d needs 2^(k+1) states, so every stage of the
+    // construction works at scale (the Section 4 lower-bound regime).
+    let k = 11;
+    let problem = blowup_rewriting_problem(k);
+    let dense_ms = time_ms(3, || {
+        compute_maximal_rewriting(&problem).stats.rewriting_states
+    });
+    let baseline_ms = time_ms(3, || {
+        compute_maximal_rewriting_baseline(&problem).stats.rewriting_states
+    });
+    println!(
+        "rewriting blow-up k={k}    : dense {dense_ms:.3} ms, baseline {baseline_ms:.3} ms ({:.1}x)",
+        baseline_ms / dense_ms
+    );
+    rows.push(json!({
+        "workload": format!("blowup_family_k{k}_views3"),
+        "dense_ms": dense_ms,
+        "baseline_ms": baseline_ms,
+        "speedup": baseline_ms / dense_ms,
+    }));
+    rows
 }
 
 /// Compares every `*_ms` field of the new snapshot against the committed one

@@ -11,6 +11,6 @@
 pub mod workloads;
 
 pub use workloads::{
-    determinization_family, random_problem, random_rpq_workload, RandomProblemConfig,
-    RpqWorkload,
+    blowup_rewriting_problem, determinization_family, random_problem, random_rpq_workload,
+    RandomProblemConfig, RpqWorkload,
 };

@@ -69,6 +69,24 @@ pub fn determinization_family(k: usize) -> (Regex, Nfa) {
     (expr, nfa)
 }
 
+/// The determinization blow-up family turned into a rewriting problem: the
+/// query `(a+b)*·a·(a+b)^k` (whose `A_d` needs `2^(k+1)` states) with the
+/// identity views plus one composite view.  Stresses every stage of the
+/// Theorem 2.2 construction — subset construction, minimization, and one
+/// reachability sweep per view over the exponentially large `A_d` — which is
+/// exactly where the dense pipeline separates from the tree baseline.
+pub fn blowup_rewriting_problem(k: usize) -> RewriteProblem {
+    let (expr, _) = determinization_family(k);
+    let alphabet = Alphabet::from_chars(['a', 'b']).expect("distinct");
+    let views = vec![
+        View::new("va", Regex::symbol("a")),
+        View::new("vb", Regex::symbol("b")),
+        View::new("vab", Regex::symbol("a").then(Regex::symbol("b"))),
+    ];
+    let view_set = ViewSet::new(alphabet, views).expect("fixed views are well-formed");
+    RewriteProblem::new(expr, view_set).expect("family query is over {a,b}")
+}
+
 /// A full RPQ workload: a database, a label-based RPQ rewriting problem, and
 /// the query string, for experiments E9/E10.
 #[derive(Debug, Clone)]

@@ -12,10 +12,10 @@
 use std::rc::Rc;
 
 use automata::dense::FxHashMap;
-use automata::{Alphabet, DenseNfa, Nfa};
+use automata::{Alphabet, DenseDfa, DenseNfa, Dfa, Nfa};
 use regexlang::Regex;
 
-use crate::fingerprint::{fingerprint_nfa, fingerprint_regex, Fingerprint};
+use crate::fingerprint::{fingerprint_dfa, fingerprint_nfa, fingerprint_regex, Fingerprint};
 
 /// An interning cache of frozen [`DenseNfa`]s keyed by query fingerprint.
 #[derive(Debug, Default)]
@@ -50,6 +50,33 @@ impl CompileCache {
             )
         });
         let dense = Rc::new(DenseNfa::from_nfa(&nfa));
+        self.map.insert(fp, dense.clone());
+        dense
+    }
+
+    /// Freezes (or reuses) a deterministic automaton re-labeled over
+    /// `target` — the path a maximal-rewriting automaton takes into
+    /// Σ_E-evaluation.  Keyed by [`fingerprint_dfa`], so repeated
+    /// evaluations of the same rewriting skip the dense construction
+    /// entirely (no per-call tree NFA is built, frozen, or hashed).
+    ///
+    /// # Panics
+    /// Panics when `target` is incompatible with the DFA's alphabet.
+    pub fn compile_dfa(&mut self, target: &Alphabet, dfa: &Dfa) -> Rc<DenseNfa> {
+        // Checked before the lookup: the fingerprint hashes `target` plus the
+        // transition structure, so a hit must enforce compatibility too.
+        dfa.alphabet()
+            .check_compatible(target)
+            .expect("re-labeling over an incompatible alphabet");
+        let fp = fingerprint_dfa(target, dfa);
+        if let Some(dense) = self.map.get(&fp) {
+            self.hits += 1;
+            return dense.clone();
+        }
+        self.misses += 1;
+        let dense = Rc::new(
+            DenseNfa::from_dense_dfa(&DenseDfa::from_dfa(dfa)).with_alphabet(target.clone()),
+        );
         self.map.insert(fp, dense.clone());
         dense
     }
@@ -116,6 +143,32 @@ mod tests {
         let w = domain.word(&["a", "a"]).unwrap();
         assert_eq!(dense_from_regex.accepts(&w), dense_from_nfa.accepts(&w));
         assert!(Rc::ptr_eq(&dense_from_nfa, &cache.compile_nfa(&nfa)));
+    }
+
+    #[test]
+    fn dfa_compilation_is_interned_by_structure_and_target() {
+        let domain = Alphabet::from_names(["v1", "v2"]).unwrap();
+        let mut cache = CompileCache::new();
+        let dfa = automata::determinize(
+            &regexlang::thompson(&regexlang::parse("v1·v2*").unwrap(), &domain).unwrap(),
+        );
+        let d1 = cache.compile_dfa(&domain, &dfa);
+        let d2 = cache.compile_dfa(&domain, &dfa);
+        assert!(Rc::ptr_eq(&d1, &d2));
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert!(d1.alphabet().is_compatible(&domain));
+    }
+
+    #[test]
+    #[should_panic(expected = "incompatible alphabet")]
+    fn compile_dfa_rejects_incompatible_alphabets_even_on_hits() {
+        let domain = Alphabet::from_chars(['a']).unwrap();
+        let mut cache = CompileCache::new();
+        cache.compile_dfa(&domain, &automata::Dfa::universal(domain.clone()));
+        // Same transition structure over a different alphabet: must panic
+        // (and in particular must not be served from the cache).
+        let other = Alphabet::from_chars(['x']).unwrap();
+        cache.compile_dfa(&domain, &automata::Dfa::universal(other));
     }
 
     #[test]

@@ -95,6 +95,31 @@ pub fn fingerprint_nfa(nfa: &Nfa) -> Fingerprint {
     fp.finish()
 }
 
+/// Fingerprint of a DFA's transition structure, tagged with the (compatible)
+/// alphabet the frozen automaton will be evaluated over.
+///
+/// Rewriting automata are deterministic and re-labeled over the engine's
+/// view alphabet before Σ_E-evaluation; fingerprinting the DFA directly
+/// lets the compile cache intern the frozen dense form without constructing
+/// a tree NFA per call.
+pub fn fingerprint_dfa(target: &automata::Alphabet, dfa: &automata::Dfa) -> Fingerprint {
+    let mut fp = Fp2::new(0x4446_41_u64); // "DFA"
+    write_alphabet(&mut fp, target);
+    fp.write_u64(dfa.num_states() as u64);
+    fp.write_u64(dfa.initial_state() as u64);
+    fp.write_u64(u64::MAX); // section separator
+    for s in dfa.final_states() {
+        fp.write_u64(s as u64);
+    }
+    fp.write_u64(u64::MAX);
+    for (from, sym, to) in dfa.transitions() {
+        fp.write_u64(from as u64);
+        fp.write_u64(sym.index() as u64);
+        fp.write_u64(to as u64);
+    }
+    fp.finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

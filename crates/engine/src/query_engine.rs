@@ -24,6 +24,10 @@ pub struct EngineConfig {
     /// Below this node count evaluation stays sequential (thread spawn and
     /// merge overhead dominates on small graphs).
     pub parallel_threshold: usize,
+    /// Maximum number of ad-hoc answers kept per revision; beyond it the
+    /// least-recently-used entry is evicted.  `0` disables answer caching
+    /// entirely (every ad-hoc query re-evaluates).
+    pub answer_cache_capacity: usize,
 }
 
 impl Default for EngineConfig {
@@ -31,6 +35,7 @@ impl Default for EngineConfig {
         EngineConfig {
             threads: 0,
             parallel_threshold: 256,
+            answer_cache_capacity: 256,
         }
     }
 }
@@ -58,6 +63,11 @@ pub struct EngineStats {
     pub parallel_evals: u64,
     /// Evaluations that ran sequentially (small graph or 1 thread).
     pub sequential_evals: u64,
+    /// Ad-hoc answers evicted by the LRU bound of the answer cache.
+    pub answer_evictions: u64,
+    /// Mutations whose delta repairs ran on the worker pool (one count per
+    /// mutation, not per view).
+    pub parallel_repairs: u64,
 }
 
 /// One registered view: its grounded definition, compiled automaton, lazily
@@ -70,6 +80,37 @@ struct ViewEntry {
     reverse: Option<Rc<DenseReverse>>,
     /// `(revision the pairs are valid at, the extension)`.
     extension: Option<(u64, Answer)>,
+}
+
+/// One ad-hoc cached answer: the revision it is valid at and its LRU clock.
+#[derive(Debug)]
+struct AnswerEntry {
+    revision: u64,
+    last_used: u64,
+    answer: Rc<Answer>,
+}
+
+/// One cached view extension queued for delta repair after a mutation.  The
+/// references point at *disjoint* engine state (the frozen automaton behind
+/// the entry's `Rc`, its reverse table, and its extension set), which is
+/// what lets the per-view repairs run concurrently on scoped threads.
+struct RepairJob<'a> {
+    nfa: &'a DenseNfa,
+    reverse: &'a DenseReverse,
+    pairs: &'a mut Answer,
+}
+
+/// Repairs one cached extension against every edge of the mutation.
+fn repair_entry(
+    csr_out: &CsrAdjacency,
+    csr_in: &CsrAdjacency,
+    job: &mut RepairJob<'_>,
+    new_edges: &[(NodeId, automata::Symbol, NodeId)],
+) {
+    for &(from, label, to) in new_edges {
+        let delta = delta_pairs(csr_out, csr_in, job.nfa, job.reverse, from, label, to);
+        job.pairs.extend(delta);
+    }
 }
 
 /// A stateful RPQ query engine over one owned database.
@@ -98,8 +139,11 @@ pub struct QueryEngine {
     /// alphabet, matching `MaterializedViews::materialize_regexes`).
     views: Vec<ViewEntry>,
     /// Ad-hoc answers keyed by query fingerprint, tagged with the revision
-    /// they were computed at; cleared on mutation.
-    answers: FxHashMap<Fingerprint, (u64, Rc<Answer>)>,
+    /// they were computed at; cleared on mutation and bounded by
+    /// `config.answer_cache_capacity` with LRU eviction.
+    answers: FxHashMap<Fingerprint, AnswerEntry>,
+    /// Monotone LRU clock for the answer cache.
+    answer_tick: u64,
     /// Cached Σ_E view of the current extensions, keyed by
     /// `(revision, views_epoch)`.
     materialized: Option<(u64, u64, Rc<MaterializedViews>)>,
@@ -125,6 +169,7 @@ impl QueryEngine {
             compile: CompileCache::new(),
             views: Vec::new(),
             answers: FxHashMap::default(),
+            answer_tick: 0,
             materialized: None,
             stats: EngineStats::default(),
         }
@@ -172,20 +217,68 @@ impl QueryEngine {
     // ------------------------------------------------------------------
     // Ad-hoc queries
 
+    /// Looks up a live cached answer, bumping its LRU clock.
+    fn answer_cache_get(&mut self, fp: Fingerprint) -> Option<Rc<Answer>> {
+        self.answer_tick += 1;
+        let tick = self.answer_tick;
+        let entry = self.answers.get_mut(&fp)?;
+        if entry.revision != self.revision {
+            return None;
+        }
+        entry.last_used = tick;
+        Some(entry.answer.clone())
+    }
+
+    /// Inserts an answer, evicting the least-recently-used entry when the
+    /// configured bound is reached (capacity 0 disables caching).
+    fn answer_cache_put(&mut self, fp: Fingerprint, answer: Rc<Answer>) {
+        let capacity = self.config.answer_cache_capacity;
+        if capacity == 0 {
+            return;
+        }
+        if !self.answers.contains_key(&fp) && self.answers.len() >= capacity {
+            // The cache is cleared wholesale on mutation, so every resident
+            // entry is live at the current revision: evict the one touched
+            // longest ago.
+            if let Some(victim) = self
+                .answers
+                .iter()
+                .min_by_key(|(_, entry)| entry.last_used)
+                .map(|(&fp, _)| fp)
+            {
+                self.answers.remove(&victim);
+                self.stats.answer_evictions += 1;
+            }
+        }
+        self.answer_tick += 1;
+        self.answers.insert(
+            fp,
+            AnswerEntry {
+                revision: self.revision,
+                last_used: self.answer_tick,
+                answer,
+            },
+        );
+    }
+
+    /// Number of ad-hoc answers currently cached (always within the
+    /// configured capacity bound).
+    pub fn answer_cache_len(&self) -> usize {
+        self.answers.len()
+    }
+
     /// Evaluates a regex query over the database, through the compile and
     /// answer caches.
     pub fn eval_regex(&mut self, query: &Regex) -> Rc<Answer> {
         let fp = fingerprint_regex(self.db.domain(), query);
-        if let Some((rev, cached)) = self.answers.get(&fp) {
-            if *rev == self.revision {
-                self.stats.answer_hits += 1;
-                return cached.clone();
-            }
+        if let Some(cached) = self.answer_cache_get(fp) {
+            self.stats.answer_hits += 1;
+            return cached;
         }
         self.stats.answer_misses += 1;
         let dense = self.compile.compile_regex(self.db.domain(), query);
         let answer = Rc::new(self.eval_on_db(&dense));
-        self.answers.insert(fp, (self.revision, answer.clone()));
+        self.answer_cache_put(fp, answer.clone());
         answer
     }
 
@@ -199,16 +292,14 @@ impl QueryEngine {
     /// compile and answer caches.
     pub fn eval_nfa(&mut self, query: &Nfa) -> Rc<Answer> {
         let fp = fingerprint_nfa(query);
-        if let Some((rev, cached)) = self.answers.get(&fp) {
-            if *rev == self.revision {
-                self.stats.answer_hits += 1;
-                return cached.clone();
-            }
+        if let Some(cached) = self.answer_cache_get(fp) {
+            self.stats.answer_hits += 1;
+            return cached;
         }
         self.stats.answer_misses += 1;
         let dense = self.compile.compile_nfa(query);
         let answer = Rc::new(self.eval_on_db(&dense));
-        self.answers.insert(fp, (self.revision, answer.clone()));
+        self.answer_cache_put(fp, answer.clone());
         answer
     }
 
@@ -326,6 +417,18 @@ impl QueryEngine {
         views.eval_dense_over_views(&dense)
     }
 
+    /// Evaluates a deterministic Σ_E-automaton — the shape every maximal
+    /// rewriting takes — against the materialized extensions.  The dense
+    /// form is interned in the compile cache by DFA fingerprint
+    /// ([`crate::fingerprint::fingerprint_dfa`]), so repeated evaluations of
+    /// the same rewriting skip the construction entirely: no per-call tree
+    /// NFA, no refreeze.
+    pub fn eval_dfa_over_views(&mut self, rewriting: &automata::Dfa) -> Answer {
+        let views = self.materialized_views();
+        let dense = self.compile.compile_dfa(views.view_alphabet(), rewriting);
+        views.eval_dense_over_views(&dense)
+    }
+
     // ------------------------------------------------------------------
     // Mutation
 
@@ -390,14 +493,17 @@ impl QueryEngine {
             !new_edges.is_empty() && self.views.iter().any(|v| v.extension.is_some());
         self.csr_in = needs_delta.then(|| self.db.csr_in());
 
-        // Repair cached extensions.  Delta sweeps run over the updated
-        // adjacencies; per inserted edge, per view with a live cache.
+        // Phase 1 (sequential, cheap): validate each cached extension, cover
+        // identity pairs of nodes created by this mutation, build missing
+        // reverse tables, and queue the extensions needing delta repair.
         let num_nodes = self.db.num_nodes();
+        let revision = self.revision;
+        let mut jobs: Vec<RepairJob<'_>> = Vec::new();
         for entry in &mut self.views {
             // A cache more than one revision behind cannot happen through
             // this API, but drop it (forcing lazy re-materialization) rather
             // than trusting a stale baseline.
-            if matches!(&entry.extension, Some((rev, _)) if *rev + 1 != self.revision) {
+            if matches!(&entry.extension, Some((rev, _)) if *rev + 1 != revision) {
                 entry.extension = None;
                 continue;
             }
@@ -412,26 +518,50 @@ impl QueryEngine {
                     pairs.insert((v, v));
                 }
             }
-            let reverse = entry
-                .reverse
-                .get_or_insert_with(|| Rc::new(entry.nfa.reverse_closed()))
-                .clone();
-            for &(from, label, to) in new_edges {
-                let csr_in = self.csr_in.as_ref().expect("frozen above when edges exist");
-                let delta = delta_pairs(
-                    &self.csr_out,
-                    csr_in,
-                    &entry.nfa,
-                    &reverse,
-                    from,
-                    label,
-                    to,
-                );
-                pairs.extend(delta);
+            *cached_rev = revision;
+            if new_edges.is_empty() {
+                continue;
             }
-            *cached_rev = self.revision;
-            if !new_edges.is_empty() {
-                self.stats.view_delta_repairs += 1;
+            if entry.reverse.is_none() {
+                entry.reverse = Some(Rc::new(entry.nfa.reverse_closed()));
+            }
+            let ViewEntry { nfa, reverse, extension, .. } = entry;
+            jobs.push(RepairJob {
+                nfa,
+                reverse: reverse.as_ref().expect("built above"),
+                pairs: &mut extension.as_mut().expect("validated above").1,
+            });
+        }
+        if jobs.is_empty() {
+            return;
+        }
+        self.stats.view_delta_repairs += jobs.len() as u64;
+
+        // Phase 2: the per-view delta sweeps only read the shared frozen
+        // adjacencies and automata and each writes its own extension set, so
+        // they shard across the same scoped-thread pool as evaluation.
+        let threads = match self.config.threads {
+            0 => available_threads(),
+            n => n,
+        }
+        .min(jobs.len());
+        let csr_out = &self.csr_out;
+        let csr_in = self.csr_in.as_ref().expect("frozen above when edges exist");
+        if threads > 1 {
+            self.stats.parallel_repairs += 1;
+            let chunk = jobs.len().div_ceil(threads);
+            std::thread::scope(|scope| {
+                for chunk_jobs in jobs.chunks_mut(chunk) {
+                    scope.spawn(move || {
+                        for job in chunk_jobs.iter_mut() {
+                            repair_entry(csr_out, csr_in, job, new_edges);
+                        }
+                    });
+                }
+            });
+        } else {
+            for job in jobs.iter_mut() {
+                repair_entry(csr_out, csr_in, job, new_edges);
             }
         }
     }
@@ -597,6 +727,103 @@ mod tests {
         assert_eq!(engine.stats().view_full_materializations, 2);
     }
 
+    /// Distinct queries `a·c^i` (i repetitions of `·c`) for cache-pressure
+    /// tests.
+    fn distinct_query(i: usize) -> regexlang::Regex {
+        regexlang::parse(&format!("a{}", "·c".repeat(i))).unwrap()
+    }
+
+    #[test]
+    fn answer_cache_respects_the_lru_bound() {
+        let mut engine = QueryEngine::with_config(
+            chain_engine().db().clone(),
+            EngineConfig {
+                answer_cache_capacity: 8,
+                ..EngineConfig::default()
+            },
+        );
+        for i in 0..50 {
+            engine.eval_regex(&distinct_query(i));
+            assert!(
+                engine.answer_cache_len() <= 8,
+                "cache grew to {} after query {i}",
+                engine.answer_cache_len()
+            );
+        }
+        let stats = engine.stats();
+        assert_eq!(engine.answer_cache_len(), 8);
+        assert_eq!(stats.answer_evictions, 50 - 8);
+        assert_eq!(stats.answer_misses, 50);
+    }
+
+    #[test]
+    fn answer_cache_evicts_least_recently_used_first() {
+        let mut engine = QueryEngine::with_config(
+            chain_engine().db().clone(),
+            EngineConfig {
+                answer_cache_capacity: 3,
+                ..EngineConfig::default()
+            },
+        );
+        for i in 0..3 {
+            engine.eval_regex(&distinct_query(i)); // cache = {0, 1, 2}
+        }
+        engine.eval_regex(&distinct_query(0)); // touch 0: LRU order 1 < 2 < 0
+        engine.eval_regex(&distinct_query(3)); // evicts 1
+        let hits_before = engine.stats().answer_hits;
+        engine.eval_regex(&distinct_query(0));
+        engine.eval_regex(&distinct_query(2));
+        engine.eval_regex(&distinct_query(3));
+        assert_eq!(engine.stats().answer_hits, hits_before + 3, "survivors hit");
+        let misses_before = engine.stats().answer_misses;
+        engine.eval_regex(&distinct_query(1));
+        assert_eq!(engine.stats().answer_misses, misses_before + 1, "victim was evicted");
+    }
+
+    #[test]
+    fn zero_capacity_disables_answer_caching() {
+        let mut engine = QueryEngine::with_config(
+            chain_engine().db().clone(),
+            EngineConfig {
+                answer_cache_capacity: 0,
+                ..EngineConfig::default()
+            },
+        );
+        engine.eval_str("a·b");
+        engine.eval_str("a·b");
+        assert_eq!(engine.answer_cache_len(), 0);
+        assert_eq!(engine.stats().answer_misses, 2);
+        assert_eq!(engine.stats().answer_evictions, 0);
+    }
+
+    #[test]
+    fn eval_dfa_over_views_interns_the_rewriting_once() {
+        let mut engine = chain_engine();
+        for (name, src) in [("e1", "a"), ("e2", "a·c*·b"), ("e3", "c")] {
+            engine.register_view(name, regexlang::parse(src).unwrap());
+        }
+        let views = engine.materialized_views();
+        let rewriting = automata::determinize(
+            &regexlang::thompson(
+                &regexlang::parse("e2*·e1·e3*").unwrap(),
+                views.view_alphabet(),
+            )
+            .unwrap(),
+        );
+        drop(views);
+        let first = engine.eval_dfa_over_views(&rewriting);
+        assert_eq!(first, graphdb::eval_str(engine.db(), "a·(b·a+c)*"));
+        let compiles = engine.stats().compile_misses;
+        let second = engine.eval_dfa_over_views(&rewriting);
+        assert_eq!(first, second);
+        assert_eq!(
+            engine.stats().compile_misses,
+            compiles,
+            "second evaluation must reuse the interned dense rewriting"
+        );
+        assert!(engine.stats().compile_hits > 0);
+    }
+
     #[test]
     fn forced_parallel_config_is_exercised_on_small_graphs() {
         let mut db = GraphDb::new(Alphabet::from_chars(['a', 'b', 'c']).unwrap());
@@ -608,6 +835,7 @@ mod tests {
             EngineConfig {
                 threads: 4,
                 parallel_threshold: 0,
+                ..EngineConfig::default()
             },
         );
         let ans = engine.eval_str("a·b·a");

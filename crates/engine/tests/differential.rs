@@ -93,6 +93,7 @@ fn incremental_maintenance_matches_full_rematerialization() {
             EngineConfig {
                 threads: 3,
                 parallel_threshold: 0,
+                ..EngineConfig::default()
             },
         );
         let view_a = random_query(&domain, seed * 7 + 1);
@@ -119,12 +120,79 @@ fn incremental_maintenance_matches_full_rematerialization() {
                 cases += 1;
             }
         }
-        // Every extension came from one materialization + repairs only.
+        // Every extension came from one materialization + repairs only, and
+        // the repairs ran on the worker pool (threads forced to 3 above).
         let stats = engine.stats();
         assert_eq!(stats.view_full_materializations, 2, "seed {seed}");
         assert_eq!(stats.view_delta_repairs, 6, "seed {seed}");
+        assert_eq!(stats.parallel_repairs, 3, "seed {seed}");
     }
     assert!(cases >= 200, "only {cases} incremental cases ran");
+}
+
+#[test]
+fn parallel_delta_repair_matches_sequential_repair() {
+    // Two engines over identical databases and views, one repairing on the
+    // pool and one sequentially: after every insertion each cached extension
+    // must coincide (and with from-scratch evaluation).
+    let domain = abc();
+    let mut cases = 0usize;
+    for seed in 0..40u64 {
+        let nodes = 15 + (seed as usize % 4) * 5;
+        let db = random_graph(
+            &domain,
+            &RandomGraphConfig {
+                num_nodes: nodes,
+                num_edges: nodes * 2,
+            },
+            seed ^ 0xfeed,
+        );
+        let mk_engine = |threads: usize| {
+            QueryEngine::with_config(
+                db.clone(),
+                EngineConfig {
+                    threads,
+                    parallel_threshold: 0,
+                    ..EngineConfig::default()
+                },
+            )
+        };
+        let mut sequential = mk_engine(1);
+        let mut parallel = mk_engine(4);
+        let views: Vec<(String, Regex)> = (0..3)
+            .map(|i| (format!("v{i}"), random_query(&domain, seed * 13 + i)))
+            .collect();
+        for engine in [&mut sequential, &mut parallel] {
+            for (name, def) in &views {
+                engine.register_view(name, def.clone());
+                engine.view_extension(name);
+            }
+        }
+
+        let mut rng = StdRng::seed_from_u64(seed * 17 + 3);
+        for _ in 0..3 {
+            let from = rng.gen_range(0..nodes);
+            let to = rng.gen_range(0..nodes);
+            let label = automata::Symbol(rng.gen_range(0..domain.len()) as u32);
+            sequential.add_edge(from, label, to);
+            parallel.add_edge(from, label, to);
+            for (name, def) in &views {
+                let seq = sequential.view_extension(name).unwrap().clone();
+                let par = parallel.view_extension(name).unwrap().clone();
+                assert_eq!(seq, par, "seed {seed} view {name} ({def})");
+                cases += 1;
+            }
+        }
+        // The paths under test really diverged: one pooled, one sequential.
+        assert_eq!(sequential.stats().parallel_repairs, 0, "seed {seed}");
+        assert_eq!(parallel.stats().parallel_repairs, 3, "seed {seed}");
+        assert_eq!(
+            sequential.stats().view_delta_repairs,
+            parallel.stats().view_delta_repairs,
+            "seed {seed}"
+        );
+    }
+    assert!(cases >= 200, "only {cases} repair cases ran");
 }
 
 #[test]

@@ -10,6 +10,14 @@
 //! and instead explores the product of `A_d` with the lazily determinized `B`
 //! *on the fly*.  Both strategies are implemented so the ablation benchmark
 //! (E11) can compare them; the on-the-fly one is the default.
+//!
+//! Both strategies run on the dense CSR core: the on-the-fly check is the
+//! bitset product sweep of [`automata::dfa_subset_of_nfa`], and the explicit
+//! strategy chains dense subset construction, table complement, dense
+//! intersection and a flat-table shortest-word BFS
+//! ([`automata::dfa_subset_of_nfa_explicit`]).  The seed's tree chain
+//! survives as `automata::dfa_subset_of_nfa_explicit_baseline` for the
+//! differential tests.
 
 use automata::{dfa_subset_of_nfa, dfa_subset_of_nfa_explicit, Containment, Nfa};
 use serde::Serialize;

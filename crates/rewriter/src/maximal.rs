@@ -14,9 +14,41 @@
 //! by `A_d`; its complement therefore accepts the words whose *every*
 //! expansion lies inside `L(E0)` — the Σ_E-maximal rewriting (and, by
 //! Theorem 2.1, also a Σ-maximal one).
+//!
+//! ## Dense pipeline
+//!
+//! Every algorithmic step of [`compute_maximal_rewriting_with`] runs on the
+//! frozen CSR core of the `automata` crate; the mutable tree types only
+//! appear at the construction boundary (translating `E0` to an NFA) and at
+//! the thaw boundary (the tree-typed public fields of
+//! [`MaximalRewriting`]):
+//!
+//! * **step 1** — subset construction via
+//!   [`automata::determinize_to_dense`] straight into a flat next-state
+//!   table, then Hopcroft minimization ([`automata::minimize_dense`]) on the
+//!   same representation;
+//! * **step 2** — one **batched dense reachability sweep** per view
+//!   ([`automata::word_reachability_relation_dense`]): a bitset-backed
+//!   product BFS computing all `(s_i, s_j)` pairs of `A_d` connected by a
+//!   word of the view language, feeding `A'` as an ε-free
+//!   [`automata::DenseNfa`] built directly from parts;
+//! * **step 3** — complement-by-subset-construction: dense determinization
+//!   of `A'` followed by a final-bit flip on the flat table; emptiness and
+//!   the productive-state count come from bitset reachability sweeps.
+//!
+//! The seed's tree pipeline — Moore minimization, `BTreeSet` configuration
+//! sweeps, adjacency-map subset construction — is retained verbatim as
+//! [`compute_maximal_rewriting_baseline`] /
+//! [`compute_maximal_rewriting_with_baseline`].  The two produce
+//! **structurally identical** automata (state numbering included), which the
+//! differential suite in `tests/dense_pipeline.rs` pins on the paper's
+//! examples and hundreds of random problems; the `rewriting` rows of
+//! `BENCH_rpq.json` track the speedup (multi-× on the determinization
+//! blow-up family).
 
 use automata::{
-    determinize, minimize, word_reachability_relation, word_reaches, Dfa, Nfa,
+    determinize_to_dense, determinize_with_subsets_baseline, minimize_baseline, minimize_dense,
+    word_reachability_relation_baseline, word_reaches, DenseNfa, Dfa, Nfa,
 };
 use regexlang::{dfa_to_regex, glushkov, simplify, thompson, Regex};
 use serde::Serialize;
@@ -173,7 +205,114 @@ pub fn compute_maximal_rewriting(problem: &RewriteProblem) -> MaximalRewriting {
 }
 
 /// Runs the construction of Theorem 2.2 with explicit options.
+///
+/// Every algorithmic step runs on the dense CSR core: subset construction
+/// via [`determinize_to_dense`], Hopcroft minimization via [`minimize_dense`],
+/// one batched reachability sweep per view via
+/// [`automata::word_reachability_relation_dense`], and the final
+/// complement-by-subset-construction on the flat tables.  The public
+/// [`MaximalRewriting`] fields are thawed tree views of the dense results
+/// (pure representation change).  The seed's tree pipeline is retained as
+/// [`compute_maximal_rewriting_baseline`].
 pub fn compute_maximal_rewriting_with(
+    problem: &RewriteProblem,
+    options: &RewriterOptions,
+) -> MaximalRewriting {
+    let sigma = problem.views.sigma().clone();
+    let sigma_e = problem.views.sigma_e().clone();
+
+    // Step 1: deterministic automaton A_d for E0, built and (optionally)
+    // minimized on the dense core.
+    let query_nfa = if options.use_glushkov {
+        glushkov(&problem.query, &sigma).expect("query symbols checked at problem construction")
+    } else {
+        thompson(&problem.query, &sigma).expect("query symbols checked at problem construction")
+    };
+    let query_nfa_states = query_nfa.num_states();
+    let mut query_dense = determinize_to_dense(&DenseNfa::from_nfa(&query_nfa)).dfa;
+    if options.minimize_query_dfa {
+        query_dense = minimize_dense(&query_dense);
+    }
+    // Complementation-by-final-swap in step 2 needs a complete automaton:
+    // a run of A_d must never die, otherwise a rejected expansion could be
+    // missed by A'.  Both constructions above already yield complete
+    // automata, so this is a cheap no-op kept for safety.
+    let query_dense = query_dense.complete();
+    let query_dfa = query_dense.to_dfa();
+
+    // Step 2: A' over Σ_E with the same states as A_d — one batched dense
+    // reachability sweep per view (or the per-pair product-emptiness
+    // ablation, which deliberately exercises the tree oracle).
+    let n = query_dense.num_states();
+    let mut a_prime_transitions: Vec<(u32, u32, u32)> = Vec::new();
+    for (index, view) in problem.views.views().enumerate() {
+        let view_sym = sigma_e
+            .symbol(&view.symbol)
+            .expect("view symbols are exactly sigma_e");
+        let view_nfa = problem.views.automaton(index);
+        if options.per_pair_reachability {
+            for si in 0..n {
+                for sj in 0..n {
+                    if word_reaches(&query_dfa, view_nfa, si, sj) {
+                        a_prime_transitions.push((si as u32, view_sym.index() as u32, sj as u32));
+                    }
+                }
+            }
+        } else {
+            let dense_view = DenseNfa::from_nfa(view_nfa);
+            for (si, sj) in
+                automata::word_reachability_relation_dense(&query_dense, &dense_view)
+            {
+                a_prime_transitions.push((si, view_sym.index() as u32, sj));
+            }
+        }
+    }
+    let a_prime_dense = DenseNfa::from_parts(
+        sigma_e.clone(),
+        n,
+        [query_dense.initial()],
+        (0..n as u32).filter(|&s| !query_dense.is_final(s)),
+        a_prime_transitions,
+    );
+
+    // Step 3: the rewriting is the complement of A'.  A' is in general
+    // nondeterministic over Σ_E, so complement via subset construction —
+    // both run on the flat tables.
+    let rewriting_dense = determinize_to_dense(&a_prime_dense).dfa.complement();
+    let reachable = rewriting_dense.reachable();
+    let coreachable = rewriting_dense.coreachable();
+    let trimmed_productive = reachable.iter().filter(|&s| coreachable.contains(s)).count();
+    let is_empty = !reachable.intersects(rewriting_dense.finals());
+
+    let a_prime = a_prime_dense.to_nfa();
+    let rewriting = rewriting_dense.to_dfa();
+    let stats = RewriteStats {
+        query_nfa_states,
+        query_dfa_states: query_dense.num_states(),
+        a_prime_states: a_prime.num_states(),
+        a_prime_transitions: a_prime.num_transitions(),
+        rewriting_states: rewriting_dense.num_states(),
+        rewriting_trimmed_states: trimmed_productive,
+        is_empty,
+    };
+
+    MaximalRewriting {
+        query_dfa,
+        a_prime,
+        automaton: rewriting,
+        stats,
+    }
+}
+
+/// The seed's tree-based construction — Moore minimization, `BTreeSet`
+/// reachability sweeps, tree subset construction — retained verbatim as the
+/// differential baseline for the dense pipeline above.
+pub fn compute_maximal_rewriting_baseline(problem: &RewriteProblem) -> MaximalRewriting {
+    compute_maximal_rewriting_with_baseline(problem, &RewriterOptions::default())
+}
+
+/// [`compute_maximal_rewriting_baseline`] with explicit options.
+pub fn compute_maximal_rewriting_with_baseline(
     problem: &RewriteProblem,
     options: &RewriterOptions,
 ) -> MaximalRewriting {
@@ -187,13 +326,10 @@ pub fn compute_maximal_rewriting_with(
         thompson(&problem.query, &sigma).expect("query symbols checked at problem construction")
     };
     let query_nfa_states = query_nfa.num_states();
-    let mut query_dfa = determinize(&query_nfa);
+    let mut query_dfa = determinize_with_subsets_baseline(&query_nfa).dfa;
     if options.minimize_query_dfa {
-        query_dfa = minimize(&query_dfa);
+        query_dfa = minimize_baseline(&query_dfa);
     }
-    // Complementation-by-final-swap in step 2 needs a complete automaton:
-    // a run of A_d must never die, otherwise a rejected expansion could be
-    // missed by A'.
     let query_dfa = query_dfa.complete();
 
     // Step 2: A' over Σ_E with the same states as A_d.
@@ -219,15 +355,14 @@ pub fn compute_maximal_rewriting_with(
                 }
             }
         } else {
-            for (si, sj) in word_reachability_relation(&query_dfa, view_nfa) {
+            for (si, sj) in word_reachability_relation_baseline(&query_dfa, view_nfa) {
                 a_prime.add_transition(si, view_sym, sj);
             }
         }
     }
 
-    // Step 3: the rewriting is the complement of A'.  A' is in general
-    // nondeterministic over Σ_E, so complement via subset construction.
-    let rewriting = determinize(&a_prime).complement();
+    // Step 3: the rewriting is the complement of A'.
+    let rewriting = determinize_with_subsets_baseline(&a_prime).dfa.complement();
     let trimmed = rewriting.trim_unreachable();
     let trimmed_productive: usize = trimmed
         .coreachable_states()
@@ -256,7 +391,7 @@ pub fn compute_maximal_rewriting_with(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use automata::{dfa_subset_of_nfa, nfa_equivalent};
+    use automata::{determinize, dfa_subset_of_nfa, nfa_equivalent};
     use regexlang::parse;
 
     /// The running example of the paper (Example 2.2 / Figure 1).

@@ -78,22 +78,17 @@ pub fn materialize_views(db: &GraphDb, problem: &RpqRewriteProblem) -> Materiali
     (*views).clone()
 }
 
-/// The rewriting automaton lifted to the engine's view alphabet.
-fn rewriting_nfa(engine: &mut QueryEngine, rewriting: &RpqRewriting) -> automata::Nfa {
-    let views = engine.materialized_views();
-    automata::Nfa::from_dfa(&rewriting.maximal.automaton)
-        .with_alphabet(views.view_alphabet().clone())
-}
-
-/// Like [`answer_rewriting_over_views`] but through a caller-held engine.
+/// Like [`answer_rewriting_over_views`] but through a caller-held engine:
+/// the dense rewriting automaton is interned in the engine's compile cache
+/// by DFA fingerprint, so repeated calls skip both the tree-NFA
+/// construction and the freeze.
 pub fn answer_rewriting_over_views_in(
     engine: &mut QueryEngine,
     problem: &RpqRewriteProblem,
     rewriting: &RpqRewriting,
 ) -> Answer {
     register_problem_views(engine, problem);
-    let over_views = rewriting_nfa(engine, rewriting);
-    engine.eval_over_views(&over_views)
+    engine.eval_dfa_over_views(&rewriting.maximal.automaton)
 }
 
 /// Evaluates the rewriting over the materialized views only (never touching
@@ -148,8 +143,7 @@ pub fn compare_on_database_in(
 ) -> AnswerComparison {
     let direct = answer_rpq_in(engine, &problem.query, &problem.theory);
     register_problem_views(engine, problem);
-    let over_views = rewriting_nfa(engine, rewriting);
-    let via_views = engine.eval_over_views(&over_views);
+    let via_views = engine.eval_dfa_over_views(&rewriting.maximal.automaton);
     let view_tuples = engine.materialized_views().total_tuples();
     AnswerComparison {
         direct_size: direct.len(),
