@@ -15,9 +15,13 @@
 //!
 //! Default, `all`, and `bench` runs additionally refresh `BENCH_rpq.json`
 //! in the working directory: dense-core vs tree-baseline timings for
-//! determinization and RPQ evaluation, so the perf trajectory of the hot
-//! paths is tracked from PR to PR.  Targeted runs (`experiments e6`) skip
-//! the snapshot to stay fast; `experiments bench` emits only the snapshot.
+//! determinization and RPQ evaluation, plus the engine's parallel,
+//! incremental, and concurrent-snapshot workloads, so the perf trajectory
+//! of the hot paths is tracked from PR to PR.  Targeted runs
+//! (`experiments e6`) skip the snapshot to stay fast; `experiments bench`
+//! emits only the snapshot, and `experiments rewriting` / `experiments
+//! concurrent` run those CI smoke workloads alone (honoring
+//! `BENCH_THREADS` for the reader count).
 
 use std::fs;
 use std::time::Instant;
@@ -84,6 +88,14 @@ fn main() {
         // what refreshes and diffs BENCH_rpq.json.
         println!("\n================ rewriting construction (smoke) ================");
         rewriting_rows();
+    } else if args.iter().any(|a| a == "concurrent") {
+        // `experiments concurrent`: the snapshot-serving workload alone
+        // (the CI "Concurrent bench smoke" step, run with BENCH_THREADS=4) —
+        // N readers against a published snapshot while the writer streams
+        // edge batches.  Like `rewriting`, the committed snapshot is left
+        // untouched.
+        println!("\n================ concurrent snapshot serving (smoke) ================");
+        concurrent_rows();
     }
 }
 
@@ -98,6 +110,43 @@ fn time_ms<T>(runs: usize, mut f: impl FnMut() -> T) -> f64 {
             t0.elapsed().as_secs_f64() * 1e3
         })
         .fold(f64::INFINITY, f64::min)
+}
+
+/// `numerator_ms / denominator_ms`, or `None` when the timing is degenerate
+/// (a ~0 ms denominator on a fast run would yield `inf`/`NaN`, which is not
+/// a meaningful ratio and not valid JSON).
+fn speedup(numerator_ms: f64, denominator_ms: f64) -> Option<f64> {
+    (denominator_ms > 0.0)
+        .then(|| numerator_ms / denominator_ms)
+        .filter(|r| r.is_finite())
+}
+
+/// The JSON form of a ratio field: a number, or `null` for degenerate
+/// timings so every emitted snapshot stays valid JSON and the regression
+/// diff skips the field.
+fn speedup_json(numerator_ms: f64, denominator_ms: f64) -> Value {
+    match speedup(numerator_ms, denominator_ms) {
+        Some(r) => json!(r),
+        None => Value::Null,
+    }
+}
+
+/// Human-readable `N.Nx` ratio, or `n/a` for degenerate timings.
+fn speedup_label(numerator_ms: f64, denominator_ms: f64) -> String {
+    match speedup(numerator_ms, denominator_ms) {
+        Some(r) => format!("{r:.1}x"),
+        None => "n/a".to_string(),
+    }
+}
+
+/// Reader thread count for the concurrent workload: `BENCH_THREADS`
+/// overrides the detected core count (CI containers often report one core).
+fn bench_threads() -> usize {
+    std::env::var("BENCH_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(engine::available_threads)
 }
 
 /// Dense-core vs tree-baseline timings for the two hottest loops
@@ -138,14 +187,14 @@ fn bench_rpq_json() {
         determinize_with_subsets_baseline(&nfa).dfa.num_states()
     });
     println!(
-        "determinize random n=64   : dense {dense_ms:.3} ms, baseline {baseline_ms:.3} ms ({:.1}x)",
-        baseline_ms / dense_ms
+        "determinize random n=64   : dense {dense_ms:.3} ms, baseline {baseline_ms:.3} ms ({})",
+        speedup_label(baseline_ms, dense_ms)
     );
     determinization.push(json!({
         "workload": "random_nfa_n64_density0.02",
         "dense_ms": dense_ms,
         "baseline_ms": baseline_ms,
-        "speedup": baseline_ms / dense_ms,
+        "speedup": speedup_json(baseline_ms, dense_ms),
     }));
 
     // The exponential worst-case family at k = 11.
@@ -157,14 +206,14 @@ fn bench_rpq_json() {
         determinize_with_subsets_baseline(&family_nfa).dfa.num_states()
     });
     println!(
-        "determinize family k=11   : dense {dense_ms:.3} ms, baseline {baseline_ms:.3} ms ({:.1}x)",
-        baseline_ms / dense_ms
+        "determinize family k=11   : dense {dense_ms:.3} ms, baseline {baseline_ms:.3} ms ({})",
+        speedup_label(baseline_ms, dense_ms)
     );
     determinization.push(json!({
         "workload": "blowup_family_k11",
         "dense_ms": dense_ms,
         "baseline_ms": baseline_ms,
-        "speedup": baseline_ms / dense_ms,
+        "speedup": speedup_json(baseline_ms, dense_ms),
     }));
 
     // RPQ evaluation on a generated |V| = 1000 graph.
@@ -178,21 +227,21 @@ fn bench_rpq_json() {
         eval_automaton_baseline(&workload.db, &query_nfa).len()
     });
     println!(
-        "rpq eval |V|=1000         : dense {dense_ms:.3} ms, baseline {baseline_ms:.3} ms ({:.1}x)",
-        baseline_ms / dense_ms
+        "rpq eval |V|=1000         : dense {dense_ms:.3} ms, baseline {baseline_ms:.3} ms ({})",
+        speedup_label(baseline_ms, dense_ms)
     );
     eval.push(json!({
         "workload": "random_graph_v1000_e4000",
         "dense_ms": dense_ms,
         "baseline_ms": baseline_ms,
-        "speedup": baseline_ms / dense_ms,
+        "speedup": speedup_json(baseline_ms, dense_ms),
     }));
 
     // Parallel evaluation: the engine's sharded product-BFS vs the
     // sequential evaluator on the |V| = 2000 workload.
     let mut parallel = Vec::new();
     {
-        use engine::{available_threads, eval_csr_parallel};
+        use engine::eval_csr_parallel;
         use graphdb::eval_csr;
 
         let workload = random_rpq_workload(2000, 8000, 42);
@@ -205,23 +254,19 @@ fn bench_rpq_json() {
         // that report a single core (where "parallel" would tautologically
         // record a ~1.0× speedup) can still exercise and time the pool; the
         // thread count is recorded in the JSON row either way.
-        let threads = std::env::var("BENCH_THREADS")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .filter(|&n| n > 0)
-            .unwrap_or_else(available_threads);
+        let threads = bench_threads();
         let sequential_ms = time_ms(3, || eval_csr(&csr, &frozen).len());
         let parallel_ms = time_ms(3, || eval_csr_parallel(&csr, &frozen, threads).len());
         println!(
-            "rpq eval |V|=2000         : sequential {sequential_ms:.3} ms, parallel {parallel_ms:.3} ms on {threads} thread(s) ({:.1}x)",
-            sequential_ms / parallel_ms
+            "rpq eval |V|=2000         : sequential {sequential_ms:.3} ms, parallel {parallel_ms:.3} ms on {threads} thread(s) ({})",
+            speedup_label(sequential_ms, parallel_ms)
         );
         parallel.push(json!({
             "workload": "random_graph_v2000_e8000",
             "threads": threads,
             "sequential_ms": sequential_ms,
             "parallel_ms": parallel_ms,
-            "speedup": sequential_ms / parallel_ms,
+            "speedup": speedup_json(sequential_ms, parallel_ms),
         }));
     }
 
@@ -278,15 +323,15 @@ fn bench_rpq_json() {
             })
             .fold(f64::INFINITY, f64::min);
         println!(
-            "incremental |V|=1000 +8e  : rematerialize {rematerialize_ms:.3} ms/edge, delta repair {delta_repair_ms:.3} ms/edge ({:.1}x)",
-            rematerialize_ms / delta_repair_ms
+            "incremental |V|=1000 +8e  : rematerialize {rematerialize_ms:.3} ms/edge, delta repair {delta_repair_ms:.3} ms/edge ({})",
+            speedup_label(rematerialize_ms, delta_repair_ms)
         );
         incremental.push(json!({
             "workload": "random_graph_v1000_e4000_plus8edges",
             "edges_inserted": inserts.len(),
             "rematerialize_ms": rematerialize_ms,
             "delta_repair_ms": delta_repair_ms,
-            "speedup": rematerialize_ms / delta_repair_ms,
+            "speedup": speedup_json(rematerialize_ms, delta_repair_ms),
         }));
     }
 
@@ -294,12 +339,17 @@ fn bench_rpq_json() {
     // CSR pipeline vs the retained tree baseline.
     let rewriting = rewriting_rows();
 
+    // Snapshot serving: reader-throughput scaling while the writer streams
+    // mutations (the writer/snapshot split's headline workload).
+    let concurrent = concurrent_rows();
+
     let value = json!({
         "determinization": determinization,
         "eval": eval,
         "parallel": parallel,
         "incremental": incremental,
         "rewriting": rewriting,
+        "concurrent": concurrent,
     });
     if let Some(previous) = &previous {
         diff_bench_snapshots(previous, &value);
@@ -347,14 +397,14 @@ fn rewriting_rows() -> Vec<Value> {
             .sum::<usize>()
     });
     println!(
-        "rewriting random q22 x4   : dense {dense_ms:.3} ms, baseline {baseline_ms:.3} ms ({:.1}x)",
-        baseline_ms / dense_ms
+        "rewriting random q22 x4   : dense {dense_ms:.3} ms, baseline {baseline_ms:.3} ms ({})",
+        speedup_label(baseline_ms, dense_ms)
     );
     rows.push(json!({
         "workload": "random_q22_v3_x4",
         "dense_ms": dense_ms,
         "baseline_ms": baseline_ms,
-        "speedup": baseline_ms / dense_ms,
+        "speedup": speedup_json(baseline_ms, dense_ms),
     }));
 
     // Blow-up family: A_d needs 2^(k+1) states, so every stage of the
@@ -368,16 +418,137 @@ fn rewriting_rows() -> Vec<Value> {
         compute_maximal_rewriting_baseline(&problem).stats.rewriting_states
     });
     println!(
-        "rewriting blow-up k={k}    : dense {dense_ms:.3} ms, baseline {baseline_ms:.3} ms ({:.1}x)",
-        baseline_ms / dense_ms
+        "rewriting blow-up k={k}    : dense {dense_ms:.3} ms, baseline {baseline_ms:.3} ms ({})",
+        speedup_label(baseline_ms, dense_ms)
     );
     rows.push(json!({
         "workload": format!("blowup_family_k{k}_views3"),
         "dense_ms": dense_ms,
         "baseline_ms": baseline_ms,
-        "speedup": baseline_ms / dense_ms,
+        "speedup": speedup_json(baseline_ms, dense_ms),
     }));
     rows
+}
+
+/// The concurrent-serving workload of the writer/snapshot split: N reader
+/// threads evaluate a mixed workload (cached ad-hoc regexes + the
+/// rewriting evaluated over materialized views) against a published
+/// [`engine::EngineSnapshot`] while the writer keeps streaming `add_edges`
+/// batches and publishing fresh revisions.  A fixed total number of reader
+/// passes is split across the readers, so `single_reader_ms` vs
+/// `concurrent_reader_ms` measures reader-throughput scaling with
+/// `BENCH_THREADS`; the writer runs (and is timed) alongside either way.
+fn concurrent_rows() -> Vec<Value> {
+    use engine::{EngineConfig, EngineSnapshot, QueryEngine};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    let threads = bench_threads();
+    let workload = random_rpq_workload(400, 1600, 33);
+    let rewriting = rpq::rewrite_rpq(&workload.problem).expect("workload rewrites");
+    let grounded = workload.problem.query.ground(&workload.problem.theory);
+    // The mixed ad-hoc side: the grounded query plus distinct variants, so
+    // readers exercise both answer-cache misses (first pass) and hits.
+    let queries: Vec<regexlang::Regex> = std::iter::once(grounded.clone())
+        .chain((1..8).map(|i| {
+            regexlang::parse(&format!("({grounded}){}", "·(a+b+c)?".repeat(i)))
+                .expect("suffixed query parses")
+        }))
+        .collect();
+    let total_passes = 12usize;
+    let writer_batches = 12usize;
+    let edges_per_batch = 4usize;
+    let num_nodes = workload.db.num_nodes();
+    let domain_len = workload.db.domain().len();
+
+    // One timed run: fresh engine (cold caches both times, identical work),
+    // readers pinned to the initial snapshot, writer streaming mutations.
+    let run = |readers: usize| -> f64 {
+        let mut engine = QueryEngine::with_config(
+            workload.db.clone(),
+            EngineConfig {
+                threads: 1, // readers are the parallelism under test
+                ..EngineConfig::default()
+            },
+        );
+        rpq::register_problem_views(&mut engine, &workload.problem);
+        let snapshot = engine.publish_snapshot();
+        let mut rng = StdRng::seed_from_u64(4242);
+        let batches: Vec<Vec<(usize, automata::Symbol, usize)>> = (0..writer_batches)
+            .map(|_| {
+                (0..edges_per_batch)
+                    .map(|_| {
+                        (
+                            rng.gen_range(0..num_nodes),
+                            automata::Symbol(rng.gen_range(0..domain_len) as u32),
+                            rng.gen_range(0..num_nodes),
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let reader_pass = |snapshot: &EngineSnapshot| {
+            for q in &queries {
+                std::hint::black_box(snapshot.eval_regex(q).len());
+            }
+            std::hint::black_box(
+                snapshot
+                    .eval_dfa_over_views(&rewriting.maximal.automaton)
+                    .len(),
+            );
+        };
+        // Warm the shared caches once outside the timed window: the timed
+        // passes then measure concurrent read throughput (answer-cache hits
+        // + per-pass Σ_E rewriting evaluations), not a thundering herd of
+        // duplicated first-miss evaluations racing on one core.
+        reader_pass(&snapshot);
+
+        let t0 = Instant::now();
+        std::thread::scope(|scope| {
+            let snapshot = &snapshot;
+            let reader_pass = &reader_pass;
+            // The writer streams mutations for the whole measurement; its
+            // repairs never block the pinned readers.
+            scope.spawn(|| {
+                for batch in &batches {
+                    engine.add_edges(batch);
+                    std::hint::black_box(engine.publish_snapshot().revision());
+                }
+            });
+            // Split the fixed pass budget exactly, so the 1-reader and
+            // N-reader runs perform identical total work regardless of
+            // whether BENCH_THREADS divides it.
+            for reader in 0..readers {
+                let per_reader =
+                    total_passes / readers + usize::from(reader < total_passes % readers);
+                scope.spawn(move || {
+                    for _ in 0..per_reader {
+                        reader_pass(snapshot);
+                    }
+                });
+            }
+        });
+        t0.elapsed().as_secs_f64() * 1e3
+    };
+
+    let single_reader_ms = run(1);
+    let concurrent_reader_ms = run(threads);
+    println!(
+        "concurrent |V|=400 mixed  : 1 reader {single_reader_ms:.3} ms, {threads} reader(s) {concurrent_reader_ms:.3} ms ({} scaling), writer streaming {writer_batches}x{edges_per_batch} edges",
+        speedup_label(single_reader_ms, concurrent_reader_ms)
+    );
+    vec![json!({
+        "workload": "random_graph_v400_e1600_mixed_readers",
+        "threads": threads,
+        "reader_passes": total_passes,
+        "queries_per_pass": queries.len() + 1,
+        "single_reader_ms": single_reader_ms,
+        "concurrent_reader_ms": concurrent_reader_ms,
+        "throughput_scaling": speedup_json(single_reader_ms, concurrent_reader_ms),
+        "writer_batches": writer_batches,
+        "writer_edges_per_batch": edges_per_batch,
+    })]
 }
 
 /// Compares every `*_ms` field of the new snapshot against the committed one
@@ -415,12 +586,13 @@ fn diff_bench_snapshots(old: &Value, new: &Value) {
                     continue;
                 };
                 // Only the product's own hot paths gate; baseline_ms /
-                // sequential_ms / rematerialize_ms time the deliberately
-                // slow reference strategies and would train everyone to
-                // ignore the annotation.
+                // sequential_ms / rematerialize_ms / single_reader_ms time
+                // the deliberately slow (or deliberately unscaled) reference
+                // strategies and would train everyone to ignore the
+                // annotation.
                 let gated = matches!(
                     field.as_str(),
-                    "dense_ms" | "parallel_ms" | "delta_repair_ms"
+                    "dense_ms" | "parallel_ms" | "delta_repair_ms" | "concurrent_reader_ms"
                 );
                 compared += 1;
                 let change = (new_ms - old_ms) / old_ms.max(f64::MIN_POSITIVE) * 100.0;

@@ -8,8 +8,16 @@
 //! cache interns frozen automata by [`Fingerprint`] so each distinct query
 //! is compiled exactly once per engine, no matter how many revisions or
 //! evaluation paths touch it.
+//!
+//! The cache is **concurrent**: entries live behind sharded [`RwLock`]s
+//! (shard chosen by fingerprint bits), so readers evaluating against
+//! different [`crate::EngineSnapshot`]s hit the cache in parallel without
+//! contending on one lock, and a compilation in one shard never blocks
+//! lookups in another.  Hit/miss counters are atomics.  All methods take
+//! `&self`; writer and snapshots share one cache through an `Arc`.
 
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
 
 use automata::dense::FxHashMap;
 use automata::{Alphabet, DenseDfa, DenseNfa, Dfa, Nfa};
@@ -17,12 +25,28 @@ use regexlang::Regex;
 
 use crate::fingerprint::{fingerprint_dfa, fingerprint_nfa, fingerprint_regex, Fingerprint};
 
-/// An interning cache of frozen [`DenseNfa`]s keyed by query fingerprint.
-#[derive(Debug, Default)]
+/// Number of independently locked shards (a power of two; shard selection
+/// uses the fingerprint's low bits, which FxHash mixes well).
+const SHARDS: usize = 16;
+
+/// A concurrent interning cache of frozen [`DenseNfa`]s keyed by query
+/// fingerprint.  `Send + Sync`; shared between the engine writer and every
+/// published snapshot.
+#[derive(Debug)]
 pub struct CompileCache {
-    map: FxHashMap<Fingerprint, Rc<DenseNfa>>,
-    hits: u64,
-    misses: u64,
+    shards: Vec<RwLock<FxHashMap<Fingerprint, Arc<DenseNfa>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Default for CompileCache {
+    fn default() -> Self {
+        CompileCache {
+            shards: (0..SHARDS).map(|_| RwLock::new(FxHashMap::default())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
 }
 
 impl CompileCache {
@@ -31,27 +55,49 @@ impl CompileCache {
         Self::default()
     }
 
+    #[inline]
+    fn shard(&self, fp: Fingerprint) -> &RwLock<FxHashMap<Fingerprint, Arc<DenseNfa>>> {
+        &self.shards[(fp as usize) & (SHARDS - 1)]
+    }
+
+    /// Looks up `fp`, or compiles it with `build` and interns the result.
+    /// Concurrent misses on the same fingerprint may both compile; the first
+    /// insertion wins and the loser adopts it, so interning stays pointer-
+    /// stable (`Arc::ptr_eq` holds across repeated compilations).
+    fn get_or_insert(&self, fp: Fingerprint, build: impl FnOnce() -> DenseNfa) -> Arc<DenseNfa> {
+        if let Some(dense) = self.shard(fp).read().expect("compile shard poisoned").get(&fp) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return dense.clone();
+        }
+        // Compile outside any lock: freezing can be expensive and must not
+        // block readers of the same shard.
+        let dense = Arc::new(build());
+        let mut shard = self.shard(fp).write().expect("compile shard poisoned");
+        if let Some(existing) = shard.get(&fp) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return existing.clone();
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        shard.insert(fp, dense.clone());
+        dense
+    }
+
     /// Compiles (or reuses) a regex over `domain`.
     ///
     /// # Panics
     /// Panics if the regex mentions a symbol outside `domain`, mirroring the
     /// label-oriented message of `graphdb`'s evaluators.
-    pub fn compile_regex(&mut self, domain: &Alphabet, regex: &Regex) -> Rc<DenseNfa> {
+    pub fn compile_regex(&self, domain: &Alphabet, regex: &Regex) -> Arc<DenseNfa> {
         let fp = fingerprint_regex(domain, regex);
-        if let Some(dense) = self.map.get(&fp) {
-            self.hits += 1;
-            return dense.clone();
-        }
-        self.misses += 1;
-        let nfa = regexlang::thompson(regex, domain).unwrap_or_else(|unknown| {
-            panic!(
-                "query mentions `{}` which is not a label of the database domain",
-                unknown.name
-            )
-        });
-        let dense = Rc::new(DenseNfa::from_nfa(&nfa));
-        self.map.insert(fp, dense.clone());
-        dense
+        self.get_or_insert(fp, || {
+            let nfa = regexlang::thompson(regex, domain).unwrap_or_else(|unknown| {
+                panic!(
+                    "query mentions `{}` which is not a label of the database domain",
+                    unknown.name
+                )
+            });
+            DenseNfa::from_nfa(&nfa)
+        })
     }
 
     /// Freezes (or reuses) a deterministic automaton re-labeled over
@@ -62,56 +108,45 @@ impl CompileCache {
     ///
     /// # Panics
     /// Panics when `target` is incompatible with the DFA's alphabet.
-    pub fn compile_dfa(&mut self, target: &Alphabet, dfa: &Dfa) -> Rc<DenseNfa> {
+    pub fn compile_dfa(&self, target: &Alphabet, dfa: &Dfa) -> Arc<DenseNfa> {
         // Checked before the lookup: the fingerprint hashes `target` plus the
         // transition structure, so a hit must enforce compatibility too.
         dfa.alphabet()
             .check_compatible(target)
             .expect("re-labeling over an incompatible alphabet");
         let fp = fingerprint_dfa(target, dfa);
-        if let Some(dense) = self.map.get(&fp) {
-            self.hits += 1;
-            return dense.clone();
-        }
-        self.misses += 1;
-        let dense = Rc::new(
-            DenseNfa::from_dense_dfa(&DenseDfa::from_dfa(dfa)).with_alphabet(target.clone()),
-        );
-        self.map.insert(fp, dense.clone());
-        dense
+        self.get_or_insert(fp, || {
+            DenseNfa::from_dense_dfa(&DenseDfa::from_dfa(dfa)).with_alphabet(target.clone())
+        })
     }
 
     /// Freezes (or reuses) an automaton-form query.
-    pub fn compile_nfa(&mut self, nfa: &Nfa) -> Rc<DenseNfa> {
+    pub fn compile_nfa(&self, nfa: &Nfa) -> Arc<DenseNfa> {
         let fp = fingerprint_nfa(nfa);
-        if let Some(dense) = self.map.get(&fp) {
-            self.hits += 1;
-            return dense.clone();
-        }
-        self.misses += 1;
-        let dense = Rc::new(DenseNfa::from_nfa(nfa));
-        self.map.insert(fp, dense.clone());
-        dense
+        self.get_or_insert(fp, || DenseNfa::from_nfa(nfa))
     }
 
     /// Number of distinct compiled automata currently interned.
     pub fn len(&self) -> usize {
-        self.map.len()
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("compile shard poisoned").len())
+            .sum()
     }
 
     /// Whether the cache is empty.
     pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
+        self.len() == 0
     }
 
     /// Number of cache hits so far.
     pub fn hits(&self) -> u64 {
-        self.hits
+        self.hits.load(Ordering::Relaxed)
     }
 
     /// Number of cache misses (i.e. actual compilations) so far.
     pub fn misses(&self) -> u64 {
-        self.misses
+        self.misses.load(Ordering::Relaxed)
     }
 }
 
@@ -122,11 +157,11 @@ mod tests {
     #[test]
     fn regex_compilation_is_interned() {
         let domain = Alphabet::from_chars(['a', 'b']).unwrap();
-        let mut cache = CompileCache::new();
+        let cache = CompileCache::new();
         let r = regexlang::parse("a·b*").unwrap();
         let d1 = cache.compile_regex(&domain, &r);
         let d2 = cache.compile_regex(&domain, &regexlang::parse("a·b*").unwrap());
-        assert!(Rc::ptr_eq(&d1, &d2));
+        assert!(Arc::ptr_eq(&d1, &d2));
         assert_eq!(cache.len(), 1);
         assert_eq!((cache.hits(), cache.misses()), (1, 1));
     }
@@ -134,7 +169,7 @@ mod tests {
     #[test]
     fn nfa_and_regex_entries_coexist() {
         let domain = Alphabet::from_chars(['a']).unwrap();
-        let mut cache = CompileCache::new();
+        let cache = CompileCache::new();
         let r = regexlang::parse("a*").unwrap();
         let dense_from_regex = cache.compile_regex(&domain, &r);
         let nfa = regexlang::thompson(&r, &domain).unwrap();
@@ -142,19 +177,19 @@ mod tests {
         assert_eq!(cache.len(), 2); // different canonical forms, both cached
         let w = domain.word(&["a", "a"]).unwrap();
         assert_eq!(dense_from_regex.accepts(&w), dense_from_nfa.accepts(&w));
-        assert!(Rc::ptr_eq(&dense_from_nfa, &cache.compile_nfa(&nfa)));
+        assert!(Arc::ptr_eq(&dense_from_nfa, &cache.compile_nfa(&nfa)));
     }
 
     #[test]
     fn dfa_compilation_is_interned_by_structure_and_target() {
         let domain = Alphabet::from_names(["v1", "v2"]).unwrap();
-        let mut cache = CompileCache::new();
+        let cache = CompileCache::new();
         let dfa = automata::determinize(
             &regexlang::thompson(&regexlang::parse("v1·v2*").unwrap(), &domain).unwrap(),
         );
         let d1 = cache.compile_dfa(&domain, &dfa);
         let d2 = cache.compile_dfa(&domain, &dfa);
-        assert!(Rc::ptr_eq(&d1, &d2));
+        assert!(Arc::ptr_eq(&d1, &d2));
         assert_eq!((cache.hits(), cache.misses()), (1, 1));
         assert!(d1.alphabet().is_compatible(&domain));
     }
@@ -163,7 +198,7 @@ mod tests {
     #[should_panic(expected = "incompatible alphabet")]
     fn compile_dfa_rejects_incompatible_alphabets_even_on_hits() {
         let domain = Alphabet::from_chars(['a']).unwrap();
-        let mut cache = CompileCache::new();
+        let cache = CompileCache::new();
         cache.compile_dfa(&domain, &automata::Dfa::universal(domain.clone()));
         // Same transition structure over a different alphabet: must panic
         // (and in particular must not be served from the cache).
@@ -176,5 +211,40 @@ mod tests {
     fn unknown_symbols_panic_like_the_evaluators() {
         let domain = Alphabet::from_chars(['a']).unwrap();
         CompileCache::new().compile_regex(&domain, &regexlang::parse("zz").unwrap());
+    }
+
+    #[test]
+    fn concurrent_compilations_intern_to_one_automaton() {
+        let domain = Alphabet::from_chars(['a', 'b', 'c']).unwrap();
+        let cache = CompileCache::new();
+        let queries: Vec<Regex> = (0..8)
+            .map(|i| regexlang::parse(&format!("a{}", "·b".repeat(i))).unwrap())
+            .collect();
+        let compiled: Vec<Vec<Arc<DenseNfa>>> = std::thread::scope(|scope| {
+            (0..4)
+                .map(|_| {
+                    scope.spawn(|| {
+                        queries
+                            .iter()
+                            .map(|q| cache.compile_regex(&domain, q))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|w| w.join().expect("compiler thread panicked"))
+                .collect()
+        });
+        // All threads ended up with the same interned allocations.
+        assert_eq!(cache.len(), queries.len());
+        for worker in &compiled[1..] {
+            for (a, b) in compiled[0].iter().zip(worker) {
+                assert!(Arc::ptr_eq(a, b));
+            }
+        }
+        // Every (thread, query) lookup is accounted a hit or a miss, and each
+        // distinct query compiled successfully at least once.
+        assert_eq!(cache.hits() + cache.misses(), (4 * queries.len()) as u64);
+        assert!(cache.misses() >= queries.len() as u64);
     }
 }

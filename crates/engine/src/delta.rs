@@ -28,6 +28,12 @@
 //! Each sweep is `O((V + E)·|Q|)`, and at most `|Q|` backward and `|Q|`
 //! forward sweeps run per insertion — versus the `O(V·(V + E)·|Q|)` of
 //! re-materializing from every source.
+//!
+//! Under the writer/snapshot split the repair target is always a *uniquely
+//! owned* answer set: the writer detaches each cached extension from any
+//! published [`crate::EngineSnapshot`] (`Arc::make_mut`) before extending
+//! it, so these sweeps never race a concurrent reader — readers keep the
+//! pre-insertion extension their snapshot captured.
 
 use std::collections::VecDeque;
 

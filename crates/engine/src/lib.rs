@@ -64,6 +64,50 @@
 //! edge versus `O(V·(V+E)·|Q|)` for a from-scratch re-materialization — the
 //! win the `engine` criterion bench and `BENCH_rpq.json` track.
 //!
+//! ## The writer/snapshot split (MVCC)
+//!
+//! The paper's workload is read-heavy — one expensive offline rewriting
+//! construction, then many cheap evaluations over materialized views — so
+//! the engine is split into a single **writer** ([`QueryEngine`]) and
+//! immutable, revision-pinned **read handles** ([`EngineSnapshot`]):
+//!
+//! * [`QueryEngine::publish_snapshot`] materializes every registered view
+//!   and returns an `Arc<EngineSnapshot>` pinned to the current revision.
+//!   The snapshot exposes the full read API with `&self`
+//!   ([`EngineSnapshot::eval_regex`] / [`eval_nfa`](EngineSnapshot::eval_nfa)
+//!   / [`eval_dfa_over_views`](EngineSnapshot::eval_dfa_over_views) /
+//!   [`materialized_views`](EngineSnapshot::materialized_views) /
+//!   [`view_extension`](EngineSnapshot::view_extension)) and is cheap to
+//!   clone and hand to reader threads.
+//! * The writer mutates **copy-on-write**: every piece of state a snapshot
+//!   can see (frozen CSR adjacency, compiled automata, view extensions)
+//!   sits behind an `Arc`, and delta repair detaches via [`Arc::make_mut`]
+//!   before touching a set — a published snapshot keeps serving exactly the
+//!   answers of its revision while the writer streams insertions and
+//!   publishes fresh snapshots.
+//! * The **compile cache** and the **ad-hoc answer cache** are shared
+//!   between the writer and all snapshots and are concurrent (sharded
+//!   `RwLock`s with atomic hit/miss counters; revision-tagged answers with
+//!   atomic LRU clocks, so lookups only ever take read locks).  Readers on
+//!   different threads get cache hits without blocking each other; answers
+//!   cached at retired revisions are evicted lazily on lookup and
+//!   preferentially under capacity pressure, never served.
+//!
+//! `Send + Sync` types: [`EngineSnapshot`], [`CompileCache`], and every
+//! frozen input they share (`CsrAdjacency`, `DenseNfa`, `DenseReverse`,
+//! `Answer`, `MaterializedViews`).  The writer itself is `Send` (it owns
+//! its database) but intentionally not shared: all mutation goes through
+//! `&mut self`, so "one writer, many readers" is enforced by the borrow
+//! checker rather than a lock.  The `&mut self` view-based query methods
+//! on [`QueryEngine`] (`materialized_views` / `eval_over_views` /
+//! `eval_dfa_over_views`) are thin wrappers that publish (or reuse) the
+//! current snapshot and read through it; the ad-hoc methods (`eval_regex`
+//! / `eval_nfa`) go through the same shared caches directly — identical
+//! answers and counters, but no forced materialization of registered
+//! views — so the single-threaded API keeps its cost model.
+//!
+//! [`Arc::make_mut`]: std::sync::Arc::make_mut
+//!
 //! ```
 //! use automata::Alphabet;
 //! use engine::QueryEngine;
@@ -94,9 +138,11 @@ pub mod delta;
 pub mod fingerprint;
 pub mod parallel;
 pub mod query_engine;
+pub mod snapshot;
 
 pub use cache::CompileCache;
 pub use delta::delta_pairs;
 pub use fingerprint::{fingerprint_nfa, fingerprint_regex, Fingerprint};
 pub use parallel::{available_threads, eval_csr_parallel};
 pub use query_engine::{EngineConfig, EngineStats, QueryEngine};
+pub use snapshot::EngineSnapshot;

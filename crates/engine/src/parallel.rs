@@ -12,6 +12,11 @@
 //! Chunked self-scheduling (rather than one static slice per worker) keeps
 //! the pool balanced when source costs are skewed, e.g. when a hub node's
 //! BFS touches most of the graph while leaf sources finish immediately.
+//!
+//! The evaluator only ever *reads* its inputs (`CsrAdjacency`, `DenseNfa`),
+//! both of which are `Send + Sync`, so it is callable from any thread —
+//! including concurrently from several [`crate::EngineSnapshot`] readers,
+//! each of which may itself fan out onto this pool.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 

@@ -1,19 +1,28 @@
 //! The stateful query engine tying parallel evaluation, compile caching,
 //! and incremental view maintenance together (see the crate docs for the
 //! revision/caching model).
+//!
+//! Since the writer/snapshot split, `QueryEngine` is the **single writer**
+//! of an MVCC pair: it owns the database and the view-extension cache,
+//! mutates copy-on-write (shared `Arc`s are never modified in place), and
+//! publishes immutable [`EngineSnapshot`] read handles pinned to a
+//! revision.  The `&mut self` view-based query methods are thin wrappers
+//! that publish (or reuse) the current revision's snapshot and read
+//! through it, and the ad-hoc methods share the same caches, so the writer
+//! and any number of concurrent readers always see identical answers.
 
-use std::collections::BTreeMap;
-use std::rc::Rc;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
 
-use automata::dense::FxHashMap;
-use automata::{Alphabet, DenseNfa, DenseReverse, Nfa};
+use automata::{DenseNfa, DenseReverse, Nfa};
 use graphdb::{Answer, CsrAdjacency, GraphDb, MaterializedViews, NodeId};
 use regexlang::Regex;
 
 use crate::cache::CompileCache;
 use crate::delta::delta_pairs;
-use crate::fingerprint::{fingerprint_nfa, fingerprint_regex, Fingerprint};
-use crate::parallel::{available_threads, eval_csr_parallel};
+use crate::fingerprint::{fingerprint_regex, Fingerprint};
+use crate::parallel::available_threads;
+use crate::snapshot::{bump, AdhocReader, AnswerCache, EngineSnapshot, SharedStats};
 
 /// Tuning knobs of a [`QueryEngine`].
 #[derive(Debug, Clone)]
@@ -24,9 +33,10 @@ pub struct EngineConfig {
     /// Below this node count evaluation stays sequential (thread spawn and
     /// merge overhead dominates on small graphs).
     pub parallel_threshold: usize,
-    /// Maximum number of ad-hoc answers kept per revision; beyond it the
-    /// least-recently-used entry is evicted.  `0` disables answer caching
-    /// entirely (every ad-hoc query re-evaluates).
+    /// Maximum number of ad-hoc answers kept in the shared answer cache;
+    /// beyond it the least-recently-used entry (stale entries first) is
+    /// evicted.  `0` disables answer caching entirely (every ad-hoc query
+    /// re-evaluates).
     pub answer_cache_capacity: usize,
 }
 
@@ -43,6 +53,9 @@ impl Default for EngineConfig {
 /// Observable counters: cache effectiveness and which evaluation/maintenance
 /// paths ran.  The differential tests assert on these to prove the cached
 /// and incremental paths (not silent fallbacks) produced the answers.
+///
+/// Counters are engine-wide: work done through any [`EngineSnapshot`] of an
+/// engine (on any thread) is folded into the same totals.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EngineStats {
     /// Compile-cache hits (query already frozen).
@@ -63,37 +76,62 @@ pub struct EngineStats {
     pub parallel_evals: u64,
     /// Evaluations that ran sequentially (small graph or 1 thread).
     pub sequential_evals: u64,
-    /// Ad-hoc answers evicted by the LRU bound of the answer cache.
+    /// Ad-hoc answers evicted by the capacity bound of the answer cache.
     pub answer_evictions: u64,
     /// Mutations whose delta repairs ran on the worker pool (one count per
     /// mutation, not per view).
     pub parallel_repairs: u64,
+    /// Revision-stale answers removed by a lookup (stale entries never pin
+    /// cache capacity).
+    pub answer_stale_evictions: u64,
+    /// Identity pairs inserted into start-accepting cached extensions for
+    /// nodes created by mutations (pre-existing nodes are never re-covered).
+    pub identity_cover_pairs: u64,
+}
+
+/// Folds the shared atomic counters into one [`EngineStats`] value.
+pub(crate) fn assemble_stats(
+    compile: &CompileCache,
+    answers: &AnswerCache,
+    shared: &SharedStats,
+) -> EngineStats {
+    EngineStats {
+        compile_hits: compile.hits(),
+        compile_misses: compile.misses(),
+        answer_hits: answers.hits.load(Ordering::Relaxed),
+        answer_misses: answers.misses.load(Ordering::Relaxed),
+        answer_evictions: answers.evictions.load(Ordering::Relaxed),
+        answer_stale_evictions: answers.stale_evictions.load(Ordering::Relaxed),
+        view_full_materializations: shared.view_full_materializations.load(Ordering::Relaxed),
+        view_cache_hits: shared.view_cache_hits.load(Ordering::Relaxed),
+        view_delta_repairs: shared.view_delta_repairs.load(Ordering::Relaxed),
+        parallel_evals: shared.parallel_evals.load(Ordering::Relaxed),
+        sequential_evals: shared.sequential_evals.load(Ordering::Relaxed),
+        parallel_repairs: shared.parallel_repairs.load(Ordering::Relaxed),
+        identity_cover_pairs: shared.identity_cover_pairs.load(Ordering::Relaxed),
+    }
 }
 
 /// One registered view: its grounded definition, compiled automaton, lazily
-/// built reverse table, and revisioned cached extension.
+/// built reverse table, and revisioned cached extension.  The automaton and
+/// the extension sit behind `Arc`s shared with published snapshots; repairs
+/// go through [`Arc::make_mut`], so a snapshot holding the old extension
+/// keeps it while the writer extends a private copy.
 #[derive(Debug)]
 struct ViewEntry {
     name: String,
     fingerprint: Fingerprint,
-    nfa: Rc<DenseNfa>,
-    reverse: Option<Rc<DenseReverse>>,
+    nfa: Arc<DenseNfa>,
+    reverse: Option<Arc<DenseReverse>>,
     /// `(revision the pairs are valid at, the extension)`.
-    extension: Option<(u64, Answer)>,
-}
-
-/// One ad-hoc cached answer: the revision it is valid at and its LRU clock.
-#[derive(Debug)]
-struct AnswerEntry {
-    revision: u64,
-    last_used: u64,
-    answer: Rc<Answer>,
+    extension: Option<(u64, Arc<Answer>)>,
 }
 
 /// One cached view extension queued for delta repair after a mutation.  The
 /// references point at *disjoint* engine state (the frozen automaton behind
-/// the entry's `Rc`, its reverse table, and its extension set), which is
-/// what lets the per-view repairs run concurrently on scoped threads.
+/// the entry's `Arc`, its reverse table, and its — by now uniquely owned —
+/// extension set), which is what lets the per-view repairs run concurrently
+/// on scoped threads.
 struct RepairJob<'a> {
     nfa: &'a DenseNfa,
     reverse: &'a DenseReverse,
@@ -113,7 +151,8 @@ fn repair_entry(
     }
 }
 
-/// A stateful RPQ query engine over one owned database.
+/// A stateful RPQ query engine over one owned database — the writer half of
+/// the writer/snapshot split.
 ///
 /// Construct with [`QueryEngine::new`], register views with
 /// [`register_view`](Self::register_view), query with
@@ -121,33 +160,31 @@ fn repair_entry(
 /// [`view_extension`](Self::view_extension) /
 /// [`eval_over_views`](Self::eval_over_views), and mutate with
 /// [`add_edge`](Self::add_edge) — cached view extensions survive mutations
-/// via incremental repair.
+/// via incremental repair.  For concurrent readers, publish an immutable
+/// [`EngineSnapshot`] with [`publish_snapshot`](Self::publish_snapshot) and
+/// hand clones of it to other threads; see the crate docs for the protocol.
 #[derive(Debug)]
 pub struct QueryEngine {
     db: GraphDb,
     revision: u64,
-    /// Monotone counter of view-set changes; part of the materialized-views
-    /// cache key.
+    /// Monotone counter of view-set changes; part of the snapshot identity.
     views_epoch: u64,
-    csr_out: CsrAdjacency,
+    csr_out: Arc<CsrAdjacency>,
     /// Incoming adjacency, frozen only when a mutation actually needs the
     /// backward delta sweeps (read-only engines never pay for it).
     csr_in: Option<CsrAdjacency>,
     config: EngineConfig,
-    compile: CompileCache,
+    compile: Arc<CompileCache>,
     /// Registered views in registration order (the order defines the view
     /// alphabet, matching `MaterializedViews::materialize_regexes`).
     views: Vec<ViewEntry>,
-    /// Ad-hoc answers keyed by query fingerprint, tagged with the revision
-    /// they were computed at; cleared on mutation and bounded by
-    /// `config.answer_cache_capacity` with LRU eviction.
-    answers: FxHashMap<Fingerprint, AnswerEntry>,
-    /// Monotone LRU clock for the answer cache.
-    answer_tick: u64,
-    /// Cached Σ_E view of the current extensions, keyed by
-    /// `(revision, views_epoch)`.
-    materialized: Option<(u64, u64, Rc<MaterializedViews>)>,
-    stats: EngineStats,
+    /// Shared ad-hoc answer cache (see [`AnswerCache`] for the revision and
+    /// eviction protocol).
+    answers: Arc<AnswerCache>,
+    /// The snapshot published for the current `(revision, views_epoch)`,
+    /// if any — invalidated by every mutation and view-set change.
+    published: Option<Arc<EngineSnapshot>>,
+    stats: Arc<SharedStats>,
 }
 
 impl QueryEngine {
@@ -158,7 +195,8 @@ impl QueryEngine {
 
     /// Wraps a database with explicit configuration.
     pub fn with_config(db: GraphDb, config: EngineConfig) -> Self {
-        let csr_out = db.csr_out();
+        let csr_out = Arc::new(db.csr_out());
+        let answers = Arc::new(AnswerCache::new(config.answer_cache_capacity));
         QueryEngine {
             db,
             revision: 0,
@@ -166,12 +204,11 @@ impl QueryEngine {
             csr_out,
             csr_in: None,
             config,
-            compile: CompileCache::new(),
+            compile: Arc::new(CompileCache::new()),
             views: Vec::new(),
-            answers: FxHashMap::default(),
-            answer_tick: 0,
-            materialized: None,
-            stats: EngineStats::default(),
+            answers,
+            published: None,
+            stats: Arc::new(SharedStats::default()),
         }
     }
 
@@ -190,13 +227,9 @@ impl QueryEngine {
         &self.config
     }
 
-    /// Cache/evaluation counters (compile-cache numbers folded in).
+    /// Cache/evaluation counters, shared with every published snapshot.
     pub fn stats(&self) -> EngineStats {
-        EngineStats {
-            compile_hits: self.compile.hits(),
-            compile_misses: self.compile.misses(),
-            ..self.stats
-        }
+        assemble_stats(&self.compile, &self.answers, &self.stats)
     }
 
     /// The frozen outgoing adjacency at the current revision.
@@ -204,61 +237,67 @@ impl QueryEngine {
         &self.csr_out
     }
 
-    fn threads_for(&self, num_nodes: usize) -> usize {
-        if num_nodes < self.config.parallel_threshold {
-            return 1;
+    // ------------------------------------------------------------------
+    // Publishing
+
+    /// Publishes (or reuses) the immutable snapshot of the current revision
+    /// and view set: every registered view is materialized, and the
+    /// returned handle answers the full read API with `&self` from any
+    /// thread.  Repeated calls between mutations return the same `Arc`.
+    pub fn publish_snapshot(&mut self) -> Arc<EngineSnapshot> {
+        if let Some(snapshot) = &self.published {
+            if snapshot.revision() == self.revision
+                && snapshot.views_epoch() == self.views_epoch
+            {
+                return snapshot.clone();
+            }
         }
-        match self.config.threads {
-            0 => available_threads(),
-            n => n,
+        for idx in 0..self.views.len() {
+            self.materialize_entry(idx);
         }
+        let views = self
+            .views
+            .iter()
+            .map(|v| {
+                let (_, pairs) = v.extension.as_ref().expect("just materialized");
+                (v.name.clone(), pairs.clone())
+            })
+            .collect();
+        let snapshot = Arc::new(EngineSnapshot::new(
+            self.revision,
+            self.views_epoch,
+            self.config.clone(),
+            self.csr_out.clone(),
+            self.db.num_nodes(),
+            views,
+            self.compile.clone(),
+            self.answers.clone(),
+            self.stats.clone(),
+        ));
+        self.published = Some(snapshot.clone());
+        snapshot
     }
 
     // ------------------------------------------------------------------
     // Ad-hoc queries
+    //
+    // These run through the same [`AdhocReader`] protocol a snapshot of the
+    // current revision uses — answer- and stats-identical by construction —
+    // but deliberately do NOT publish a snapshot: publishing materializes
+    // every registered view, and an ad-hoc query must stay cheap on an
+    // engine whose views were registered but never asked for.
 
-    /// Looks up a live cached answer, bumping its LRU clock.
-    fn answer_cache_get(&mut self, fp: Fingerprint) -> Option<Rc<Answer>> {
-        self.answer_tick += 1;
-        let tick = self.answer_tick;
-        let entry = self.answers.get_mut(&fp)?;
-        if entry.revision != self.revision {
-            return None;
+    /// The shared ad-hoc read path, borrowed over the writer's current
+    /// state.
+    fn adhoc(&self) -> AdhocReader<'_> {
+        AdhocReader {
+            revision: self.revision,
+            config: &self.config,
+            csr_out: &self.csr_out,
+            compile: &self.compile,
+            answers: &self.answers,
+            stats: &self.stats,
         }
-        entry.last_used = tick;
-        Some(entry.answer.clone())
-    }
-
-    /// Inserts an answer, evicting the least-recently-used entry when the
-    /// configured bound is reached (capacity 0 disables caching).
-    fn answer_cache_put(&mut self, fp: Fingerprint, answer: Rc<Answer>) {
-        let capacity = self.config.answer_cache_capacity;
-        if capacity == 0 {
-            return;
-        }
-        if !self.answers.contains_key(&fp) && self.answers.len() >= capacity {
-            // The cache is cleared wholesale on mutation, so every resident
-            // entry is live at the current revision: evict the one touched
-            // longest ago.
-            if let Some(victim) = self
-                .answers
-                .iter()
-                .min_by_key(|(_, entry)| entry.last_used)
-                .map(|(&fp, _)| fp)
-            {
-                self.answers.remove(&victim);
-                self.stats.answer_evictions += 1;
-            }
-        }
-        self.answer_tick += 1;
-        self.answers.insert(
-            fp,
-            AnswerEntry {
-                revision: self.revision,
-                last_used: self.answer_tick,
-                answer,
-            },
-        );
     }
 
     /// Number of ad-hoc answers currently cached (always within the
@@ -269,48 +308,20 @@ impl QueryEngine {
 
     /// Evaluates a regex query over the database, through the compile and
     /// answer caches.
-    pub fn eval_regex(&mut self, query: &Regex) -> Rc<Answer> {
-        let fp = fingerprint_regex(self.db.domain(), query);
-        if let Some(cached) = self.answer_cache_get(fp) {
-            self.stats.answer_hits += 1;
-            return cached;
-        }
-        self.stats.answer_misses += 1;
-        let dense = self.compile.compile_regex(self.db.domain(), query);
-        let answer = Rc::new(self.eval_on_db(&dense));
-        self.answer_cache_put(fp, answer.clone());
-        answer
+    pub fn eval_regex(&mut self, query: &Regex) -> Arc<Answer> {
+        self.adhoc().eval_regex(query)
     }
 
     /// Evaluates a query written in the paper's concrete syntax.
-    pub fn eval_str(&mut self, query: &str) -> Rc<Answer> {
+    pub fn eval_str(&mut self, query: &str) -> Arc<Answer> {
         let expr = regexlang::parse(query).expect("query must parse");
         self.eval_regex(&expr)
     }
 
     /// Evaluates an automaton-form query over the database, through the
     /// compile and answer caches.
-    pub fn eval_nfa(&mut self, query: &Nfa) -> Rc<Answer> {
-        let fp = fingerprint_nfa(query);
-        if let Some(cached) = self.answer_cache_get(fp) {
-            self.stats.answer_hits += 1;
-            return cached;
-        }
-        self.stats.answer_misses += 1;
-        let dense = self.compile.compile_nfa(query);
-        let answer = Rc::new(self.eval_on_db(&dense));
-        self.answer_cache_put(fp, answer.clone());
-        answer
-    }
-
-    fn eval_on_db(&mut self, dense: &DenseNfa) -> Answer {
-        let threads = self.threads_for(self.csr_out.num_nodes());
-        if threads > 1 {
-            self.stats.parallel_evals += 1;
-        } else {
-            self.stats.sequential_evals += 1;
-        }
-        eval_csr_parallel(&self.csr_out, dense, threads)
+    pub fn eval_nfa(&mut self, query: &Nfa) -> Arc<Answer> {
+        self.adhoc().eval_nfa(query)
     }
 
     // ------------------------------------------------------------------
@@ -323,7 +334,7 @@ impl QueryEngine {
         let fp = fingerprint_regex(self.db.domain(), &definition);
         if let Some(entry) = self.views.iter().find(|v| v.name == name) {
             if entry.fingerprint == fp {
-                return; // identical registration, cache intact
+                return; // identical registration, cache (and snapshot) intact
             }
         }
         let nfa = self.compile.compile_regex(self.db.domain(), &definition);
@@ -339,7 +350,7 @@ impl QueryEngine {
             None => self.views.push(entry),
         }
         self.views_epoch += 1;
-        self.materialized = None;
+        self.published = None;
     }
 
     /// Registers several views at once (e.g. a whole rewriting problem's).
@@ -360,61 +371,38 @@ impl QueryEngine {
     pub fn view_extension(&mut self, name: &str) -> Option<&Answer> {
         let idx = self.views.iter().position(|v| v.name == name)?;
         self.materialize_entry(idx);
-        self.views[idx].extension.as_ref().map(|(_, pairs)| pairs)
+        self.views[idx]
+            .extension
+            .as_ref()
+            .map(|(_, pairs)| pairs.as_ref())
     }
 
     fn materialize_entry(&mut self, idx: usize) {
         match &self.views[idx].extension {
             Some((rev, _)) if *rev == self.revision => {
-                self.stats.view_cache_hits += 1;
+                bump(&self.stats.view_cache_hits);
             }
             _ => {
                 let dense = self.views[idx].nfa.clone();
-                let pairs = self.eval_on_db(&dense);
-                self.views[idx].extension = Some((self.revision, pairs));
-                self.stats.view_full_materializations += 1;
+                let pairs = self.adhoc().eval_on_csr(&dense);
+                self.views[idx].extension = Some((self.revision, Arc::new(pairs)));
+                bump(&self.stats.view_full_materializations);
             }
         }
     }
 
     /// Materializes every registered view and exposes the extensions as a
-    /// [`MaterializedViews`] (cached per `(revision, view set)`), ready for
+    /// [`MaterializedViews`] (cached per published snapshot), ready for
     /// Σ_E-evaluation of rewritings.
-    pub fn materialized_views(&mut self) -> Rc<MaterializedViews> {
-        if let Some((rev, epoch, cached)) = &self.materialized {
-            if *rev == self.revision && *epoch == self.views_epoch {
-                return cached.clone();
-            }
-        }
-        for idx in 0..self.views.len() {
-            self.materialize_entry(idx);
-        }
-        let view_alphabet = Alphabet::from_names(self.views.iter().map(|v| v.name.clone()))
-            .expect("view names are distinct by construction");
-        let extensions: BTreeMap<String, Answer> = self
-            .views
-            .iter()
-            .map(|v| {
-                let (_, pairs) = v.extension.as_ref().expect("just materialized");
-                (v.name.clone(), pairs.clone())
-            })
-            .collect();
-        let views = Rc::new(MaterializedViews::from_extensions(
-            view_alphabet,
-            extensions,
-            self.db.num_nodes(),
-        ));
-        self.materialized = Some((self.revision, self.views_epoch, views.clone()));
-        views
+    pub fn materialized_views(&mut self) -> Arc<MaterializedViews> {
+        self.publish_snapshot().materialized_views()
     }
 
     /// Evaluates a language over the view alphabet (e.g. a rewriting
     /// automaton) against the materialized extensions, freezing the
     /// automaton through the compile cache.
     pub fn eval_over_views(&mut self, over_views: &Nfa) -> Answer {
-        let dense = self.compile.compile_nfa(over_views);
-        let views = self.materialized_views();
-        views.eval_dense_over_views(&dense)
+        self.publish_snapshot().eval_over_views(over_views)
     }
 
     /// Evaluates a deterministic Σ_E-automaton — the shape every maximal
@@ -424,9 +412,7 @@ impl QueryEngine {
     /// the same rewriting skip the construction entirely: no per-call tree
     /// NFA, no refreeze.
     pub fn eval_dfa_over_views(&mut self, rewriting: &automata::Dfa) -> Answer {
-        let views = self.materialized_views();
-        let dense = self.compile.compile_dfa(views.view_alphabet(), rewriting);
-        views.eval_dense_over_views(&dense)
+        self.publish_snapshot().eval_dfa_over_views(rewriting)
     }
 
     // ------------------------------------------------------------------
@@ -440,8 +426,9 @@ impl QueryEngine {
     /// Panics like [`GraphDb::add_edge`] on out-of-range endpoints or a
     /// label outside the domain.
     pub fn add_edge(&mut self, from: NodeId, label: automata::Symbol, to: NodeId) {
+        let prev_nodes = self.db.num_nodes();
         self.db.add_edge(from, label, to);
-        self.finish_mutation(&[(from, label, to)]);
+        self.finish_mutation(prev_nodes, &[(from, label, to)]);
     }
 
     /// Inserts an edge between named nodes (creating them on demand, like
@@ -452,10 +439,11 @@ impl QueryEngine {
             .domain()
             .symbol(label)
             .unwrap_or_else(|| panic!("label `{label}` not in domain"));
+        let prev_nodes = self.db.num_nodes();
         let from = self.db.node(from);
         let to = self.db.node(to);
         self.db.add_edge(from, label, to);
-        self.finish_mutation(&[(from, label, to)]);
+        self.finish_mutation(prev_nodes, &[(from, label, to)]);
     }
 
     /// Inserts a batch of edges under a single revision bump, refreezing the
@@ -465,26 +453,34 @@ impl QueryEngine {
         if edges.is_empty() {
             return;
         }
+        let prev_nodes = self.db.num_nodes();
         for &(from, label, to) in edges {
             self.db.add_edge(from, label, to);
         }
-        self.finish_mutation(edges);
+        self.finish_mutation(prev_nodes, edges);
     }
 
-    /// Adds an isolated node (no repair needed: a fresh node answers no
-    /// non-ε query, and ε-style identity pairs only appear for it once a
-    /// query is evaluated at the new revision).
+    /// Adds an isolated node.  Start-accepting cached extensions gain the
+    /// new node's identity pair; nothing else can change.
     pub fn add_node(&mut self) -> NodeId {
+        let prev_nodes = self.db.num_nodes();
         let id = self.db.add_node();
-        self.finish_mutation(&[]);
+        self.finish_mutation(prev_nodes, &[]);
         id
     }
 
-    fn finish_mutation(&mut self, new_edges: &[(NodeId, automata::Symbol, NodeId)]) {
+    fn finish_mutation(
+        &mut self,
+        prev_num_nodes: usize,
+        new_edges: &[(NodeId, automata::Symbol, NodeId)],
+    ) {
         self.revision += 1;
-        self.csr_out = self.db.csr_out();
-        self.answers.clear();
-        self.materialized = None;
+        self.csr_out = Arc::new(self.db.csr_out());
+        // Retire the published snapshot; existing reader handles stay valid
+        // at their pinned revision.  The shared answer cache is NOT cleared
+        // (pinned readers may still hit it): revision-stale entries are
+        // evicted lazily on lookup and preferentially on capacity pressure.
+        self.published = None;
 
         // The incoming adjacency only exists to serve the backward delta
         // sweeps below; freeze it only when some cached extension needs
@@ -496,6 +492,8 @@ impl QueryEngine {
         // Phase 1 (sequential, cheap): validate each cached extension, cover
         // identity pairs of nodes created by this mutation, build missing
         // reverse tables, and queue the extensions needing delta repair.
+        // `Arc::make_mut` detaches each extension from published snapshots
+        // before it is touched, so readers keep the pre-mutation pairs.
         let num_nodes = self.db.num_nodes();
         let revision = self.revision;
         let mut jobs: Vec<RepairJob<'_>> = Vec::new();
@@ -511,31 +509,39 @@ impl QueryEngine {
                 continue; // never materialized — nothing to repair
             };
             // A start-accepting view answers (v, v) for every node; cover
-            // nodes created by this mutation, which the cached extension
-            // predates.  Idempotent for pre-existing nodes.
-            if entry.nfa.any_final(entry.nfa.start()) {
-                for v in 0..num_nodes {
+            // exactly the nodes created by this mutation — the cached
+            // extension already covers every pre-existing node, so
+            // re-inserting those would be O(V·views) of wasted work per
+            // mutation.
+            if num_nodes > prev_num_nodes && entry.nfa.any_final(entry.nfa.start()) {
+                let pairs = Arc::make_mut(pairs);
+                for v in prev_num_nodes..num_nodes {
                     pairs.insert((v, v));
                 }
+                self.stats
+                    .identity_cover_pairs
+                    .fetch_add((num_nodes - prev_num_nodes) as u64, Ordering::Relaxed);
             }
             *cached_rev = revision;
             if new_edges.is_empty() {
                 continue;
             }
             if entry.reverse.is_none() {
-                entry.reverse = Some(Rc::new(entry.nfa.reverse_closed()));
+                entry.reverse = Some(Arc::new(entry.nfa.reverse_closed()));
             }
             let ViewEntry { nfa, reverse, extension, .. } = entry;
             jobs.push(RepairJob {
                 nfa,
                 reverse: reverse.as_ref().expect("built above"),
-                pairs: &mut extension.as_mut().expect("validated above").1,
+                pairs: Arc::make_mut(&mut extension.as_mut().expect("validated above").1),
             });
         }
         if jobs.is_empty() {
             return;
         }
-        self.stats.view_delta_repairs += jobs.len() as u64;
+        self.stats
+            .view_delta_repairs
+            .fetch_add(jobs.len() as u64, Ordering::Relaxed);
 
         // Phase 2: the per-view delta sweeps only read the shared frozen
         // adjacencies and automata and each writes its own extension set, so
@@ -545,10 +551,10 @@ impl QueryEngine {
             n => n,
         }
         .min(jobs.len());
-        let csr_out = &self.csr_out;
+        let csr_out: &CsrAdjacency = &self.csr_out;
         let csr_in = self.csr_in.as_ref().expect("frozen above when edges exist");
         if threads > 1 {
-            self.stats.parallel_repairs += 1;
+            bump(&self.stats.parallel_repairs);
             let chunk = jobs.len().div_ceil(threads);
             std::thread::scope(|scope| {
                 for chunk_jobs in jobs.chunks_mut(chunk) {
@@ -570,6 +576,7 @@ impl QueryEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use automata::Alphabet;
 
     fn chain_engine() -> QueryEngine {
         let mut db = GraphDb::new(Alphabet::from_chars(['a', 'b', 'c']).unwrap());
@@ -587,7 +594,7 @@ mod tests {
         let first = engine.eval_str("a·(b·a+c)*");
         assert_eq!(*first, direct);
         let second = engine.eval_str("a·(b·a+c)*");
-        assert!(Rc::ptr_eq(&first, &second));
+        assert!(Arc::ptr_eq(&first, &second));
         let stats = engine.stats();
         assert_eq!((stats.answer_hits, stats.answer_misses), (1, 1));
         assert_eq!(stats.compile_misses, 1);
@@ -602,6 +609,9 @@ mod tests {
         let after = engine.eval_str("a·b").len();
         assert!(after > before, "n1-a->n1 then n1-b->n2 adds (n1, n2)");
         assert_eq!(engine.stats().answer_misses, 2);
+        // The revision-0 entry was evicted by the revision-1 lookup, not
+        // left to pin cache capacity.
+        assert_eq!(engine.stats().answer_stale_evictions, 1);
     }
 
     #[test]
@@ -651,6 +661,29 @@ mod tests {
     }
 
     #[test]
+    fn identity_repair_covers_only_nodes_created_by_the_mutation() {
+        let mut engine = chain_engine();
+        engine.register_view("eps", regexlang::parse("c*").unwrap());
+        engine.view_extension("eps");
+        // Mutations among pre-existing nodes insert no identity pairs at
+        // all: the O(V·views)-per-mutation re-cover loop is gone.
+        engine.add_edge_named("n0", "c", "n2");
+        engine.add_edge_named("n2", "c", "n0");
+        assert_eq!(engine.stats().identity_cover_pairs, 0);
+        // A mutation creating two nodes repairs exactly those two.
+        engine.add_edge_named("p", "c", "q");
+        assert_eq!(engine.stats().identity_cover_pairs, 2);
+        let ext = engine.view_extension("eps").unwrap().clone();
+        assert_eq!(ext, graphdb::eval_str(engine.db(), "c*"));
+        // add_node repairs exactly the one created node.
+        engine.add_node();
+        assert_eq!(engine.stats().identity_cover_pairs, 3);
+        let ext = engine.view_extension("eps").unwrap().clone();
+        assert_eq!(ext, graphdb::eval_str(engine.db(), "c*"));
+        assert_eq!(engine.stats().view_full_materializations, 1);
+    }
+
+    #[test]
     fn materialized_views_match_graphdb_materialization() {
         let mut engine = chain_engine();
         let defs = [
@@ -677,7 +710,7 @@ mod tests {
             .is_compatible(reference.view_alphabet()));
         // Cached per revision.
         let again = engine.materialized_views();
-        assert!(Rc::ptr_eq(&via_engine, &again));
+        assert!(Arc::ptr_eq(&via_engine, &again));
     }
 
     #[test]
@@ -781,6 +814,36 @@ mod tests {
     }
 
     #[test]
+    fn stale_answers_never_pin_cache_capacity() {
+        let mut engine = QueryEngine::with_config(
+            chain_engine().db().clone(),
+            EngineConfig {
+                answer_cache_capacity: 4,
+                ..EngineConfig::default()
+            },
+        );
+        for i in 0..4 {
+            engine.eval_regex(&distinct_query(i)); // fill at revision 0
+        }
+        engine.add_edge_named("n0", "c", "n2"); // revision 1: all 4 entries stale
+        // Four fresh queries at revision 1: capacity pressure must fall on
+        // the stale entries, never on a live revision-1 entry.
+        for i in 4..8 {
+            engine.eval_regex(&distinct_query(i));
+            assert!(engine.answer_cache_len() <= 4);
+        }
+        let hits_before = engine.stats().answer_hits;
+        for i in 4..8 {
+            engine.eval_regex(&distinct_query(i));
+        }
+        assert_eq!(
+            engine.stats().answer_hits,
+            hits_before + 4,
+            "all four live answers must still be resident"
+        );
+    }
+
+    #[test]
     fn zero_capacity_disables_answer_caching() {
         let mut engine = QueryEngine::with_config(
             chain_engine().db().clone(),
@@ -842,5 +905,45 @@ mod tests {
         assert_eq!(*ans, graphdb::eval_str(engine.db(), "a·b·a"));
         assert_eq!(engine.stats().parallel_evals, 1);
         assert_eq!(engine.stats().sequential_evals, 0);
+    }
+
+    #[test]
+    fn published_snapshot_is_reused_until_the_state_changes() {
+        let mut engine = chain_engine();
+        let s1 = engine.publish_snapshot();
+        let s2 = engine.publish_snapshot();
+        assert!(Arc::ptr_eq(&s1, &s2), "same revision, same snapshot");
+        // A mutation retires the published snapshot…
+        engine.add_edge_named("n0", "c", "n1");
+        let s3 = engine.publish_snapshot();
+        assert!(!Arc::ptr_eq(&s1, &s3));
+        assert_eq!((s1.revision(), s3.revision()), (0, 1));
+        // …and so does a view-set change, even at the same revision.
+        engine.register_view("v", regexlang::parse("a").unwrap());
+        let s4 = engine.publish_snapshot();
+        assert!(!Arc::ptr_eq(&s3, &s4));
+        assert_eq!(s4.revision(), 1);
+        assert_eq!(s4.view_names().collect::<Vec<_>>(), ["v"]);
+    }
+
+    #[test]
+    fn snapshots_pin_their_revision_under_writer_mutations() {
+        let mut engine = chain_engine();
+        engine.register_view("e2", regexlang::parse("a·c*·b").unwrap());
+        let snapshot = engine.publish_snapshot();
+        let at_publish = snapshot.eval_str("a·c*·b");
+        let ext_at_publish = snapshot.view_extension("e2").unwrap().clone();
+
+        // The writer repairs its extension copy-on-write; the snapshot's
+        // captured pairs and CSR must not move.
+        engine.add_edge_named("n1", "b", "n0");
+        let writer_ext = engine.view_extension("e2").unwrap().clone();
+        assert!(writer_ext.len() > ext_at_publish.len());
+        assert_eq!(*snapshot.view_extension("e2").unwrap(), ext_at_publish);
+        assert_eq!(*snapshot.eval_str("a·c*·b"), *at_publish);
+        assert_eq!(snapshot.revision(), 0);
+        assert_eq!(engine.revision(), 1);
+        // The writer's own reads see the new revision.
+        assert_eq!(*engine.eval_str("a·c*·b"), writer_ext);
     }
 }

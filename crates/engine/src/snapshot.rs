@@ -1,0 +1,571 @@
+//! The immutable read side of the engine: revision-pinned snapshots.
+//!
+//! [`crate::QueryEngine`] is the single writer; [`EngineSnapshot`] is the
+//! cheaply cloneable (`Arc`) read handle it publishes.  A snapshot is pinned
+//! to the revision it was published at: it owns `Arc`s to the frozen CSR
+//! adjacency, the compiled view automata, and the materialized view
+//! extensions of that revision, so any number of reader threads can
+//! evaluate against it with `&self` while the writer keeps mutating and
+//! repairing — the writer never mutates shared data in place
+//! (copy-on-write via [`Arc::make_mut`]), it only publishes fresh `Arc`s.
+//!
+//! Snapshots share the engine's compile cache and ad-hoc answer cache
+//! ([`AnswerCache`]); both are concurrent (sharded/`RwLock`-backed with
+//! atomic LRU clocks), so readers on different threads get cache hits
+//! without blocking each other.  `EngineSnapshot` is `Send + Sync` by
+//! construction — asserted at compile time below.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+
+use automata::dense::FxHashMap;
+use automata::{Alphabet, DenseNfa, Nfa};
+use graphdb::{Answer, CsrAdjacency, MaterializedViews};
+use regexlang::Regex;
+
+use crate::cache::CompileCache;
+use crate::fingerprint::{fingerprint_nfa, fingerprint_regex, Fingerprint};
+use crate::parallel::{available_threads, eval_csr_parallel};
+use crate::query_engine::{EngineConfig, EngineStats};
+
+/// Compile-time proof that the read handle crosses threads.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<EngineSnapshot>();
+    assert_send_sync::<AnswerCache>();
+    assert_send_sync::<SharedStats>();
+};
+
+/// Worker count for a graph of `num_nodes`, honoring the configured
+/// threshold below which evaluation stays sequential.
+pub(crate) fn threads_for(config: &EngineConfig, num_nodes: usize) -> usize {
+    if num_nodes < config.parallel_threshold {
+        return 1;
+    }
+    match config.threads {
+        0 => available_threads(),
+        n => n,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared counters
+
+/// Engine-wide counters shared (as atomics) between the writer and every
+/// published snapshot, so `stats()` stays accurate no matter which side of
+/// the split did the work.
+#[derive(Debug, Default)]
+pub(crate) struct SharedStats {
+    pub view_full_materializations: AtomicU64,
+    pub view_cache_hits: AtomicU64,
+    pub view_delta_repairs: AtomicU64,
+    pub parallel_evals: AtomicU64,
+    pub sequential_evals: AtomicU64,
+    pub parallel_repairs: AtomicU64,
+    pub identity_cover_pairs: AtomicU64,
+}
+
+#[inline]
+pub(crate) fn bump(counter: &AtomicU64) {
+    counter.fetch_add(1, Ordering::Relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// The concurrent ad-hoc answer cache
+
+/// One cached ad-hoc answer: the revision it is valid at and its LRU clock
+/// (atomic, so a read-locked lookup can bump it without the write lock).
+#[derive(Debug)]
+struct AnswerEntry {
+    revision: u64,
+    last_used: AtomicU64,
+    answer: Arc<Answer>,
+}
+
+/// The shared ad-hoc answer cache: query fingerprint → revision-tagged
+/// answer, bounded by an LRU capacity.
+///
+/// Concurrency model: lookups take the read lock (many readers at once) and
+/// bump the entry's atomic LRU clock; only insertions and evictions take the
+/// write lock.  Entries are *not* cleared on mutation — snapshots pinned at
+/// older revisions may still be serving them.  Staleness is **directional**
+/// (revisions are monotone, so an entry older than the asking reader can
+/// never become useful again, while a newer entry is live for newer
+/// readers):
+///
+/// * a lookup that finds an *older*-revision entry **evicts it** (it would
+///   otherwise pin capacity and force a live entry out); a *newer* entry is
+///   left resident and the lookup simply misses,
+/// * an insertion never displaces a newer-revision entry for the same query
+///   (the caller keeps its uncached answer), and a capacity eviction
+///   prefers older-revision entries over live ones —
+///
+/// so stale entries never count against the configured capacity, and a
+/// reader pinned at an old revision can never thrash answers that current
+/// readers are hitting.
+#[derive(Debug)]
+pub(crate) struct AnswerCache {
+    capacity: usize,
+    tick: AtomicU64,
+    map: RwLock<FxHashMap<Fingerprint, AnswerEntry>>,
+    pub hits: AtomicU64,
+    pub misses: AtomicU64,
+    pub evictions: AtomicU64,
+    pub stale_evictions: AtomicU64,
+}
+
+impl AnswerCache {
+    pub fn new(capacity: usize) -> Self {
+        AnswerCache {
+            capacity,
+            tick: AtomicU64::new(0),
+            map: RwLock::new(FxHashMap::default()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            stale_evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of resident answers (always within the capacity bound).
+    pub fn len(&self) -> usize {
+        self.map.read().expect("answer cache poisoned").len()
+    }
+
+    /// Next LRU timestamp.  Bumped on hits and insertions only — misses do
+    /// not advance the clock.
+    fn next_tick(&self) -> u64 {
+        self.tick.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Looks up a live answer for `fp` at `revision`, bumping its LRU clock.
+    /// A resident entry from an *older* revision is evicted on the spot; a
+    /// *newer* one (another reader's live answer) is left alone.
+    pub fn get(&self, fp: Fingerprint, revision: u64) -> Option<Arc<Answer>> {
+        {
+            let map = self.map.read().expect("answer cache poisoned");
+            match map.get(&fp) {
+                Some(entry) if entry.revision == revision => {
+                    entry.last_used.store(self.next_tick(), Ordering::Relaxed);
+                    bump(&self.hits);
+                    return Some(entry.answer.clone());
+                }
+                Some(entry) if entry.revision < revision => {
+                    // Stale: fall through to evict under the write lock.
+                }
+                _ => {
+                    bump(&self.misses);
+                    return None;
+                }
+            }
+        }
+        let mut map = self.map.write().expect("answer cache poisoned");
+        // Re-check: another thread may have refreshed (or already evicted)
+        // the entry between the locks.
+        match map.get(&fp) {
+            Some(entry) if entry.revision == revision => {
+                entry.last_used.store(self.next_tick(), Ordering::Relaxed);
+                bump(&self.hits);
+                Some(entry.answer.clone())
+            }
+            Some(entry) if entry.revision < revision => {
+                map.remove(&fp);
+                bump(&self.stale_evictions);
+                bump(&self.misses);
+                None
+            }
+            _ => {
+                bump(&self.misses);
+                None
+            }
+        }
+    }
+
+    /// Inserts an answer computed at `revision`, evicting (stale-first, then
+    /// least-recently-used) when the capacity bound is reached.  Capacity 0
+    /// disables caching entirely.
+    ///
+    /// Returns the canonical resident `Arc`: when another thread raced the
+    /// same evaluation and inserted first, its answer is adopted and the
+    /// caller's copy dropped, so concurrent readers converge on one
+    /// allocation per (query, revision).
+    pub fn put(&self, fp: Fingerprint, revision: u64, answer: Arc<Answer>) -> Arc<Answer> {
+        if self.capacity == 0 {
+            return answer;
+        }
+        let mut map = self.map.write().expect("answer cache poisoned");
+        if let Some(entry) = map.get(&fp) {
+            if entry.revision == revision {
+                entry.last_used.store(self.next_tick(), Ordering::Relaxed);
+                return entry.answer.clone();
+            }
+            if entry.revision > revision {
+                // A newer reader's live answer owns this slot; a pinned
+                // older reader must not clobber it — its answer just goes
+                // uncached.
+                return answer;
+            }
+        }
+        if !map.contains_key(&fp) && map.len() >= self.capacity {
+            // Victim preference: genuinely stale (older than the inserting
+            // revision) first, then LRU among same-revision peers.  Never a
+            // *newer* entry — an old pinned reader churning through distinct
+            // queries must not flush answers current readers are hitting;
+            // if everything resident is newer, its answer goes uncached.
+            let victim = map
+                .iter()
+                .filter(|(_, entry)| entry.revision < revision)
+                .min_by_key(|(_, entry)| entry.last_used.load(Ordering::Relaxed))
+                .or_else(|| {
+                    map.iter()
+                        .filter(|(_, entry)| entry.revision == revision)
+                        .min_by_key(|(_, entry)| entry.last_used.load(Ordering::Relaxed))
+                })
+                .map(|(&fp, _)| fp);
+            match victim {
+                Some(victim) => {
+                    map.remove(&victim);
+                    bump(&self.evictions);
+                }
+                None => return answer,
+            }
+        }
+        map.insert(
+            fp,
+            AnswerEntry {
+                revision,
+                last_used: AtomicU64::new(self.next_tick()),
+                answer: answer.clone(),
+            },
+        );
+        answer
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The shared ad-hoc read path
+
+/// The one copy of the ad-hoc evaluation protocol
+/// (fingerprint → answer-cache get → compile → product-BFS → cache put),
+/// borrowed over either side of the split: the writer's current state or a
+/// snapshot's pinned state.  Keeping a single implementation is what makes
+/// the two paths answer- and stats-identical by construction.
+pub(crate) struct AdhocReader<'a> {
+    pub revision: u64,
+    pub config: &'a EngineConfig,
+    pub csr_out: &'a CsrAdjacency,
+    pub compile: &'a CompileCache,
+    pub answers: &'a AnswerCache,
+    pub stats: &'a SharedStats,
+}
+
+impl AdhocReader<'_> {
+    pub fn eval_on_csr(&self, dense: &DenseNfa) -> Answer {
+        let threads = threads_for(self.config, self.csr_out.num_nodes());
+        if threads > 1 {
+            bump(&self.stats.parallel_evals);
+        } else {
+            bump(&self.stats.sequential_evals);
+        }
+        eval_csr_parallel(self.csr_out, dense, threads)
+    }
+
+    pub fn eval_regex(&self, query: &Regex) -> Arc<Answer> {
+        let domain = self.csr_out.domain();
+        let fp = fingerprint_regex(domain, query);
+        if let Some(cached) = self.answers.get(fp, self.revision) {
+            return cached;
+        }
+        let dense = self.compile.compile_regex(domain, query);
+        let answer = Arc::new(self.eval_on_csr(&dense));
+        self.answers.put(fp, self.revision, answer)
+    }
+
+    pub fn eval_nfa(&self, query: &Nfa) -> Arc<Answer> {
+        let fp = fingerprint_nfa(query);
+        if let Some(cached) = self.answers.get(fp, self.revision) {
+            return cached;
+        }
+        let dense = self.compile.compile_nfa(query);
+        let answer = Arc::new(self.eval_on_csr(&dense));
+        self.answers.put(fp, self.revision, answer)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The snapshot
+
+/// One view captured at publish time: its extension at the snapshot's
+/// revision (the compiled automaton stays interned in the shared compile
+/// cache).
+#[derive(Debug)]
+struct SnapshotView {
+    name: String,
+    extension: Arc<Answer>,
+}
+
+/// An immutable, revision-pinned read handle over the engine's state.
+///
+/// Published by [`crate::QueryEngine::publish_snapshot`]; cheap to clone
+/// (`Arc` all the way down) and `Send + Sync`, so it can be handed to any
+/// number of reader threads.  All evaluation methods take `&self`:
+///
+/// * [`eval_regex`](Self::eval_regex) / [`eval_str`](Self::eval_str) /
+///   [`eval_nfa`](Self::eval_nfa) — ad-hoc queries over the snapshot's
+///   database revision, through the shared compile and answer caches;
+/// * [`view_extension`](Self::view_extension) — the materialized extension
+///   of a registered view at this revision;
+/// * [`materialized_views`](Self::materialized_views) /
+///   [`eval_over_views`](Self::eval_over_views) /
+///   [`eval_dfa_over_views`](Self::eval_dfa_over_views) — Σ_E-evaluation of
+///   rewritings over the captured extensions (the view graph is built
+///   lazily, once per snapshot).
+///
+/// Answers are exactly the answers at [`revision`](Self::revision): the
+/// writer repairs its own extensions copy-on-write and publishes new
+/// snapshots, so concurrent mutations never show through an existing handle.
+#[derive(Debug)]
+pub struct EngineSnapshot {
+    revision: u64,
+    views_epoch: u64,
+    config: EngineConfig,
+    csr_out: Arc<CsrAdjacency>,
+    num_nodes: usize,
+    views: Vec<SnapshotView>,
+    /// The Σ_E view graph over the captured extensions, built on first use.
+    materialized: OnceLock<Arc<MaterializedViews>>,
+    compile: Arc<CompileCache>,
+    answers: Arc<AnswerCache>,
+    stats: Arc<SharedStats>,
+}
+
+impl EngineSnapshot {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        revision: u64,
+        views_epoch: u64,
+        config: EngineConfig,
+        csr_out: Arc<CsrAdjacency>,
+        num_nodes: usize,
+        views: Vec<(String, Arc<Answer>)>,
+        compile: Arc<CompileCache>,
+        answers: Arc<AnswerCache>,
+        stats: Arc<SharedStats>,
+    ) -> Self {
+        EngineSnapshot {
+            revision,
+            views_epoch,
+            config,
+            csr_out,
+            num_nodes,
+            views: views
+                .into_iter()
+                .map(|(name, extension)| SnapshotView { name, extension })
+                .collect(),
+            materialized: OnceLock::new(),
+            compile,
+            answers,
+            stats,
+        }
+    }
+
+    /// The database revision this snapshot is pinned to.
+    pub fn revision(&self) -> u64 {
+        self.revision
+    }
+
+    /// The view-set epoch this snapshot was published at.
+    pub(crate) fn views_epoch(&self) -> u64 {
+        self.views_epoch
+    }
+
+    /// The engine configuration the snapshot evaluates under.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Number of nodes of the database at this revision.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// The frozen outgoing adjacency at this revision.
+    pub fn csr_out(&self) -> &CsrAdjacency {
+        &self.csr_out
+    }
+
+    /// The label domain of the underlying database.
+    pub fn domain(&self) -> &Alphabet {
+        self.csr_out.domain()
+    }
+
+    /// Names of the captured views, in registration order.
+    pub fn view_names(&self) -> impl Iterator<Item = &str> {
+        self.views.iter().map(|v| v.name.as_str())
+    }
+
+    /// The extension of a registered view at this snapshot's revision.
+    pub fn view_extension(&self, name: &str) -> Option<&Answer> {
+        self.views
+            .iter()
+            .find(|v| v.name == name)
+            .map(|v| v.extension.as_ref())
+    }
+
+    /// Cache/evaluation counters of the engine this snapshot belongs to
+    /// (shared with the writer and every sibling snapshot).
+    pub fn stats(&self) -> EngineStats {
+        crate::query_engine::assemble_stats(&self.compile, &self.answers, &self.stats)
+    }
+
+    /// The shared ad-hoc read path, borrowed over this snapshot's pinned
+    /// state.
+    fn adhoc(&self) -> AdhocReader<'_> {
+        AdhocReader {
+            revision: self.revision,
+            config: &self.config,
+            csr_out: &self.csr_out,
+            compile: &self.compile,
+            answers: &self.answers,
+            stats: &self.stats,
+        }
+    }
+
+    /// Evaluates a regex query at this revision, through the shared compile
+    /// and answer caches.
+    pub fn eval_regex(&self, query: &Regex) -> Arc<Answer> {
+        self.adhoc().eval_regex(query)
+    }
+
+    /// Evaluates a query written in the paper's concrete syntax.
+    pub fn eval_str(&self, query: &str) -> Arc<Answer> {
+        let expr = regexlang::parse(query).expect("query must parse");
+        self.eval_regex(&expr)
+    }
+
+    /// Evaluates an automaton-form query at this revision, through the
+    /// shared compile and answer caches.
+    pub fn eval_nfa(&self, query: &Nfa) -> Arc<Answer> {
+        self.adhoc().eval_nfa(query)
+    }
+
+    /// The captured view extensions as a [`MaterializedViews`], ready for
+    /// Σ_E-evaluation of rewritings.  The view graph is built lazily on
+    /// first use and shared by every subsequent call (and by the writer's
+    /// [`crate::QueryEngine::materialized_views`] at this revision).
+    pub fn materialized_views(&self) -> Arc<MaterializedViews> {
+        self.materialized
+            .get_or_init(|| {
+                let view_alphabet =
+                    Alphabet::from_names(self.views.iter().map(|v| v.name.clone()))
+                        .expect("view names are distinct by construction");
+                let extensions = self
+                    .views
+                    .iter()
+                    .map(|v| (v.name.clone(), v.extension.clone()))
+                    .collect();
+                Arc::new(MaterializedViews::from_shared_extensions(
+                    view_alphabet,
+                    extensions,
+                    self.num_nodes,
+                ))
+            })
+            .clone()
+    }
+
+    /// Evaluates a language over the view alphabet (e.g. a rewriting
+    /// automaton) against the captured extensions, freezing the automaton
+    /// through the shared compile cache.
+    pub fn eval_over_views(&self, over_views: &Nfa) -> Answer {
+        let dense = self.compile.compile_nfa(over_views);
+        self.materialized_views().eval_dense_over_views(&dense)
+    }
+
+    /// Evaluates a deterministic Σ_E-automaton — the shape every maximal
+    /// rewriting takes — against the captured extensions, interning the
+    /// dense form in the shared compile cache by DFA fingerprint.
+    pub fn eval_dfa_over_views(&self, rewriting: &automata::Dfa) -> Answer {
+        let views = self.materialized_views();
+        let dense = self.compile.compile_dfa(views.view_alphabet(), rewriting);
+        views.eval_dense_over_views(&dense)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn answer_cache_get_does_not_advance_the_lru_clock_on_misses() {
+        let cache = AnswerCache::new(4);
+        for _ in 0..10 {
+            assert!(cache.get(42, 0).is_none());
+        }
+        assert_eq!(cache.tick.load(Ordering::Relaxed), 0, "misses must not tick");
+        cache.put(42, 0, Arc::new(Answer::new()));
+        assert_eq!(cache.tick.load(Ordering::Relaxed), 1);
+        assert!(cache.get(42, 0).is_some());
+        assert_eq!(cache.tick.load(Ordering::Relaxed), 2);
+        assert_eq!(cache.misses.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn stale_lookup_evicts_the_entry() {
+        let cache = AnswerCache::new(4);
+        cache.put(7, 0, Arc::new(Answer::new()));
+        assert_eq!(cache.len(), 1);
+        // Same fingerprint, later revision: stale — gone after the lookup.
+        assert!(cache.get(7, 1).is_none());
+        assert_eq!(cache.len(), 0);
+        assert_eq!(cache.stale_evictions.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn older_readers_never_clobber_newer_answers() {
+        let cache = AnswerCache::new(4);
+        let newer = Arc::new(Answer::from([(1, 1)]));
+        cache.put(9, 5, newer.clone());
+        // A reader pinned at revision 2: miss, but the newer entry stays.
+        assert!(cache.get(9, 2).is_none());
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.stale_evictions.load(Ordering::Relaxed), 0);
+        // Its insert does not displace the newer entry…
+        let old = Arc::new(Answer::new());
+        let kept = cache.put(9, 2, old.clone());
+        assert!(Arc::ptr_eq(&kept, &old), "older answer stays uncached");
+        // …which the revision-5 reader still hits.
+        let hit = cache.get(9, 5).expect("newer entry survived");
+        assert!(Arc::ptr_eq(&hit, &newer));
+    }
+
+    #[test]
+    fn old_readers_at_capacity_never_flush_live_entries() {
+        let cache = AnswerCache::new(2);
+        cache.put(1, 5, Arc::new(Answer::new())); // live for current readers
+        cache.put(2, 5, Arc::new(Answer::new()));
+        // A reader pinned at revision 1 churns through distinct queries at
+        // capacity: nothing to evict that is older, so nothing is cached —
+        // and nothing live is flushed.
+        for fp in 10..20 {
+            cache.put(fp, 1, Arc::new(Answer::new()));
+        }
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions.load(Ordering::Relaxed), 0);
+        assert!(cache.get(1, 5).is_some(), "live entries survived the churn");
+        assert!(cache.get(2, 5).is_some());
+    }
+
+    #[test]
+    fn capacity_eviction_prefers_stale_entries() {
+        let cache = AnswerCache::new(2);
+        cache.put(1, 0, Arc::new(Answer::new())); // stale after "mutation"
+        cache.put(2, 1, Arc::new(Answer::new())); // live
+        cache.get(1, 0); // touch the stale entry so plain LRU would keep it
+        cache.get(1, 0);
+        cache.put(3, 1, Arc::new(Answer::new())); // at capacity: must evict fp 1
+        assert!(cache.get(2, 1).is_some(), "live entry survived");
+        assert!(cache.get(3, 1).is_some(), "new entry resident");
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions.load(Ordering::Relaxed), 1);
+    }
+}

@@ -13,6 +13,7 @@
 //! E10 experiment measures against direct evaluation.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use automata::{Alphabet, DenseNfa, Nfa};
 use regexlang::Regex;
@@ -27,13 +28,21 @@ use crate::graph::{CsrAdjacency, GraphDb};
 /// alongside the extensions, so every [`eval_over_views`] call reuses the
 /// same adjacency instead of rebuilding the graph per query.
 ///
+/// Extensions are held behind `Arc`s ([`from_shared_extensions`]), so a
+/// caller that already shares its answer sets across threads — the `engine`
+/// crate's snapshot handoff — builds the view graph without deep-copying a
+/// single tuple set.  The type is `Send + Sync`.
+///
 /// [`eval_over_views`]: MaterializedViews::eval_over_views
+/// [`from_shared_extensions`]: MaterializedViews::from_shared_extensions
 #[derive(Debug, Clone)]
 pub struct MaterializedViews {
     /// The view alphabet (one symbol per view, in registration order).
     view_alphabet: Alphabet,
-    /// Extension of each view, keyed by view symbol name.
-    extensions: BTreeMap<String, Answer>,
+    /// Extension of each view, keyed by view symbol name; shared (not
+    /// copied) with callers handing extensions in via
+    /// [`from_shared_extensions`](Self::from_shared_extensions).
+    extensions: BTreeMap<String, Arc<Answer>>,
     /// Number of nodes of the underlying database (the view graph reuses the
     /// node ids of the original database).
     num_nodes: usize,
@@ -74,9 +83,7 @@ impl MaterializedViews {
         Self::from_extensions(view_alphabet, extensions, db.num_nodes())
     }
 
-    /// Builds materialized views directly from already-computed extensions
-    /// (the `engine` crate materializes and incrementally maintains
-    /// extensions itself and uses this to expose them for Σ_E-evaluation).
+    /// Builds materialized views directly from already-computed extensions.
     ///
     /// # Panics
     /// Panics if an extension key is not a symbol of `view_alphabet` or a
@@ -84,6 +91,26 @@ impl MaterializedViews {
     pub fn from_extensions(
         view_alphabet: Alphabet,
         extensions: BTreeMap<String, Answer>,
+        num_nodes: usize,
+    ) -> Self {
+        Self::from_shared_extensions(
+            view_alphabet,
+            extensions.into_iter().map(|(name, ext)| (name, Arc::new(ext))).collect(),
+            num_nodes,
+        )
+    }
+
+    /// Like [`from_extensions`](Self::from_extensions) but adopting shared
+    /// answer sets as-is — the handoff the `engine` crate's snapshots use:
+    /// extensions materialized (and incrementally maintained) by the engine
+    /// are exposed for Σ_E-evaluation without copying any tuples.
+    ///
+    /// # Panics
+    /// Panics if an extension key is not a symbol of `view_alphabet` or a
+    /// tuple mentions a node id `≥ num_nodes`.
+    pub fn from_shared_extensions(
+        view_alphabet: Alphabet,
+        extensions: BTreeMap<String, Arc<Answer>>,
         num_nodes: usize,
     ) -> Self {
         let mut view_graph = GraphDb::new(view_alphabet.clone());
@@ -94,7 +121,7 @@ impl MaterializedViews {
             let label = view_alphabet
                 .symbol(name)
                 .expect("extension keys come from the view alphabet");
-            for &(x, y) in extension {
+            for &(x, y) in extension.iter() {
                 view_graph.add_edge(x, label, y);
             }
         }
@@ -115,12 +142,12 @@ impl MaterializedViews {
 
     /// The extension (set of node pairs) of a view.
     pub fn extension(&self, view: &str) -> Option<&Answer> {
-        self.extensions.get(view)
+        self.extensions.get(view).map(Arc::as_ref)
     }
 
     /// Total number of materialized tuples across all views.
     pub fn total_tuples(&self) -> usize {
-        self.extensions.values().map(Answer::len).sum()
+        self.extensions.values().map(|ext| ext.len()).sum()
     }
 
     /// Number of nodes of the underlying database.

@@ -21,10 +21,16 @@
 //! the `*_in` variants take a caller-held engine so repeated calls share its
 //! compile cache (each view and rewriting automaton is frozen once), its
 //! revisioned view-extension cache, and its parallel evaluator.
+//!
+//! For concurrent serving, the `*_at` variants take an
+//! [`engine::EngineSnapshot`] instead: once the views are registered and a
+//! snapshot published (`&mut` setup on the writer), any number of reader
+//! threads answer queries and rewritings at that pinned revision with
+//! `&self` — see [`snapshot_for_problem`].
 
-use std::rc::Rc;
+use std::sync::Arc;
 
-use engine::QueryEngine;
+use engine::{EngineSnapshot, QueryEngine};
 use graphdb::{eval_regex, Answer, GraphDb, MaterializedViews, Theory};
 use serde::Serialize;
 
@@ -44,8 +50,15 @@ pub fn answer_rpq(db: &GraphDb, query: &Rpq, theory: &Theory) -> Answer {
 
 /// Like [`answer_rpq`] but through an engine, so the grounded query is
 /// compiled once and the answer is cached per database revision.
-pub fn answer_rpq_in(engine: &mut QueryEngine, query: &Rpq, theory: &Theory) -> Rc<Answer> {
+pub fn answer_rpq_in(engine: &mut QueryEngine, query: &Rpq, theory: &Theory) -> Arc<Answer> {
     engine.eval_regex(&query.ground(theory))
+}
+
+/// Like [`answer_rpq_in`] but against a published snapshot: callable with
+/// `&self` from any reader thread, answering at the snapshot's pinned
+/// revision through the engine's shared compile and answer caches.
+pub fn answer_rpq_at(snapshot: &EngineSnapshot, query: &Rpq, theory: &Theory) -> Arc<Answer> {
+    snapshot.eval_regex(&query.ground(theory))
 }
 
 /// Registers the (grounded) views of `problem` on `engine`, reusing cached
@@ -64,9 +77,23 @@ pub fn register_problem_views(engine: &mut QueryEngine, problem: &RpqRewriteProb
 pub fn materialize_views_in(
     engine: &mut QueryEngine,
     problem: &RpqRewriteProblem,
-) -> Rc<MaterializedViews> {
+) -> Arc<MaterializedViews> {
     register_problem_views(engine, problem);
     engine.materialized_views()
+}
+
+/// Registers the (grounded) views of `problem` and publishes the current
+/// revision's immutable snapshot: the read handle for concurrent serving.
+/// Hand clones of the returned `Arc` to reader threads and keep mutating
+/// the writer; each reader keeps answering at its pinned revision via
+/// [`answer_rpq_at`] / [`answer_rewriting_over_views_at`] /
+/// [`compare_on_database_at`].
+pub fn snapshot_for_problem(
+    engine: &mut QueryEngine,
+    problem: &RpqRewriteProblem,
+) -> Arc<EngineSnapshot> {
+    register_problem_views(engine, problem);
+    engine.publish_snapshot()
 }
 
 /// Materializes the (grounded) views of `problem` over `db` with a one-shot
@@ -87,8 +114,17 @@ pub fn answer_rewriting_over_views_in(
     problem: &RpqRewriteProblem,
     rewriting: &RpqRewriting,
 ) -> Answer {
-    register_problem_views(engine, problem);
-    engine.eval_dfa_over_views(&rewriting.maximal.automaton)
+    snapshot_for_problem(engine, problem).eval_dfa_over_views(&rewriting.maximal.automaton)
+}
+
+/// Like [`answer_rewriting_over_views`] but against a published snapshot
+/// (see [`snapshot_for_problem`]): evaluates the rewriting over the view
+/// extensions captured at the snapshot's revision, with `&self`.
+pub fn answer_rewriting_over_views_at(
+    snapshot: &EngineSnapshot,
+    rewriting: &RpqRewriting,
+) -> Answer {
+    snapshot.eval_dfa_over_views(&rewriting.maximal.automaton)
 }
 
 /// Evaluates the rewriting over the materialized views only (never touching
@@ -135,16 +171,28 @@ pub fn compare_on_database(
 
 /// Like [`compare_on_database`] but through a caller-held engine: across
 /// repeated calls (per-seed experiment loops, incremental workloads) every
-/// view, query, and rewriting automaton is frozen exactly once.
+/// view, query, and rewriting automaton is frozen exactly once.  Both sides
+/// evaluate against one published snapshot of the current revision.
 pub fn compare_on_database_in(
     engine: &mut QueryEngine,
     problem: &RpqRewriteProblem,
     rewriting: &RpqRewriting,
 ) -> AnswerComparison {
-    let direct = answer_rpq_in(engine, &problem.query, &problem.theory);
-    register_problem_views(engine, problem);
-    let via_views = engine.eval_dfa_over_views(&rewriting.maximal.automaton);
-    let view_tuples = engine.materialized_views().total_tuples();
+    let snapshot = snapshot_for_problem(engine, problem);
+    compare_on_database_at(&snapshot, problem, rewriting)
+}
+
+/// Like [`compare_on_database_in`] but against a published snapshot (see
+/// [`snapshot_for_problem`]): both sides of the comparison are answered at
+/// the snapshot's pinned revision, with `&self`, from any thread.
+pub fn compare_on_database_at(
+    snapshot: &EngineSnapshot,
+    problem: &RpqRewriteProblem,
+    rewriting: &RpqRewriting,
+) -> AnswerComparison {
+    let direct = answer_rpq_at(snapshot, &problem.query, &problem.theory);
+    let via_views = answer_rewriting_over_views_at(snapshot, rewriting);
+    let view_tuples = snapshot.materialized_views().total_tuples();
     AnswerComparison {
         direct_size: direct.len(),
         via_views_size: via_views.len(),
