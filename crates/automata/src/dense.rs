@@ -20,7 +20,7 @@
 //!
 //! Conversion is one-way and cheap (`DenseNfa::from_nfa`,
 //! `DenseDfa::from_dfa`, also exposed as `From` impls); the tree types stay
-//! the public construction API, and [`crate::determinize`],
+//! the public construction API, and [`fn@crate::determinize`],
 //! [`crate::product::word_reachability_relation`],
 //! [`crate::equivalence::dfa_subset_of_nfa`] and `graphdb`'s RPQ evaluator
 //! all run on the dense core internally.

@@ -18,7 +18,7 @@
 //! * [`intersect_dfa_nfa_dense`] — the lazily ε-closed DFA × NFA product,
 //!   producing an ε-free [`DenseNfa`] natively.
 //!
-//! The tree-typed entry points in [`crate::minimize`] and [`crate::product`]
+//! The tree-typed entry points in [`mod@crate::minimize`] and [`crate::product`]
 //! are thin freeze → dense-op → thaw wrappers around these.
 
 use std::collections::VecDeque;

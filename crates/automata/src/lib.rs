@@ -8,9 +8,9 @@
 //! * interned [`Alphabet`]s and [`Symbol`]s,
 //! * [`Nfa`]s with ε-moves and the usual rational operations,
 //! * [`Dfa`]s with completion and complementation,
-//! * the subset construction ([`determinize`]) producing the deterministic
+//! * the subset construction ([`fn@determinize`]) producing the deterministic
 //!   query automaton `A_d` of the paper,
-//! * DFA minimization ([`minimize`]),
+//! * DFA minimization ([`fn@minimize`]),
 //! * product constructions and the [`word_reachability_relation`] used to
 //!   build the rewriting automaton `A'`,
 //! * on-the-fly containment checks ([`dfa_subset_of_nfa`]) implementing the
@@ -33,9 +33,9 @@
 //! Conversion is two-way and cheap: freeze via [`dense::DenseNfa::from_nfa`]
 //! / [`dense::DenseDfa::from_dfa`] (also `From<&Nfa>` / `From<&Dfa>`), thaw
 //! via `DenseDfa::to_dfa` / `DenseNfa::to_nfa`, and build dense natively via
-//! `from_parts`.  Every algorithm runs dense: [`determinize`] /
+//! `from_parts`.  Every algorithm runs dense: [`fn@determinize`] /
 //! [`determinize_to_dense`] intern sorted `Vec<u32>` subset keys straight
-//! into a flat next-state table, [`minimize`] is Hopcroft's partition
+//! into a flat next-state table, [`fn@minimize`] is Hopcroft's partition
 //! refinement over a CSR reverse-transition table
 //! ([`dense_ops::minimize_dense`]), [`intersect_dfa`] / [`union_dfa`] /
 //! [`intersect_dfa_nfa`] and complement are flat-table product

@@ -1,7 +1,7 @@
 //! Nondeterministic finite automata with ε-moves.
 //!
 //! [`Nfa`] is the workhorse representation used when translating regular
-//! expressions ([`regexlang`]'s Thompson/Glushkov constructions produce NFAs)
+//! expressions (`regexlang`'s Thompson/Glushkov constructions produce NFAs)
 //! and when building the expansion automaton `B` of the exactness check of
 //! the paper (Section 2, Theorem 2.3), where view edges are replaced by fresh
 //! copies of the view automata.

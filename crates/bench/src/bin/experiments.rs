@@ -20,8 +20,8 @@
 //! of the hot paths is tracked from PR to PR.  Targeted runs
 //! (`experiments e6`) skip the snapshot to stay fast; `experiments bench`
 //! emits only the snapshot, and `experiments rewriting` / `experiments
-//! concurrent` run those CI smoke workloads alone (honoring
-//! `BENCH_THREADS` for the reader count).
+//! concurrent` / `experiments deletion` run those CI smoke workloads alone
+//! (honoring `BENCH_THREADS` for the reader count).
 
 use std::fs;
 use std::time::Instant;
@@ -96,6 +96,14 @@ fn main() {
         // untouched.
         println!("\n================ concurrent snapshot serving (smoke) ================");
         concurrent_rows();
+    } else if args.iter().any(|a| a == "deletion") {
+        // `experiments deletion`: the non-monotone maintenance workload
+        // alone (the CI "Deletion bench smoke" step) — per-edge DRed
+        // deletion repair of a cached view extension vs re-materializing
+        // after every deletion.  Like the other smokes, the committed
+        // snapshot is left untouched.
+        println!("\n================ incremental deletion (smoke) ================");
+        deletion_rows();
     }
 }
 
@@ -335,6 +343,10 @@ fn bench_rpq_json() {
         }));
     }
 
+    // Non-monotone maintenance: per-edge DRed deletion repair vs
+    // re-materializing after every deletion.
+    let deletion = deletion_rows();
+
     // The maximal-rewriting construction itself (Theorem 2.2): the dense
     // CSR pipeline vs the retained tree baseline.
     let rewriting = rewriting_rows();
@@ -348,6 +360,7 @@ fn bench_rpq_json() {
         "eval": eval,
         "parallel": parallel,
         "incremental": incremental,
+        "deletion": deletion,
         "rewriting": rewriting,
         "concurrent": concurrent,
     });
@@ -366,6 +379,79 @@ fn bench_rpq_json() {
             std::process::exit(1);
         }
     }
+}
+
+/// Non-monotone incremental maintenance: per-edge DRed deletion repair
+/// (over-delete + re-derive) of a cached view extension vs re-materializing
+/// from scratch after each deletion, on the |V| = 1000 workload.  Returns
+/// the JSON rows for the `deletion` section of `BENCH_rpq.json`; also runs
+/// standalone as `experiments deletion` (the CI "Deletion bench smoke"
+/// step).
+fn deletion_rows() -> Vec<Value> {
+    use engine::QueryEngine;
+    use graphdb::eval_csr;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    let workload = random_rpq_workload(1000, 4000, 7);
+    let grounded = workload.problem.query.ground(&workload.problem.theory);
+    let nfa = regexlang::thompson(&grounded, workload.db.domain())
+        .expect("grounded query is over the domain");
+    let frozen = automata::DenseNfa::from_nfa(&nfa);
+
+    // Eight distinct existing single-support edges to delete: duplicated
+    // triples would be short-circuited by the engine's support-count fast
+    // path, and the workload under measurement is the DRed repair itself.
+    let edges: Vec<graphdb::Edge> = workload.db.edges().collect();
+    let mut rng = StdRng::seed_from_u64(17);
+    let mut removals: Vec<(usize, automata::Symbol, usize)> = Vec::new();
+    while removals.len() < 8 {
+        let e = edges[rng.gen_range(0..edges.len())];
+        let triple = (e.from, e.label, e.to);
+        if workload.db.edge_multiplicity(e.from, e.label, e.to) == 1
+            && !removals.contains(&triple)
+        {
+            removals.push(triple);
+        }
+    }
+
+    // From-scratch strategy: one full evaluation per deleted edge (the
+    // final shrunk graph's evaluation is representative of each step's
+    // cost).
+    let mut shrunk = workload.db.clone();
+    for &(f, l, t) in &removals {
+        assert!(shrunk.remove_edge(f, l, t), "sampled edges exist");
+    }
+    let shrunk_csr = shrunk.csr_out();
+    let rematerialize_ms = time_ms(3, || eval_csr(&shrunk_csr, &frozen).len());
+
+    // Delta strategy: DRed-repair the cached extension on every deletion
+    // (setup — engine construction and initial materialization — is outside
+    // the timed window).
+    let delta_delete_ms = (0..3)
+        .map(|_| {
+            let mut engine = QueryEngine::new(workload.db.clone());
+            engine.register_view("q", grounded.clone());
+            engine.view_extension("q").expect("registered");
+            let t0 = Instant::now();
+            for &(f, l, t) in &removals {
+                engine.remove_edge(f, l, t);
+            }
+            std::hint::black_box(engine.view_extension("q").map(|e| e.len()));
+            t0.elapsed().as_secs_f64() * 1e3 / removals.len() as f64
+        })
+        .fold(f64::INFINITY, f64::min);
+    println!(
+        "deletion |V|=1000 -8e     : rematerialize {rematerialize_ms:.3} ms/edge, delta deletion {delta_delete_ms:.3} ms/edge ({})",
+        speedup_label(rematerialize_ms, delta_delete_ms)
+    );
+    vec![json!({
+        "workload": "random_graph_v1000_e4000_minus8edges",
+        "edges_deleted": removals.len(),
+        "rematerialize_ms": rematerialize_ms,
+        "delta_delete_ms": delta_delete_ms,
+        "speedup": speedup_json(rematerialize_ms, delta_delete_ms),
+    })]
 }
 
 /// Times the full Theorem 2.2 construction — dense pipeline vs tree
@@ -592,7 +678,11 @@ fn diff_bench_snapshots(old: &Value, new: &Value) {
                 // annotation.
                 let gated = matches!(
                     field.as_str(),
-                    "dense_ms" | "parallel_ms" | "delta_repair_ms" | "concurrent_reader_ms"
+                    "dense_ms"
+                        | "parallel_ms"
+                        | "delta_repair_ms"
+                        | "delta_delete_ms"
+                        | "concurrent_reader_ms"
                 );
                 compared += 1;
                 let change = (new_ms - old_ms) / old_ms.max(f64::MIN_POSITIVE) * 100.0;

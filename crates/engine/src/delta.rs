@@ -1,4 +1,7 @@
-//! Delta product-BFS: the new answer pairs created by one edge insertion.
+//! Delta product-BFS: incremental repair of cached RPQ answers under edge
+//! insertion ([`delta_pairs`]) and edge deletion ([`deletion_repair`]).
+//!
+//! # Insertion
 //!
 //! RPQ answers are monotone under edge insertion, so maintaining a cached
 //! answer only requires finding the pairs whose witnessing path *crosses the
@@ -29,16 +32,45 @@
 //! forward sweeps run per insertion — versus the `O(V·(V + E)·|Q|)` of
 //! re-materializing from every source.
 //!
+//! # Deletion (DRed: over-delete, then re-derive)
+//!
+//! Deletion is **not** monotone: a pair survives an edge deletion iff *some*
+//! witness avoids the deleted edge, so no purely local sweep can decide
+//! which cached pairs to drop.  [`deletion_repair`] uses the classic
+//! delete-and-rederive scheme, built from the same two observations:
+//!
+//! * **Over-deletion.**  Run [`delta_pairs`] for each deleted edge over the
+//!   **pre-deletion** adjacencies.  The same prefix/crossing/suffix
+//!   decomposition now reads: the result is exactly the set of cached pairs
+//!   having *some* witness that crosses a deleted edge — a superset of the
+//!   pairs that actually lost all their witnesses.  Removing it from the
+//!   cached answer over-deletes.
+//! * **Re-derivation.**  Every over-deleted pair `(x, y)` shares its source
+//!   `x` with at most `V` other over-deleted pairs, and any pair not
+//!   over-deleted is untouched (it kept a witness avoiding every deleted
+//!   edge).  So one forward product-BFS per *affected source* over the
+//!   **post-deletion** adjacency ([`graphdb::eval_csr_range`] restarted from
+//!   `(x, start)`) re-derives exactly the survivors.
+//!
+//! Cost is `O(|deleted| · |Q| · (V+E) · |Q|)` for the over-deletion sweeps
+//! plus `O(|affected sources| · (V+E) · |Q|)` for re-derivation — the full
+//! re-materialization bound `O(V·(V+E)·|Q|)` is only approached when a
+//! deletion touches witnesses of most sources.  The `engine` crate
+//! additionally skips edges whose support count (parallel-edge multiplicity,
+//! [`graphdb::GraphDb::edge_multiplicity`]) stays positive: deleting one
+//! copy of a duplicated edge cannot change any answer.
+//!
 //! Under the writer/snapshot split the repair target is always a *uniquely
 //! owned* answer set: the writer detaches each cached extension from any
-//! published [`crate::EngineSnapshot`] (`Arc::make_mut`) before extending
+//! published [`crate::EngineSnapshot`] (`Arc::make_mut`) before touching
 //! it, so these sweeps never race a concurrent reader — readers keep the
-//! pre-insertion extension their snapshot captured.
+//! pre-mutation extension their snapshot captured, including pairs the
+//! writer has since over-deleted.
 
 use std::collections::VecDeque;
 
 use automata::{BitSet, DenseNfa, DenseReverse};
-use graphdb::{CsrAdjacency, NodeId, ProductVisited};
+use graphdb::{eval_csr_range, Answer, CsrAdjacency, EvalScratch, NodeId, ProductVisited};
 
 /// Shared scratch for the sweeps of one [`delta_pairs`] call: the
 /// [`ProductVisited`] bitmap (reset between sweeps), the BFS queue, and a
@@ -148,6 +180,73 @@ pub fn delta_pairs(
         }
     }
     out
+}
+
+/// Work counters of one [`deletion_repair`] call, folded into
+/// [`crate::EngineStats`] by the engine.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeletionRepairReport {
+    /// Pairs removed by the over-deletion phase (every pair with some
+    /// pre-deletion witness crossing a deleted edge).
+    pub overdeleted_pairs: u64,
+    /// Distinct sources whose answers were re-derived by a forward
+    /// product-BFS over the post-deletion graph.
+    pub rederived_sources: u64,
+}
+
+/// Repairs a cached answer set in place after a batch of edge deletions,
+/// DRed-style: over-delete every pair whose derivation may traverse a
+/// deleted edge, then re-derive the survivors by restarting the forward
+/// product-BFS from each affected source over the post-deletion graph (see
+/// the module docs for why this is exact).
+///
+/// `old_csr_out`/`old_csr_in` must be freezes of the database **before** the
+/// deletions, `new_csr_out` a freeze **after** them, `rev` the reverse table
+/// of `query`, and `pairs` the cached answer valid on the pre-deletion
+/// database.  `removed` lists the deleted edges; the caller is expected to
+/// have pruned edges that still have support (surviving parallel copies),
+/// which cannot change the answer and only widen the over-deletion.
+pub fn deletion_repair(
+    old_csr_out: &CsrAdjacency,
+    old_csr_in: &CsrAdjacency,
+    new_csr_out: &CsrAdjacency,
+    query: &DenseNfa,
+    rev: &DenseReverse,
+    removed: &[(NodeId, automata::Symbol, NodeId)],
+    pairs: &mut Answer,
+) -> DeletionRepairReport {
+    let mut report = DeletionRepairReport::default();
+
+    // Phase 1 — over-delete: the delta sweeps on the *pre-deletion*
+    // adjacencies enumerate every cached pair with a witness crossing a
+    // deleted edge.
+    let mut affected_sources: Vec<NodeId> = Vec::new();
+    for &(from, label, to) in removed {
+        for pair in delta_pairs(old_csr_out, old_csr_in, query, rev, from, label, to) {
+            if pairs.remove(&pair) {
+                report.overdeleted_pairs += 1;
+                affected_sources.push(pair.0);
+            }
+        }
+    }
+    if affected_sources.is_empty() {
+        return report; // no witness crossed any deleted edge
+    }
+
+    // Phase 2 — re-derive: one forward product-BFS per affected source over
+    // the post-deletion graph restores exactly the over-deleted pairs that
+    // still have a witness.
+    affected_sources.sort_unstable();
+    affected_sources.dedup();
+    report.rederived_sources = affected_sources.len() as u64;
+    let mut scratch = EvalScratch::new(new_csr_out, query);
+    let mut rederived: Vec<(u32, u32)> = Vec::new();
+    for &source in &affected_sources {
+        let source = source as u32;
+        eval_csr_range(new_csr_out, query, source..source + 1, &mut scratch, &mut rederived);
+    }
+    pairs.extend(rederived.into_iter().map(|(x, y)| (x as NodeId, y as NodeId)));
+    report
 }
 
 /// Backward sweep: the sources `x` with `(x, start) →* (node, state)`,
@@ -296,5 +395,104 @@ mod tests {
         let mut db = GraphDb::new(Alphabet::from_chars(['a']).unwrap());
         db.add_edge_named("u", "a", "v");
         check_repair(&mut db, "ε", "v", "a", "u");
+    }
+
+    /// Repairs the cached answer after deleting the given edges and checks
+    /// the result against from-scratch evaluation on the shrunk database.
+    fn check_deletion(
+        db: &mut GraphDb,
+        query_src: &str,
+        removals: &[(&str, &str, &str)],
+    ) -> DeletionRepairReport {
+        let nfa =
+            regexlang::thompson(&regexlang::parse(query_src).unwrap(), db.domain()).unwrap();
+        let dense = DenseNfa::from_nfa(&nfa);
+        let rev = dense.reverse_closed();
+        let (old_out, old_in) = (db.csr_out(), db.csr_in());
+        let mut answer = eval_csr(&old_out, &dense);
+
+        let removed: Vec<(NodeId, automata::Symbol, NodeId)> = removals
+            .iter()
+            .map(|&(f, l, t)| {
+                let sym = db.domain().symbol(l).unwrap();
+                let (f, t) = (db.node(f), db.node(t));
+                assert!(db.remove_edge(f, sym, t), "{f}-{l}->{t} must exist");
+                (f, sym, t)
+            })
+            .collect();
+        let new_out = db.csr_out();
+        let report =
+            deletion_repair(&old_out, &old_in, &new_out, &dense, &rev, &removed, &mut answer);
+
+        let fresh: Answer = eval_csr(&new_out, &dense);
+        assert_eq!(answer, fresh, "deletion repair mismatch for {query_src} - {removals:?}");
+        report
+    }
+
+    #[test]
+    fn deleting_the_paper_chain_bridge_shrinks_the_answer() {
+        let mut db = GraphDb::new(Alphabet::from_chars(['a', 'b', 'c']).unwrap());
+        db.add_edge_named("n0", "a", "n1");
+        db.add_edge_named("n1", "b", "n2");
+        db.add_edge_named("n1", "c", "n1");
+        db.add_edge_named("n2", "a", "n1");
+        let report = check_deletion(&mut db, "a·(b·a+c)*", &[("n0", "a", "n1")]);
+        assert!(report.overdeleted_pairs > 0);
+        assert!(report.rederived_sources > 0);
+    }
+
+    #[test]
+    fn surviving_witnesses_are_rederived() {
+        // Two disjoint x-paths from u to w; deleting one leaves (u, w)
+        // derivable through the other — over-deleted, then re-derived.
+        let mut db = GraphDb::new(Alphabet::from_chars(['x']).unwrap());
+        db.add_edge_named("u", "x", "v1");
+        db.add_edge_named("v1", "x", "w");
+        db.add_edge_named("u", "x", "v2");
+        db.add_edge_named("v2", "x", "w");
+        let report = check_deletion(&mut db, "x·x", &[("u", "x", "v1")]);
+        assert_eq!(report.overdeleted_pairs, 1, "(u, w) crossed the deleted edge");
+        assert_eq!(report.rederived_sources, 1, "u must be re-swept");
+    }
+
+    #[test]
+    fn unread_labels_cost_no_deletion_work() {
+        let mut db = GraphDb::new(Alphabet::from_chars(['a', 'b']).unwrap());
+        db.add_edge_named("p", "a", "q");
+        db.add_edge_named("q", "b", "p");
+        let report = check_deletion(&mut db, "a*", &[("q", "b", "p")]);
+        assert_eq!(report, DeletionRepairReport::default());
+    }
+
+    #[test]
+    fn batch_deletion_covers_paths_crossing_several_deleted_edges() {
+        // x* on a cycle: deleting two edges of the cycle at once must drop
+        // every pair whose only witnesses crossed either edge.
+        let mut db = GraphDb::new(Alphabet::from_chars(['x']).unwrap());
+        db.add_edge_named("v0", "x", "v1");
+        db.add_edge_named("v1", "x", "v2");
+        db.add_edge_named("v2", "x", "v3");
+        db.add_edge_named("v3", "x", "v0");
+        check_deletion(&mut db, "x*", &[("v1", "x", "v2"), ("v3", "x", "v0")]);
+    }
+
+    #[test]
+    fn self_loop_deletions_are_repaired() {
+        let mut db = GraphDb::new(Alphabet::from_chars(['a', 'b']).unwrap());
+        db.add_edge_named("u", "a", "v");
+        db.add_edge_named("v", "b", "v");
+        db.add_edge_named("v", "b", "w");
+        check_deletion(&mut db, "a·b*", &[("v", "b", "v")]);
+    }
+
+    #[test]
+    fn epsilon_pairs_survive_every_deletion() {
+        // Identity pairs are witnessed by the empty path, which no deletion
+        // can break: over-deletion may remove (v, v) when a loop witness
+        // crossed the edge, but re-derivation restores it.
+        let mut db = GraphDb::new(Alphabet::from_chars(['c']).unwrap());
+        db.add_edge_named("u", "c", "v");
+        db.add_edge_named("v", "c", "u");
+        check_deletion(&mut db, "c*", &[("u", "c", "v")]);
     }
 }

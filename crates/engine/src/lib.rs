@@ -40,17 +40,19 @@
 //!   materialized lazily, repaired incrementally on mutation (below), and
 //!   only re-materialized from scratch when no valid cached state exists.
 //! * an **answer cache**: ad-hoc query answers keyed by
-//!   `(fingerprint, revision)`, invalidated wholesale on mutation.
+//!   `(fingerprint, revision)`.  Answers are only ever served on an *exact*
+//!   revision match, so both growth (insertions) and shrinkage (deletions)
+//!   of the true answer are safe: entries from retired revisions are
+//!   evicted lazily, never returned.
 //!
 //! ## Incremental maintenance under edge insertion
 //!
-//! The engine's mutation surface is insert-only ([`QueryEngine::add_edge`] /
-//! [`QueryEngine::add_edges`] — "remove-free"), which makes RPQ answers
-//! *monotone*: inserting an edge only ever adds pairs.  On insertion of
-//! `u --a--> v` the engine repairs every cached view extension with a
-//! **delta product-BFS** ([`delta_pairs`]) instead of re-materializing:
-//! every new answer pair crosses the new edge, so for each automaton
-//! transition `q --a--> q'`:
+//! RPQ answers are *monotone* under edge insertion
+//! ([`QueryEngine::add_edge`] / [`QueryEngine::add_edges`]): inserting an
+//! edge only ever adds pairs.  On insertion of `u --a--> v` the engine
+//! repairs every cached view extension with a **delta product-BFS**
+//! ([`delta_pairs`]) instead of re-materializing: every new answer pair
+//! crosses the new edge, so for each automaton transition `q --a--> q'`:
 //!
 //! * a *backward* sweep over the incoming CSR and the reversed ε-closed
 //!   transition table ([`automata::DenseReverse`]) finds the sources `x`
@@ -63,6 +65,33 @@
 //! several times are found too.  Cost is `O(|Q|·(V+E)·|Q|)` per inserted
 //! edge versus `O(V·(V+E)·|Q|)` for a from-scratch re-materialization — the
 //! win the `engine` criterion bench and `BENCH_rpq.json` track.
+//!
+//! ## Incremental maintenance under edge deletion (DRed)
+//!
+//! Deletion ([`QueryEngine::remove_edge`] / [`QueryEngine::remove_edges`])
+//! is **non-monotone**: a cached pair survives iff *some* witness path
+//! avoids every deleted edge.  The engine maintains extensions with two
+//! mechanisms, cheapest first:
+//!
+//! * **Support counts.**  The database is a multigraph; deleting one copy
+//!   of an edge whose triple retains a surviving parallel copy
+//!   ([`graphdb::GraphDb::edge_multiplicity`] > 0) cannot change any
+//!   answer, so the repair is skipped outright (the
+//!   [`EngineStats::deletion_support_skips`] counter pins the fast path).
+//! * **DRed over-deletion + re-derivation** ([`deletion_repair`]) for
+//!   edges whose support dropped to zero: the same delta sweeps as
+//!   insertion, run on the **pre-deletion** adjacencies, enumerate exactly
+//!   the cached pairs with some derivation traversing a deleted edge; those
+//!   are over-deleted, and survivors are re-derived by restarting the
+//!   forward product-BFS from each affected source over the
+//!   **post-deletion** graph.  The per-view repairs shard across the same
+//!   scoped-thread pool as insertion repairs.
+//!
+//! Both paths are pinned by a 200+-case differential suite
+//! (`crates/engine/tests/deletion.rs`) interleaving random insertions and
+//! deletions against from-scratch re-materialization, and the
+//! delta-vs-rematerialize win is tracked in the `deletion` section of
+//! `BENCH_rpq.json`.
 //!
 //! ## The writer/snapshot split (MVCC)
 //!
@@ -81,10 +110,11 @@
 //!   clone and hand to reader threads.
 //! * The writer mutates **copy-on-write**: every piece of state a snapshot
 //!   can see (frozen CSR adjacency, compiled automata, view extensions)
-//!   sits behind an `Arc`, and delta repair detaches via [`Arc::make_mut`]
-//!   before touching a set — a published snapshot keeps serving exactly the
-//!   answers of its revision while the writer streams insertions and
-//!   publishes fresh snapshots.
+//!   sits behind an `Arc`, and every repair — the extending delta sweeps of
+//!   an insertion as much as the over-deleting DRed pass of a deletion —
+//!   detaches via [`Arc::make_mut`] before touching a set.  A published
+//!   snapshot keeps serving exactly the answers of its revision while the
+//!   writer streams mutations and publishes fresh snapshots.
 //! * The **compile cache** and the **ad-hoc answer cache** are shared
 //!   between the writer and all snapshots and are concurrent (sharded
 //!   `RwLock`s with atomic hit/miss counters; revision-tagged answers with
@@ -108,6 +138,12 @@
 //!
 //! [`Arc::make_mut`]: std::sync::Arc::make_mut
 //!
+//! # Examples
+//!
+//! The full lifecycle — build a database, register a view, publish a
+//! snapshot, mutate (insert *and* delete), and read back at the pinned
+//! revision:
+//!
 //! ```
 //! use automata::Alphabet;
 //! use engine::QueryEngine;
@@ -121,17 +157,35 @@
 //! engine.register_view("e1", regexlang::parse("a·b?").unwrap());
 //! let before = engine.view_extension("e1").unwrap().len();
 //!
-//! // Insert an edge: the cached extension is repaired, not recomputed.
+//! // Pin the current revision for concurrent readers.
+//! let snapshot = engine.publish_snapshot();
+//! assert_eq!(snapshot.revision(), 0);
+//!
+//! // Insert an edge: the cached extension is repaired (delta product-BFS),
+//! // not recomputed.
 //! let n2 = engine.db().node_by_name("n2").unwrap();
 //! let n0 = engine.db().node_by_name("n0").unwrap();
 //! let a = engine.db().domain().symbol("a").unwrap();
 //! engine.add_edge(n2, a, n0);
-//! assert!(engine.view_extension("e1").unwrap().len() > before);
+//! let grown = engine.view_extension("e1").unwrap().len();
+//! assert!(grown > before);
 //! assert_eq!(engine.stats().view_delta_repairs, 1);
+//!
+//! // Delete an edge: the cached extension is repaired DRed-style
+//! // (over-delete + re-derive), again without re-materializing.
+//! engine.remove_edge(n2, a, n0);
+//! assert_eq!(engine.view_extension("e1").unwrap().len(), before);
+//! assert_eq!(engine.stats().view_deletion_repairs, 1);
+//! assert_eq!(engine.stats().view_full_materializations, 1);
+//!
+//! // The pinned snapshot still answers exactly at revision 0 — both
+//! // mutations happened copy-on-write behind it.
+//! assert_eq!(snapshot.view_extension("e1").unwrap().len(), before);
+//! assert_eq!(engine.revision(), 2);
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod cache;
 pub mod delta;
@@ -141,7 +195,7 @@ pub mod query_engine;
 pub mod snapshot;
 
 pub use cache::CompileCache;
-pub use delta::delta_pairs;
+pub use delta::{delta_pairs, deletion_repair, DeletionRepairReport};
 pub use fingerprint::{fingerprint_nfa, fingerprint_regex, Fingerprint};
 pub use parallel::{available_threads, eval_csr_parallel};
 pub use query_engine::{EngineConfig, EngineStats, QueryEngine};

@@ -19,7 +19,7 @@ use graphdb::{Answer, CsrAdjacency, GraphDb, MaterializedViews, NodeId};
 use regexlang::Regex;
 
 use crate::cache::CompileCache;
-use crate::delta::delta_pairs;
+use crate::delta::{delta_pairs, deletion_repair, DeletionRepairReport};
 use crate::fingerprint::{fingerprint_regex, Fingerprint};
 use crate::parallel::available_threads;
 use crate::snapshot::{bump, AdhocReader, AnswerCache, EngineSnapshot, SharedStats};
@@ -87,6 +87,18 @@ pub struct EngineStats {
     /// Identity pairs inserted into start-accepting cached extensions for
     /// nodes created by mutations (pre-existing nodes are never re-covered).
     pub identity_cover_pairs: u64,
+    /// View extensions repaired by DRed over-deletion + re-derivation after
+    /// an edge deletion (one count per view per deleting mutation).
+    pub view_deletion_repairs: u64,
+    /// Deleted edge occurrences skipped by the support-count fast path
+    /// (a parallel copy of the edge survived, so no answer can change).
+    pub deletion_support_skips: u64,
+    /// Cached pairs removed by deletion over-deletion sweeps (some of them
+    /// are typically restored by re-derivation).
+    pub deletion_overdeleted_pairs: u64,
+    /// Distinct sources re-swept (forward product-BFS on the post-deletion
+    /// graph) to re-derive surviving pairs.
+    pub deletion_rederived_sources: u64,
 }
 
 /// Folds the shared atomic counters into one [`EngineStats`] value.
@@ -109,6 +121,10 @@ pub(crate) fn assemble_stats(
         sequential_evals: shared.sequential_evals.load(Ordering::Relaxed),
         parallel_repairs: shared.parallel_repairs.load(Ordering::Relaxed),
         identity_cover_pairs: shared.identity_cover_pairs.load(Ordering::Relaxed),
+        view_deletion_repairs: shared.view_deletion_repairs.load(Ordering::Relaxed),
+        deletion_support_skips: shared.deletion_support_skips.load(Ordering::Relaxed),
+        deletion_overdeleted_pairs: shared.deletion_overdeleted_pairs.load(Ordering::Relaxed),
+        deletion_rederived_sources: shared.deletion_rederived_sources.load(Ordering::Relaxed),
     }
 }
 
@@ -127,27 +143,107 @@ struct ViewEntry {
     extension: Option<(u64, Arc<Answer>)>,
 }
 
-/// One cached view extension queued for delta repair after a mutation.  The
-/// references point at *disjoint* engine state (the frozen automaton behind
-/// the entry's `Arc`, its reverse table, and its — by now uniquely owned —
-/// extension set), which is what lets the per-view repairs run concurrently
-/// on scoped threads.
-struct RepairJob<'a> {
+/// One cached view extension queued for repair after a mutation (delta
+/// extension on insertion, DRed on deletion).  The references point at
+/// *disjoint* engine state (the frozen automaton behind the entry's `Arc`,
+/// its reverse table, and its — by now uniquely owned — extension set),
+/// which is what lets the per-view repairs run concurrently on scoped
+/// threads.
+struct RepairTarget<'a> {
     nfa: &'a DenseNfa,
     reverse: &'a DenseReverse,
     pairs: &'a mut Answer,
 }
 
-/// Repairs one cached extension against every edge of the mutation.
+/// Repairs one cached extension against every edge of an insertion.
 fn repair_entry(
     csr_out: &CsrAdjacency,
     csr_in: &CsrAdjacency,
-    job: &mut RepairJob<'_>,
+    job: &mut RepairTarget<'_>,
     new_edges: &[(NodeId, automata::Symbol, NodeId)],
 ) {
     for &(from, label, to) in new_edges {
         let delta = delta_pairs(csr_out, csr_in, job.nfa, job.reverse, from, label, to);
         job.pairs.extend(delta);
+    }
+}
+
+/// A [`RepairTarget`] of the deletion path, additionally carrying its work
+/// counters out of the worker for the post-join stats fold.
+struct DeletionJob<'a> {
+    target: RepairTarget<'a>,
+    report: DeletionRepairReport,
+}
+
+/// Phase 1 of every mutation, run after the revision bump: validates each
+/// cached extension (a cache more than one revision behind cannot happen
+/// through this API, but is dropped — forcing lazy re-materialization —
+/// rather than trusted as a stale baseline), runs `touch` on each survivor
+/// (the insertion path covers new nodes' identity pairs there), stamps it
+/// current, and — when `queue` — builds missing reverse tables and returns
+/// the repair targets.  Each returned extension has been detached from
+/// published snapshots via [`Arc::make_mut`], so snapshot readers keep
+/// exactly the pre-mutation pairs no matter what the repair does to it.
+fn queue_repair_targets<'a>(
+    views: &'a mut [ViewEntry],
+    revision: u64,
+    queue: bool,
+    mut touch: impl FnMut(&mut ViewEntry),
+) -> Vec<RepairTarget<'a>> {
+    let mut targets = Vec::new();
+    for entry in views {
+        if matches!(&entry.extension, Some((rev, _)) if *rev + 1 != revision) {
+            entry.extension = None;
+            continue;
+        }
+        if entry.extension.is_none() {
+            continue; // never materialized — nothing to repair
+        }
+        touch(entry);
+        let (cached_rev, _) = entry.extension.as_mut().expect("validated above");
+        *cached_rev = revision;
+        if !queue {
+            continue;
+        }
+        if entry.reverse.is_none() {
+            entry.reverse = Some(Arc::new(entry.nfa.reverse_closed()));
+        }
+        let ViewEntry { nfa, reverse, extension, .. } = entry;
+        targets.push(RepairTarget {
+            nfa,
+            reverse: reverse.as_ref().expect("built above"),
+            pairs: Arc::make_mut(&mut extension.as_mut().expect("validated above").1),
+        });
+    }
+    targets
+}
+
+/// Phase 2 of every mutation: shards the per-view repair jobs across the
+/// scoped-thread pool, or runs them inline when one worker suffices (the
+/// jobs only read shared frozen state and each writes its own extension).
+/// Bumps `parallel_repairs` once per pooled mutation.
+fn shard_repair_jobs<J: Send>(
+    configured_threads: usize,
+    stats: &SharedStats,
+    jobs: &mut [J],
+    run: impl Fn(&mut J) + Sync,
+) {
+    let threads = match configured_threads {
+        0 => available_threads(),
+        n => n,
+    }
+    .min(jobs.len());
+    if threads > 1 {
+        bump(&stats.parallel_repairs);
+        let chunk = jobs.len().div_ceil(threads);
+        std::thread::scope(|scope| {
+            let run = &run;
+            for chunk_jobs in jobs.chunks_mut(chunk) {
+                scope.spawn(move || chunk_jobs.iter_mut().for_each(run));
+            }
+        });
+    } else {
+        jobs.iter_mut().for_each(&run);
     }
 }
 
@@ -159,8 +255,10 @@ fn repair_entry(
 /// [`eval_regex`](Self::eval_regex) /
 /// [`view_extension`](Self::view_extension) /
 /// [`eval_over_views`](Self::eval_over_views), and mutate with
-/// [`add_edge`](Self::add_edge) — cached view extensions survive mutations
-/// via incremental repair.  For concurrent readers, publish an immutable
+/// [`add_edge`](Self::add_edge) / [`remove_edge`](Self::remove_edge) —
+/// cached view extensions survive both kinds of mutation via incremental
+/// repair (delta extension on insert, DRed over-deletion + re-derivation
+/// on delete).  For concurrent readers, publish an immutable
 /// [`EngineSnapshot`] with [`publish_snapshot`](Self::publish_snapshot) and
 /// hand clones of it to other threads; see the crate docs for the protocol.
 #[derive(Debug)]
@@ -172,6 +270,9 @@ pub struct QueryEngine {
     csr_out: Arc<CsrAdjacency>,
     /// Incoming adjacency, frozen only when a mutation actually needs the
     /// backward delta sweeps (read-only engines never pay for it).
+    /// Invariant: when `Some`, it is a freeze of the *current* database —
+    /// insertions refreeze it after mutating, deletions take it as the
+    /// pre-deletion freeze and leave `None`.
     csr_in: Option<CsrAdjacency>,
     config: EngineConfig,
     compile: Arc<CompileCache>,
@@ -469,6 +570,194 @@ impl QueryEngine {
         id
     }
 
+    /// Removes one occurrence of an edge, bumps the revision, refreezes the
+    /// adjacency, and repairs every cached view extension DRed-style:
+    /// over-delete each cached pair whose product-BFS derivation traverses
+    /// the deleted edge (delta sweeps on the *pre-deletion* adjacencies),
+    /// then re-derive survivors by restarting the forward product-BFS from
+    /// each affected source on the post-deletion graph.  When a parallel
+    /// copy of the edge survives, the per-edge support count proves no
+    /// answer can change and the repair is skipped outright.
+    ///
+    /// Readers pinned at pre-deletion revisions are unaffected: extensions
+    /// are detached copy-on-write before the over-deletion touches them, and
+    /// the revision bump keeps shrunken ad-hoc answers out of older
+    /// revisions' cache lookups.
+    ///
+    /// # Examples
+    /// ```
+    /// use automata::Alphabet;
+    /// use engine::QueryEngine;
+    /// use graphdb::GraphDb;
+    ///
+    /// let mut db = GraphDb::new(Alphabet::from_chars(['a', 'b']).unwrap());
+    /// db.add_edge_named("u", "a", "v");
+    /// db.add_edge_named("v", "b", "w");
+    /// let mut engine = QueryEngine::new(db);
+    /// engine.register_view("ab", regexlang::parse("a·b").unwrap());
+    /// assert_eq!(engine.view_extension("ab").unwrap().len(), 1);
+    ///
+    /// let v = engine.db().node_by_name("v").unwrap();
+    /// let w = engine.db().node_by_name("w").unwrap();
+    /// let b = engine.db().domain().symbol("b").unwrap();
+    /// engine.remove_edge(v, b, w);
+    /// assert_eq!(engine.view_extension("ab").unwrap().len(), 0);
+    /// assert_eq!(engine.stats().view_deletion_repairs, 1);
+    /// ```
+    ///
+    /// # Panics
+    /// Panics if the edge is not present in the database.
+    pub fn remove_edge(&mut self, from: NodeId, label: automata::Symbol, to: NodeId) {
+        self.remove_edges(&[(from, label, to)]);
+    }
+
+    /// Removes one occurrence of an edge between named nodes (mirroring
+    /// [`add_edge_named`](Self::add_edge_named)).
+    ///
+    /// # Panics
+    /// Panics on unknown node names, a label outside the domain, or an edge
+    /// that is not present.
+    pub fn remove_edge_named(&mut self, from: &str, label: &str, to: &str) {
+        let label_sym = self
+            .db
+            .domain()
+            .symbol(label)
+            .unwrap_or_else(|| panic!("label `{label}` not in domain"));
+        let from = self
+            .db
+            .node_by_name(from)
+            .unwrap_or_else(|| panic!("no node named `{from}`"));
+        let to = self
+            .db
+            .node_by_name(to)
+            .unwrap_or_else(|| panic!("no node named `{to}`"));
+        self.remove_edges(&[(from, label_sym, to)]);
+    }
+
+    /// Removes a batch of edge occurrences under a single revision bump,
+    /// refreezing the adjacencies once and repairing each cached extension
+    /// with one DRed pass over the whole batch (see
+    /// [`remove_edge`](Self::remove_edge)).  A triple listed twice removes
+    /// two parallel copies.
+    ///
+    /// # Panics
+    /// Panics if any listed occurrence is not present — checked for the
+    /// whole batch *before* anything is removed, so a bad batch never
+    /// leaves the engine partially mutated.
+    pub fn remove_edges(&mut self, edges: &[(NodeId, automata::Symbol, NodeId)]) {
+        if edges.is_empty() {
+            return;
+        }
+        // Validate the whole batch up front (so the documented panic cannot
+        // fire mid-batch and leave a half-mutated engine): tally requested
+        // removals per triple and check the multigraph holds enough copies.
+        let mut triples: Vec<((NodeId, automata::Symbol, NodeId), usize)> = Vec::new();
+        for &edge in edges {
+            match triples.iter_mut().find(|(t, _)| *t == edge) {
+                Some((_, count)) => *count += 1,
+                None => triples.push((edge, 1)),
+            }
+        }
+        for &((from, label, to), count) in &triples {
+            let present = self.db.edge_multiplicity(from, label, to);
+            assert!(
+                present >= count,
+                "edge {from} -{label}-> {to} is not present \
+                 ({count} removal(s) requested, {present} present)"
+            );
+        }
+
+        // Support-count fast path, decided before mutating: a triple keeping
+        // more copies than the batch removes cannot change any answer (every
+        // witness through a deleted copy reroutes through a survivor), so it
+        // never reaches the DRed pass.
+        let needs_repair = self.views.iter().any(|v| v.extension.is_some());
+        let mut repair_edges: Vec<(NodeId, automata::Symbol, NodeId)> = Vec::new();
+        if needs_repair {
+            for &((from, label, to), count) in &triples {
+                if self.db.edge_multiplicity(from, label, to) > count {
+                    self.stats
+                        .deletion_support_skips
+                        .fetch_add(count as u64, Ordering::Relaxed);
+                } else {
+                    repair_edges.push((from, label, to));
+                }
+            }
+        }
+
+        // The over-deletion sweeps must run on the graph the cached
+        // extensions are valid for, so freeze the pre-deletion adjacencies
+        // before mutating — only when a DRed pass will actually run.  The
+        // outgoing side is already frozen, and an incoming freeze left by a
+        // preceding insertion repair is still current, so it is reused.
+        let old_csrs = (!repair_edges.is_empty()).then(|| {
+            let old_in = self.csr_in.take().unwrap_or_else(|| self.db.csr_in());
+            (self.csr_out.clone(), old_in)
+        });
+
+        for &(from, label, to) in edges {
+            let removed = self.db.remove_edge(from, label, to);
+            debug_assert!(removed, "batch validated above");
+        }
+        self.revision += 1;
+        self.csr_out = Arc::new(self.db.csr_out());
+        self.csr_in = None;
+        // Retire the published snapshot; existing reader handles stay valid
+        // at their pinned revisions (their extensions and CSR are behind
+        // `Arc`s the writer no longer touches).
+        self.published = None;
+
+        // Phases 1 and 2, shared with the insertion path: validate + detach
+        // (`Arc::make_mut`, so pinned readers keep every pre-deletion pair),
+        // then one DRed pass per view on the pool.
+        let targets = queue_repair_targets(
+            &mut self.views,
+            self.revision,
+            !repair_edges.is_empty(),
+            |_| {},
+        );
+        if targets.is_empty() {
+            return;
+        }
+        let mut jobs: Vec<DeletionJob<'_>> = targets
+            .into_iter()
+            .map(|target| DeletionJob {
+                target,
+                report: DeletionRepairReport::default(),
+            })
+            .collect();
+        self.stats
+            .view_deletion_repairs
+            .fetch_add(jobs.len() as u64, Ordering::Relaxed);
+
+        let (old_csr_out, old_csr_in) = old_csrs.expect("frozen above: repair edges exist");
+        let new_csr_out: &CsrAdjacency = &self.csr_out;
+        shard_repair_jobs(self.config.threads, &self.stats, &mut jobs, |job| {
+            job.report = deletion_repair(
+                &old_csr_out,
+                &old_csr_in,
+                new_csr_out,
+                job.target.nfa,
+                job.target.reverse,
+                &repair_edges,
+                job.target.pairs,
+            );
+        });
+
+        // Fold the per-job work counters gathered inside the workers.
+        let (mut overdeleted, mut rederived) = (0u64, 0u64);
+        for job in &jobs {
+            overdeleted += job.report.overdeleted_pairs;
+            rederived += job.report.rederived_sources;
+        }
+        self.stats
+            .deletion_overdeleted_pairs
+            .fetch_add(overdeleted, Ordering::Relaxed);
+        self.stats
+            .deletion_rederived_sources
+            .fetch_add(rederived, Ordering::Relaxed);
+    }
+
     fn finish_mutation(
         &mut self,
         prev_num_nodes: usize,
@@ -489,53 +778,32 @@ impl QueryEngine {
             !new_edges.is_empty() && self.views.iter().any(|v| v.extension.is_some());
         self.csr_in = needs_delta.then(|| self.db.csr_in());
 
-        // Phase 1 (sequential, cheap): validate each cached extension, cover
-        // identity pairs of nodes created by this mutation, build missing
-        // reverse tables, and queue the extensions needing delta repair.
-        // `Arc::make_mut` detaches each extension from published snapshots
-        // before it is touched, so readers keep the pre-mutation pairs.
+        // Phase 1: validate each cached extension, cover identity pairs of
+        // nodes created by this mutation, and queue the extensions needing
+        // delta repair.  A start-accepting view answers (v, v) for every
+        // node; cover exactly the nodes created by this mutation — the
+        // cached extension already covers every pre-existing node, so
+        // re-inserting those would be O(V·views) of wasted work per
+        // mutation.
         let num_nodes = self.db.num_nodes();
-        let revision = self.revision;
-        let mut jobs: Vec<RepairJob<'_>> = Vec::new();
-        for entry in &mut self.views {
-            // A cache more than one revision behind cannot happen through
-            // this API, but drop it (forcing lazy re-materialization) rather
-            // than trusting a stale baseline.
-            if matches!(&entry.extension, Some((rev, _)) if *rev + 1 != revision) {
-                entry.extension = None;
-                continue;
-            }
-            let Some((cached_rev, pairs)) = entry.extension.as_mut() else {
-                continue; // never materialized — nothing to repair
-            };
-            // A start-accepting view answers (v, v) for every node; cover
-            // exactly the nodes created by this mutation — the cached
-            // extension already covers every pre-existing node, so
-            // re-inserting those would be O(V·views) of wasted work per
-            // mutation.
-            if num_nodes > prev_num_nodes && entry.nfa.any_final(entry.nfa.start()) {
-                let pairs = Arc::make_mut(pairs);
-                for v in prev_num_nodes..num_nodes {
-                    pairs.insert((v, v));
+        let stats = &self.stats;
+        let mut jobs = queue_repair_targets(
+            &mut self.views,
+            self.revision,
+            !new_edges.is_empty(),
+            |entry| {
+                if num_nodes > prev_num_nodes && entry.nfa.any_final(entry.nfa.start()) {
+                    let (_, pairs) = entry.extension.as_mut().expect("validated by the caller");
+                    let pairs = Arc::make_mut(pairs);
+                    for v in prev_num_nodes..num_nodes {
+                        pairs.insert((v, v));
+                    }
+                    stats
+                        .identity_cover_pairs
+                        .fetch_add((num_nodes - prev_num_nodes) as u64, Ordering::Relaxed);
                 }
-                self.stats
-                    .identity_cover_pairs
-                    .fetch_add((num_nodes - prev_num_nodes) as u64, Ordering::Relaxed);
-            }
-            *cached_rev = revision;
-            if new_edges.is_empty() {
-                continue;
-            }
-            if entry.reverse.is_none() {
-                entry.reverse = Some(Arc::new(entry.nfa.reverse_closed()));
-            }
-            let ViewEntry { nfa, reverse, extension, .. } = entry;
-            jobs.push(RepairJob {
-                nfa,
-                reverse: reverse.as_ref().expect("built above"),
-                pairs: Arc::make_mut(&mut extension.as_mut().expect("validated above").1),
-            });
-        }
+            },
+        );
         if jobs.is_empty() {
             return;
         }
@@ -543,33 +811,12 @@ impl QueryEngine {
             .view_delta_repairs
             .fetch_add(jobs.len() as u64, Ordering::Relaxed);
 
-        // Phase 2: the per-view delta sweeps only read the shared frozen
-        // adjacencies and automata and each writes its own extension set, so
-        // they shard across the same scoped-thread pool as evaluation.
-        let threads = match self.config.threads {
-            0 => available_threads(),
-            n => n,
-        }
-        .min(jobs.len());
+        // Phase 2: one delta sweep per (view, inserted edge) on the pool.
         let csr_out: &CsrAdjacency = &self.csr_out;
         let csr_in = self.csr_in.as_ref().expect("frozen above when edges exist");
-        if threads > 1 {
-            bump(&self.stats.parallel_repairs);
-            let chunk = jobs.len().div_ceil(threads);
-            std::thread::scope(|scope| {
-                for chunk_jobs in jobs.chunks_mut(chunk) {
-                    scope.spawn(move || {
-                        for job in chunk_jobs.iter_mut() {
-                            repair_entry(csr_out, csr_in, job, new_edges);
-                        }
-                    });
-                }
-            });
-        } else {
-            for job in jobs.iter_mut() {
-                repair_entry(csr_out, csr_in, job, new_edges);
-            }
-        }
+        shard_repair_jobs(self.config.threads, &self.stats, &mut jobs, |job| {
+            repair_entry(csr_out, csr_in, job, new_edges);
+        });
     }
 }
 
@@ -681,6 +928,170 @@ mod tests {
         let ext = engine.view_extension("eps").unwrap().clone();
         assert_eq!(ext, graphdb::eval_str(engine.db(), "c*"));
         assert_eq!(engine.stats().view_full_materializations, 1);
+    }
+
+    #[test]
+    fn edge_removal_repairs_cached_extensions() {
+        let mut engine = chain_engine();
+        engine.register_view("e2", regexlang::parse("a·c*·b").unwrap());
+        let before = engine.view_extension("e2").unwrap().clone();
+        assert!(!before.is_empty());
+
+        // Deleting the only a-edge into n1 severs every a·c*·b-path.
+        engine.remove_edge_named("n0", "a", "n1");
+        assert_eq!(engine.revision(), 1);
+        let repaired = engine.view_extension("e2").unwrap().clone();
+        assert_eq!(repaired, graphdb::eval_str(engine.db(), "a·c*·b"));
+        assert!(repaired.len() < before.len());
+        let stats = engine.stats();
+        assert_eq!(stats.view_deletion_repairs, 1);
+        assert!(stats.deletion_overdeleted_pairs > 0);
+        assert_eq!(stats.view_full_materializations, 1, "never re-materialized");
+    }
+
+    #[test]
+    fn deletion_rederives_pairs_with_surviving_witnesses() {
+        // n1 reaches n1 via c and via b·a; deleting the c-loop must keep
+        // (n1, n1) etc. alive through the b·a witnesses.
+        let mut engine = chain_engine();
+        engine.register_view("q", regexlang::parse("a·(b·a+c)*").unwrap());
+        engine.view_extension("q");
+        engine.remove_edge_named("n1", "c", "n1");
+        let repaired = engine.view_extension("q").unwrap().clone();
+        assert_eq!(repaired, graphdb::eval_str(engine.db(), "a·(b·a+c)*"));
+        let stats = engine.stats();
+        assert!(stats.deletion_rederived_sources > 0, "survivors were re-derived");
+    }
+
+    #[test]
+    fn support_counts_skip_repairs_for_duplicated_edges() {
+        let mut engine = chain_engine();
+        engine.register_view("v", regexlang::parse("a·b").unwrap());
+        let a = engine.db().domain().symbol("a").unwrap();
+        // A parallel copy of n0-a->n1; deleting one copy keeps full support.
+        engine.add_edge(0, a, 1);
+        let before = engine.view_extension("v").unwrap().clone();
+        engine.remove_edge(0, a, 1);
+        assert_eq!(engine.revision(), 2);
+        let after = engine.view_extension("v").unwrap().clone();
+        assert_eq!(after, before);
+        let stats = engine.stats();
+        assert_eq!(stats.deletion_support_skips, 1);
+        assert_eq!(stats.view_deletion_repairs, 0, "no DRed pass ran");
+        assert_eq!(stats.deletion_overdeleted_pairs, 0);
+    }
+
+    #[test]
+    fn batch_removal_bumps_one_revision_and_repairs_once() {
+        let mut engine = chain_engine();
+        engine.register_view("q", regexlang::parse("a·(b·a+c)*").unwrap());
+        engine.view_extension("q");
+        let a = engine.db().domain().symbol("a").unwrap();
+        let c = engine.db().domain().symbol("c").unwrap();
+        engine.remove_edges(&[(2, a, 1), (1, c, 1)]);
+        assert_eq!(engine.revision(), 1);
+        let ext = engine.view_extension("q").unwrap().clone();
+        assert_eq!(ext, graphdb::eval_str(engine.db(), "a·(b·a+c)*"));
+        assert_eq!(engine.stats().view_deletion_repairs, 1);
+    }
+
+    #[test]
+    fn mixed_insertions_and_deletions_keep_extensions_exact() {
+        let mut engine = chain_engine();
+        engine.register_view("q", regexlang::parse("a·(b·a+c)*").unwrap());
+        engine.view_extension("q");
+        engine.add_edge_named("n2", "c", "n0");
+        engine.remove_edge_named("n1", "b", "n2");
+        engine.add_edge_named("n0", "b", "n2");
+        engine.remove_edge_named("n2", "c", "n0");
+        assert_eq!(engine.revision(), 4);
+        let ext = engine.view_extension("q").unwrap().clone();
+        assert_eq!(ext, graphdb::eval_str(engine.db(), "a·(b·a+c)*"));
+        let stats = engine.stats();
+        assert_eq!(stats.view_full_materializations, 1, "repairs only");
+        assert_eq!(stats.view_delta_repairs, 2);
+        assert_eq!(stats.view_deletion_repairs, 2);
+    }
+
+    #[test]
+    fn deletion_shrinks_ad_hoc_answers_at_the_new_revision() {
+        let mut engine = chain_engine();
+        let before = engine.eval_str("a·b").len();
+        assert!(before > 0);
+        engine.remove_edge_named("n1", "b", "n2");
+        let after = engine.eval_str("a·b").len();
+        assert!(after < before, "the answer must shrink");
+        // The revision-0 cached answer was evicted by the revision-1 lookup
+        // — a shrunken answer is never served from a stale entry.
+        assert_eq!(engine.stats().answer_stale_evictions, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "is not present")]
+    fn removing_a_missing_edge_panics() {
+        let mut engine = chain_engine();
+        let b = engine.db().domain().symbol("b").unwrap();
+        engine.remove_edge(0, b, 2);
+    }
+
+    #[test]
+    fn bad_batches_panic_before_mutating_anything() {
+        let mut engine = chain_engine();
+        engine.register_view("v", regexlang::parse("a·b").unwrap());
+        let before = engine.view_extension("v").unwrap().clone();
+        let edges_before = engine.db().num_edges();
+        let a = engine.db().domain().symbol("a").unwrap();
+        let b = engine.db().domain().symbol("b").unwrap();
+        // First edge exists, second does not: the batch must be rejected as
+        // a whole, leaving database, revision, and caches untouched.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            engine.remove_edges(&[(0, a, 1), (0, b, 2)]);
+        }));
+        assert!(result.is_err(), "bad batch must panic");
+        assert_eq!(engine.db().num_edges(), edges_before, "nothing was removed");
+        assert_eq!(engine.revision(), 0);
+        let ext = engine.view_extension("v").unwrap().clone();
+        assert_eq!(ext, before);
+        assert_eq!(ext, graphdb::eval_str(engine.db(), "a·b"));
+    }
+
+    #[test]
+    fn duplicate_triples_in_a_batch_remove_parallel_copies() {
+        let mut engine = chain_engine();
+        engine.register_view("v", regexlang::parse("a·b").unwrap());
+        engine.view_extension("v");
+        let a = engine.db().domain().symbol("a").unwrap();
+        engine.add_edge(0, a, 1); // second parallel copy of n0-a->n1
+        // Removing both copies in one batch: support drops to zero, so the
+        // DRed pass (not the support skip) must run, and the answer shrinks.
+        engine.remove_edges(&[(0, a, 1), (0, a, 1)]);
+        let ext = engine.view_extension("v").unwrap().clone();
+        assert_eq!(ext, graphdb::eval_str(engine.db(), "a·b"));
+        let stats = engine.stats();
+        assert_eq!(stats.deletion_support_skips, 0);
+        assert_eq!(stats.view_deletion_repairs, 1);
+    }
+
+    #[test]
+    fn snapshots_pin_their_revision_under_writer_deletions() {
+        let mut engine = chain_engine();
+        engine.register_view("e2", regexlang::parse("a·c*·b").unwrap());
+        let snapshot = engine.publish_snapshot();
+        let at_publish = snapshot.eval_str("a·c*·b");
+        let ext_at_publish = snapshot.view_extension("e2").unwrap().clone();
+        assert!(!ext_at_publish.is_empty());
+
+        // The writer over-deletes copy-on-write; the snapshot's captured
+        // pairs must keep every pre-deletion answer.
+        engine.remove_edge_named("n0", "a", "n1");
+        let writer_ext = engine.view_extension("e2").unwrap().clone();
+        assert!(writer_ext.len() < ext_at_publish.len());
+        assert_eq!(*snapshot.view_extension("e2").unwrap(), ext_at_publish);
+        assert_eq!(*snapshot.eval_str("a·c*·b"), *at_publish);
+        assert_eq!(snapshot.revision(), 0);
+        assert_eq!(engine.revision(), 1);
+        // The writer's own reads see the shrunken revision.
+        assert_eq!(*engine.eval_str("a·c*·b"), writer_ext);
     }
 
     #[test]

@@ -10,10 +10,11 @@
 //! (copy-on-write via [`Arc::make_mut`]), it only publishes fresh `Arc`s.
 //!
 //! Snapshots share the engine's compile cache and ad-hoc answer cache
-//! ([`AnswerCache`]); both are concurrent (sharded/`RwLock`-backed with
-//! atomic LRU clocks), so readers on different threads get cache hits
-//! without blocking each other.  `EngineSnapshot` is `Send + Sync` by
-//! construction — asserted at compile time below.
+//! (the crate-private `AnswerCache` below); both are concurrent
+//! (sharded/`RwLock`-backed with atomic LRU clocks), so readers on
+//! different threads get cache hits without blocking each other.
+//! `EngineSnapshot` is `Send + Sync` by construction — asserted at compile
+//! time below.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock, RwLock};
@@ -63,6 +64,10 @@ pub(crate) struct SharedStats {
     pub sequential_evals: AtomicU64,
     pub parallel_repairs: AtomicU64,
     pub identity_cover_pairs: AtomicU64,
+    pub view_deletion_repairs: AtomicU64,
+    pub deletion_support_skips: AtomicU64,
+    pub deletion_overdeleted_pairs: AtomicU64,
+    pub deletion_rederived_sources: AtomicU64,
 }
 
 #[inline]
@@ -84,6 +89,12 @@ struct AnswerEntry {
 
 /// The shared ad-hoc answer cache: query fingerprint → revision-tagged
 /// answer, bounded by an LRU capacity.
+///
+/// Answers are served **only on an exact revision match**, which is what
+/// makes non-monotone mutation safe: an edge deletion bumps the revision
+/// like an insertion does, so an answer that *shrank* at the new revision
+/// can never be served from the old entry, and a reader pinned at the old
+/// revision never sees the shrunken answer.
 ///
 /// Concurrency model: lookups take the read lock (many readers at once) and
 /// bump the entry's atomic LRU clock; only insertions and evictions take the
@@ -323,7 +334,37 @@ struct SnapshotView {
 ///
 /// Answers are exactly the answers at [`revision`](Self::revision): the
 /// writer repairs its own extensions copy-on-write and publishes new
-/// snapshots, so concurrent mutations never show through an existing handle.
+/// snapshots, so concurrent mutations — insertions *and* DRed deletions —
+/// never show through an existing handle.
+///
+/// # Examples
+///
+/// Hand a snapshot to a reader thread and keep mutating the writer; the
+/// reader's answers stay pinned even while edges are deleted:
+///
+/// ```
+/// use automata::Alphabet;
+/// use engine::QueryEngine;
+/// use graphdb::GraphDb;
+///
+/// let mut db = GraphDb::new(Alphabet::from_chars(['a', 'b']).unwrap());
+/// db.add_edge_named("u", "a", "v");
+/// db.add_edge_named("v", "b", "w");
+/// let mut engine = QueryEngine::new(db);
+/// engine.register_view("ab", regexlang::parse("a·b").unwrap());
+///
+/// let snapshot = engine.publish_snapshot();
+/// let pinned = snapshot.clone();
+/// let reader = std::thread::spawn(move || pinned.eval_str("a·b").len());
+///
+/// // The writer deletes the b-edge: its own answers shrink…
+/// engine.remove_edge_named("v", "b", "w");
+/// assert_eq!(engine.eval_str("a·b").len(), 0);
+///
+/// // …but the pinned reader still sees the revision-0 answer.
+/// assert_eq!(reader.join().unwrap(), 1);
+/// assert_eq!(snapshot.eval_str("a·b").len(), 1);
+/// ```
 #[derive(Debug)]
 pub struct EngineSnapshot {
     revision: u64,

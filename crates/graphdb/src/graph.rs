@@ -1,6 +1,6 @@
 //! Edge-labeled graph databases (the semi-structured data model of §4.1).
 //!
-//! Following [BDFS97] as the paper does, a database is a graph whose edges
+//! Following \[BDFS97\] as the paper does, a database is a graph whose edges
 //! are labeled by elements of a finite domain `D`; nodes are plain objects.
 //! We additionally allow naming nodes for readability in examples (the
 //! paper's web-site / digital-library motivation), but all algorithms work on
@@ -121,6 +121,57 @@ impl GraphDb {
         let from = self.node(from);
         let to = self.node(to);
         self.add_edge(from, label, to);
+    }
+
+    /// Removes **one occurrence** of the edge `from --label--> to`, returning
+    /// whether an occurrence existed.  On a multigraph with parallel copies
+    /// of the edge, only one copy is removed per call; nodes are never
+    /// removed (a node left without edges simply becomes isolated).
+    ///
+    /// Adjacency lists are patched in place (swap-remove on both the
+    /// outgoing and the incoming list), so removal is `O(degree)`; frozen
+    /// [`CsrAdjacency`] views are immutable and must be re-frozen by the
+    /// caller — the `engine` crate does this under its revision bump.
+    pub fn remove_edge(&mut self, from: NodeId, label: Symbol, to: NodeId) -> bool {
+        let Some(out_idx) = self
+            .out
+            .get(from)
+            .and_then(|edges| edges.iter().position(|&e| e == (label, to)))
+        else {
+            return false;
+        };
+        self.out[from].swap_remove(out_idx);
+        let inc_idx = self.inc[to]
+            .iter()
+            .position(|&e| e == (label, from))
+            .expect("incoming list mirrors outgoing list");
+        self.inc[to].swap_remove(inc_idx);
+        self.num_edges -= 1;
+        true
+    }
+
+    /// Removes one occurrence of an edge between named nodes using a label
+    /// name, returning whether it existed (unknown node or label names
+    /// simply report `false`).
+    pub fn remove_edge_named(&mut self, from: &str, label: &str, to: &str) -> bool {
+        let (Some(label), Some(from), Some(to)) = (
+            self.domain.symbol(label),
+            self.node_by_name(from),
+            self.node_by_name(to),
+        ) else {
+            return false;
+        };
+        self.remove_edge(from, label, to)
+    }
+
+    /// Number of parallel copies of the edge `from --label--> to` currently
+    /// present.  The delta-maintenance fast path of the `engine` crate uses
+    /// this as a support count: deleting one copy of an edge whose
+    /// multiplicity stays positive cannot change any RPQ answer.
+    pub fn edge_multiplicity(&self, from: NodeId, label: Symbol, to: NodeId) -> usize {
+        self.out
+            .get(from)
+            .map_or(0, |edges| edges.iter().filter(|&&e| e == (label, to)).count())
     }
 
     /// Outgoing edges of a node.
@@ -342,6 +393,60 @@ mod tests {
                 .collect();
             let frozen: Vec<(u32, u32)> = csr.edges_from(v as u32).collect();
             assert_eq!(direct, frozen, "node {v}");
+        }
+    }
+
+    #[test]
+    fn remove_edge_deletes_exactly_one_occurrence() {
+        let mut db = GraphDb::new(city_domain());
+        db.add_edge_named("a", "flight", "b");
+        db.add_edge_named("a", "flight", "b");
+        db.add_edge_named("b", "flight", "a");
+        let (a, b) = (db.node_by_name("a").unwrap(), db.node_by_name("b").unwrap());
+        let flight = db.domain().symbol("flight").unwrap();
+        assert_eq!(db.edge_multiplicity(a, flight, b), 2);
+
+        assert!(db.remove_edge(a, flight, b));
+        assert_eq!(db.num_edges(), 2);
+        assert_eq!(db.edge_multiplicity(a, flight, b), 1);
+        // Both adjacency directions were patched.
+        assert_eq!(db.edges_from(a).count(), 1);
+        assert_eq!(db.edges_to(b).count(), 1);
+
+        assert!(db.remove_edge(a, flight, b));
+        assert_eq!(db.edge_multiplicity(a, flight, b), 0);
+        // Nothing left to remove: reported, not panicked.
+        assert!(!db.remove_edge(a, flight, b));
+        assert_eq!(db.num_edges(), 1);
+        // Nodes survive edge removal.
+        assert_eq!(db.num_nodes(), 2);
+    }
+
+    #[test]
+    fn remove_edge_named_reports_unknown_names() {
+        let mut db = GraphDb::new(city_domain());
+        db.add_edge_named("a", "flight", "b");
+        assert!(!db.remove_edge_named("a", "flight", "zz"));
+        assert!(!db.remove_edge_named("a", "train", "b"));
+        assert!(db.remove_edge_named("a", "flight", "b"));
+        assert_eq!(db.num_edges(), 0);
+    }
+
+    #[test]
+    fn csr_freezes_track_removal() {
+        let mut db = GraphDb::new(city_domain());
+        db.add_edge_named("a", "flight", "b");
+        db.add_edge_named("b", "rome", "c");
+        db.add_edge_named("c", "flight", "a");
+        assert!(db.remove_edge_named("b", "rome", "c"));
+        let (csr_out, csr_in) = (db.csr_out(), db.csr_in());
+        for v in db.nodes() {
+            let direct_out: Vec<(u32, u32)> =
+                db.edges_from(v).map(|(l, t)| (l.0, t as u32)).collect();
+            assert_eq!(direct_out, csr_out.edges_from(v as u32).collect::<Vec<_>>());
+            let direct_in: Vec<(u32, u32)> =
+                db.edges_to(v).map(|(l, f)| (l.0, f as u32)).collect();
+            assert_eq!(direct_in, csr_in.edges_from(v as u32).collect::<Vec<_>>());
         }
     }
 

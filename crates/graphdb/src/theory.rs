@@ -1,7 +1,7 @@
 //! Formulae and theories over the edge-label domain (§4.1 of the paper).
 //!
 //! In the second semi-structured data model the paper considers (after
-//! [BDFS97]), queries are not written over the edge labels themselves but
+//! \[BDFS97\]), queries are not written over the edge labels themselves but
 //! over *formulae with one free variable* of a decidable, complete
 //! first-order theory `T` over the finite domain `D`.  The theory contains
 //! one unary predicate `λz.z=a` for every constant `a` (written simply `a`),

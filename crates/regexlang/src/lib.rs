@@ -8,9 +8,9 @@
 //!   derived `^+` and `?`,
 //! * a [`parse`]r and round-tripping pretty printer for the paper's concrete
 //!   syntax (`a·(b·a+c)*`),
-//! * two translations to NFAs — [`thompson`] and [`glushkov`] — feeding the
-//!   determinization step of the rewriting construction,
-//! * language-preserving [`simplify`]cation,
+//! * two translations to NFAs — [`fn@thompson`] and [`fn@glushkov`] —
+//!   feeding the determinization step of the rewriting construction,
+//! * language-preserving [`fn@simplify`]cation,
 //! * [`nfa_to_regex`]/[`dfa_to_regex`] state elimination so rewriting
 //!   automata can be read back in the paper's notation (e.g. `e2*·e1·e3*`
 //!   from Figure 1), and

@@ -20,7 +20,10 @@
 //! `answer_rewriting_over_views`) spin up a one-shot engine internally, and
 //! the `*_in` variants take a caller-held engine so repeated calls share its
 //! compile cache (each view and rewriting automaton is frozen once), its
-//! revisioned view-extension cache, and its parallel evaluator.
+//! revisioned view-extension cache, and its parallel evaluator.  The engine
+//! may mutate between calls — both insertions (`add_edge`/`add_edges`) and
+//! deletions (`remove_edge`/`remove_edges`) — and the cached view
+//! extensions are repaired incrementally rather than re-materialized.
 //!
 //! For concurrent serving, the `*_at` variants take an
 //! [`engine::EngineSnapshot`] instead: once the views are registered and a
@@ -337,6 +340,51 @@ mod tests {
         assert_eq!(*direct, via_views);
         assert!(engine.stats().view_delta_repairs > 0);
         assert_eq!(engine.stats().view_full_materializations, 3);
+    }
+
+    #[test]
+    fn incremental_engine_stays_correct_under_deletion() {
+        // Mutate through the engine with deletions too: the DRed-repaired
+        // extensions must keep the exact rewriting's view-based answer equal
+        // to direct evaluation at every revision.
+        let problem = figure1_problem();
+        let rewriting = rewrite_rpq(&problem).unwrap();
+        assert!(rewriting.is_exact());
+        let mut engine = QueryEngine::new(chain_db());
+        register_problem_views(&mut engine, &problem);
+        let _ = materialize_views_in(&mut engine, &problem);
+        engine.add_edge_named("n2", "c", "n0");
+        engine.remove_edge_named("n1", "c", "n1");
+        engine.remove_edge_named("n2", "c", "n0");
+        let direct = answer_rpq_in(&mut engine, &problem.query, &problem.theory).clone();
+        let via_views = answer_rewriting_over_views_in(&mut engine, &problem, &rewriting);
+        assert_eq!(*direct, via_views);
+        assert!(engine.stats().view_deletion_repairs > 0);
+        assert_eq!(engine.stats().view_full_materializations, 3, "repairs only");
+    }
+
+    #[test]
+    fn pinned_snapshot_comparisons_survive_writer_deletions() {
+        // A snapshot taken before a deletion keeps answering the Definition
+        // 4.3 comparison at its own revision, from any thread, while the
+        // writer's later snapshots see the shrunken database.
+        let problem = figure1_problem();
+        let rewriting = rewrite_rpq(&problem).unwrap();
+        let mut engine = QueryEngine::new(chain_db());
+        let before = snapshot_for_problem(&mut engine, &problem);
+        let cmp_before = compare_on_database_at(&before, &problem, &rewriting);
+        assert!(cmp_before.sound && cmp_before.complete);
+
+        engine.remove_edge_named("n0", "a", "n1");
+        let after = snapshot_for_problem(&mut engine, &problem);
+        let cmp_after = compare_on_database_at(&after, &problem, &rewriting);
+        assert!(cmp_after.sound && cmp_after.complete);
+        assert!(cmp_after.direct_size < cmp_before.direct_size);
+
+        // The pinned handle still reports exactly the pre-deletion sizes.
+        let repinned = compare_on_database_at(&before, &problem, &rewriting);
+        assert_eq!(repinned.direct_size, cmp_before.direct_size);
+        assert_eq!(repinned.via_views_size, cmp_before.via_views_size);
     }
 
     #[test]
