@@ -20,8 +20,9 @@
 //! of the hot paths is tracked from PR to PR.  Targeted runs
 //! (`experiments e6`) skip the snapshot to stay fast; `experiments bench`
 //! emits only the snapshot, and `experiments rewriting` / `experiments
-//! concurrent` / `experiments deletion` run those CI smoke workloads alone
-//! (honoring `BENCH_THREADS` for the reader count).
+//! concurrent` / `experiments deletion` / `experiments service` run those
+//! CI smoke workloads alone (honoring `BENCH_THREADS` for the reader and
+//! client counts).
 
 use std::fs;
 use std::time::Instant;
@@ -104,6 +105,14 @@ fn main() {
         // snapshot is left untouched.
         println!("\n================ incremental deletion (smoke) ================");
         deletion_rows();
+    } else if args.iter().any(|a| a == "service") {
+        // `experiments service`: the TCP serving workload alone (the CI
+        // "Service smoke" step) — closed-loop clients against an in-process
+        // `service::Server`, with built-in health/fault assertions that
+        // exit nonzero on failure.  Like the other smokes, the committed
+        // snapshot is left untouched.
+        println!("\n================ service latency (smoke) ================");
+        service_rows();
     }
 }
 
@@ -355,6 +364,9 @@ fn bench_rpq_json() {
     // mutations (the writer/snapshot split's headline workload).
     let concurrent = concurrent_rows();
 
+    // End-to-end serving latency through the TCP service layer.
+    let service = service_rows();
+
     let value = json!({
         "determinization": determinization,
         "eval": eval,
@@ -363,6 +375,7 @@ fn bench_rpq_json() {
         "deletion": deletion,
         "rewriting": rewriting,
         "concurrent": concurrent,
+        "service": service,
     });
     if let Some(previous) = &previous {
         diff_bench_snapshots(previous, &value);
@@ -637,6 +650,195 @@ fn concurrent_rows() -> Vec<Value> {
     })]
 }
 
+/// End-to-end serving latency through the TCP service layer: an in-process
+/// [`service::Server`] over the |V| = 400 workload graph, `BENCH_THREADS`
+/// closed-loop clients issuing budgeted queries over real sockets while one
+/// writer connection streams `add_edges` batches.  Reports p50/p99 request
+/// latency and the rejection rate (`service_p99_ms` is the gated field).
+/// Doubles as the CI "Service smoke" step (`experiments service`): the
+/// built-in health, stats, and fault-recovery assertions panic — exiting
+/// nonzero — if the server misbehaves.
+fn service_rows() -> Vec<Value> {
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::TcpStream;
+
+    struct Client {
+        writer: TcpStream,
+        reader: BufReader<TcpStream>,
+    }
+
+    impl Client {
+        fn connect(addr: std::net::SocketAddr) -> Client {
+            let stream = TcpStream::connect(addr).expect("connect to in-process server");
+            stream.set_nodelay(true).expect("nodelay");
+            let reader = BufReader::new(stream.try_clone().expect("clone stream"));
+            Client { writer: stream, reader }
+        }
+
+        fn roundtrip(&mut self, frame: &str) -> Value {
+            self.writer.write_all(frame.as_bytes()).expect("send frame");
+            self.writer.write_all(b"\n").expect("send newline");
+            let mut line = String::new();
+            self.reader.read_line(&mut line).expect("read response");
+            assert!(!line.is_empty(), "server closed the connection");
+            serde_json::from_str(line.trim_end()).expect("response is valid JSON")
+        }
+    }
+
+    /// Nearest-rank percentile of an ascending-sorted sample.
+    fn percentile(sorted: &[f64], p: f64) -> f64 {
+        if sorted.is_empty() {
+            return 0.0;
+        }
+        let rank = ((sorted.len() as f64) * p).ceil() as usize;
+        sorted[rank.clamp(1, sorted.len()) - 1]
+    }
+
+    let clients = bench_threads();
+    let requests_per_client = 40usize;
+    let workload = random_rpq_workload(400, 1600, 33);
+    let grounded = workload.problem.query.ground(&workload.problem.theory);
+    // Mixed query set: the grounded query plus distinct suffixed variants,
+    // so the run exercises answer-cache misses, hits, and the revision
+    // invalidations the streaming writer causes.
+    let query_texts: Vec<String> = std::iter::once(format!("{grounded}"))
+        .chain((1..6).map(|i| format!("({grounded}){}", "·(a+b+c)?".repeat(i))))
+        .collect();
+    let label_names: Vec<String> =
+        workload.db.domain().names().map(str::to_string).collect();
+
+    let config = service::ServiceConfig {
+        max_inflight: (2 * clients).max(4),
+        engine: engine::EngineConfig {
+            threads: 1, // concurrent connections are the parallelism under test
+            ..engine::EngineConfig::default()
+        },
+        ..service::ServiceConfig::default()
+    };
+    let server = service::Server::start(workload.db.clone(), config).expect("server starts");
+    let addr = server.addr();
+
+    // Closed-loop measurement: every client thread drives its own socket at
+    // full speed; one writer connection streams edge batches alongside.
+    let writer_batches = 12usize;
+    let edges_per_batch = 4usize;
+    let t0 = Instant::now();
+    let (mut latencies, rejected, timed_out): (Vec<f64>, usize, usize) = std::thread::scope(|scope| {
+        let query_texts = &query_texts;
+        let label_names = &label_names;
+        let writer_handle = scope.spawn(move || {
+            let mut client = Client::connect(addr);
+            for batch in 0..writer_batches {
+                let edges: Vec<String> = (0..edges_per_batch)
+                    .map(|i| {
+                        let label = &label_names[(batch + i) % label_names.len()];
+                        format!("[\"svc{batch}_{i}\",\"{label}\",\"svc{}_{i}\"]", batch + 1)
+                    })
+                    .collect();
+                let response = client.roundtrip(&format!(
+                    "{{\"op\":\"add_edges\",\"edges\":[{}]}}",
+                    edges.join(",")
+                ));
+                assert_eq!(response["ok"].as_bool(), Some(true), "writer batch failed: {response:?}");
+            }
+        });
+        let handles: Vec<_> = (0..clients)
+            .map(|client_id| {
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr);
+                    let mut samples = Vec::with_capacity(requests_per_client);
+                    let mut rejected = 0usize;
+                    let mut timed_out = 0usize;
+                    for request in 0..requests_per_client {
+                        let q = &query_texts[(client_id + request) % query_texts.len()];
+                        let frame = format!(
+                            "{{\"id\":{request},\"op\":\"query\",\"q\":\"{q}\",\
+                             \"timeout_ms\":10000,\"limit\":64}}"
+                        );
+                        let sent = Instant::now();
+                        let response = client.roundtrip(&frame);
+                        let elapsed_ms = sent.elapsed().as_secs_f64() * 1e3;
+                        match response["ok"].as_bool() {
+                            Some(true) => samples.push(elapsed_ms),
+                            // Overload rejections and deadline trips are
+                            // correct server behavior under pressure; any
+                            // other failure is a smoke-test failure.
+                            Some(false) => match response["error"]["code"].as_str() {
+                                Some("overloaded") => rejected += 1,
+                                Some("deadline_exceeded") => timed_out += 1,
+                                _ => panic!("unacceptable rejection {response:?}"),
+                            },
+                            None => panic!("malformed response {response:?}"),
+                        }
+                    }
+                    (samples, rejected, timed_out)
+                })
+            })
+            .collect();
+        writer_handle.join().expect("writer client panicked");
+        let mut latencies = Vec::new();
+        let mut rejected = 0usize;
+        let mut timed_out = 0usize;
+        for handle in handles {
+            let (samples, client_rejected, client_timed_out) =
+                handle.join().expect("reader client panicked");
+            latencies.extend(samples);
+            rejected += client_rejected;
+            timed_out += client_timed_out;
+        }
+        (latencies, rejected, timed_out)
+    });
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    // Smoke assertions (the CI "Service smoke" step runs this function for
+    // exactly these): clean load produced no protocol errors, the server
+    // is still healthy, and a fault on one connection stays on that frame.
+    let mut probe = Client::connect(addr);
+    let health = probe.roundtrip("{\"op\":\"health\"}");
+    assert_eq!(health["status"].as_str(), Some("ok"), "unhealthy after load: {health:?}");
+    let stats = probe.roundtrip("{\"op\":\"stats\"}");
+    assert_eq!(
+        stats["service"]["protocol_errors"].as_u64(),
+        Some(0),
+        "clean load must not log protocol errors: {stats:?}"
+    );
+    assert_eq!(
+        stats["service"]["writes_applied"].as_u64(),
+        Some(writer_batches as u64),
+        "every writer batch must have applied: {stats:?}"
+    );
+    let fault = probe.roundtrip("{\"op\":\"nonsense\"}");
+    assert_eq!(fault["ok"].as_bool(), Some(false), "bad op must fail: {fault:?}");
+    let recovered = probe.roundtrip("{\"op\":\"health\"}");
+    assert_eq!(recovered["ok"].as_bool(), Some(true), "connection must survive the fault");
+    server.shutdown();
+
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let issued = clients * requests_per_client;
+    let p50 = percentile(&latencies, 0.50);
+    let p99 = percentile(&latencies, 0.99);
+    let rejection_rate = rejected as f64 / issued.max(1) as f64;
+    println!(
+        "service |V|=400 tcp       : p50 {p50:.3} ms, p99 {p99:.3} ms over {issued} requests \
+         from {clients} client(s), {rejected} rejected ({:.1}%), {timed_out} timed out, \
+         wall {wall_ms:.1} ms",
+        rejection_rate * 100.0
+    );
+    vec![json!({
+        "workload": "service_tcp_v400_e1600_closed_loop",
+        "clients": clients,
+        "requests": issued,
+        "answered": latencies.len(),
+        "rejected": rejected,
+        "rejection_rate": rejection_rate,
+        "timed_out": timed_out,
+        "service_p50_ms": p50,
+        "service_p99_ms": p99,
+        "writer_batches": writer_batches,
+        "writer_edges_per_batch": edges_per_batch,
+    })]
+}
+
 /// Compares every `*_ms` field of the new snapshot against the committed one
 /// (rows matched by section and workload) and flags slowdowns beyond 20% as
 /// GitHub warning annotations.  New sections/workloads/fields pass silently
@@ -683,6 +885,7 @@ fn diff_bench_snapshots(old: &Value, new: &Value) {
                         | "delta_repair_ms"
                         | "delta_delete_ms"
                         | "concurrent_reader_ms"
+                        | "service_p99_ms"
                 );
                 compared += 1;
                 let change = (new_ms - old_ms) / old_ms.max(f64::MIN_POSITIVE) * 100.0;

@@ -1,0 +1,94 @@
+//! Per-query resource budgets for the serving layer.
+//!
+//! A [`QueryBudget`] is the engine-level face of [`graphdb::SweepBudget`]: it
+//! carries a wall-clock deadline, a visited-pair cap, and a cooperative
+//! cancel flag, and is threaded from a request handler down through the
+//! parallel evaluator and the incremental repair jobs.  Budgets are checked
+//! cooperatively every [`graphdb::SWEEP_CHECK_INTERVAL`] product pops, so an
+//! unlimited budget costs nothing on the hot path (the evaluator picks the
+//! check-free code path) and a tripped budget is honored within microseconds.
+
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use graphdb::SweepBudget;
+
+/// Resource limits for one engine operation (query evaluation or the repair
+/// phase of a mutation).
+///
+/// The default budget is unlimited.  Limits compose; the first one hit wins
+/// and maps to the matching [`crate::EngineError`] variant.
+#[derive(Debug, Clone, Default)]
+pub struct QueryBudget {
+    /// Wall-clock deadline; maps to [`crate::EngineError::DeadlineExceeded`].
+    pub deadline: Option<Instant>,
+    /// Cap on product `(node, state)` pairs visited across all worker
+    /// threads; maps to [`crate::EngineError::VisitBudgetExceeded`].
+    pub max_visited: Option<u64>,
+    /// Cooperative cancel flag (set it from another thread, e.g. when the
+    /// requesting client disconnects); maps to
+    /// [`crate::EngineError::Cancelled`].
+    pub cancel: Option<Arc<AtomicBool>>,
+}
+
+impl QueryBudget {
+    /// A budget with no limits.
+    pub fn unlimited() -> Self {
+        Self::default()
+    }
+
+    /// A budget whose deadline is `timeout` from now.
+    pub fn with_timeout(timeout: Duration) -> Self {
+        Self {
+            deadline: Some(Instant::now() + timeout),
+            ..Self::default()
+        }
+    }
+
+    /// Adds a visited-pair cap to this budget.
+    pub fn max_visited(mut self, cap: u64) -> Self {
+        self.max_visited = Some(cap);
+        self
+    }
+
+    /// Attaches a cancel flag to this budget.
+    pub fn cancelled_by(mut self, flag: Arc<AtomicBool>) -> Self {
+        self.cancel = Some(flag);
+        self
+    }
+
+    /// Whether no limit is set — callers use this to take the un-budgeted
+    /// fast path, which compiles all checks out of the BFS loop.
+    pub fn is_unlimited(&self) -> bool {
+        self.deadline.is_none() && self.max_visited.is_none() && self.cancel.is_none()
+    }
+
+    /// The graphdb-level budget this one lowers to.
+    pub(crate) fn to_sweep(&self) -> SweepBudget {
+        SweepBudget {
+            deadline: self.deadline,
+            max_visited: self.max_visited,
+            cancel: self.cancel.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_compose_and_lower_to_sweep() {
+        assert!(QueryBudget::unlimited().is_unlimited());
+        let flag = Arc::new(AtomicBool::new(false));
+        let budget = QueryBudget::with_timeout(Duration::from_secs(5))
+            .max_visited(1_000)
+            .cancelled_by(Arc::clone(&flag));
+        assert!(!budget.is_unlimited());
+        let sweep = budget.to_sweep();
+        assert!(sweep.deadline.is_some());
+        assert_eq!(sweep.max_visited, Some(1_000));
+        assert!(sweep.cancel.is_some());
+    }
+}

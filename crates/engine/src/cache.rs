@@ -23,6 +23,7 @@ use automata::dense::FxHashMap;
 use automata::{Alphabet, DenseDfa, DenseNfa, Dfa, Nfa};
 use regexlang::Regex;
 
+use crate::error::EngineError;
 use crate::fingerprint::{fingerprint_dfa, fingerprint_nfa, fingerprint_regex, Fingerprint};
 
 /// Number of independently locked shards (a power of two; shard selection
@@ -88,16 +89,28 @@ impl CompileCache {
     /// Panics if the regex mentions a symbol outside `domain`, mirroring the
     /// label-oriented message of `graphdb`'s evaluators.
     pub fn compile_regex(&self, domain: &Alphabet, regex: &Regex) -> Arc<DenseNfa> {
+        self.try_compile_regex(domain, regex)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`CompileCache::compile_regex`]: an out-of-domain
+    /// symbol surfaces as [`EngineError::UnknownLabel`] instead of a panic.
+    /// The cache hit path short-circuits before any grounding, so known-good
+    /// queries never pay the validation again.
+    pub fn try_compile_regex(
+        &self,
+        domain: &Alphabet,
+        regex: &Regex,
+    ) -> Result<Arc<DenseNfa>, EngineError> {
         let fp = fingerprint_regex(domain, regex);
-        self.get_or_insert(fp, || {
-            let nfa = regexlang::thompson(regex, domain).unwrap_or_else(|unknown| {
-                panic!(
-                    "query mentions `{}` which is not a label of the database domain",
-                    unknown.name
-                )
-            });
-            DenseNfa::from_nfa(&nfa)
-        })
+        if let Some(dense) = self.shard(fp).read().expect("compile shard poisoned").get(&fp) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(dense.clone());
+        }
+        let nfa = regexlang::thompson(regex, domain).map_err(|unknown| {
+            EngineError::UnknownLabel { label: unknown.name }
+        })?;
+        Ok(self.get_or_insert(fp, || DenseNfa::from_nfa(&nfa)))
     }
 
     /// Freezes (or reuses) a deterministic automaton re-labeled over
@@ -109,15 +122,26 @@ impl CompileCache {
     /// # Panics
     /// Panics when `target` is incompatible with the DFA's alphabet.
     pub fn compile_dfa(&self, target: &Alphabet, dfa: &Dfa) -> Arc<DenseNfa> {
+        self.try_compile_dfa(target, dfa)
+            .unwrap_or_else(|e| panic!("re-labeling over an {e}"))
+    }
+
+    /// Fallible variant of [`CompileCache::compile_dfa`]: an incompatible
+    /// `target` alphabet surfaces as [`EngineError::IncompatibleAlphabet`].
+    pub fn try_compile_dfa(
+        &self,
+        target: &Alphabet,
+        dfa: &Dfa,
+    ) -> Result<Arc<DenseNfa>, EngineError> {
         // Checked before the lookup: the fingerprint hashes `target` plus the
         // transition structure, so a hit must enforce compatibility too.
         dfa.alphabet()
             .check_compatible(target)
-            .expect("re-labeling over an incompatible alphabet");
+            .map_err(|e| EngineError::IncompatibleAlphabet { message: e.to_string() })?;
         let fp = fingerprint_dfa(target, dfa);
-        self.get_or_insert(fp, || {
+        Ok(self.get_or_insert(fp, || {
             DenseNfa::from_dense_dfa(&DenseDfa::from_dfa(dfa)).with_alphabet(target.clone())
-        })
+        }))
     }
 
     /// Freezes (or reuses) an automaton-form query.

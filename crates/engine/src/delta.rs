@@ -70,7 +70,10 @@
 use std::collections::VecDeque;
 
 use automata::{BitSet, DenseNfa, DenseReverse};
-use graphdb::{eval_csr_range, Answer, CsrAdjacency, EvalScratch, NodeId, ProductVisited};
+use graphdb::{
+    eval_csr_range, eval_csr_range_budgeted, Answer, CsrAdjacency, EvalScratch, NodeId,
+    ProductVisited, SweepBudget, SweepInterrupt, SweepState,
+};
 
 /// Shared scratch for the sweeps of one [`delta_pairs`] call: the
 /// [`ProductVisited`] bitmap (reset between sweeps), the BFS queue, and a
@@ -247,6 +250,64 @@ pub fn deletion_repair(
     }
     pairs.extend(rederived.into_iter().map(|(x, y)| (x as NodeId, y as NodeId)));
     report
+}
+
+/// Budgeted variant of [`deletion_repair`]: the time-like limits are polled
+/// between over-deletion sweeps (one per removed edge) and the re-derivation
+/// sweeps are budgeted cooperatively per [`graphdb::SWEEP_CHECK_INTERVAL`]
+/// pops.
+///
+/// On interrupt `pairs` is left **partially repaired** (some pairs
+/// over-deleted but not yet re-derived) and must be discarded by the caller
+/// — the engine drops the view's cached extension and re-materializes it on
+/// next use.  The mutation itself is already applied at this point; only the
+/// cache repair degrades.
+pub fn deletion_repair_budgeted(
+    old_csr_out: &CsrAdjacency,
+    old_csr_in: &CsrAdjacency,
+    new_csr_out: &CsrAdjacency,
+    query: &DenseNfa,
+    rev: &DenseReverse,
+    removed: &[(NodeId, automata::Symbol, NodeId)],
+    pairs: &mut Answer,
+    budget: &SweepBudget,
+    progress: &SweepState,
+) -> Result<DeletionRepairReport, SweepInterrupt> {
+    let mut report = DeletionRepairReport::default();
+
+    let mut affected_sources: Vec<NodeId> = Vec::new();
+    for &(from, label, to) in removed {
+        progress.poll(budget)?;
+        for pair in delta_pairs(old_csr_out, old_csr_in, query, rev, from, label, to) {
+            if pairs.remove(&pair) {
+                report.overdeleted_pairs += 1;
+                affected_sources.push(pair.0);
+            }
+        }
+    }
+    if affected_sources.is_empty() {
+        return Ok(report);
+    }
+
+    affected_sources.sort_unstable();
+    affected_sources.dedup();
+    report.rederived_sources = affected_sources.len() as u64;
+    let mut scratch = EvalScratch::new(new_csr_out, query);
+    let mut rederived: Vec<(u32, u32)> = Vec::new();
+    for &source in &affected_sources {
+        let source = source as u32;
+        eval_csr_range_budgeted(
+            new_csr_out,
+            query,
+            source..source + 1,
+            &mut scratch,
+            &mut rederived,
+            budget,
+            progress,
+        )?;
+    }
+    pairs.extend(rederived.into_iter().map(|(x, y)| (x as NodeId, y as NodeId)));
+    Ok(report)
 }
 
 /// Backward sweep: the sources `x` with `(x, start) →* (node, state)`,

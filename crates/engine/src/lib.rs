@@ -138,6 +138,35 @@
 //!
 //! [`Arc::make_mut`]: std::sync::Arc::make_mut
 //!
+//! ## Error handling & query budgets (the serving layer)
+//!
+//! Every engine path reachable from untrusted input has a fallible variant
+//! returning [`EngineError`] — [`QueryEngine::try_eval_str`] /
+//! [`EngineSnapshot::try_eval_str`] for queries,
+//! [`QueryEngine::try_add_edges`] / [`QueryEngine::try_remove_edges`] (and
+//! the `_named` forms) for mutations with whole-batch validate-before-mutate
+//! semantics, [`QueryEngine::try_register_view`] for view registration, and
+//! [`QueryEngine::try_with_config`] for strict configuration validation.
+//! The historical panicking methods delegate to them and re-panic with the
+//! error's `Display`, so their messages are unchanged.
+//!
+//! Long-running evaluations accept a [`QueryBudget`] (wall-clock deadline,
+//! visited-pair cap, cancel flag), threaded down to the product-BFS hot loop
+//! where it is checked cooperatively every
+//! [`graphdb::SWEEP_CHECK_INTERVAL`] pops
+//! ([`QueryEngine::eval_str_budgeted`] /
+//! [`EngineSnapshot::eval_str_budgeted`] /
+//! [`parallel::eval_csr_parallel_budgeted`]).  An unlimited budget compiles
+//! the checks out of the loop entirely.  Mutations take budgets over their
+//! *repair* phase ([`QueryEngine::try_add_edges_budgeted`] /
+//! [`QueryEngine::try_remove_edges_budgeted`]): once validated, the
+//! mutation always applies — a tripped budget degrades by dropping the
+//! affected views' cached extensions (counted by
+//! [`EngineStats::repair_budget_drops`]) rather than failing the call.
+//! [`EngineConfig::snapshot_keep_last`] additionally retains the last K
+//! published snapshots for late-arriving readers.  The `service` crate
+//! builds a line-delimited JSON TCP server on exactly these hooks.
+//!
 //! # Examples
 //!
 //! The full lifecycle — build a database, register a view, publish a
@@ -187,16 +216,20 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod budget;
 pub mod cache;
 pub mod delta;
+pub mod error;
 pub mod fingerprint;
 pub mod parallel;
 pub mod query_engine;
 pub mod snapshot;
 
+pub use budget::QueryBudget;
 pub use cache::CompileCache;
-pub use delta::{delta_pairs, deletion_repair, DeletionRepairReport};
+pub use delta::{delta_pairs, deletion_repair, deletion_repair_budgeted, DeletionRepairReport};
+pub use error::EngineError;
 pub use fingerprint::{fingerprint_nfa, fingerprint_regex, Fingerprint};
-pub use parallel::{available_threads, eval_csr_parallel};
+pub use parallel::{available_threads, eval_csr_parallel, eval_csr_parallel_budgeted};
 pub use query_engine::{EngineConfig, EngineStats, QueryEngine};
 pub use snapshot::EngineSnapshot;

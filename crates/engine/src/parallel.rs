@@ -21,7 +21,10 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use automata::DenseNfa;
-use graphdb::{eval_csr, eval_csr_range, Answer, CsrAdjacency, EvalScratch, NodeId};
+use graphdb::{
+    eval_csr, eval_csr_range, eval_csr_range_budgeted, Answer, CsrAdjacency, EvalScratch, NodeId,
+    SweepBudget, SweepInterrupt, SweepState,
+};
 
 /// Number of worker threads the hardware supports (≥ 1).
 pub fn available_threads() -> usize {
@@ -80,6 +83,92 @@ pub fn eval_csr_parallel(csr: &CsrAdjacency, query: &DenseNfa, threads: usize) -
         .flatten()
         .map(|(x, y)| (x as NodeId, y as NodeId))
         .collect()
+}
+
+/// Budgeted variant of [`eval_csr_parallel`]: every worker charges pops to
+/// the shared `progress`, and the first tripped limit makes all workers stop
+/// at their next chunk boundary (or mid-chunk at the next cooperative
+/// check).  On interrupt the partial answers are discarded and the interrupt
+/// cause is returned; `progress.visited()` carries the partial-work count.
+pub fn eval_csr_parallel_budgeted(
+    csr: &CsrAdjacency,
+    query: &DenseNfa,
+    threads: usize,
+    budget: &SweepBudget,
+    progress: &SweepState,
+) -> Result<Answer, SweepInterrupt> {
+    let num_nodes = csr.num_nodes();
+    let threads = threads.min(num_nodes.max(1));
+    if threads <= 1 {
+        // Sequential path: one worker, one scratch, the whole source range.
+        csr.domain()
+            .check_compatible(query.alphabet())
+            .expect("query automaton must be over the database domain");
+        let mut scratch = EvalScratch::new(csr, query);
+        let mut pairs = Vec::new();
+        eval_csr_range_budgeted(
+            csr,
+            query,
+            0..num_nodes as u32,
+            &mut scratch,
+            &mut pairs,
+            budget,
+            progress,
+        )?;
+        return Ok(pairs
+            .into_iter()
+            .map(|(x, y)| (x as NodeId, y as NodeId))
+            .collect());
+    }
+    csr.domain()
+        .check_compatible(query.alphabet())
+        .expect("query automaton must be over the database domain");
+
+    let chunk = (num_nodes / (threads * 8)).clamp(1, 1024);
+    let cursor = AtomicUsize::new(0);
+
+    let buffers: Vec<Result<Vec<(u32, u32)>, SweepInterrupt>> = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut scratch = EvalScratch::new(csr, query);
+                    let mut pairs = Vec::new();
+                    loop {
+                        // A trip in any worker stops the others at their next
+                        // chunk boundary.
+                        if let Some(why) = progress.interrupt() {
+                            return Err(why);
+                        }
+                        let lo = cursor.fetch_add(chunk, Ordering::Relaxed);
+                        if lo >= num_nodes {
+                            break;
+                        }
+                        let hi = (lo + chunk).min(num_nodes);
+                        eval_csr_range_budgeted(
+                            csr,
+                            query,
+                            lo as u32..hi as u32,
+                            &mut scratch,
+                            &mut pairs,
+                            budget,
+                            progress,
+                        )?;
+                    }
+                    Ok(pairs)
+                })
+            })
+            .collect();
+        workers
+            .into_iter()
+            .map(|w| w.join().expect("evaluation worker panicked"))
+            .collect()
+    });
+
+    let mut answer = Answer::new();
+    for buffer in buffers {
+        answer.extend(buffer?.into_iter().map(|(x, y)| (x as NodeId, y as NodeId)));
+    }
+    Ok(answer)
 }
 
 #[cfg(test)]

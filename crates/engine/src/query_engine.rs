@@ -11,15 +11,21 @@
 //! through it, and the ad-hoc methods share the same caches, so the writer
 //! and any number of concurrent readers always see identical answers.
 
+use std::collections::VecDeque;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 use automata::{DenseNfa, DenseReverse, Nfa};
-use graphdb::{Answer, CsrAdjacency, GraphDb, MaterializedViews, NodeId};
+use graphdb::{
+    Answer, CsrAdjacency, GraphDb, MaterializedViews, NodeId, SweepBudget, SweepInterrupt,
+    SweepState,
+};
 use regexlang::Regex;
 
+use crate::budget::QueryBudget;
 use crate::cache::CompileCache;
-use crate::delta::{delta_pairs, deletion_repair, DeletionRepairReport};
+use crate::delta::{delta_pairs, deletion_repair_budgeted, DeletionRepairReport};
+use crate::error::EngineError;
 use crate::fingerprint::{fingerprint_regex, Fingerprint};
 use crate::parallel::available_threads;
 use crate::snapshot::{bump, AdhocReader, AnswerCache, EngineSnapshot, SharedStats};
@@ -38,6 +44,13 @@ pub struct EngineConfig {
     /// evicted.  `0` disables answer caching entirely (every ad-hoc query
     /// re-evaluates).
     pub answer_cache_capacity: usize,
+    /// Number of most-recently published snapshots the engine itself keeps
+    /// alive (`0` — the default — retains none: a snapshot lives exactly as
+    /// long as some reader holds its `Arc`).  A serving layer sets this so
+    /// the last few revisions stay resident for late-arriving readers
+    /// without unbounded growth; see
+    /// [`QueryEngine::retained_snapshots`].
+    pub snapshot_keep_last: usize,
 }
 
 impl Default for EngineConfig {
@@ -46,6 +59,43 @@ impl Default for EngineConfig {
             threads: 0,
             parallel_threshold: 256,
             answer_cache_capacity: 256,
+            snapshot_keep_last: 0,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Strict validation for configurations built from untrusted input
+    /// (e.g. a service config file).  The permissive constructors accept
+    /// the degenerate values — `threads: 0` means auto-detect and
+    /// `answer_cache_capacity: 0` disables caching, both documented and
+    /// useful in tests — but a serving deployment asking for them almost
+    /// certainly made a units mistake, so
+    /// [`QueryEngine::try_with_config`] rejects them.
+    pub fn validate(&self) -> Result<(), EngineError> {
+        if self.threads == 0 {
+            return Err(EngineError::InvalidConfig {
+                message: "threads must be at least 1 (use EngineConfig::serving() for \
+                          auto-detection)"
+                    .to_string(),
+            });
+        }
+        if self.answer_cache_capacity == 0 {
+            return Err(EngineError::InvalidConfig {
+                message: "answer_cache_capacity must be at least 1".to_string(),
+            });
+        }
+        Ok(())
+    }
+
+    /// The preset a serving deployment starts from: all hardware threads,
+    /// the default answer-cache capacity, and a small published-snapshot
+    /// retention window.  Always passes [`validate`](Self::validate).
+    pub fn serving() -> Self {
+        EngineConfig {
+            threads: available_threads(),
+            snapshot_keep_last: 4,
+            ..EngineConfig::default()
         }
     }
 }
@@ -99,6 +149,18 @@ pub struct EngineStats {
     /// Distinct sources re-swept (forward product-BFS on the post-deletion
     /// graph) to re-derive surviving pairs.
     pub deletion_rederived_sources: u64,
+    /// Evaluations stopped by a query budget (deadline, visit cap, or
+    /// cancellation) before completing.
+    pub budget_interrupted_evals: u64,
+    /// Cached view extensions dropped because a mutation's repair budget ran
+    /// out mid-repair (the view re-materializes lazily on next use).
+    pub repair_budget_drops: u64,
+    /// Snapshots added to the keep-last-K retention window
+    /// ([`EngineConfig::snapshot_keep_last`]).
+    pub snapshot_retained: u64,
+    /// Snapshots aged out of the retention window (they stay alive only as
+    /// long as some reader still holds their `Arc`).
+    pub snapshot_dropped: u64,
 }
 
 /// Folds the shared atomic counters into one [`EngineStats`] value.
@@ -125,6 +187,10 @@ pub(crate) fn assemble_stats(
         deletion_support_skips: shared.deletion_support_skips.load(Ordering::Relaxed),
         deletion_overdeleted_pairs: shared.deletion_overdeleted_pairs.load(Ordering::Relaxed),
         deletion_rederived_sources: shared.deletion_rederived_sources.load(Ordering::Relaxed),
+        budget_interrupted_evals: shared.budget_interrupted_evals.load(Ordering::Relaxed),
+        repair_budget_drops: shared.repair_budget_drops.load(Ordering::Relaxed),
+        snapshot_retained: shared.snapshot_retained.load(Ordering::Relaxed),
+        snapshot_dropped: shared.snapshot_dropped.load(Ordering::Relaxed),
     }
 }
 
@@ -150,29 +216,47 @@ struct ViewEntry {
 /// which is what lets the per-view repairs run concurrently on scoped
 /// threads.
 struct RepairTarget<'a> {
+    /// Index of the view in the engine's registration order, so a repair
+    /// interrupted by a budget can drop exactly that view's extension after
+    /// the workers join.
+    view_idx: usize,
     nfa: &'a DenseNfa,
     reverse: &'a DenseReverse,
     pairs: &'a mut Answer,
 }
 
-/// Repairs one cached extension against every edge of an insertion.
-fn repair_entry(
+/// Repairs one cached extension against every edge of an insertion,
+/// polling the time-like budget limits between per-edge delta sweeps.
+fn repair_entry_budgeted(
     csr_out: &CsrAdjacency,
     csr_in: &CsrAdjacency,
     job: &mut RepairTarget<'_>,
     new_edges: &[(NodeId, automata::Symbol, NodeId)],
-) {
+    budget: &SweepBudget,
+    progress: &SweepState,
+) -> Result<(), SweepInterrupt> {
     for &(from, label, to) in new_edges {
+        progress.poll(budget)?;
         let delta = delta_pairs(csr_out, csr_in, job.nfa, job.reverse, from, label, to);
         job.pairs.extend(delta);
     }
+    Ok(())
+}
+
+/// A [`RepairTarget`] of the insertion path, carrying the budget interrupt
+/// (if any) out of the worker.
+struct InsertionJob<'a> {
+    target: RepairTarget<'a>,
+    interrupted: Option<SweepInterrupt>,
 }
 
 /// A [`RepairTarget`] of the deletion path, additionally carrying its work
-/// counters out of the worker for the post-join stats fold.
+/// counters (and the budget interrupt, if any) out of the worker for the
+/// post-join stats fold.
 struct DeletionJob<'a> {
     target: RepairTarget<'a>,
     report: DeletionRepairReport,
+    interrupted: Option<SweepInterrupt>,
 }
 
 /// Phase 1 of every mutation, run after the revision bump: validates each
@@ -191,7 +275,7 @@ fn queue_repair_targets<'a>(
     mut touch: impl FnMut(&mut ViewEntry),
 ) -> Vec<RepairTarget<'a>> {
     let mut targets = Vec::new();
-    for entry in views {
+    for (view_idx, entry) in views.iter_mut().enumerate() {
         if matches!(&entry.extension, Some((rev, _)) if *rev + 1 != revision) {
             entry.extension = None;
             continue;
@@ -210,6 +294,7 @@ fn queue_repair_targets<'a>(
         }
         let ViewEntry { nfa, reverse, extension, .. } = entry;
         targets.push(RepairTarget {
+            view_idx,
             nfa,
             reverse: reverse.as_ref().expect("built above"),
             pairs: Arc::make_mut(&mut extension.as_mut().expect("validated above").1),
@@ -285,6 +370,9 @@ pub struct QueryEngine {
     /// The snapshot published for the current `(revision, views_epoch)`,
     /// if any — invalidated by every mutation and view-set change.
     published: Option<Arc<EngineSnapshot>>,
+    /// The keep-last-K retention window over published snapshots
+    /// ([`EngineConfig::snapshot_keep_last`]); empty when retention is off.
+    retained: VecDeque<Arc<EngineSnapshot>>,
     stats: Arc<SharedStats>,
 }
 
@@ -309,8 +397,20 @@ impl QueryEngine {
             views: Vec::new(),
             answers,
             published: None,
+            retained: VecDeque::new(),
             stats: Arc::new(SharedStats::default()),
         }
+    }
+
+    /// Wraps a database with a strictly validated configuration: degenerate
+    /// knob values that the permissive [`with_config`](Self::with_config)
+    /// accepts with documented special meanings (`threads: 0`,
+    /// `answer_cache_capacity: 0`) are rejected with
+    /// [`EngineError::InvalidConfig`].  This is the constructor serving
+    /// deployments use on operator-supplied configuration.
+    pub fn try_with_config(db: GraphDb, config: EngineConfig) -> Result<Self, EngineError> {
+        config.validate()?;
+        Ok(Self::with_config(db, config))
     }
 
     /// The underlying database (read-only; mutate through the engine).
@@ -376,7 +476,23 @@ impl QueryEngine {
             self.stats.clone(),
         ));
         self.published = Some(snapshot.clone());
+        if self.config.snapshot_keep_last > 0 {
+            self.retained.push_back(snapshot.clone());
+            bump(&self.stats.snapshot_retained);
+            while self.retained.len() > self.config.snapshot_keep_last {
+                self.retained.pop_front();
+                bump(&self.stats.snapshot_dropped);
+            }
+        }
         snapshot
+    }
+
+    /// The published snapshots the engine itself is keeping alive, oldest
+    /// first — at most [`EngineConfig::snapshot_keep_last`] of them.
+    /// Snapshots outside the window stay valid for any reader still holding
+    /// their `Arc`; the window only controls what the *engine* pins.
+    pub fn retained_snapshots(&self) -> impl Iterator<Item = &Arc<EngineSnapshot>> {
+        self.retained.iter()
     }
 
     // ------------------------------------------------------------------
@@ -425,20 +541,70 @@ impl QueryEngine {
         self.adhoc().eval_nfa(query)
     }
 
+    /// Fallible variant of [`eval_str`](Self::eval_str): parse failures and
+    /// out-of-domain labels surface as [`EngineError`] instead of panicking.
+    pub fn try_eval_str(&mut self, query: &str) -> Result<Arc<Answer>, EngineError> {
+        self.eval_str_budgeted(query, &QueryBudget::unlimited())
+    }
+
+    /// Budgeted, fallible evaluation of a concrete-syntax query.  An
+    /// unlimited budget takes the check-free fast path; a tripped limit maps
+    /// to the matching [`EngineError`] variant carrying the partial-work
+    /// count, and interrupted evaluations never pollute the answer cache.
+    pub fn eval_str_budgeted(
+        &mut self,
+        query: &str,
+        budget: &QueryBudget,
+    ) -> Result<Arc<Answer>, EngineError> {
+        let expr = regexlang::parse(query)?;
+        self.eval_regex_budgeted(&expr, budget)
+    }
+
+    /// Budgeted, fallible variant of [`eval_regex`](Self::eval_regex).
+    pub fn eval_regex_budgeted(
+        &mut self,
+        query: &Regex,
+        budget: &QueryBudget,
+    ) -> Result<Arc<Answer>, EngineError> {
+        self.adhoc().eval_regex_budgeted(query, budget)
+    }
+
+    /// Budgeted, fallible variant of [`eval_nfa`](Self::eval_nfa).
+    pub fn eval_nfa_budgeted(
+        &mut self,
+        query: &Nfa,
+        budget: &QueryBudget,
+    ) -> Result<Arc<Answer>, EngineError> {
+        self.adhoc().eval_nfa_budgeted(query, budget)
+    }
+
     // ------------------------------------------------------------------
     // Views
 
     /// Registers (or replaces) a named view.  Re-registering the same
     /// definition under the same name keeps the cached extension; a changed
     /// definition drops it.
+    ///
+    /// # Panics
+    /// Panics when the definition mentions a label outside the domain; use
+    /// [`try_register_view`](Self::try_register_view) to handle that as an
+    /// error.
     pub fn register_view(&mut self, name: &str, definition: Regex) {
+        self.try_register_view(name, definition)
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Fallible variant of [`register_view`](Self::register_view): an
+    /// out-of-domain label in the definition surfaces as
+    /// [`EngineError::UnknownLabel`] and leaves the view set unchanged.
+    pub fn try_register_view(&mut self, name: &str, definition: Regex) -> Result<(), EngineError> {
         let fp = fingerprint_regex(self.db.domain(), &definition);
         if let Some(entry) = self.views.iter().find(|v| v.name == name) {
             if entry.fingerprint == fp {
-                return; // identical registration, cache (and snapshot) intact
+                return Ok(()); // identical registration, cache (and snapshot) intact
             }
         }
-        let nfa = self.compile.compile_regex(self.db.domain(), &definition);
+        let nfa = self.compile.try_compile_regex(self.db.domain(), &definition)?;
         let entry = ViewEntry {
             name: name.to_string(),
             fingerprint: fp,
@@ -452,6 +618,7 @@ impl QueryEngine {
         }
         self.views_epoch += 1;
         self.published = None;
+        Ok(())
     }
 
     /// Registers several views at once (e.g. a whole rewriting problem's).
@@ -524,41 +691,104 @@ impl QueryEngine {
     /// product-BFS seeded from the edge's endpoints.
     ///
     /// # Panics
-    /// Panics like [`GraphDb::add_edge`] on out-of-range endpoints or a
-    /// label outside the domain.
+    /// Panics on out-of-range endpoints or a label outside the domain; use
+    /// [`try_add_edges`](Self::try_add_edges) to handle those as errors.
     pub fn add_edge(&mut self, from: NodeId, label: automata::Symbol, to: NodeId) {
-        let prev_nodes = self.db.num_nodes();
-        self.db.add_edge(from, label, to);
-        self.finish_mutation(prev_nodes, &[(from, label, to)]);
+        self.try_add_edges(&[(from, label, to)])
+            .unwrap_or_else(|e| panic!("{e}"));
     }
 
     /// Inserts an edge between named nodes (creating them on demand, like
     /// [`GraphDb::add_edge_named`]).
+    ///
+    /// # Panics
+    /// Panics on a label outside the domain.
     pub fn add_edge_named(&mut self, from: &str, label: &str, to: &str) {
-        let label = self
-            .db
-            .domain()
-            .symbol(label)
-            .unwrap_or_else(|| panic!("label `{label}` not in domain"));
-        let prev_nodes = self.db.num_nodes();
-        let from = self.db.node(from);
-        let to = self.db.node(to);
-        self.db.add_edge(from, label, to);
-        self.finish_mutation(prev_nodes, &[(from, label, to)]);
+        self.try_add_edges_named(&[(from, label, to)])
+            .unwrap_or_else(|e| panic!("{e}"));
     }
 
     /// Inserts a batch of edges under a single revision bump, refreezing the
     /// adjacencies once and repairing each cached extension with one delta
     /// sweep per inserted edge.
+    ///
+    /// # Panics
+    /// Panics on out-of-range endpoints or a label outside the domain —
+    /// validated for the whole batch *before* anything mutates.
     pub fn add_edges(&mut self, edges: &[(NodeId, automata::Symbol, NodeId)]) {
+        self.try_add_edges(edges).unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Fallible variant of [`add_edges`](Self::add_edges): the whole batch
+    /// is validated before anything mutates, so on `Err` the engine —
+    /// database, revision, caches — is untouched.
+    pub fn try_add_edges(
+        &mut self,
+        edges: &[(NodeId, automata::Symbol, NodeId)],
+    ) -> Result<(), EngineError> {
+        self.try_add_edges_budgeted(edges, &QueryBudget::unlimited())
+    }
+
+    /// [`try_add_edges`](Self::try_add_edges) with a budget over the
+    /// *repair* phase.  Once validation passes the mutation itself always
+    /// applies; a budget tripped mid-repair degrades gracefully instead of
+    /// failing the call — the affected views' cached extensions are dropped
+    /// (`repair_budget_drops` counts them) and re-materialize lazily on
+    /// next use.
+    pub fn try_add_edges_budgeted(
+        &mut self,
+        edges: &[(NodeId, automata::Symbol, NodeId)],
+        budget: &QueryBudget,
+    ) -> Result<(), EngineError> {
         if edges.is_empty() {
-            return;
+            return Ok(());
+        }
+        for &(from, label, to) in edges {
+            self.db.check_edge_parts(from, label, to)?;
         }
         let prev_nodes = self.db.num_nodes();
         for &(from, label, to) in edges {
             self.db.add_edge(from, label, to);
         }
-        self.finish_mutation(prev_nodes, edges);
+        self.finish_mutation(prev_nodes, edges, budget);
+        Ok(())
+    }
+
+    /// Fallible batch insertion between named nodes.  Labels are resolved
+    /// (the only fallible step) before any node is created, so on `Err` the
+    /// engine is untouched; nodes are then created on demand like
+    /// [`add_edge_named`](Self::add_edge_named).
+    pub fn try_add_edges_named(&mut self, edges: &[(&str, &str, &str)]) -> Result<(), EngineError> {
+        self.try_add_edges_named_budgeted(edges, &QueryBudget::unlimited())
+    }
+
+    /// [`try_add_edges_named`](Self::try_add_edges_named) with a repair
+    /// budget (see
+    /// [`try_add_edges_budgeted`](Self::try_add_edges_budgeted)).
+    pub fn try_add_edges_named_budgeted(
+        &mut self,
+        edges: &[(&str, &str, &str)],
+        budget: &QueryBudget,
+    ) -> Result<(), EngineError> {
+        if edges.is_empty() {
+            return Ok(());
+        }
+        let mut labels = Vec::with_capacity(edges.len());
+        for &(_, label, _) in edges {
+            labels.push(self.db.require_label(label)?);
+        }
+        let prev_nodes = self.db.num_nodes();
+        let mut triples = Vec::with_capacity(edges.len());
+        for (&(from, _, to), &label) in edges.iter().zip(&labels) {
+            let from = self.db.node(from);
+            let to = self.db.node(to);
+            triples.push((from, label, to));
+        }
+        for &(from, label, to) in &triples {
+            self.db.add_edge(from, label, to);
+        }
+        self.finish_mutation(prev_nodes, &triples, budget);
+        Ok(())
     }
 
     /// Adds an isolated node.  Start-accepting cached extensions gain the
@@ -566,7 +796,7 @@ impl QueryEngine {
     pub fn add_node(&mut self) -> NodeId {
         let prev_nodes = self.db.num_nodes();
         let id = self.db.add_node();
-        self.finish_mutation(prev_nodes, &[]);
+        self.finish_mutation(prev_nodes, &[], &QueryBudget::unlimited());
         id
     }
 
@@ -618,20 +848,26 @@ impl QueryEngine {
     /// Panics on unknown node names, a label outside the domain, or an edge
     /// that is not present.
     pub fn remove_edge_named(&mut self, from: &str, label: &str, to: &str) {
-        let label_sym = self
-            .db
-            .domain()
-            .symbol(label)
-            .unwrap_or_else(|| panic!("label `{label}` not in domain"));
-        let from = self
-            .db
-            .node_by_name(from)
-            .unwrap_or_else(|| panic!("no node named `{from}`"));
-        let to = self
-            .db
-            .node_by_name(to)
-            .unwrap_or_else(|| panic!("no node named `{to}`"));
-        self.remove_edges(&[(from, label_sym, to)]);
+        self.try_remove_edges_named(&[(from, label, to)])
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Fallible batch removal between named nodes: every name and label is
+    /// resolved before anything mutates, and the resolved batch then runs
+    /// through [`try_remove_edges`](Self::try_remove_edges)' whole-batch
+    /// validation — on `Err` the engine is untouched.
+    pub fn try_remove_edges_named(
+        &mut self,
+        edges: &[(&str, &str, &str)],
+    ) -> Result<(), EngineError> {
+        let mut triples = Vec::with_capacity(edges.len());
+        for &(from, label, to) in edges {
+            let label = self.db.require_label(label)?;
+            let from = self.db.require_node(from)?;
+            let to = self.db.require_node(to)?;
+            triples.push((from, label, to));
+        }
+        self.try_remove_edges(&triples)
     }
 
     /// Removes a batch of edge occurrences under a single revision bump,
@@ -645,10 +881,33 @@ impl QueryEngine {
     /// whole batch *before* anything is removed, so a bad batch never
     /// leaves the engine partially mutated.
     pub fn remove_edges(&mut self, edges: &[(NodeId, automata::Symbol, NodeId)]) {
+        self.try_remove_edges(edges).unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Fallible variant of [`remove_edges`](Self::remove_edges): a missing
+    /// occurrence surfaces as [`EngineError::EdgeNotPresent`], checked for
+    /// the whole batch before anything mutates.
+    pub fn try_remove_edges(
+        &mut self,
+        edges: &[(NodeId, automata::Symbol, NodeId)],
+    ) -> Result<(), EngineError> {
+        self.try_remove_edges_budgeted(edges, &QueryBudget::unlimited())
+    }
+
+    /// [`try_remove_edges`](Self::try_remove_edges) with a budget over the
+    /// DRed repair phase.  Once validation passes the deletion itself always
+    /// applies; a budget tripped mid-repair drops the affected views'
+    /// cached extensions (`repair_budget_drops`) instead of failing the
+    /// call — they re-materialize lazily on next use.
+    pub fn try_remove_edges_budgeted(
+        &mut self,
+        edges: &[(NodeId, automata::Symbol, NodeId)],
+        budget: &QueryBudget,
+    ) -> Result<(), EngineError> {
         if edges.is_empty() {
-            return;
+            return Ok(());
         }
-        // Validate the whole batch up front (so the documented panic cannot
+        // Validate the whole batch up front (so the documented error cannot
         // fire mid-batch and leave a half-mutated engine): tally requested
         // removals per triple and check the multigraph holds enough copies.
         let mut triples: Vec<((NodeId, automata::Symbol, NodeId), usize)> = Vec::new();
@@ -660,11 +919,15 @@ impl QueryEngine {
         }
         for &((from, label, to), count) in &triples {
             let present = self.db.edge_multiplicity(from, label, to);
-            assert!(
-                present >= count,
-                "edge {from} -{label}-> {to} is not present \
-                 ({count} removal(s) requested, {present} present)"
-            );
+            if present < count {
+                return Err(EngineError::EdgeNotPresent {
+                    from,
+                    label: label.to_string(),
+                    to,
+                    requested: count,
+                    present,
+                });
+            }
         }
 
         // Support-count fast path, decided before mutating: a triple keeping
@@ -717,13 +980,14 @@ impl QueryEngine {
             |_| {},
         );
         if targets.is_empty() {
-            return;
+            return Ok(());
         }
         let mut jobs: Vec<DeletionJob<'_>> = targets
             .into_iter()
             .map(|target| DeletionJob {
                 target,
                 report: DeletionRepairReport::default(),
+                interrupted: None,
             })
             .collect();
         self.stats
@@ -732,8 +996,10 @@ impl QueryEngine {
 
         let (old_csr_out, old_csr_in) = old_csrs.expect("frozen above: repair edges exist");
         let new_csr_out: &CsrAdjacency = &self.csr_out;
+        let sweep = budget.to_sweep();
+        let progress = SweepState::new();
         shard_repair_jobs(self.config.threads, &self.stats, &mut jobs, |job| {
-            job.report = deletion_repair(
+            match deletion_repair_budgeted(
                 &old_csr_out,
                 &old_csr_in,
                 new_csr_out,
@@ -741,7 +1007,12 @@ impl QueryEngine {
                 job.target.reverse,
                 &repair_edges,
                 job.target.pairs,
-            );
+                &sweep,
+                &progress,
+            ) {
+                Ok(report) => job.report = report,
+                Err(why) => job.interrupted = Some(why),
+            }
         });
 
         // Fold the per-job work counters gathered inside the workers.
@@ -750,18 +1021,33 @@ impl QueryEngine {
             overdeleted += job.report.overdeleted_pairs;
             rederived += job.report.rederived_sources;
         }
+        // A view whose repair was interrupted holds a half-repaired
+        // (over-deleted but not re-derived) extension: drop it so the next
+        // access re-materializes from scratch.
+        let dropped: Vec<usize> = jobs
+            .iter()
+            .filter(|job| job.interrupted.is_some())
+            .map(|job| job.target.view_idx)
+            .collect();
+        drop(jobs);
+        for idx in dropped {
+            self.views[idx].extension = None;
+            bump(&self.stats.repair_budget_drops);
+        }
         self.stats
             .deletion_overdeleted_pairs
             .fetch_add(overdeleted, Ordering::Relaxed);
         self.stats
             .deletion_rederived_sources
             .fetch_add(rederived, Ordering::Relaxed);
+        Ok(())
     }
 
     fn finish_mutation(
         &mut self,
         prev_num_nodes: usize,
         new_edges: &[(NodeId, automata::Symbol, NodeId)],
+        budget: &QueryBudget,
     ) {
         self.revision += 1;
         self.csr_out = Arc::new(self.db.csr_out());
@@ -787,7 +1073,7 @@ impl QueryEngine {
         // mutation.
         let num_nodes = self.db.num_nodes();
         let stats = &self.stats;
-        let mut jobs = queue_repair_targets(
+        let targets = queue_repair_targets(
             &mut self.views,
             self.revision,
             !new_edges.is_empty(),
@@ -804,9 +1090,13 @@ impl QueryEngine {
                 }
             },
         );
-        if jobs.is_empty() {
+        if targets.is_empty() {
             return;
         }
+        let mut jobs: Vec<InsertionJob<'_>> = targets
+            .into_iter()
+            .map(|target| InsertionJob { target, interrupted: None })
+            .collect();
         self.stats
             .view_delta_repairs
             .fetch_add(jobs.len() as u64, Ordering::Relaxed);
@@ -814,9 +1104,26 @@ impl QueryEngine {
         // Phase 2: one delta sweep per (view, inserted edge) on the pool.
         let csr_out: &CsrAdjacency = &self.csr_out;
         let csr_in = self.csr_in.as_ref().expect("frozen above when edges exist");
+        let sweep = budget.to_sweep();
+        let progress = SweepState::new();
         shard_repair_jobs(self.config.threads, &self.stats, &mut jobs, |job| {
-            repair_entry(csr_out, csr_in, job, new_edges);
+            job.interrupted =
+                repair_entry_budgeted(csr_out, csr_in, &mut job.target, new_edges, &sweep, &progress)
+                    .err();
         });
+
+        // A view whose repair was interrupted may be missing delta pairs:
+        // drop its extension so the next access re-materializes.
+        let dropped: Vec<usize> = jobs
+            .iter()
+            .filter(|job| job.interrupted.is_some())
+            .map(|job| job.target.view_idx)
+            .collect();
+        drop(jobs);
+        for idx in dropped {
+            self.views[idx].extension = None;
+            bump(&self.stats.repair_budget_drops);
+        }
     }
 }
 

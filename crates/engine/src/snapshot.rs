@@ -21,12 +21,14 @@ use std::sync::{Arc, OnceLock, RwLock};
 
 use automata::dense::FxHashMap;
 use automata::{Alphabet, DenseNfa, Nfa};
-use graphdb::{Answer, CsrAdjacency, MaterializedViews};
+use graphdb::{Answer, CsrAdjacency, MaterializedViews, SweepState};
 use regexlang::Regex;
 
+use crate::budget::QueryBudget;
 use crate::cache::CompileCache;
+use crate::error::EngineError;
 use crate::fingerprint::{fingerprint_nfa, fingerprint_regex, Fingerprint};
-use crate::parallel::{available_threads, eval_csr_parallel};
+use crate::parallel::{available_threads, eval_csr_parallel, eval_csr_parallel_budgeted};
 use crate::query_engine::{EngineConfig, EngineStats};
 
 /// Compile-time proof that the read handle crosses threads.
@@ -68,6 +70,10 @@ pub(crate) struct SharedStats {
     pub deletion_support_skips: AtomicU64,
     pub deletion_overdeleted_pairs: AtomicU64,
     pub deletion_rederived_sources: AtomicU64,
+    pub budget_interrupted_evals: AtomicU64,
+    pub repair_budget_drops: AtomicU64,
+    pub snapshot_retained: AtomicU64,
+    pub snapshot_dropped: AtomicU64,
 }
 
 #[inline]
@@ -301,6 +307,67 @@ impl AdhocReader<'_> {
         let answer = Arc::new(self.eval_on_csr(&dense));
         self.answers.put(fp, self.revision, answer)
     }
+
+    /// Budgeted product-BFS over the pinned CSR.  An unlimited budget takes
+    /// the check-free fast path; an interrupt bumps
+    /// `budget_interrupted_evals` and carries the partial-work count.
+    pub fn eval_on_csr_budgeted(
+        &self,
+        dense: &DenseNfa,
+        budget: &QueryBudget,
+    ) -> Result<Answer, EngineError> {
+        if budget.is_unlimited() {
+            return Ok(self.eval_on_csr(dense));
+        }
+        let threads = threads_for(self.config, self.csr_out.num_nodes());
+        if threads > 1 {
+            bump(&self.stats.parallel_evals);
+        } else {
+            bump(&self.stats.sequential_evals);
+        }
+        let sweep = budget.to_sweep();
+        let progress = SweepState::new();
+        eval_csr_parallel_budgeted(self.csr_out, dense, threads, &sweep, &progress).map_err(
+            |why| {
+                bump(&self.stats.budget_interrupted_evals);
+                EngineError::from_interrupt(why, progress.visited())
+            },
+        )
+    }
+
+    /// Budgeted, fallible regex evaluation: compile failures surface as
+    /// [`EngineError`] and budget interrupts carry partial-work stats.  A
+    /// cache hit is returned regardless of the budget (serving a resident
+    /// answer costs nothing); partial answers are never cached.
+    pub fn eval_regex_budgeted(
+        &self,
+        query: &Regex,
+        budget: &QueryBudget,
+    ) -> Result<Arc<Answer>, EngineError> {
+        let domain = self.csr_out.domain();
+        let fp = fingerprint_regex(domain, query);
+        if let Some(cached) = self.answers.get(fp, self.revision) {
+            return Ok(cached);
+        }
+        let dense = self.compile.try_compile_regex(domain, query)?;
+        let answer = Arc::new(self.eval_on_csr_budgeted(&dense, budget)?);
+        Ok(self.answers.put(fp, self.revision, answer))
+    }
+
+    /// Budgeted, fallible automaton-form evaluation.
+    pub fn eval_nfa_budgeted(
+        &self,
+        query: &Nfa,
+        budget: &QueryBudget,
+    ) -> Result<Arc<Answer>, EngineError> {
+        let fp = fingerprint_nfa(query);
+        if let Some(cached) = self.answers.get(fp, self.revision) {
+            return Ok(cached);
+        }
+        let dense = self.compile.compile_nfa(query);
+        let answer = Arc::new(self.eval_on_csr_budgeted(&dense, budget)?);
+        Ok(self.answers.put(fp, self.revision, answer))
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -488,6 +555,45 @@ impl EngineSnapshot {
     /// shared compile and answer caches.
     pub fn eval_nfa(&self, query: &Nfa) -> Arc<Answer> {
         self.adhoc().eval_nfa(query)
+    }
+
+    /// Fallible variant of [`eval_str`](Self::eval_str): parse failures and
+    /// out-of-domain labels surface as [`EngineError`] instead of panicking.
+    pub fn try_eval_str(&self, query: &str) -> Result<Arc<Answer>, EngineError> {
+        self.eval_str_budgeted(query, &QueryBudget::unlimited())
+    }
+
+    /// Budgeted, fallible evaluation of a query in the paper's concrete
+    /// syntax — the entry point the service layer uses.  The budget's first
+    /// tripped limit maps to [`EngineError::DeadlineExceeded`],
+    /// [`EngineError::VisitBudgetExceeded`], or [`EngineError::Cancelled`],
+    /// each carrying the number of product pairs visited before the
+    /// interrupt.  Interrupted evaluations never pollute the answer cache.
+    pub fn eval_str_budgeted(
+        &self,
+        query: &str,
+        budget: &QueryBudget,
+    ) -> Result<Arc<Answer>, EngineError> {
+        let expr = regexlang::parse(query)?;
+        self.eval_regex_budgeted(&expr, budget)
+    }
+
+    /// Budgeted, fallible variant of [`eval_regex`](Self::eval_regex).
+    pub fn eval_regex_budgeted(
+        &self,
+        query: &Regex,
+        budget: &QueryBudget,
+    ) -> Result<Arc<Answer>, EngineError> {
+        self.adhoc().eval_regex_budgeted(query, budget)
+    }
+
+    /// Budgeted, fallible variant of [`eval_nfa`](Self::eval_nfa).
+    pub fn eval_nfa_budgeted(
+        &self,
+        query: &Nfa,
+        budget: &QueryBudget,
+    ) -> Result<Arc<Answer>, EngineError> {
+        self.adhoc().eval_nfa_budgeted(query, budget)
     }
 
     /// The captured view extensions as a [`MaterializedViews`], ready for

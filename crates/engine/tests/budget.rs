@@ -1,0 +1,270 @@
+//! Budget, error-path, and snapshot-retention suite: the engine half of
+//! the serving-layer hardening.  The load-bearing invariants:
+//!
+//! * an *unlimited* budget is answer-identical to the unbudgeted API
+//!   (sequential and forced-parallel),
+//! * a tripped budget surfaces as the matching [`EngineError`] with a
+//!   partial-work count — and never poisons the answer cache,
+//! * a tripped budget during mutation repair degrades (drops the cached
+//!   extension) without ever corrupting answers,
+//! * `snapshot_keep_last` retains exactly the last K published snapshots,
+//! * every `try_*` constructor/mutation rejects bad input atomically.
+
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+use std::time::Duration;
+
+use automata::Alphabet;
+use engine::{EngineConfig, EngineError, QueryBudget, QueryEngine};
+use graphdb::GraphDb;
+
+fn abc() -> Alphabet {
+    Alphabet::from_chars(['a', 'b', 'c']).unwrap()
+}
+
+/// An `a`-chain with a `b`-cycle closing it: rich enough that `a*` has a
+/// quadratic extension while staying fast to evaluate unbudgeted.
+fn chain_db(n: usize) -> GraphDb {
+    let mut db = GraphDb::new(abc());
+    for i in 0..n {
+        db.add_edge_named(&format!("v{i}"), "a", &format!("v{}", i + 1));
+    }
+    db.add_edge_named(&format!("v{n}"), "b", "v0");
+    db
+}
+
+fn forced_parallel() -> EngineConfig {
+    EngineConfig { threads: 4, parallel_threshold: 0, ..EngineConfig::default() }
+}
+
+// ---------------------------------------------------------------------------
+// Differential: unlimited budgets change nothing
+
+#[test]
+fn unlimited_budget_is_answer_identical_sequential_and_parallel() {
+    let queries = ["a*", "a·(b·a)?", "b+a·a", "ε", "∅", "(a+b)*"];
+    for config in [EngineConfig::default(), forced_parallel()] {
+        let mut budgeted = QueryEngine::with_config(chain_db(150), config.clone());
+        let mut plain = QueryEngine::with_config(chain_db(150), config);
+        for q in queries {
+            let via_budget = budgeted.eval_str_budgeted(q, &QueryBudget::unlimited()).unwrap();
+            let via_try = budgeted.try_eval_str(q).unwrap();
+            let unbudgeted = plain.eval_str(q);
+            assert_eq!(*via_budget, *unbudgeted, "{q}");
+            assert_eq!(*via_try, *unbudgeted, "{q}");
+        }
+        // Unlimited budgets take the check-free fast path: no interrupts.
+        assert_eq!(budgeted.stats().budget_interrupted_evals, 0);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tripping each limit
+
+#[test]
+fn expired_deadline_reports_deadline_exceeded() {
+    let mut engine = QueryEngine::with_config(chain_db(400), forced_parallel());
+    let budget = QueryBudget::with_timeout(Duration::from_millis(0));
+    let err = engine.eval_str_budgeted("a*", &budget).unwrap_err();
+    assert!(matches!(err, EngineError::DeadlineExceeded { .. }), "{err}");
+    assert_eq!(err.code(), "deadline_exceeded");
+    assert!(err.is_budget_interrupt());
+    assert!(engine.stats().budget_interrupted_evals >= 1);
+}
+
+#[test]
+fn visit_cap_reports_visit_budget_exceeded_with_partial_work() {
+    let mut engine = QueryEngine::new(chain_db(400));
+    let budget = QueryBudget::unlimited().max_visited(10);
+    match engine.eval_str_budgeted("a*", &budget).unwrap_err() {
+        EngineError::VisitBudgetExceeded { visited } => {
+            assert!(visited > 0, "partial-work count must be reported");
+        }
+        other => panic!("expected VisitBudgetExceeded, got {other}"),
+    }
+}
+
+#[test]
+fn cancellation_flag_reports_cancelled() {
+    let flag = Arc::new(AtomicBool::new(true)); // pre-cancelled
+    let mut engine = QueryEngine::with_config(chain_db(400), forced_parallel());
+    let budget = QueryBudget::unlimited().cancelled_by(flag);
+    let err = engine.eval_str_budgeted("a*", &budget).unwrap_err();
+    assert!(matches!(err, EngineError::Cancelled { .. }), "{err}");
+    assert_eq!(err.code(), "cancelled");
+}
+
+// ---------------------------------------------------------------------------
+// Cache consistency after interrupts
+
+#[test]
+fn interrupted_answers_are_never_cached() {
+    for config in [EngineConfig::default(), forced_parallel()] {
+        let mut engine = QueryEngine::with_config(chain_db(200), config.clone());
+        let tight = QueryBudget::unlimited().max_visited(5);
+        for _ in 0..3 {
+            engine.eval_str_budgeted("a*", &tight).unwrap_err();
+        }
+        // The partial sweeps left nothing behind: the next evaluation is a
+        // cache miss whose answer equals a fresh engine's.
+        let healed = engine.try_eval_str("a*").unwrap();
+        let mut fresh = QueryEngine::with_config(chain_db(200), config);
+        assert_eq!(*healed, *fresh.eval_str("a*"));
+        let stats = engine.stats();
+        assert_eq!(stats.answer_hits, 0, "no interrupted answer may be served from cache");
+        // A repeat of the healed query *is* now a hit — budgets don't
+        // disable caching, they only keep partial answers out.
+        let again = engine.eval_str_budgeted("a*", &tight).unwrap();
+        assert_eq!(*again, *healed);
+        assert_eq!(engine.stats().answer_hits, 1);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Budgeted mutations degrade instead of failing
+
+#[test]
+fn tripped_repair_budget_drops_extensions_but_stays_correct() {
+    let mut engine = QueryEngine::with_config(chain_db(200), forced_parallel());
+    engine.register_view("star", regexlang::parse("a*").unwrap());
+    assert!(engine.view_extension("star").is_some());
+
+    // The mutation itself must apply even though its repair budget is
+    // hopeless (the insertion repair polls the deadline per delta edge);
+    // the cached extension is dropped rather than left stale.
+    let expired = QueryBudget::with_timeout(Duration::from_millis(0));
+    engine
+        .try_add_edges_named_budgeted(&[("v0", "c", "v5"), ("v200", "a", "w0")], &expired)
+        .unwrap();
+    assert!(engine.stats().repair_budget_drops >= 1, "drop must be counted");
+
+    // Re-materialization is exact: differential against a fresh engine
+    // over the same final graph.
+    let repaired = engine.view_extension("star").unwrap().clone();
+    let mut fresh = QueryEngine::new(chain_db(200));
+    fresh.try_add_edges_named(&[("v0", "c", "v5"), ("v200", "a", "w0")]).unwrap();
+    assert_eq!(repaired, *fresh.eval_str("a*"));
+
+    // Deletion path: same degradation contract.
+    engine.try_remove_edges_named(&[("v0", "a", "v1")]).unwrap();
+    let drops_before = engine.stats().repair_budget_drops;
+    engine
+        .try_add_edges_named_budgeted(&[("v0", "a", "v1")], &QueryBudget::unlimited())
+        .unwrap();
+    // Unlimited budgets never drop.
+    assert_eq!(engine.stats().repair_budget_drops, drops_before);
+}
+
+#[test]
+fn budgeted_deletion_repair_degrades_and_heals() {
+    let mut engine = QueryEngine::with_config(chain_db(150), forced_parallel());
+    engine.register_view("star", regexlang::parse("a*").unwrap());
+    engine.view_extension("star");
+
+    let expired = QueryBudget::with_timeout(Duration::from_millis(0));
+    engine.try_remove_edges_budgeted(
+        &[(0, automata::Symbol(0), 1)], // v0 -a-> v1
+        &expired,
+    ).unwrap();
+    assert!(engine.stats().repair_budget_drops >= 1);
+
+    let healed = engine.view_extension("star").unwrap().clone();
+    let mut fresh = QueryEngine::new(chain_db(150));
+    fresh.remove_edge(0, automata::Symbol(0), 1);
+    assert_eq!(healed, *fresh.eval_str("a*"));
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot retention
+
+#[test]
+fn keep_last_k_retains_a_sliding_window() {
+    let config = EngineConfig { snapshot_keep_last: 3, ..EngineConfig::default() };
+    let mut engine = QueryEngine::with_config(GraphDb::new(abc()), config);
+    for i in 0..6 {
+        let from = format!("x{i}");
+        let to = format!("x{}", i + 1);
+        engine.try_add_edges_named(&[(from.as_str(), "a", to.as_str())]).unwrap();
+        engine.publish_snapshot();
+    }
+    let retained: Vec<u64> = engine.retained_snapshots().map(|s| s.revision()).collect();
+    assert_eq!(retained, vec![4, 5, 6], "oldest-first window of the last 3 revisions");
+    let stats = engine.stats();
+    assert_eq!(stats.snapshot_retained, 6);
+    assert_eq!(stats.snapshot_dropped, 3);
+}
+
+#[test]
+fn zero_keep_last_retains_nothing() {
+    let mut engine = QueryEngine::new(GraphDb::new(abc()));
+    engine.add_edge_named("p", "a", "q");
+    engine.publish_snapshot();
+    assert_eq!(engine.retained_snapshots().count(), 0);
+    assert_eq!(engine.stats().snapshot_retained, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Strict configuration validation
+
+#[test]
+fn try_with_config_rejects_each_degenerate_knob() {
+    for (knob, config) in [
+        ("threads", EngineConfig { threads: 0, ..EngineConfig::default() }),
+        (
+            "answer_cache_capacity",
+            EngineConfig { threads: 1, answer_cache_capacity: 0, ..EngineConfig::default() },
+        ),
+    ] {
+        let err = QueryEngine::try_with_config(GraphDb::new(abc()), config).unwrap_err();
+        assert_eq!(err.code(), "invalid_config", "{knob}");
+        assert!(err.to_string().contains(knob), "{knob} must be named in: {err}");
+    }
+    // The serving preset and plain defaults-with-threads both pass.
+    assert!(QueryEngine::try_with_config(GraphDb::new(abc()), EngineConfig::serving()).is_ok());
+    // The permissive constructor still honors the documented degenerate
+    // semantics (threads: 0 = auto) for tests and embedded use.
+    let _ = QueryEngine::with_config(GraphDb::new(abc()), EngineConfig::default());
+}
+
+// ---------------------------------------------------------------------------
+// try_* mutation and query error paths
+
+#[test]
+fn try_eval_str_surfaces_parse_and_label_errors() {
+    let mut engine = QueryEngine::new(chain_db(5));
+    let parse_err = engine.try_eval_str("a·(b").unwrap_err();
+    assert_eq!(parse_err.code(), "parse_error");
+    let label_err = engine.try_eval_str("z*").unwrap_err();
+    assert_eq!(label_err.code(), "unknown_label");
+    assert!(label_err.to_string().contains("`z`"), "{label_err}");
+}
+
+#[test]
+fn bad_batches_are_rejected_atomically() {
+    let mut engine = QueryEngine::new(chain_db(5));
+    let before = engine.revision();
+
+    // Insertion: second triple has an unknown label — nothing applies,
+    // including the would-be-new node of the first triple.
+    let err = engine.try_add_edges_named(&[("new", "a", "v0"), ("v1", "z", "v2")]).unwrap_err();
+    assert_eq!(err.code(), "unknown_label");
+    assert_eq!(engine.revision(), before);
+    assert_eq!(engine.try_eval_str("a·a").unwrap().len(), 4);
+
+    // Removal: more occurrences requested than present — nothing applies.
+    let err = engine
+        .try_remove_edges_named(&[("v0", "a", "v1"), ("v0", "a", "v1")])
+        .unwrap_err();
+    match &err {
+        EngineError::EdgeNotPresent { requested, present, .. } => {
+            assert_eq!((*requested, *present), (2, 1));
+        }
+        other => panic!("expected EdgeNotPresent, got {other}"),
+    }
+    assert_eq!(engine.revision(), before);
+
+    // Unknown node name on removal.
+    let err = engine.try_remove_edges_named(&[("nobody", "a", "v1")]).unwrap_err();
+    assert_eq!(err.code(), "unknown_node");
+    assert_eq!(engine.revision(), before);
+}

@@ -1,0 +1,239 @@
+//! Cooperative resource budgets for product sweeps.
+//!
+//! A product-BFS over `graph × query` is worst-case `O(|V| · (|V| + |E|) ·
+//! |Q|)`; behind a socket that bound must be enforceable per query, not just
+//! provable.  A [`SweepBudget`] carries the limits (wall-clock deadline,
+//! visited-pair cap, cancel flag) and a [`SweepState`] carries the shared
+//! progress of one evaluation — possibly sharded across worker threads — so
+//! every worker stops promptly once any one of them trips a limit.
+//!
+//! Checks are cooperative: the budgeted evaluator polls every
+//! [`SWEEP_CHECK_INTERVAL`] product-state pops, which keeps the hot loop free
+//! of per-pop atomics while bounding the overshoot past a deadline to a few
+//! thousand pops per worker.
+
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Number of product-BFS pops between cooperative budget checks.
+///
+/// Each check costs one atomic add plus (amortized) one `Instant::now()`;
+/// 4096 pops of real traversal work dwarf that, while a tripped budget is
+/// still noticed within microseconds on any realistic workload.
+pub const SWEEP_CHECK_INTERVAL: u64 = 4096;
+
+/// Resource limits for one (possibly sharded) product sweep.
+///
+/// The default budget is unlimited, which is also what the un-budgeted hot
+/// path uses; limits compose — the first one hit wins.
+#[derive(Debug, Clone, Default)]
+pub struct SweepBudget {
+    /// Wall-clock deadline; the sweep stops with
+    /// [`SweepInterrupt::DeadlineExceeded`] at the first check past it.
+    pub deadline: Option<Instant>,
+    /// Cap on product `(node, state)` pairs popped across **all** workers of
+    /// the evaluation; trips [`SweepInterrupt::VisitLimit`].
+    pub max_visited: Option<u64>,
+    /// Cooperative cancel flag (e.g. set when a client disconnects); trips
+    /// [`SweepInterrupt::Cancelled`].
+    pub cancel: Option<Arc<AtomicBool>>,
+}
+
+impl SweepBudget {
+    /// A budget with no limits: the sweep runs to completion.
+    pub fn unlimited() -> Self {
+        Self::default()
+    }
+
+    /// Whether no limit is set (callers use this to pick the un-budgeted
+    /// fast path).
+    pub fn is_unlimited(&self) -> bool {
+        self.deadline.is_none() && self.max_visited.is_none() && self.cancel.is_none()
+    }
+}
+
+/// Why a budgeted sweep stopped before completing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SweepInterrupt {
+    /// The wall-clock deadline passed.
+    DeadlineExceeded,
+    /// The visited-pair cap was reached.
+    VisitLimit,
+    /// The cancel flag was set.
+    Cancelled,
+}
+
+impl std::fmt::Display for SweepInterrupt {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SweepInterrupt::DeadlineExceeded => write!(f, "deadline exceeded"),
+            SweepInterrupt::VisitLimit => write!(f, "visit budget exceeded"),
+            SweepInterrupt::Cancelled => write!(f, "cancelled"),
+        }
+    }
+}
+
+/// Shared progress of one budgeted evaluation: the global visited-pair count
+/// and a sticky "tripped" marker, so once any worker hits a limit every other
+/// worker (and the caller's later phases) observe the same interrupt.
+#[derive(Debug, Default)]
+pub struct SweepState {
+    visited: AtomicU64,
+    /// 0 while running; otherwise `interrupt discriminant + 1`.
+    tripped: AtomicU32,
+}
+
+impl SweepState {
+    /// Fresh progress for one evaluation.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Product pairs charged so far across all workers (the partial-work
+    /// statistic reported alongside an interrupt).
+    pub fn visited(&self) -> u64 {
+        self.visited.load(Ordering::Relaxed)
+    }
+
+    /// The sticky interrupt, if any worker tripped a limit.
+    pub fn interrupt(&self) -> Option<SweepInterrupt> {
+        match self.tripped.load(Ordering::Relaxed) {
+            0 => None,
+            1 => Some(SweepInterrupt::DeadlineExceeded),
+            2 => Some(SweepInterrupt::VisitLimit),
+            _ => Some(SweepInterrupt::Cancelled),
+        }
+    }
+
+    fn trip(&self, why: SweepInterrupt) -> SweepInterrupt {
+        let code = match why {
+            SweepInterrupt::DeadlineExceeded => 1,
+            SweepInterrupt::VisitLimit => 2,
+            SweepInterrupt::Cancelled => 3,
+        };
+        // First trip wins; later workers keep the original cause.
+        let _ = self
+            .tripped
+            .compare_exchange(0, code, Ordering::Relaxed, Ordering::Relaxed);
+        self.interrupt().unwrap_or(why)
+    }
+
+    /// Charges `pops` visited pairs and checks every limit.  Called from the
+    /// sweep loop every [`SWEEP_CHECK_INTERVAL`] pops (and once at the end
+    /// with the remainder).
+    pub fn charge(&self, budget: &SweepBudget, pops: u64) -> Result<(), SweepInterrupt> {
+        let total = self.visited.fetch_add(pops, Ordering::Relaxed) + pops;
+        if let Some(why) = self.interrupt() {
+            return Err(why);
+        }
+        if let Some(cancel) = &budget.cancel {
+            if cancel.load(Ordering::Relaxed) {
+                return Err(self.trip(SweepInterrupt::Cancelled));
+            }
+        }
+        if budget.max_visited.is_some_and(|cap| total > cap) {
+            return Err(self.trip(SweepInterrupt::VisitLimit));
+        }
+        if budget.deadline.is_some_and(|d| Instant::now() >= d) {
+            return Err(self.trip(SweepInterrupt::DeadlineExceeded));
+        }
+        Ok(())
+    }
+
+    /// Checks the time-like limits (tripped flag, cancel, deadline) without
+    /// charging visited pairs.  Used between coarse work items — repair jobs,
+    /// per-edge delta sweeps — where no pop count is being accumulated.
+    pub fn poll(&self, budget: &SweepBudget) -> Result<(), SweepInterrupt> {
+        if let Some(why) = self.interrupt() {
+            return Err(why);
+        }
+        if let Some(cancel) = &budget.cancel {
+            if cancel.load(Ordering::Relaxed) {
+                return Err(self.trip(SweepInterrupt::Cancelled));
+            }
+        }
+        if budget.deadline.is_some_and(|d| Instant::now() >= d) {
+            return Err(self.trip(SweepInterrupt::DeadlineExceeded));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn unlimited_budget_never_trips() {
+        let budget = SweepBudget::unlimited();
+        assert!(budget.is_unlimited());
+        let state = SweepState::new();
+        for _ in 0..100 {
+            assert!(state.charge(&budget, 1_000_000).is_ok());
+            assert!(state.poll(&budget).is_ok());
+        }
+        assert_eq!(state.visited(), 100_000_000);
+        assert_eq!(state.interrupt(), None);
+    }
+
+    #[test]
+    fn visit_cap_trips_and_sticks() {
+        let budget = SweepBudget {
+            max_visited: Some(10),
+            ..SweepBudget::unlimited()
+        };
+        assert!(!budget.is_unlimited());
+        let state = SweepState::new();
+        assert!(state.charge(&budget, 10).is_ok());
+        assert_eq!(state.charge(&budget, 1), Err(SweepInterrupt::VisitLimit));
+        // Sticky: later polls (even with a fresh unlimited budget view) see it.
+        assert_eq!(state.poll(&budget), Err(SweepInterrupt::VisitLimit));
+        assert_eq!(state.interrupt(), Some(SweepInterrupt::VisitLimit));
+        assert_eq!(state.visited(), 11);
+    }
+
+    #[test]
+    fn past_deadline_trips_immediately() {
+        let budget = SweepBudget {
+            deadline: Some(Instant::now() - Duration::from_millis(1)),
+            ..SweepBudget::unlimited()
+        };
+        let state = SweepState::new();
+        assert_eq!(
+            state.charge(&budget, 1),
+            Err(SweepInterrupt::DeadlineExceeded)
+        );
+    }
+
+    #[test]
+    fn cancel_flag_trips_poll_and_charge() {
+        let cancel = Arc::new(AtomicBool::new(false));
+        let budget = SweepBudget {
+            cancel: Some(Arc::clone(&cancel)),
+            ..SweepBudget::unlimited()
+        };
+        let state = SweepState::new();
+        assert!(state.poll(&budget).is_ok());
+        cancel.store(true, Ordering::Relaxed);
+        assert_eq!(state.poll(&budget), Err(SweepInterrupt::Cancelled));
+        assert_eq!(state.charge(&budget, 1), Err(SweepInterrupt::Cancelled));
+    }
+
+    #[test]
+    fn first_trip_cause_wins() {
+        let state = SweepState::new();
+        let visit_budget = SweepBudget {
+            max_visited: Some(1),
+            ..SweepBudget::unlimited()
+        };
+        assert_eq!(state.charge(&visit_budget, 2), Err(SweepInterrupt::VisitLimit));
+        // A later deadline check reports the original cause.
+        let deadline_budget = SweepBudget {
+            deadline: Some(Instant::now() - Duration::from_millis(1)),
+            ..SweepBudget::unlimited()
+        };
+        assert_eq!(state.poll(&deadline_budget), Err(SweepInterrupt::VisitLimit));
+    }
+}

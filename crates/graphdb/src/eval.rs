@@ -12,6 +12,7 @@ use std::collections::{BTreeSet, VecDeque};
 use automata::{DenseNfa, Nfa, StateId};
 use regexlang::{thompson, Regex};
 
+use crate::budget::{SweepBudget, SweepInterrupt, SweepState, SWEEP_CHECK_INTERVAL};
 use crate::graph::{CsrAdjacency, GraphDb, NodeId};
 
 /// The answer to a path query: a set of ordered node pairs.
@@ -142,6 +143,46 @@ pub fn eval_csr_range(
     scratch: &mut EvalScratch,
     pairs: &mut Vec<(u32, u32)>,
 ) {
+    let unlimited = SweepBudget::unlimited();
+    let progress = SweepState::new();
+    // BUDGETED = false compiles the check out of the pop loop entirely, and
+    // an unlimited budget cannot trip, so this cannot fail.
+    eval_csr_range_impl::<false>(csr, query, sources, scratch, pairs, &unlimited, &progress)
+        .expect("unlimited sweeps cannot be interrupted");
+}
+
+/// Budgeted variant of [`eval_csr_range`]: the same sharded product-BFS, but
+/// checking `budget` against the shared `progress` every
+/// [`SWEEP_CHECK_INTERVAL`] pops.
+///
+/// On interrupt the scratch buffers are reset (reusable for the next call),
+/// `pairs` keeps the answers of the sources completed *before* the
+/// interrupted one, and the error carries the cause; `progress.visited()`
+/// reports the partial work.  Workers sharing one `progress` all observe the
+/// first trip, so a deadline stops the whole evaluation, not one shard.
+pub fn eval_csr_range_budgeted(
+    csr: &CsrAdjacency,
+    query: &DenseNfa,
+    sources: std::ops::Range<u32>,
+    scratch: &mut EvalScratch,
+    pairs: &mut Vec<(u32, u32)>,
+    budget: &SweepBudget,
+    progress: &SweepState,
+) -> Result<(), SweepInterrupt> {
+    eval_csr_range_impl::<true>(csr, query, sources, scratch, pairs, budget, progress)
+}
+
+/// The shared product-BFS core.  `BUDGETED` is a compile-time switch so the
+/// un-budgeted hot path carries no counter or branch for the checks.
+fn eval_csr_range_impl<const BUDGETED: bool>(
+    csr: &CsrAdjacency,
+    query: &DenseNfa,
+    sources: std::ops::Range<u32>,
+    scratch: &mut EvalScratch,
+    pairs: &mut Vec<(u32, u32)>,
+    budget: &SweepBudget,
+    progress: &SweepState,
+) -> Result<(), SweepInterrupt> {
     csr.domain()
         .check_compatible(query.alphabet())
         .expect("query automaton must be over the database domain");
@@ -153,6 +194,9 @@ pub fn eval_csr_range(
     } = scratch;
 
     let start_accepts = query.any_final(query.start());
+    // Pops since the last charge; persists across sources so many tiny
+    // sweeps still reach the check interval.
+    let mut since_check: u64 = 0;
     for source in sources {
         queue.clear();
         for &q in query.start() {
@@ -164,6 +208,23 @@ pub fn eval_csr_range(
             found_nodes.push(source);
         }
         while let Some((node, state)) = queue.pop_front() {
+            if BUDGETED {
+                since_check += 1;
+                if since_check >= SWEEP_CHECK_INTERVAL {
+                    if let Err(why) = progress.charge(budget, since_check) {
+                        // Leave the scratch reusable and the queue empty; the
+                        // current source's partial answers are discarded.
+                        visited.reset();
+                        for &target in found_nodes.iter() {
+                            found[target as usize] = false;
+                        }
+                        found_nodes.clear();
+                        queue.clear();
+                        return Err(why);
+                    }
+                    since_check = 0;
+                }
+            }
             for (label, next_node) in csr.edges_from(node) {
                 // ε-closures are folded into the successor lists, so one
                 // lookup replaces the per-edge closure recomputation of the
@@ -188,6 +249,12 @@ pub fn eval_csr_range(
         }
         found_nodes.clear();
     }
+    if BUDGETED && since_check > 0 {
+        // Account the tail so `progress.visited()` is accurate; the range is
+        // complete, so a trip here only affects sibling shards.
+        let _ = progress.charge(budget, since_check);
+    }
+    Ok(())
 }
 
 /// The seed's tree-based evaluator (`BTreeSet` visited pairs, per-edge
@@ -402,6 +469,97 @@ mod tests {
             .map(|(x, y)| (x as NodeId, y as NodeId))
             .collect();
         assert_eq!(whole, sharded);
+    }
+
+    #[test]
+    fn budgeted_range_with_unlimited_budget_matches_plain() {
+        let db = chain_db();
+        let csr = db.csr_out();
+        let nfa = query_nfa(&db, &regexlang::parse("a·(b·a+c)*").unwrap());
+        let dense = DenseNfa::from_nfa(&nfa);
+        let mut scratch = EvalScratch::new(&csr, &dense);
+        let mut plain = Vec::new();
+        let n = csr.num_nodes() as u32;
+        eval_csr_range(&csr, &dense, 0..n, &mut scratch, &mut plain);
+
+        let budget = SweepBudget::unlimited();
+        let progress = SweepState::new();
+        let mut budgeted = Vec::new();
+        eval_csr_range_budgeted(&csr, &dense, 0..n, &mut scratch, &mut budgeted, &budget, &progress)
+            .expect("unlimited budget never interrupts");
+        plain.sort_unstable();
+        budgeted.sort_unstable();
+        assert_eq!(plain, budgeted);
+        // The tail flush accounted the pops.
+        assert!(progress.visited() > 0);
+    }
+
+    #[test]
+    fn tiny_deadline_interrupts_and_scratch_stays_reusable() {
+        use crate::generator::{random_graph, RandomGraphConfig};
+        use std::time::Instant;
+
+        let cfg = RandomGraphConfig {
+            num_nodes: 400,
+            num_edges: 2400,
+        };
+        let db = random_graph(&abc_domain(), &cfg, 11);
+        let csr = db.csr_out();
+        let nfa = query_nfa(&db, &regexlang::parse("(a+b+c)*").unwrap());
+        let dense = DenseNfa::from_nfa(&nfa);
+        let mut scratch = EvalScratch::new(&csr, &dense);
+        let n = csr.num_nodes() as u32;
+
+        let budget = SweepBudget {
+            deadline: Some(Instant::now()), // already past
+            ..SweepBudget::unlimited()
+        };
+        let progress = SweepState::new();
+        let mut pairs = Vec::new();
+        let err = eval_csr_range_budgeted(
+            &csr, &dense, 0..n, &mut scratch, &mut pairs, &budget, &progress,
+        )
+        .expect_err("expired deadline must interrupt a large sweep");
+        assert_eq!(err, SweepInterrupt::DeadlineExceeded);
+
+        // The scratch must be clean: a fresh unbudgeted run reproduces the
+        // full answer exactly.
+        let mut after = Vec::new();
+        eval_csr_range(&csr, &dense, 0..n, &mut scratch, &mut after);
+        let mut fresh_pairs = Vec::new();
+        let mut fresh = EvalScratch::new(&csr, &dense);
+        eval_csr_range(&csr, &dense, 0..n, &mut fresh, &mut fresh_pairs);
+        after.sort_unstable();
+        fresh_pairs.sort_unstable();
+        assert_eq!(after, fresh_pairs);
+    }
+
+    #[test]
+    fn visit_cap_interrupts_large_sweeps() {
+        use crate::generator::{random_graph, RandomGraphConfig};
+
+        let cfg = RandomGraphConfig {
+            num_nodes: 400,
+            num_edges: 2400,
+        };
+        let db = random_graph(&abc_domain(), &cfg, 13);
+        let csr = db.csr_out();
+        let nfa = query_nfa(&db, &regexlang::parse("(a+b+c)*").unwrap());
+        let dense = DenseNfa::from_nfa(&nfa);
+        let mut scratch = EvalScratch::new(&csr, &dense);
+        let n = csr.num_nodes() as u32;
+        let budget = SweepBudget {
+            max_visited: Some(SWEEP_CHECK_INTERVAL),
+            ..SweepBudget::unlimited()
+        };
+        let progress = SweepState::new();
+        let mut pairs = Vec::new();
+        let err = eval_csr_range_budgeted(
+            &csr, &dense, 0..n, &mut scratch, &mut pairs, &budget, &progress,
+        )
+        .expect_err("a (a+b+c)* sweep over 400 nodes visits far more than one interval");
+        assert_eq!(err, SweepInterrupt::VisitLimit);
+        assert!(progress.visited() > SWEEP_CHECK_INTERVAL);
     }
 
     #[test]

@@ -13,6 +13,50 @@ use automata::{Alphabet, Symbol};
 /// Identifier of a node within a [`GraphDb`].
 pub type NodeId = usize;
 
+/// Structured failure of a graph operation on user-supplied input.
+///
+/// The `Display` strings keep the wording of the historical panic messages
+/// ("out of range", "not in domain"), so the panicking convenience methods —
+/// which now delegate to the fallible ones — behave byte-for-byte as before.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// An edge endpoint does not exist.
+    NodeOutOfRange {
+        /// The offending node id.
+        node: NodeId,
+        /// Current node count of the database.
+        num_nodes: usize,
+    },
+    /// A label (by symbol or by name) is not part of the database domain.
+    LabelOutOfDomain {
+        /// The offending label, rendered.
+        label: String,
+        /// The database domain, rendered.
+        domain: String,
+    },
+    /// A node name did not resolve.
+    UnknownNode {
+        /// The offending name.
+        name: String,
+    },
+}
+
+impl std::fmt::Display for GraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, num_nodes } => {
+                write!(f, "node {node} out of range (database has {num_nodes} node(s))")
+            }
+            GraphError::LabelOutOfDomain { label, domain } => {
+                write!(f, "label {label} not in domain {domain}")
+            }
+            GraphError::UnknownNode { name } => write!(f, "no node named `{name}`"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
 /// A directed edge `from --label--> to`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub struct Edge {
@@ -98,26 +142,77 @@ impl GraphDb {
     ///
     /// # Panics
     /// Panics if either endpoint is out of range or the label is not in the
-    /// domain.
+    /// domain.  [`try_add_edge`](Self::try_add_edge) is the fallible variant
+    /// for untrusted input.
     pub fn add_edge(&mut self, from: NodeId, label: Symbol, to: NodeId) {
-        assert!(from < self.num_nodes() && to < self.num_nodes(), "node out of range");
-        assert!(
-            label.index() < self.domain.len(),
-            "label {label} not in domain {}",
-            self.domain.render()
-        );
+        self.try_add_edge(from, label, to)
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Fallible [`add_edge`](Self::add_edge): validates both endpoints and
+    /// the label before touching any adjacency list, so a failed call leaves
+    /// the database unchanged.
+    pub fn try_add_edge(
+        &mut self,
+        from: NodeId,
+        label: Symbol,
+        to: NodeId,
+    ) -> Result<(), GraphError> {
+        self.check_edge_parts(from, label, to)?;
         self.out[from].push((label, to));
         self.inc[to].push((label, from));
         self.num_edges += 1;
+        Ok(())
+    }
+
+    /// Validates an edge triple without mutating: both endpoints in range,
+    /// label in the domain.  Batch mutators call this over the whole batch
+    /// before applying anything (validate-before-mutate).
+    pub fn check_edge_parts(
+        &self,
+        from: NodeId,
+        label: Symbol,
+        to: NodeId,
+    ) -> Result<(), GraphError> {
+        let num_nodes = self.num_nodes();
+        let node = if from >= num_nodes {
+            Some(from)
+        } else if to >= num_nodes {
+            Some(to)
+        } else {
+            None
+        };
+        if let Some(node) = node {
+            return Err(GraphError::NodeOutOfRange { node, num_nodes });
+        }
+        if label.index() >= self.domain.len() {
+            return Err(GraphError::LabelOutOfDomain {
+                label: label.to_string(),
+                domain: self.domain.render(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Resolves a label name, or reports [`GraphError::LabelOutOfDomain`].
+    pub fn require_label(&self, name: &str) -> Result<Symbol, GraphError> {
+        self.domain.symbol(name).ok_or_else(|| GraphError::LabelOutOfDomain {
+            label: format!("`{name}`"),
+            domain: self.domain.render(),
+        })
+    }
+
+    /// Resolves an existing node name, or reports [`GraphError::UnknownNode`]
+    /// (unlike [`node`](Self::node), which creates missing nodes).
+    pub fn require_node(&self, name: &str) -> Result<NodeId, GraphError> {
+        self.node_by_name(name)
+            .ok_or_else(|| GraphError::UnknownNode { name: name.to_string() })
     }
 
     /// Adds an edge between named nodes using a label name, creating the
     /// nodes on demand.
     pub fn add_edge_named(&mut self, from: &str, label: &str, to: &str) {
-        let label = self
-            .domain
-            .symbol(label)
-            .unwrap_or_else(|| panic!("label `{label}` not in domain {}", self.domain.render()));
+        let label = self.require_label(label).unwrap_or_else(|e| panic!("{e}"));
         let from = self.node(from);
         let to = self.node(to);
         self.add_edge(from, label, to);

@@ -34,6 +34,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod budget;
 pub mod eval;
 pub mod generator;
 pub mod graph;
@@ -41,14 +42,15 @@ pub mod paths;
 pub mod theory;
 pub mod views;
 
+pub use budget::{SweepBudget, SweepInterrupt, SweepState, SWEEP_CHECK_INTERVAL};
 pub use eval::{
-    eval_automaton, eval_automaton_baseline, eval_csr, eval_csr_range, eval_dense, eval_regex,
-    eval_str, render_answer, Answer, EvalScratch, ProductVisited,
+    eval_automaton, eval_automaton_baseline, eval_csr, eval_csr_range, eval_csr_range_budgeted,
+    eval_dense, eval_regex, eval_str, render_answer, Answer, EvalScratch, ProductVisited,
 };
 pub use generator::{
     layered_graph, random_graph, travel_graph, tree_graph, RandomGraphConfig,
 };
-pub use graph::{CsrAdjacency, Edge, GraphDb, NodeId};
+pub use graph::{CsrAdjacency, Edge, GraphDb, GraphError, NodeId};
 pub use paths::{witness_automaton, witness_regex, PathWitness};
 pub use theory::{Formula, Theory};
 pub use views::MaterializedViews;

@@ -1,0 +1,279 @@
+//! Wire protocol: line-delimited JSON frames.
+//!
+//! Every request is one JSON object on one line; every response is one JSON
+//! object on one line.  Requests carry an optional numeric `"id"` which is
+//! echoed verbatim in the response so clients may pipeline.  Success
+//! responses have `"ok": true`; failures have `"ok": false` plus an
+//! `"error"` object with a stable machine-readable `"code"` (the
+//! [`engine::EngineError::code`] strings plus the service-level codes below)
+//! and a human-readable `"message"`.  Overload rejections additionally carry
+//! `"retry_after_ms"` so well-behaved clients can back off.
+//!
+//! Service-level error codes (not produced by the engine itself):
+//!
+//! | code              | meaning                                             |
+//! |-------------------|-----------------------------------------------------|
+//! | `parse_error`     | frame is not valid JSON / not an object / bad shape |
+//! | `unknown_op`      | `"op"` missing or not one of the supported verbs    |
+//! | `frame_too_large` | request line exceeded `max_frame_bytes`             |
+//! | `batch_too_large` | mutation batch exceeded `max_batch_edges`           |
+//! | `overloaded`      | admission gate or writer queue full — retry later   |
+//! | `unknown_view`    | `view` request named an unregistered view           |
+//! | `shutting_down`   | server is draining; no new work accepted            |
+
+use serde_json::Value;
+
+/// A parsed request verb with its operands.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Evaluate an RPQ (concrete syntax, e.g. `a·(b+c)*`) against the
+    /// current published snapshot under a per-request budget.
+    Query {
+        /// Query text in the concrete regex syntax.
+        q: String,
+        /// Per-request deadline in milliseconds (clamped to the server's
+        /// `max_timeout_ms`; the server default applies when absent).
+        timeout_ms: Option<u64>,
+        /// Cap on visited product pairs (admission-controlled work bound).
+        max_visited: Option<u64>,
+        /// Cap on returned pairs (the full count is still reported).
+        limit: Option<usize>,
+    },
+    /// Insert a batch of `[from, label, to]` name triples atomically.
+    AddEdges {
+        /// Edge triples; unknown node names are created, unknown labels
+        /// reject the whole batch.
+        edges: Vec<(String, String, String)>,
+    },
+    /// Remove a batch of `[from, label, to]` name triples atomically
+    /// (validate-before-mutate: a missing occurrence rejects the batch).
+    RemoveEdges {
+        /// Edge triples to remove.
+        edges: Vec<(String, String, String)>,
+    },
+    /// Register (or replace) a named materialized view.
+    RegisterView {
+        /// View name.
+        name: String,
+        /// View definition in the concrete regex syntax.
+        regex: String,
+    },
+    /// Read a registered view's extension from the current snapshot.
+    View {
+        /// View name.
+        name: String,
+    },
+    /// Service + engine counters.
+    Stats,
+    /// Liveness probe.
+    Health,
+    /// Ask the server to stop accepting work and drain.
+    Shutdown,
+}
+
+/// A protocol-level failure: stable code plus a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtocolError {
+    /// Stable machine-readable error code.
+    pub code: &'static str,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl ProtocolError {
+    fn parse(message: impl Into<String>) -> Self {
+        ProtocolError { code: "parse_error", message: message.into() }
+    }
+}
+
+fn parse_edges(value: Option<&Value>) -> Result<Vec<(String, String, String)>, ProtocolError> {
+    let items = value
+        .and_then(Value::as_array)
+        .ok_or_else(|| ProtocolError::parse("\"edges\" must be an array of [from, label, to]"))?;
+    let mut edges = Vec::with_capacity(items.len());
+    for item in items {
+        let triple = item
+            .as_array()
+            .filter(|parts| parts.len() == 3)
+            .ok_or_else(|| ProtocolError::parse("each edge must be a [from, label, to] array"))?;
+        let mut parts = triple.iter().map(|part| {
+            part.as_str()
+                .map(str::to_string)
+                .ok_or_else(|| ProtocolError::parse("edge endpoints and labels must be strings"))
+        });
+        edges.push((
+            parts.next().unwrap()?,
+            parts.next().unwrap()?,
+            parts.next().unwrap()?,
+        ));
+    }
+    Ok(edges)
+}
+
+fn required_str(obj: &Value, key: &str) -> Result<String, ProtocolError> {
+    obj.get(key)
+        .and_then(Value::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| ProtocolError::parse(format!("\"{key}\" must be a string")))
+}
+
+/// Parses one request line.  The request id (echoed in responses) is
+/// extracted best-effort even when the rest of the frame is malformed, so
+/// pipelining clients can correlate errors.
+pub fn parse_frame(line: &str) -> (Option<i64>, Result<Request, ProtocolError>) {
+    let value = match serde_json::from_str(line) {
+        Ok(value) => value,
+        Err(_) => return (None, Err(ProtocolError::parse("frame is not valid JSON"))),
+    };
+    if value.as_object().is_none() {
+        return (None, Err(ProtocolError::parse("frame must be a JSON object")));
+    }
+    let id = value.get("id").and_then(Value::as_i64);
+    (id, parse_request(&value))
+}
+
+fn parse_request(value: &Value) -> Result<Request, ProtocolError> {
+    let op = value
+        .get("op")
+        .and_then(Value::as_str)
+        .ok_or_else(|| ProtocolError { code: "unknown_op", message: "missing \"op\"".into() })?;
+    match op {
+        "query" => Ok(Request::Query {
+            q: required_str(value, "q")?,
+            timeout_ms: value.get("timeout_ms").and_then(Value::as_u64),
+            max_visited: value.get("max_visited").and_then(Value::as_u64),
+            limit: value.get("limit").and_then(Value::as_u64).map(|n| n as usize),
+        }),
+        "add_edges" => Ok(Request::AddEdges { edges: parse_edges(value.get("edges"))? }),
+        "remove_edges" => Ok(Request::RemoveEdges { edges: parse_edges(value.get("edges"))? }),
+        "register_view" => Ok(Request::RegisterView {
+            name: required_str(value, "name")?,
+            regex: required_str(value, "regex")?,
+        }),
+        "view" => Ok(Request::View { name: required_str(value, "name")? }),
+        "stats" => Ok(Request::Stats),
+        "health" => Ok(Request::Health),
+        "shutdown" => Ok(Request::Shutdown),
+        other => Err(ProtocolError {
+            code: "unknown_op",
+            message: format!("unsupported op {other:?}"),
+        }),
+    }
+}
+
+fn id_value(id: Option<i64>) -> Value {
+    match id {
+        Some(id) => Value::Int(id as i128),
+        None => Value::Null,
+    }
+}
+
+/// Renders a success response: `{"id":…,"ok":true, …fields}` plus newline.
+pub fn render_ok(id: Option<i64>, fields: Vec<(String, Value)>) -> String {
+    let mut entries = vec![("id".to_string(), id_value(id)), ("ok".to_string(), Value::Bool(true))];
+    entries.extend(fields);
+    let mut line = serde_json::to_string(&Value::Object(entries)).expect("shim render is infallible");
+    line.push('\n');
+    line
+}
+
+/// Renders a failure response: `{"id":…,"ok":false,"error":{…}}` plus
+/// newline; `retry_after_ms` is included only for overload rejections.
+pub fn render_err(
+    id: Option<i64>,
+    code: &str,
+    message: &str,
+    retry_after_ms: Option<u64>,
+) -> String {
+    let mut entries = vec![
+        ("id".to_string(), id_value(id)),
+        ("ok".to_string(), Value::Bool(false)),
+        (
+            "error".to_string(),
+            Value::Object(vec![
+                ("code".to_string(), Value::String(code.to_string())),
+                ("message".to_string(), Value::String(message.to_string())),
+            ]),
+        ),
+    ];
+    if let Some(ms) = retry_after_ms {
+        entries.push(("retry_after_ms".to_string(), Value::Int(ms as i128)));
+    }
+    let mut line = serde_json::to_string(&Value::Object(entries)).expect("shim render is infallible");
+    line.push('\n');
+    line
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_frames_parse_with_optional_budgets() {
+        let (id, req) =
+            parse_frame(r#"{"id":7,"op":"query","q":"a·b*","timeout_ms":50,"limit":10}"#);
+        assert_eq!(id, Some(7));
+        assert_eq!(
+            req.unwrap(),
+            Request::Query {
+                q: "a·b*".into(),
+                timeout_ms: Some(50),
+                max_visited: None,
+                limit: Some(10),
+            }
+        );
+    }
+
+    #[test]
+    fn edge_batches_parse_as_name_triples() {
+        let (_, req) = parse_frame(r#"{"op":"add_edges","edges":[["x","a","y"],["y","b","z"]]}"#);
+        assert_eq!(
+            req.unwrap(),
+            Request::AddEdges {
+                edges: vec![
+                    ("x".into(), "a".into(), "y".into()),
+                    ("y".into(), "b".into(), "z".into()),
+                ],
+            }
+        );
+    }
+
+    #[test]
+    fn malformed_frames_fail_without_panicking() {
+        for bad in [
+            "",
+            "not json",
+            "[1,2,3]",
+            "42",
+            r#"{"op":"query"}"#,
+            r#"{"op":"add_edges","edges":[["x","a"]]}"#,
+            r#"{"op":"add_edges","edges":[["x","a",3]]}"#,
+            r#"{"op":"frobnicate"}"#,
+            r#"{"q":"a"}"#,
+        ] {
+            let (_, req) = parse_frame(bad);
+            assert!(req.is_err(), "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn ids_survive_malformed_request_bodies() {
+        let (id, req) = parse_frame(r#"{"id":3,"op":"query"}"#);
+        assert_eq!(id, Some(3));
+        assert!(req.is_err());
+    }
+
+    #[test]
+    fn responses_render_as_single_lines() {
+        let ok = render_ok(Some(1), vec![("count".into(), Value::Int(2))]);
+        assert_eq!(ok, "{\"id\":1,\"ok\":true,\"count\":2}\n");
+        let err = render_err(None, "overloaded", "try later", Some(25));
+        assert_eq!(
+            err,
+            "{\"id\":null,\"ok\":false,\"error\":{\"code\":\"overloaded\",\
+             \"message\":\"try later\"},\"retry_after_ms\":25}\n"
+        );
+        let parsed = serde_json::from_str(err.trim_end()).unwrap();
+        assert_eq!(parsed["error"]["code"].as_str(), Some("overloaded"));
+    }
+}

@@ -1,0 +1,727 @@
+//! The serving loop: TCP accept, per-connection framing, admission control,
+//! the single-writer mutation queue, and graceful shutdown.
+//!
+//! ## Threading model
+//!
+//! One **accept thread** polls a non-blocking listener and spawns one
+//! **connection thread** per client.  Reads go straight to the engine's
+//! MVCC layer: each query pins the current published
+//! [`engine::EngineSnapshot`] (an `Arc` clone under a short read lock) and
+//! evaluates against it without ever blocking the writer.  All mutations
+//! funnel through one **writer thread** owning the [`engine::QueryEngine`]:
+//! connections enqueue jobs on a bounded channel ([`try_send`] — a full
+//! queue is an immediate `overloaded` rejection, never a hidden stall) and
+//! block on a private reply channel.  After each applied batch the writer
+//! publishes a fresh snapshot and stores it for subsequent readers, so a
+//! client that observed its own write's reply is guaranteed to read at
+//! least that revision.
+//!
+//! ## Robustness invariants
+//!
+//! * A malformed or oversized frame fails **that frame**, not the
+//!   connection and never the server: oversized input is drained to the
+//!   next newline and answered with `frame_too_large`.
+//! * Every query runs under a [`QueryBudget`] derived from the request's
+//!   `timeout_ms`/`max_visited` (clamped by the server config), so no
+//!   client can pin a connection thread on an unbounded product sweep.
+//! * Admission control caps concurrently evaluating queries; excess load
+//!   is rejected with a `retry_after_ms` hint instead of queuing without
+//!   bound.
+//! * Shutdown is graceful: the gate closes, queued writes drain, in-flight
+//!   queries finish (up to `drain_timeout_ms`), and every thread is joined.
+//!
+//! [`try_send`]: std::sync::mpsc::SyncSender::try_send
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use engine::{EngineError, EngineSnapshot, QueryBudget, QueryEngine};
+use graphdb::GraphDb;
+use serde_json::Value;
+
+use crate::protocol::{parse_frame, render_err, render_ok, Request};
+use crate::ServiceConfig;
+
+/// How long clients rejected for overload are asked to back off.
+const RETRY_AFTER_MS: u64 = 25;
+/// Read-timeout tick used to poll the shutdown flag on idle connections.
+const READ_TICK: Duration = Duration::from_millis(50);
+/// Accept-loop poll interval (the listener is non-blocking).
+const ACCEPT_TICK: Duration = Duration::from_millis(5);
+
+// ---------------------------------------------------------------------------
+// Stats
+
+#[derive(Default)]
+struct ServiceStats {
+    connections: AtomicU64,
+    frames: AtomicU64,
+    protocol_errors: AtomicU64,
+    frames_too_large: AtomicU64,
+    queries_ok: AtomicU64,
+    queries_rejected: AtomicU64,
+    queries_interrupted: AtomicU64,
+    queries_failed: AtomicU64,
+    writes_applied: AtomicU64,
+    writes_rejected: AtomicU64,
+    writer_overflows: AtomicU64,
+}
+
+/// A point-in-time copy of the service counters (see [`Server::stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceStatsSnapshot {
+    /// Connections accepted since start.
+    pub connections: u64,
+    /// Frames successfully parsed and dispatched.
+    pub frames: u64,
+    /// Frames rejected before dispatch (bad JSON, bad shape, unknown op).
+    pub protocol_errors: u64,
+    /// Frames rejected for exceeding `max_frame_bytes`.
+    pub frames_too_large: u64,
+    /// Queries answered successfully.
+    pub queries_ok: u64,
+    /// Queries rejected by the admission gate.
+    pub queries_rejected: u64,
+    /// Queries interrupted by their budget (deadline, visit cap, cancel).
+    pub queries_interrupted: u64,
+    /// Queries failed by non-budget engine errors (parse, unknown label…).
+    pub queries_failed: u64,
+    /// Mutation batches applied by the writer.
+    pub writes_applied: u64,
+    /// Mutation batches rejected by validation.
+    pub writes_rejected: u64,
+    /// Mutation batches bounced off the full writer queue.
+    pub writer_overflows: u64,
+    /// Queries evaluating right now.
+    pub in_flight: u64,
+}
+
+impl ServiceStats {
+    fn snapshot(&self, in_flight: u64) -> ServiceStatsSnapshot {
+        let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        ServiceStatsSnapshot {
+            connections: load(&self.connections),
+            frames: load(&self.frames),
+            protocol_errors: load(&self.protocol_errors),
+            frames_too_large: load(&self.frames_too_large),
+            queries_ok: load(&self.queries_ok),
+            queries_rejected: load(&self.queries_rejected),
+            queries_interrupted: load(&self.queries_interrupted),
+            queries_failed: load(&self.queries_failed),
+            writes_applied: load(&self.writes_applied),
+            writes_rejected: load(&self.writes_rejected),
+            writer_overflows: load(&self.writer_overflows),
+            in_flight,
+        }
+    }
+}
+
+fn bump(counter: &AtomicU64) {
+    counter.fetch_add(1, Ordering::Relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Writer queue
+
+enum WriteOp {
+    AddEdges(Vec<(String, String, String)>),
+    RemoveEdges(Vec<(String, String, String)>),
+    RegisterView { name: String, regex: String },
+}
+
+struct WriteSummary {
+    revision: u64,
+    num_nodes: usize,
+}
+
+struct WriteJob {
+    op: WriteOp,
+    reply: SyncSender<Result<WriteSummary, EngineError>>,
+}
+
+fn apply_write(engine: &mut QueryEngine, op: &WriteOp) -> Result<(), EngineError> {
+    match op {
+        WriteOp::AddEdges(edges) => {
+            let refs: Vec<(&str, &str, &str)> =
+                edges.iter().map(|(f, l, t)| (f.as_str(), l.as_str(), t.as_str())).collect();
+            engine.try_add_edges_named(&refs)
+        }
+        WriteOp::RemoveEdges(edges) => {
+            let refs: Vec<(&str, &str, &str)> =
+                edges.iter().map(|(f, l, t)| (f.as_str(), l.as_str(), t.as_str())).collect();
+            engine.try_remove_edges_named(&refs)
+        }
+        WriteOp::RegisterView { name, regex } => {
+            let expr = regexlang::parse(regex).map_err(EngineError::from)?;
+            engine.try_register_view(name, expr)
+        }
+    }
+}
+
+/// Owns the engine; drains the job queue until every sender is dropped
+/// (shutdown), publishing one snapshot per applied batch.
+fn writer_loop(mut engine: QueryEngine, jobs: Receiver<WriteJob>, shared: Arc<Shared>) {
+    for job in jobs.iter() {
+        match apply_write(&mut engine, &job.op) {
+            Ok(()) => {
+                let snapshot = engine.publish_snapshot();
+                *shared.snapshot.write().expect("snapshot lock poisoned") = snapshot.clone();
+                bump(&shared.stats.writes_applied);
+                let _ = job.reply.send(Ok(WriteSummary {
+                    revision: snapshot.revision(),
+                    num_nodes: snapshot.num_nodes(),
+                }));
+            }
+            Err(e) => {
+                bump(&shared.stats.writes_rejected);
+                let _ = job.reply.send(Err(e));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared server state
+
+struct Shared {
+    config: ServiceConfig,
+    snapshot: RwLock<Arc<EngineSnapshot>>,
+    stats: ServiceStats,
+    in_flight: AtomicUsize,
+    shutdown: AtomicBool,
+    /// `None` once shutdown begins: dropping the last sender lets the
+    /// writer thread drain and exit.
+    writer: Mutex<Option<SyncSender<WriteJob>>>,
+}
+
+impl Shared {
+    fn pinned_snapshot(&self) -> Arc<EngineSnapshot> {
+        self.snapshot.read().expect("snapshot lock poisoned").clone()
+    }
+}
+
+/// RAII admission permit: holding one means a query slot is occupied.
+struct Permit<'a>(&'a AtomicUsize);
+
+impl<'a> Permit<'a> {
+    fn acquire(gate: &'a AtomicUsize, max: usize) -> Option<Self> {
+        let mut current = gate.load(Ordering::Relaxed);
+        loop {
+            if current >= max {
+                return None;
+            }
+            match gate.compare_exchange_weak(
+                current,
+                current + 1,
+                Ordering::Acquire,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return Some(Permit(gate)),
+                Err(observed) => current = observed,
+            }
+        }
+    }
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::Release);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Framing
+
+enum FrameRead {
+    /// A complete line is in the buffer (without the newline).
+    Frame,
+    /// The line exceeded the frame cap; it was drained to the newline.
+    TooLarge,
+    /// EOF or unrecoverable socket error.
+    Closed,
+    /// Idle tick (no bytes pending) — caller should poll shutdown.
+    Idle,
+}
+
+fn read_frame(
+    reader: &mut BufReader<TcpStream>,
+    buf: &mut Vec<u8>,
+    max: usize,
+    shutdown: &AtomicBool,
+) -> FrameRead {
+    buf.clear();
+    let mut oversized = false;
+    loop {
+        let chunk = match reader.fill_buf() {
+            Ok([]) => return FrameRead::Closed,
+            Ok(chunk) => chunk,
+            Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {
+                if shutdown.load(Ordering::SeqCst) {
+                    // A half-sent frame must not block the drain.
+                    return FrameRead::Closed;
+                }
+                if buf.is_empty() && !oversized {
+                    return FrameRead::Idle;
+                }
+                // Mid-frame stall: keep waiting (the read timeout paces the
+                // loop); the OS reports disconnects as EOF/reset here.
+                continue;
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return FrameRead::Closed,
+        };
+        if let Some(newline) = chunk.iter().position(|&b| b == b'\n') {
+            if !oversized {
+                buf.extend_from_slice(&chunk[..newline]);
+            }
+            reader.consume(newline + 1);
+            if oversized || buf.len() > max {
+                return FrameRead::TooLarge;
+            }
+            return FrameRead::Frame;
+        }
+        if !oversized {
+            buf.extend_from_slice(chunk);
+            if buf.len() > max {
+                oversized = true;
+                buf.clear();
+            }
+        }
+        let consumed = chunk.len();
+        reader.consume(consumed);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Request dispatch
+
+fn pairs_payload(answer: &graphdb::Answer, cap: usize) -> (Vec<Value>, usize, bool) {
+    let total = answer.len();
+    let pairs: Vec<Value> = answer
+        .iter()
+        .take(cap)
+        .map(|&(x, y)| Value::Array(vec![Value::Int(x as i128), Value::Int(y as i128)]))
+        .collect();
+    let truncated = total > pairs.len();
+    (pairs, total, truncated)
+}
+
+fn handle_query(
+    shared: &Shared,
+    id: Option<i64>,
+    q: &str,
+    timeout_ms: Option<u64>,
+    max_visited: Option<u64>,
+    limit: Option<usize>,
+) -> String {
+    let config = &shared.config;
+    if shared.shutdown.load(Ordering::SeqCst) {
+        return render_err(id, "shutting_down", "server is draining", None);
+    }
+    let Some(_permit) = Permit::acquire(&shared.in_flight, config.max_inflight) else {
+        bump(&shared.stats.queries_rejected);
+        return render_err(
+            id,
+            "overloaded",
+            "query admission gate is full",
+            Some(RETRY_AFTER_MS),
+        );
+    };
+    let timeout = timeout_ms.unwrap_or(config.default_timeout_ms).min(config.max_timeout_ms);
+    let mut budget = QueryBudget::with_timeout(Duration::from_millis(timeout));
+    if let Some(cap) = max_visited {
+        budget = budget.max_visited(cap);
+    }
+    let snapshot = shared.pinned_snapshot();
+    match snapshot.eval_str_budgeted(q, &budget) {
+        Ok(answer) => {
+            bump(&shared.stats.queries_ok);
+            let cap = limit.unwrap_or(usize::MAX).min(config.max_result_pairs);
+            let (pairs, total, truncated) = pairs_payload(&answer, cap);
+            render_ok(
+                id,
+                vec![
+                    ("revision".to_string(), Value::Int(snapshot.revision() as i128)),
+                    ("count".to_string(), Value::Int(total as i128)),
+                    ("truncated".to_string(), Value::Bool(truncated)),
+                    ("pairs".to_string(), Value::Array(pairs)),
+                ],
+            )
+        }
+        Err(e) => {
+            if e.is_budget_interrupt() {
+                bump(&shared.stats.queries_interrupted);
+            } else {
+                bump(&shared.stats.queries_failed);
+            }
+            render_err(id, e.code(), &e.to_string(), None)
+        }
+    }
+}
+
+fn handle_write(shared: &Shared, id: Option<i64>, op: WriteOp, applied: usize) -> String {
+    if shared.shutdown.load(Ordering::SeqCst) {
+        return render_err(id, "shutting_down", "server is draining", None);
+    }
+    if let WriteOp::AddEdges(edges) | WriteOp::RemoveEdges(edges) = &op {
+        if edges.len() > shared.config.max_batch_edges {
+            bump(&shared.stats.writes_rejected);
+            return render_err(
+                id,
+                "batch_too_large",
+                &format!(
+                    "batch of {} edges exceeds max_batch_edges = {}",
+                    edges.len(),
+                    shared.config.max_batch_edges
+                ),
+                None,
+            );
+        }
+    }
+    let sender = shared.writer.lock().expect("writer lock poisoned").clone();
+    let Some(sender) = sender else {
+        return render_err(id, "shutting_down", "server is draining", None);
+    };
+    let (reply_tx, reply_rx) = sync_channel(1);
+    match sender.try_send(WriteJob { op, reply: reply_tx }) {
+        Ok(()) => {}
+        Err(TrySendError::Full(_)) => {
+            bump(&shared.stats.writer_overflows);
+            return render_err(
+                id,
+                "overloaded",
+                "writer queue is full",
+                Some(RETRY_AFTER_MS),
+            );
+        }
+        Err(TrySendError::Disconnected(_)) => {
+            return render_err(id, "shutting_down", "server is draining", None);
+        }
+    }
+    // The writer always replies (or hangs up on shutdown, in which case the
+    // queued job was still drained first).
+    match reply_rx.recv() {
+        Ok(Ok(summary)) => render_ok(
+            id,
+            vec![
+                ("revision".to_string(), Value::Int(summary.revision as i128)),
+                ("num_nodes".to_string(), Value::Int(summary.num_nodes as i128)),
+                ("applied".to_string(), Value::Int(applied as i128)),
+            ],
+        ),
+        Ok(Err(e)) => render_err(id, e.code(), &e.to_string(), None),
+        Err(_) => render_err(id, "shutting_down", "server is draining", None),
+    }
+}
+
+fn stats_fields(shared: &Shared) -> Vec<(String, Value)> {
+    let snapshot = shared.pinned_snapshot();
+    let service = shared.stats.snapshot(shared.in_flight.load(Ordering::Relaxed) as u64);
+    let engine_stats = snapshot.stats();
+    let int = |n: u64| Value::Int(n as i128);
+    vec![
+        ("revision".to_string(), int(snapshot.revision())),
+        ("num_nodes".to_string(), Value::Int(snapshot.num_nodes() as i128)),
+        (
+            "service".to_string(),
+            Value::Object(vec![
+                ("connections".to_string(), int(service.connections)),
+                ("frames".to_string(), int(service.frames)),
+                ("protocol_errors".to_string(), int(service.protocol_errors)),
+                ("frames_too_large".to_string(), int(service.frames_too_large)),
+                ("queries_ok".to_string(), int(service.queries_ok)),
+                ("queries_rejected".to_string(), int(service.queries_rejected)),
+                ("queries_interrupted".to_string(), int(service.queries_interrupted)),
+                ("queries_failed".to_string(), int(service.queries_failed)),
+                ("writes_applied".to_string(), int(service.writes_applied)),
+                ("writes_rejected".to_string(), int(service.writes_rejected)),
+                ("writer_overflows".to_string(), int(service.writer_overflows)),
+                ("in_flight".to_string(), int(service.in_flight)),
+            ]),
+        ),
+        (
+            "engine".to_string(),
+            Value::Object(vec![
+                ("answer_hits".to_string(), int(engine_stats.answer_hits)),
+                ("answer_misses".to_string(), int(engine_stats.answer_misses)),
+                ("compile_hits".to_string(), int(engine_stats.compile_hits)),
+                ("compile_misses".to_string(), int(engine_stats.compile_misses)),
+                ("parallel_evals".to_string(), int(engine_stats.parallel_evals)),
+                ("sequential_evals".to_string(), int(engine_stats.sequential_evals)),
+                (
+                    "budget_interrupted_evals".to_string(),
+                    int(engine_stats.budget_interrupted_evals),
+                ),
+                ("repair_budget_drops".to_string(), int(engine_stats.repair_budget_drops)),
+                ("snapshot_retained".to_string(), int(engine_stats.snapshot_retained)),
+                ("snapshot_dropped".to_string(), int(engine_stats.snapshot_dropped)),
+            ]),
+        ),
+    ]
+}
+
+/// Outcome of one dispatched frame: the response line, plus whether the
+/// connection (or the whole server) should wind down afterwards.
+struct Dispatch {
+    response: String,
+    close_connection: bool,
+}
+
+fn dispatch(shared: &Shared, line: &str) -> Dispatch {
+    let (id, request) = parse_frame(line);
+    let request = match request {
+        Ok(request) => request,
+        Err(e) => {
+            bump(&shared.stats.protocol_errors);
+            return Dispatch {
+                response: render_err(id, e.code, &e.message, None),
+                close_connection: false,
+            };
+        }
+    };
+    bump(&shared.stats.frames);
+    let response = match request {
+        Request::Query { q, timeout_ms, max_visited, limit } => {
+            handle_query(shared, id, &q, timeout_ms, max_visited, limit)
+        }
+        Request::AddEdges { edges } => {
+            let applied = edges.len();
+            handle_write(shared, id, WriteOp::AddEdges(edges), applied)
+        }
+        Request::RemoveEdges { edges } => {
+            let applied = edges.len();
+            handle_write(shared, id, WriteOp::RemoveEdges(edges), applied)
+        }
+        Request::RegisterView { name, regex } => {
+            handle_write(shared, id, WriteOp::RegisterView { name, regex }, 1)
+        }
+        Request::View { name } => {
+            let snapshot = shared.pinned_snapshot();
+            match snapshot.view_extension(&name) {
+                Some(answer) => {
+                    let (pairs, total, truncated) =
+                        pairs_payload(answer, shared.config.max_result_pairs);
+                    render_ok(
+                        id,
+                        vec![
+                            ("revision".to_string(), Value::Int(snapshot.revision() as i128)),
+                            ("count".to_string(), Value::Int(total as i128)),
+                            ("truncated".to_string(), Value::Bool(truncated)),
+                            ("pairs".to_string(), Value::Array(pairs)),
+                        ],
+                    )
+                }
+                None => render_err(id, "unknown_view", &format!("no view named {name:?}"), None),
+            }
+        }
+        Request::Stats => render_ok(id, stats_fields(shared)),
+        Request::Health => {
+            let snapshot = shared.pinned_snapshot();
+            render_ok(
+                id,
+                vec![
+                    ("status".to_string(), Value::String("ok".to_string())),
+                    ("revision".to_string(), Value::Int(snapshot.revision() as i128)),
+                    (
+                        "in_flight".to_string(),
+                        Value::Int(shared.in_flight.load(Ordering::Relaxed) as i128),
+                    ),
+                ],
+            )
+        }
+        Request::Shutdown => {
+            shared.shutdown.store(true, Ordering::SeqCst);
+            return Dispatch {
+                response: render_ok(
+                    id,
+                    vec![("status".to_string(), Value::String("draining".to_string()))],
+                ),
+                close_connection: true,
+            };
+        }
+    };
+    Dispatch { response, close_connection: false }
+}
+
+fn handle_connection(stream: TcpStream, shared: Arc<Shared>) {
+    bump(&shared.stats.connections);
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(READ_TICK));
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut writer = stream;
+    let mut reader = BufReader::new(read_half);
+    let mut buf = Vec::new();
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match read_frame(&mut reader, &mut buf, shared.config.max_frame_bytes, &shared.shutdown) {
+            FrameRead::Idle => continue,
+            FrameRead::Closed => return,
+            FrameRead::TooLarge => {
+                bump(&shared.stats.frames_too_large);
+                let response = render_err(
+                    None,
+                    "frame_too_large",
+                    &format!("frame exceeds max_frame_bytes = {}", shared.config.max_frame_bytes),
+                    None,
+                );
+                if writer.write_all(response.as_bytes()).is_err() {
+                    return;
+                }
+            }
+            FrameRead::Frame => {
+                let Ok(line) = std::str::from_utf8(&buf) else {
+                    bump(&shared.stats.protocol_errors);
+                    let response =
+                        render_err(None, "parse_error", "frame is not valid UTF-8", None);
+                    if writer.write_all(response.as_bytes()).is_err() {
+                        return;
+                    }
+                    continue;
+                };
+                let outcome = dispatch(&shared, line);
+                if writer.write_all(outcome.response.as_bytes()).is_err() {
+                    return;
+                }
+                if outcome.close_connection {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Server handle
+
+/// A running RPQ server.  Dropping the handle shuts the server down
+/// gracefully (prefer calling [`shutdown`](Server::shutdown) explicitly).
+pub struct Server {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    accept_thread: Option<JoinHandle<()>>,
+    writer_thread: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Validates `config`, builds the engine around `db`, binds the
+    /// listener, and starts the accept + writer threads.  `addr` may use
+    /// port 0 to let the OS choose (see [`Server::addr`]).
+    pub fn start(db: GraphDb, config: ServiceConfig) -> io::Result<Server> {
+        config
+            .validate()
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+        let mut engine = QueryEngine::try_with_config(db, config.engine.clone())
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+        let first_snapshot = engine.publish_snapshot();
+
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+
+        let (writer_tx, writer_rx) = sync_channel(config.writer_queue_depth);
+        let shared = Arc::new(Shared {
+            config,
+            snapshot: RwLock::new(first_snapshot),
+            stats: ServiceStats::default(),
+            in_flight: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+            writer: Mutex::new(Some(writer_tx)),
+        });
+
+        let writer_shared = shared.clone();
+        let writer_thread = std::thread::spawn(move || writer_loop(engine, writer_rx, writer_shared));
+
+        let accept_shared = shared.clone();
+        let accept_thread = std::thread::spawn(move || {
+            let mut connections: Vec<JoinHandle<()>> = Vec::new();
+            while !accept_shared.shutdown.load(Ordering::SeqCst) {
+                match listener.accept() {
+                    Ok((stream, _peer)) => {
+                        let conn_shared = accept_shared.clone();
+                        connections.push(std::thread::spawn(move || {
+                            handle_connection(stream, conn_shared)
+                        }));
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(ACCEPT_TICK);
+                    }
+                    Err(_) => std::thread::sleep(ACCEPT_TICK),
+                }
+                // Reap finished connection threads so long-lived servers
+                // don't accumulate handles.
+                connections.retain(|handle| !handle.is_finished());
+            }
+            for handle in connections {
+                let _ = handle.join();
+            }
+        });
+
+        Ok(Server {
+            shared,
+            addr,
+            accept_thread: Some(accept_thread),
+            writer_thread: Some(writer_thread),
+        })
+    }
+
+    /// The bound address (resolves port 0 to the OS-assigned port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Whether shutdown has been requested (by [`shutdown`](Self::shutdown)
+    /// or a client's `shutdown` op).
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Current service counters.
+    pub fn stats(&self) -> ServiceStatsSnapshot {
+        self.shared
+            .stats
+            .snapshot(self.shared.in_flight.load(Ordering::Relaxed) as u64)
+    }
+
+    /// Graceful shutdown: stop accepting, reject new writes, drain queued
+    /// writes and in-flight queries (bounded by `drain_timeout_ms`), then
+    /// join every thread.
+    pub fn shutdown(mut self) {
+        self.wind_down();
+    }
+
+    fn wind_down(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Dropping the sender lets the writer drain its queue and exit.
+        *self.shared.writer.lock().expect("writer lock poisoned") = None;
+        let drain_deadline =
+            Instant::now() + Duration::from_millis(self.shared.config.drain_timeout_ms);
+        while self.shared.in_flight.load(Ordering::Relaxed) > 0
+            && Instant::now() < drain_deadline
+        {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        if let Some(handle) = self.writer_thread.take() {
+            let _ = handle.join();
+        }
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if self.accept_thread.is_some() || self.writer_thread.is_some() {
+            self.wind_down();
+        }
+    }
+}

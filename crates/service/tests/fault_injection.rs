@@ -1,0 +1,420 @@
+//! Fault injection against a live server: malformed frames, oversized
+//! input, disconnects, deadline storms, queue overflow, admission
+//! rejection, and graceful shutdown.  The invariant under test everywhere:
+//! the server never panics, never wedges, and keeps serving well-formed
+//! traffic after every abuse.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use automata::Alphabet;
+use graphdb::GraphDb;
+use serde_json::Value;
+use service::{Server, ServiceConfig};
+
+// ---------------------------------------------------------------------------
+// Harness
+
+fn small_db() -> GraphDb {
+    let mut db = GraphDb::new(Alphabet::from_chars(['a', 'b', 'c']).unwrap());
+    db.add_edge_named("n0", "a", "n1");
+    db.add_edge_named("n1", "b", "n2");
+    db.add_edge_named("n2", "a", "n1");
+    db.add_edge_named("n1", "c", "n3");
+    db
+}
+
+/// A long `a`-chain: `a*` over it visits O(n²) product pairs, slow enough
+/// to still be running when a follow-up request arrives.
+fn chain_db(n: usize) -> GraphDb {
+    let mut db = GraphDb::new(Alphabet::from_chars(['a', 'b']).unwrap());
+    for i in 0..n {
+        db.add_edge_named(&format!("v{i}"), "a", &format!("v{}", i + 1));
+    }
+    db
+}
+
+fn test_config() -> ServiceConfig {
+    ServiceConfig {
+        engine: engine::EngineConfig { threads: 2, ..engine::EngineConfig::default() },
+        ..ServiceConfig::default()
+    }
+}
+
+struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(server: &Server) -> Client {
+        let stream = TcpStream::connect(server.addr()).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .expect("read timeout");
+        let reader = BufReader::new(stream.try_clone().expect("clone"));
+        Client { writer: stream, reader }
+    }
+
+    fn send_raw(&mut self, line: &str) {
+        self.writer.write_all(line.as_bytes()).expect("send");
+        self.writer.write_all(b"\n").expect("send newline");
+    }
+
+    fn recv(&mut self) -> Value {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line).expect("recv");
+        assert!(n > 0, "server closed the connection unexpectedly");
+        serde_json::from_str(line.trim_end()).expect("response is valid JSON")
+    }
+
+    fn roundtrip(&mut self, line: &str) -> Value {
+        self.send_raw(line);
+        self.recv()
+    }
+}
+
+fn assert_ok(response: &Value) {
+    assert_eq!(response["ok"].as_bool(), Some(true), "expected ok: {response:?}");
+}
+
+fn error_code(response: &Value) -> String {
+    assert_eq!(response["ok"].as_bool(), Some(false), "expected error: {response:?}");
+    response["error"]["code"].as_str().expect("error.code").to_string()
+}
+
+// ---------------------------------------------------------------------------
+// Frame-level faults
+
+#[test]
+fn malformed_frames_fail_the_frame_not_the_connection() {
+    let server = Server::start(small_db(), test_config()).unwrap();
+    let mut client = Client::connect(&server);
+    for bad in [
+        "not json",
+        "{",
+        "[1,2,3]",
+        "42",
+        "{\"op\":\"frobnicate\"}",
+        "{\"op\":\"query\"}",
+        "{\"op\":\"add_edges\",\"edges\":[[\"x\",\"a\"]]}",
+        "\u{1F980} unicode garbage",
+    ] {
+        let response = client.roundtrip(bad);
+        assert_eq!(response["ok"].as_bool(), Some(false), "{bad:?}");
+    }
+    // The same connection still answers real queries.
+    let response = client.roundtrip("{\"id\":9,\"op\":\"query\",\"q\":\"a\\u00b7b\"}");
+    assert_ok(&response);
+    // (n0, n2) directly and (n2, n2) through the a-cycle.
+    assert_eq!(response["count"].as_u64(), Some(2));
+    assert!(server.stats().protocol_errors >= 8);
+    server.shutdown();
+}
+
+#[test]
+fn oversized_frames_are_drained_and_rejected() {
+    let config = ServiceConfig { max_frame_bytes: 256, ..test_config() };
+    let server = Server::start(small_db(), config).unwrap();
+    let mut client = Client::connect(&server);
+    // 64 KiB of garbage on one line, well past the 256-byte cap.
+    let huge = "x".repeat(64 * 1024);
+    let response = client.roundtrip(&huge);
+    assert_eq!(error_code(&response), "frame_too_large");
+    // An oversized but well-formed frame is rejected the same way.
+    let edges: Vec<String> = (0..200).map(|i| format!("[\"x{i}\",\"a\",\"y{i}\"]")).collect();
+    let big_batch = format!("{{\"op\":\"add_edges\",\"edges\":[{}]}}", edges.join(","));
+    let response = client.roundtrip(&big_batch);
+    assert_eq!(error_code(&response), "frame_too_large");
+    // The connection survives and serves normal traffic.
+    let response = client.roundtrip("{\"op\":\"query\",\"q\":\"a\"}");
+    assert_ok(&response);
+    assert_eq!(server.stats().frames_too_large, 2);
+    server.shutdown();
+}
+
+#[test]
+fn oversized_batches_are_rejected_atomically() {
+    let config = ServiceConfig { max_batch_edges: 2, ..test_config() };
+    let server = Server::start(small_db(), config).unwrap();
+    let mut client = Client::connect(&server);
+    let response = client.roundtrip(
+        "{\"op\":\"add_edges\",\"edges\":[[\"p\",\"a\",\"q\"],[\"q\",\"a\",\"r\"],[\"r\",\"a\",\"s\"]]}",
+    );
+    assert_eq!(error_code(&response), "batch_too_large");
+    // Nothing was applied: the new nodes don't exist.
+    let response = client.roundtrip("{\"op\":\"health\"}");
+    assert_ok(&response);
+    assert_eq!(response["revision"].as_u64(), Some(0), "rejected batch must not bump revision");
+    // A conforming batch still works.
+    let response =
+        client.roundtrip("{\"op\":\"add_edges\",\"edges\":[[\"p\",\"a\",\"q\"],[\"q\",\"a\",\"r\"]]}");
+    assert_ok(&response);
+    server.shutdown();
+}
+
+#[test]
+fn invalid_mutations_reject_the_whole_batch() {
+    let server = Server::start(small_db(), test_config()).unwrap();
+    let mut client = Client::connect(&server);
+    // Unknown label rejects atomically (first triple alone would be fine).
+    let response = client
+        .roundtrip("{\"op\":\"add_edges\",\"edges\":[[\"n0\",\"a\",\"n2\"],[\"n0\",\"z\",\"n2\"]]}");
+    assert_eq!(error_code(&response), "unknown_label");
+    // Removing a non-present occurrence rejects atomically too.
+    let response = client
+        .roundtrip("{\"op\":\"remove_edges\",\"edges\":[[\"n0\",\"a\",\"n1\"],[\"n0\",\"a\",\"n1\"]]}");
+    assert_eq!(error_code(&response), "edge_not_present");
+    let response = client.roundtrip("{\"op\":\"health\"}");
+    assert_eq!(response["revision"].as_u64(), Some(0));
+    // A view over an out-of-domain label is rejected; the view is absent.
+    let response =
+        client.roundtrip("{\"op\":\"register_view\",\"name\":\"w\",\"regex\":\"z*\"}");
+    assert_eq!(error_code(&response), "unknown_label");
+    let response = client.roundtrip("{\"op\":\"view\",\"name\":\"w\"}");
+    assert_eq!(error_code(&response), "unknown_view");
+    server.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Disconnects
+
+#[test]
+fn mid_query_disconnects_leave_the_server_healthy() {
+    let server = Server::start(chain_db(600), test_config()).unwrap();
+    for _ in 0..4 {
+        let mut client = Client::connect(&server);
+        // Fire an expensive query and hang up without reading the answer.
+        client.send_raw("{\"op\":\"query\",\"q\":\"a*\",\"timeout_ms\":10000}");
+        drop(client);
+    }
+    // Fresh connections are served while/after the orphans burn out.
+    let mut client = Client::connect(&server);
+    let response = client.roundtrip("{\"op\":\"query\",\"q\":\"a·a\",\"timeout_ms\":10000}");
+    assert_ok(&response);
+    assert_eq!(response["count"].as_u64(), Some(599));
+    server.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Budgets under load
+
+#[test]
+fn deadline_storms_interrupt_queries_but_never_poison_answers() {
+    let server = Server::start(chain_db(900), test_config()).unwrap();
+    let mut client = Client::connect(&server);
+    let mut interrupted = 0;
+    for i in 0..12 {
+        // timeout_ms: 0 expires immediately; a tiny visit cap trips fast.
+        let frame = if i % 2 == 0 {
+            format!("{{\"id\":{i},\"op\":\"query\",\"q\":\"a*\",\"timeout_ms\":0}}")
+        } else {
+            format!("{{\"id\":{i},\"op\":\"query\",\"q\":\"a*\",\"max_visited\":64}}")
+        };
+        let response = client.roundtrip(&frame);
+        let code = error_code(&response);
+        assert!(
+            matches!(code.as_str(), "deadline_exceeded" | "visit_budget_exceeded"),
+            "unexpected code {code}"
+        );
+        interrupted += 1;
+    }
+    assert_eq!(interrupted, 12);
+    assert!(server.stats().queries_interrupted >= 12);
+    // The interrupted partial answers were never cached: a full-budget run
+    // of the same query text returns the complete closure.
+    let response = client.roundtrip("{\"op\":\"query\",\"q\":\"a*\",\"timeout_ms\":30000}");
+    assert_ok(&response);
+    let expected = (901 * 902) / 2; // all i <= j pairs on a 901-node chain
+    assert_eq!(response["count"].as_u64(), Some(expected));
+    server.shutdown();
+}
+
+#[test]
+fn admission_gate_rejects_excess_load_with_retry_hint() {
+    let config = ServiceConfig { max_inflight: 1, ..test_config() };
+    let server = Server::start(chain_db(1200), config).unwrap();
+
+    // Occupy the single slot with a slow query on its own connection.
+    let mut slow = Client::connect(&server);
+    slow.send_raw("{\"id\":1,\"op\":\"query\",\"q\":\"a*\",\"timeout_ms\":30000,\"limit\":1}");
+
+    // While it runs, a second connection must see `overloaded` (+ hint).
+    let mut fast = Client::connect(&server);
+    let mut saw_rejection = false;
+    for _ in 0..2000 {
+        let response = fast.roundtrip("{\"id\":2,\"op\":\"query\",\"q\":\"a·a\",\"timeout_ms\":1000}");
+        if response["ok"].as_bool() == Some(false) {
+            assert_eq!(response["error"]["code"].as_str(), Some("overloaded"));
+            assert!(response["retry_after_ms"].as_u64().unwrap() > 0);
+            saw_rejection = true;
+            break;
+        }
+    }
+    assert!(saw_rejection, "gate never rejected while the slot was held");
+
+    // The slow query finishes and the gate reopens: retrying succeeds.
+    assert_ok(&slow.recv());
+    let mut recovered = false;
+    for _ in 0..200 {
+        let response = fast.roundtrip("{\"id\":3,\"op\":\"query\",\"q\":\"a·a\",\"timeout_ms\":1000}");
+        if response["ok"].as_bool() == Some(true) {
+            recovered = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    assert!(recovered, "gate never reopened after the slow query finished");
+    assert!(server.stats().queries_rejected >= 1);
+    server.shutdown();
+}
+
+#[test]
+fn writer_queue_overflow_is_backpressure_not_a_stall() {
+    let config = ServiceConfig { writer_queue_depth: 1, ..test_config() };
+    let server = Server::start(chain_db(1500), config).unwrap();
+
+    // Make the writer slow: materializing `a*` over a 1501-node chain is
+    // ~1.1M pairs of BTreeSet work.
+    let mut blocker = Client::connect(&server);
+    blocker.send_raw("{\"id\":1,\"op\":\"register_view\",\"name\":\"star\",\"regex\":\"a*\"}");
+
+    // While the writer chews, fill the depth-1 queue and overflow it.
+    std::thread::sleep(Duration::from_millis(30));
+    let mut filler = Client::connect(&server);
+    filler.send_raw("{\"id\":2,\"op\":\"add_edges\",\"edges\":[[\"x\",\"b\",\"y\"]]}");
+    let mut spammer = Client::connect(&server);
+    let mut saw_overflow = false;
+    for i in 0..500 {
+        let frame =
+            format!("{{\"id\":{},\"op\":\"add_edges\",\"edges\":[[\"s{i}\",\"b\",\"t{i}\"]]}}", i + 3);
+        let response = spammer.roundtrip(&frame);
+        match response["ok"].as_bool() {
+            Some(true) => {}
+            Some(false) => {
+                assert_eq!(response["error"]["code"].as_str(), Some("overloaded"));
+                assert!(response["retry_after_ms"].as_u64().unwrap() > 0);
+                saw_overflow = true;
+                break;
+            }
+            None => panic!("malformed response {response:?}"),
+        }
+    }
+    assert!(saw_overflow, "depth-1 writer queue never overflowed under spam");
+
+    // Every accepted write still completed: the blocker and filler replies
+    // arrive, and the server drains cleanly.
+    assert_ok(&blocker.recv());
+    assert_ok(&filler.recv());
+    assert!(server.stats().writer_overflows >= 1);
+    server.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Lifecycle
+
+#[test]
+fn graceful_shutdown_drains_in_flight_queries() {
+    let server = Server::start(chain_db(800), test_config()).unwrap();
+    let addr = server.addr();
+
+    let mut client = Client::connect(&server);
+    client.send_raw("{\"id\":1,\"op\":\"query\",\"q\":\"a*\",\"timeout_ms\":30000,\"limit\":1}");
+    // Let the query get admitted before the drain starts.
+    std::thread::sleep(Duration::from_millis(20));
+
+    let reader_thread = std::thread::spawn(move || client.recv());
+    server.shutdown();
+
+    // The in-flight query was drained, not dropped.
+    let response = reader_thread.join().expect("reader panicked");
+    assert_ok(&response);
+    assert!(response["truncated"].as_bool().unwrap());
+
+    // The listener is gone: new connections fail.
+    std::thread::sleep(Duration::from_millis(50));
+    assert!(TcpStream::connect(addr).is_err(), "listener must be closed after shutdown");
+}
+
+#[test]
+fn client_initiated_shutdown_stops_the_server() {
+    let server = Server::start(small_db(), test_config()).unwrap();
+    let mut client = Client::connect(&server);
+    let response = client.roundtrip("{\"op\":\"shutdown\"}");
+    assert_ok(&response);
+    assert_eq!(response["status"].as_str(), Some("draining"));
+    for _ in 0..200 {
+        if server.is_shutting_down() {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(server.is_shutting_down());
+    server.shutdown();
+}
+
+#[test]
+fn writes_after_shutdown_are_refused_not_lost() {
+    let server = Server::start(small_db(), test_config()).unwrap();
+    let mut a = Client::connect(&server);
+    let mut b = Client::connect(&server);
+    assert_ok(&a.roundtrip("{\"op\":\"add_edges\",\"edges\":[[\"n0\",\"a\",\"n2\"]]}"));
+    assert_ok(&b.roundtrip("{\"op\":\"shutdown\"}"));
+    // The draining server may close `a` or answer `shutting_down`; either
+    // way it must not hang and must not apply the write.
+    a.send_raw("{\"op\":\"add_edges\",\"edges\":[[\"n2\",\"a\",\"n0\"]]}");
+    let mut line = String::new();
+    let n = a.reader.read_line(&mut line).unwrap_or(0);
+    if n > 0 {
+        let response: Value = serde_json::from_str(line.trim_end()).expect("valid JSON");
+        assert_eq!(error_code(&response), "shutting_down");
+    }
+    server.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Observability
+
+#[test]
+fn health_and_stats_report_the_serving_state() {
+    let server = Server::start(small_db(), test_config()).unwrap();
+    let mut client = Client::connect(&server);
+
+    let health = client.roundtrip("{\"op\":\"health\"}");
+    assert_ok(&health);
+    assert_eq!(health["status"].as_str(), Some("ok"));
+    assert_eq!(health["in_flight"].as_u64(), Some(0));
+
+    assert_ok(&client.roundtrip("{\"op\":\"query\",\"q\":\"a·b\"}"));
+    assert_ok(&client.roundtrip("{\"op\":\"query\",\"q\":\"a·b\"}"));
+    assert_ok(&client.roundtrip("{\"op\":\"register_view\",\"name\":\"ab\",\"regex\":\"a·b\"}"));
+    let view = client.roundtrip("{\"op\":\"view\",\"name\":\"ab\"}");
+    assert_ok(&view);
+    assert_eq!(view["count"].as_u64(), Some(2));
+
+    let stats = client.roundtrip("{\"op\":\"stats\"}");
+    assert_ok(&stats);
+    assert_eq!(stats["service"]["queries_ok"].as_u64(), Some(2));
+    assert_eq!(stats["service"]["writes_applied"].as_u64(), Some(1));
+    assert_eq!(stats["service"]["protocol_errors"].as_u64(), Some(0));
+    // The second identical query hit the answer cache.
+    assert!(stats["engine"]["answer_hits"].as_u64().unwrap() >= 1);
+    server.shutdown();
+}
+
+#[test]
+fn result_truncation_caps_the_payload_not_the_count() {
+    let config = ServiceConfig { max_result_pairs: 5, ..test_config() };
+    let server = Server::start(chain_db(50), config).unwrap();
+    let mut client = Client::connect(&server);
+    let response = client.roundtrip("{\"op\":\"query\",\"q\":\"a*\",\"timeout_ms\":30000}");
+    assert_ok(&response);
+    assert_eq!(response["pairs"].as_array().unwrap().len(), 5);
+    assert_eq!(response["count"].as_u64(), Some((51 * 52) / 2));
+    assert!(response["truncated"].as_bool().unwrap());
+    // An explicit smaller limit narrows it further.
+    let response = client.roundtrip("{\"op\":\"query\",\"q\":\"a*\",\"timeout_ms\":30000,\"limit\":2}");
+    assert_eq!(response["pairs"].as_array().unwrap().len(), 2);
+    server.shutdown();
+}
