@@ -20,9 +20,12 @@
 //! of the hot paths is tracked from PR to PR.  Targeted runs
 //! (`experiments e6`) skip the snapshot to stay fast; `experiments bench`
 //! emits only the snapshot, and `experiments rewriting` / `experiments
-//! concurrent` / `experiments deletion` / `experiments service` run those
-//! CI smoke workloads alone (honoring `BENCH_THREADS` for the reader and
-//! client counts).
+//! concurrent` / `experiments deletion` / `experiments service` /
+//! `experiments metrics` run those CI smoke workloads alone (honoring
+//! `BENCH_THREADS` for the reader and client counts).  The `metrics` smoke
+//! doubles as the telemetry overhead guard: it exits nonzero if enabling
+//! collection costs more than 5% on the |V| = 1000 eval workload, or if a
+//! traced query's explain payload fails to account for the wall time.
 
 use std::fs;
 use std::time::Instant;
@@ -113,6 +116,15 @@ fn main() {
         // snapshot is left untouched.
         println!("\n================ service latency (smoke) ================");
         service_rows();
+    } else if args.iter().any(|a| a == "metrics") {
+        // `experiments metrics`: the observability smoke (the CI "Metrics
+        // smoke" step) — asserts the telemetry overhead budget (<5% on the
+        // |V| = 1000 eval workload), then drives a traced query and both
+        // metrics formats through a live in-process server, checking that
+        // the explain payload's top-level spans account for the wall time.
+        // Like the other smokes, the committed snapshot is left untouched.
+        println!("\n================ telemetry overhead + explain surface (smoke) ================");
+        metrics_rows();
     }
 }
 
@@ -153,6 +165,33 @@ fn speedup_label(numerator_ms: f64, denominator_ms: f64) -> String {
     match speedup(numerator_ms, denominator_ms) {
         Some(r) => format!("{r:.1}x"),
         None => "n/a".to_string(),
+    }
+}
+
+/// Minimal blocking client for the in-process TCP server: one socket, one
+/// line-delimited JSON frame per call (shared by the `service` and
+/// `metrics` workloads).
+struct ServiceClient {
+    writer: std::net::TcpStream,
+    reader: std::io::BufReader<std::net::TcpStream>,
+}
+
+impl ServiceClient {
+    fn connect(addr: std::net::SocketAddr) -> ServiceClient {
+        let stream = std::net::TcpStream::connect(addr).expect("connect to in-process server");
+        stream.set_nodelay(true).expect("nodelay");
+        let reader = std::io::BufReader::new(stream.try_clone().expect("clone stream"));
+        ServiceClient { writer: stream, reader }
+    }
+
+    fn roundtrip(&mut self, frame: &str) -> Value {
+        use std::io::{BufRead, Write};
+        self.writer.write_all(frame.as_bytes()).expect("send frame");
+        self.writer.write_all(b"\n").expect("send newline");
+        let mut line = String::new();
+        self.reader.read_line(&mut line).expect("read response");
+        assert!(!line.is_empty(), "server closed the connection");
+        serde_json::from_str(line.trim_end()).expect("response is valid JSON")
     }
 }
 
@@ -257,6 +296,7 @@ fn bench_rpq_json() {
     // Parallel evaluation: the engine's sharded product-BFS vs the
     // sequential evaluator on the |V| = 2000 workload.
     let mut parallel = Vec::new();
+    let mut parallel_breakdown = Vec::new();
     {
         use engine::eval_csr_parallel;
         use graphdb::eval_csr;
@@ -284,6 +324,43 @@ fn bench_rpq_json() {
             "sequential_ms": sequential_ms,
             "parallel_ms": parallel_ms,
             "speedup": speedup_json(sequential_ms, parallel_ms),
+        }));
+
+        // One instrumented run decomposes the parallel time above into
+        // per-worker chunk-acquire vs sweep plus the single-threaded merge,
+        // so a flat speedup is diagnosable from the snapshot alone:
+        // queueing on the chunk cursor vs an oversized merge vs genuine
+        // sweep imbalance look identical in `parallel_ms` but not here.
+        let (answer, breakdown) =
+            engine::eval_csr_parallel_breakdown(&csr, &frozen, threads);
+        std::hint::black_box(answer.len());
+        let to_ms = |us: u64| us as f64 / 1e3;
+        let workers: Vec<Value> = breakdown
+            .workers
+            .iter()
+            .map(|w| {
+                json!({
+                    "worker": w.worker,
+                    "chunks": w.chunks,
+                    "acquire_ms": to_ms(w.acquire_us),
+                    "sweep_ms": to_ms(w.sweep_us),
+                })
+            })
+            .collect();
+        println!(
+            "parallel breakdown        : acquire {:.3} ms + sweep {:.3} ms across {} worker(s), merge {:.3} ms",
+            to_ms(breakdown.total_acquire_us()),
+            to_ms(breakdown.total_sweep_us()),
+            breakdown.workers.len(),
+            to_ms(breakdown.merge_us)
+        );
+        parallel_breakdown.push(json!({
+            "workload": "random_graph_v2000_e8000",
+            "threads": threads,
+            "merge_ms": to_ms(breakdown.merge_us),
+            "total_acquire_ms": to_ms(breakdown.total_acquire_us()),
+            "total_sweep_ms": to_ms(breakdown.total_sweep_us()),
+            "workers": workers,
         }));
     }
 
@@ -371,6 +448,7 @@ fn bench_rpq_json() {
         "determinization": determinization,
         "eval": eval,
         "parallel": parallel,
+        "parallel_breakdown": parallel_breakdown,
         "incremental": incremental,
         "deletion": deletion,
         "rewriting": rewriting,
@@ -653,47 +731,18 @@ fn concurrent_rows() -> Vec<Value> {
 /// End-to-end serving latency through the TCP service layer: an in-process
 /// [`service::Server`] over the |V| = 400 workload graph, `BENCH_THREADS`
 /// closed-loop clients issuing budgeted queries over real sockets while one
-/// writer connection streams `add_edges` batches.  Reports p50/p99 request
-/// latency and the rejection rate (`service_p99_ms` is the gated field).
-/// Doubles as the CI "Service smoke" step (`experiments service`): the
-/// built-in health, stats, and fault-recovery assertions panic — exiting
-/// nonzero — if the server misbehaves.
+/// writer connection streams `add_edges` batches.  Latencies are folded
+/// into [`telemetry::Histogram`]s — the same mergeable log-bucketed
+/// summaries the server itself exports — and the per-response `eval_us`
+/// field splits each round trip into engine evaluation vs everything else
+/// (socket + framing + queue wait), so a p99 outlier is attributable from
+/// the snapshot: `service_eval_p99_ms` growing means the evaluation got
+/// slower, `service_wait_p99_ms` growing means the server queued.  Reports
+/// p50/p99 request latency and the rejection rate (`service_p99_ms` is the
+/// gated field).  Doubles as the CI "Service smoke" step (`experiments
+/// service`): the built-in health, stats, and fault-recovery assertions
+/// panic — exiting nonzero — if the server misbehaves.
 fn service_rows() -> Vec<Value> {
-    use std::io::{BufRead, BufReader, Write};
-    use std::net::TcpStream;
-
-    struct Client {
-        writer: TcpStream,
-        reader: BufReader<TcpStream>,
-    }
-
-    impl Client {
-        fn connect(addr: std::net::SocketAddr) -> Client {
-            let stream = TcpStream::connect(addr).expect("connect to in-process server");
-            stream.set_nodelay(true).expect("nodelay");
-            let reader = BufReader::new(stream.try_clone().expect("clone stream"));
-            Client { writer: stream, reader }
-        }
-
-        fn roundtrip(&mut self, frame: &str) -> Value {
-            self.writer.write_all(frame.as_bytes()).expect("send frame");
-            self.writer.write_all(b"\n").expect("send newline");
-            let mut line = String::new();
-            self.reader.read_line(&mut line).expect("read response");
-            assert!(!line.is_empty(), "server closed the connection");
-            serde_json::from_str(line.trim_end()).expect("response is valid JSON")
-        }
-    }
-
-    /// Nearest-rank percentile of an ascending-sorted sample.
-    fn percentile(sorted: &[f64], p: f64) -> f64 {
-        if sorted.is_empty() {
-            return 0.0;
-        }
-        let rank = ((sorted.len() as f64) * p).ceil() as usize;
-        sorted[rank.clamp(1, sorted.len()) - 1]
-    }
-
     let clients = bench_threads();
     let requests_per_client = 40usize;
     let workload = random_rpq_workload(400, 1600, 33);
@@ -723,11 +772,11 @@ fn service_rows() -> Vec<Value> {
     let writer_batches = 12usize;
     let edges_per_batch = 4usize;
     let t0 = Instant::now();
-    let (mut latencies, rejected, timed_out): (Vec<f64>, usize, usize) = std::thread::scope(|scope| {
+    let (latencies, rejected, timed_out): (Vec<(u64, Option<u64>)>, usize, usize) = std::thread::scope(|scope| {
         let query_texts = &query_texts;
         let label_names = &label_names;
         let writer_handle = scope.spawn(move || {
-            let mut client = Client::connect(addr);
+            let mut client = ServiceClient::connect(addr);
             for batch in 0..writer_batches {
                 let edges: Vec<String> = (0..edges_per_batch)
                     .map(|i| {
@@ -745,7 +794,7 @@ fn service_rows() -> Vec<Value> {
         let handles: Vec<_> = (0..clients)
             .map(|client_id| {
                 scope.spawn(move || {
-                    let mut client = Client::connect(addr);
+                    let mut client = ServiceClient::connect(addr);
                     let mut samples = Vec::with_capacity(requests_per_client);
                     let mut rejected = 0usize;
                     let mut timed_out = 0usize;
@@ -757,9 +806,14 @@ fn service_rows() -> Vec<Value> {
                         );
                         let sent = Instant::now();
                         let response = client.roundtrip(&frame);
-                        let elapsed_ms = sent.elapsed().as_secs_f64() * 1e3;
+                        let elapsed_us = sent.elapsed().as_micros() as u64;
                         match response["ok"].as_bool() {
-                            Some(true) => samples.push(elapsed_ms),
+                            // The server stamps successes with its own
+                            // evaluation time; the difference to the client
+                            // round trip is socket + framing + queue wait.
+                            Some(true) => {
+                                samples.push((elapsed_us, response["eval_us"].as_u64()))
+                            }
                             // Overload rejections and deadline trips are
                             // correct server behavior under pressure; any
                             // other failure is a smoke-test failure.
@@ -793,7 +847,7 @@ fn service_rows() -> Vec<Value> {
     // Smoke assertions (the CI "Service smoke" step runs this function for
     // exactly these): clean load produced no protocol errors, the server
     // is still healthy, and a fault on one connection stays on that frame.
-    let mut probe = Client::connect(addr);
+    let mut probe = ServiceClient::connect(addr);
     let health = probe.roundtrip("{\"op\":\"health\"}");
     assert_eq!(health["status"].as_str(), Some("ok"), "unhealthy after load: {health:?}");
     let stats = probe.roundtrip("{\"op\":\"stats\"}");
@@ -813,16 +867,37 @@ fn service_rows() -> Vec<Value> {
     assert_eq!(recovered["ok"].as_bool(), Some(true), "connection must survive the fault");
     server.shutdown();
 
-    latencies.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    // Fold the samples into the same log-bucketed histograms the server
+    // exports (≤6.25% relative bucket error — well inside run-to-run
+    // noise), splitting each round trip into evaluation vs queue wait.
+    let rtt = telemetry::Histogram::new();
+    let eval = telemetry::Histogram::new();
+    let wait = telemetry::Histogram::new();
+    for &(rtt_us, eval_us) in &latencies {
+        rtt.record(rtt_us);
+        if let Some(eval_us) = eval_us {
+            eval.record(eval_us);
+            wait.record(rtt_us.saturating_sub(eval_us));
+        }
+    }
     let issued = clients * requests_per_client;
-    let p50 = percentile(&latencies, 0.50);
-    let p99 = percentile(&latencies, 0.99);
+    let p50 = rtt.percentile_ms(0.50);
+    let p99 = rtt.percentile_ms(0.99);
     let rejection_rate = rejected as f64 / issued.max(1) as f64;
     println!(
         "service |V|=400 tcp       : p50 {p50:.3} ms, p99 {p99:.3} ms over {issued} requests \
          from {clients} client(s), {rejected} rejected ({:.1}%), {timed_out} timed out, \
          wall {wall_ms:.1} ms",
         rejection_rate * 100.0
+    );
+    println!(
+        "service p99 split         : eval {:.3} ms vs queue-wait {:.3} ms \
+         (mean {:.3} / {:.3} ms over {} stamped responses)",
+        eval.percentile_ms(0.99),
+        wait.percentile_ms(0.99),
+        eval.mean_us() / 1e3,
+        wait.mean_us() / 1e3,
+        eval.count()
     );
     vec![json!({
         "workload": "service_tcp_v400_e1600_closed_loop",
@@ -834,8 +909,129 @@ fn service_rows() -> Vec<Value> {
         "timed_out": timed_out,
         "service_p50_ms": p50,
         "service_p99_ms": p99,
+        "service_eval_p99_ms": eval.percentile_ms(0.99),
+        "service_wait_p99_ms": wait.percentile_ms(0.99),
         "writer_batches": writer_batches,
         "writer_edges_per_batch": edges_per_batch,
+    })]
+}
+
+/// Observability smoke + overhead guard (the CI "Metrics smoke" step,
+/// `experiments metrics`).  Two halves, both of which panic — exiting
+/// nonzero — on failure:
+///
+/// 1. **Overhead guard**: cold-cache evaluation of the |V| = 1000 workload
+///    with telemetry collection on vs off must differ by less than 5%
+///    (plus a small absolute slack so a near-0 ms denominator cannot trip
+///    the ratio on scheduler noise).  A fresh engine per run keeps the
+///    revision-exact answer cache from turning later runs into cache hits.
+/// 2. **Explain surface**: a traced query against a live in-process server
+///    must echo its trace id, report every cold-eval phase, and cover at
+///    least 90% of the measured wall time with top-level spans; the
+///    `metrics` op must report non-zero engine + service histogram counts
+///    and a parseable Prometheus exposition.
+fn metrics_rows() -> Vec<Value> {
+    use engine::{EngineConfig, QueryEngine};
+
+    let workload = random_rpq_workload(1000, 4000, 42);
+    let grounded = workload.problem.query.ground(&workload.problem.theory);
+    // At least two workers so the traced run exercises the sharded sweep
+    // (and its chunk_merge phase); |V| = 1000 is over the parallel
+    // threshold either way.
+    let threads = bench_threads().max(2);
+
+    let measure = |telemetry: bool| -> f64 {
+        (0..7)
+            .map(|_| {
+                let mut engine = QueryEngine::with_config(
+                    workload.db.clone(),
+                    EngineConfig { telemetry, threads, ..EngineConfig::default() },
+                );
+                let snapshot = engine.publish_snapshot();
+                let t0 = Instant::now();
+                std::hint::black_box(snapshot.eval_regex(&grounded).len());
+                t0.elapsed().as_secs_f64() * 1e3
+            })
+            .fold(f64::INFINITY, f64::min)
+    };
+    let off_ms = measure(false);
+    let on_ms = measure(true);
+    println!(
+        "telemetry overhead |V|=1000: off {off_ms:.3} ms, on {on_ms:.3} ms ({})",
+        speedup(on_ms, off_ms)
+            .map_or_else(|| "n/a".to_string(), |r| format!("{:+.1}%", (r - 1.0) * 100.0))
+    );
+    assert!(
+        on_ms <= off_ms * 1.05 + 0.1,
+        "telemetry overhead beyond the 5% budget: off {off_ms:.3} ms -> on {on_ms:.3} ms"
+    );
+
+    let config = service::ServiceConfig {
+        engine: EngineConfig { threads, ..EngineConfig::default() },
+        ..service::ServiceConfig::default()
+    };
+    let server = service::Server::start(workload.db.clone(), config).expect("server starts");
+    let mut client = ServiceClient::connect(server.addr());
+
+    let response = client.roundtrip(&format!(
+        "{{\"id\":1,\"op\":\"query\",\"q\":\"{grounded}\",\"trace\":true,\
+         \"trace_id\":4242,\"limit\":64}}"
+    ));
+    assert_eq!(response["ok"].as_bool(), Some(true), "traced query failed: {response:?}");
+    let trace = &response["trace"];
+    assert_eq!(trace["trace_id"].as_u64(), Some(4242), "trace id must echo verbatim");
+    for phase in ["parse", "cache_lookup", "compile", "product_bfs", "chunk_merge"] {
+        assert!(
+            trace["phase_totals"][phase].as_u64().is_some(),
+            "cold traced eval is missing phase {phase}: {response:?}"
+        );
+    }
+    let total_us = trace["total_us"].as_u64().expect("total_us");
+    let top_level_us = trace["top_level_us"].as_u64().expect("top_level_us");
+    assert!(
+        top_level_us as f64 >= 0.9 * total_us as f64,
+        "top-level spans cover only {top_level_us} of {total_us} us (< 90%)"
+    );
+
+    let metrics = client.roundtrip("{\"op\":\"metrics\"}");
+    assert_eq!(metrics["ok"].as_bool(), Some(true), "metrics op failed: {metrics:?}");
+    let engine_evals = metrics["engine"]["eval"]["count"].as_u64().unwrap_or(0);
+    let service_queries = metrics["service"]["query"]["count"].as_u64().unwrap_or(0);
+    assert!(engine_evals >= 1, "engine eval histogram is empty: {metrics:?}");
+    assert!(service_queries >= 1, "service query histogram is empty: {metrics:?}");
+
+    let response = client.roundtrip("{\"op\":\"metrics\",\"format\":\"prometheus\"}");
+    assert_eq!(response["ok"].as_bool(), Some(true), "prometheus format failed: {response:?}");
+    let text = response["exposition"].as_str().expect("exposition text").to_string();
+    assert!(
+        text.contains("# TYPE rpq_engine_eval_duration_seconds histogram"),
+        "missing the engine eval family:\n{text}"
+    );
+    let mut samples = 0usize;
+    for line in text.lines() {
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (_, value) =
+            line.rsplit_once(' ').unwrap_or_else(|| panic!("sample line has no value: {line}"));
+        assert!(value.parse::<f64>().is_ok(), "unparseable sample: {line}");
+        samples += 1;
+    }
+    server.shutdown();
+
+    println!(
+        "metrics smoke             : trace covered {top_level_us}/{total_us} us, \
+         {engine_evals} engine eval(s), {samples} prometheus sample(s)"
+    );
+    vec![json!({
+        "workload": "telemetry_overhead_v1000_e4000",
+        "threads": threads,
+        "telemetry_off_ms": off_ms,
+        "telemetry_on_ms": on_ms,
+        "overhead_ratio": speedup_json(on_ms, off_ms),
+        "trace_total_us": total_us,
+        "trace_top_level_us": top_level_us,
+        "prometheus_samples": samples,
     })]
 }
 
@@ -849,17 +1045,20 @@ fn diff_bench_snapshots(old: &Value, new: &Value) {
     let mut compared = 0usize;
     for (section, rows) in new.as_object().unwrap_or(&[]) {
         let Some(rows) = rows.as_array() else { continue };
+        let Some(old_rows) = old.get(section).and_then(Value::as_array) else {
+            // A section the committed snapshot predates: one line for the
+            // whole section, not a row-by-row drizzle — newly added
+            // instrumentation must not read as regression-diff noise.
+            println!("  [new section] {section} ({} row(s))", rows.len());
+            continue;
+        };
         for row in rows {
             let Some(workload) = row.get("workload").and_then(Value::as_str) else {
                 continue;
             };
-            let old_row = old
-                .get(section)
-                .and_then(Value::as_array)
-                .and_then(|rows| {
-                    rows.iter()
-                        .find(|r| r.get("workload").and_then(Value::as_str) == Some(workload))
-                });
+            let old_row = old_rows
+                .iter()
+                .find(|r| r.get("workload").and_then(Value::as_str) == Some(workload));
             let Some(old_row) = old_row else {
                 println!("  [new row] {section}/{workload}");
                 continue;

@@ -1,0 +1,182 @@
+//! Engine-wide timing telemetry: latency histograms and snapshot-age gauges.
+//!
+//! [`EngineTelemetry`] sits beside the counter block (`SharedStats`) as the
+//! *timing* half of observability: where the counters say **how often** each
+//! path ran, the histograms say **how long** it took.  One instance is shared
+//! (as an `Arc`) between the writer and every published snapshot, exactly
+//! like the counters, so `p99` figures aggregate work from both sides of the
+//! MVCC split.
+//!
+//! Collection is gated by [`crate::EngineConfig::telemetry`]: when disabled
+//! the evaluation paths skip every `Instant::now()` call, so the flag turns
+//! the subsystem off completely rather than merely hiding its output.  The
+//! recording sites themselves are cheap by construction — phase boundaries
+//! and chunk boundaries only, never inside the product-BFS pop loop (see the
+//! overhead guard in `bench`'s `experiments -- metrics`).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use telemetry::Histogram;
+
+/// Latency histograms (microsecond-valued, lock-free) plus the retained
+/// snapshot-age window of one engine.
+///
+/// Obtainable from either side of the split —
+/// [`crate::QueryEngine::telemetry`] or
+/// [`crate::EngineSnapshot::telemetry`] — and safe to read while workers
+/// record into it.
+#[derive(Debug)]
+pub struct EngineTelemetry {
+    enabled: AtomicBool,
+    /// Whole ad-hoc evaluations (cache hits included), end to end.
+    eval: Histogram,
+    /// Regex/NFA → frozen `DenseNfa` compilations (compile-cache hits
+    /// included — a hit records the lookup cost).
+    compile: Histogram,
+    /// Product-BFS sweeps (the parallel pool, workers joined, pre-merge).
+    product_bfs: Histogram,
+    /// Incremental maintenance passes: insertion delta repair and DRed
+    /// deletion repair, whole sharded phase.
+    repair: Histogram,
+    /// `publish_snapshot` calls that actually built a snapshot.
+    snapshot_publish: Histogram,
+    /// Publish instants of the snapshots the engine currently retains
+    /// (`snapshot_keep_last` window plus the current one), oldest first —
+    /// the source of the pinned-snapshot-age gauges.
+    published: Mutex<Vec<(u64, Instant)>>,
+}
+
+impl EngineTelemetry {
+    pub(crate) fn new(enabled: bool) -> Self {
+        EngineTelemetry {
+            enabled: AtomicBool::new(enabled),
+            eval: Histogram::new(),
+            compile: Histogram::new(),
+            product_bfs: Histogram::new(),
+            repair: Histogram::new(),
+            snapshot_publish: Histogram::new(),
+            published: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Whether timing collection is on ([`crate::EngineConfig::telemetry`]).
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// End-to-end ad-hoc evaluation latency (cache hits included).
+    pub fn eval(&self) -> &Histogram {
+        &self.eval
+    }
+
+    /// Query-compilation latency.
+    pub fn compile(&self) -> &Histogram {
+        &self.compile
+    }
+
+    /// Product-BFS sweep latency (workers joined, before the merge).
+    pub fn product_bfs(&self) -> &Histogram {
+        &self.product_bfs
+    }
+
+    /// Incremental-maintenance (delta/DRed repair) phase latency.
+    pub fn repair(&self) -> &Histogram {
+        &self.repair
+    }
+
+    /// Snapshot build-and-publish latency.
+    pub fn snapshot_publish(&self) -> &Histogram {
+        &self.snapshot_publish
+    }
+
+    /// `(name, histogram)` pairs of every engine histogram, in pipeline
+    /// order — the iteration surface the service metrics op renders from.
+    pub fn histograms(&self) -> [(&'static str, &Histogram); 5] {
+        [
+            ("eval", &self.eval),
+            ("compile", &self.compile),
+            ("product_bfs", &self.product_bfs),
+            ("repair", &self.repair),
+            ("snapshot_publish", &self.snapshot_publish),
+        ]
+    }
+
+    /// Records a snapshot publication, mirroring the engine's keep-last-K
+    /// retention (plus the currently published snapshot) so the age gauges
+    /// track exactly what the engine keeps pinned.
+    pub(crate) fn note_published(&self, revision: u64, keep_last: usize) {
+        let mut published = self.published.lock().unwrap_or_else(|e| e.into_inner());
+        published.push((revision, Instant::now()));
+        let window = keep_last.max(1);
+        while published.len() > window {
+            published.remove(0);
+        }
+    }
+
+    /// Ages (in seconds) of the snapshots the engine currently pins, as
+    /// `(revision, age_seconds)` pairs, oldest first.  This is the
+    /// "pinned-snapshot-age" gauge set: the oldest entry bounds how stale a
+    /// late-arriving reader handed a retained snapshot can be.
+    pub fn snapshot_ages(&self) -> Vec<(u64, f64)> {
+        self.published
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|&(revision, at)| (revision, at.elapsed().as_secs_f64()))
+            .collect()
+    }
+
+    /// Age in seconds of the oldest snapshot the engine pins (0 when none
+    /// was ever published).
+    pub fn oldest_snapshot_age_s(&self) -> f64 {
+        self.snapshot_ages().first().map_or(0.0, |&(_, age)| age)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_flag_is_visible() {
+        assert!(EngineTelemetry::new(true).enabled());
+        assert!(!EngineTelemetry::new(false).enabled());
+    }
+
+    #[test]
+    fn published_window_mirrors_keep_last() {
+        let t = EngineTelemetry::new(true);
+        assert_eq!(t.oldest_snapshot_age_s(), 0.0);
+        for revision in 0..6 {
+            t.note_published(revision, 3);
+        }
+        let ages = t.snapshot_ages();
+        assert_eq!(ages.len(), 3);
+        assert_eq!(ages[0].0, 3, "oldest retained revision");
+        assert_eq!(ages[2].0, 5, "newest retained revision");
+        // Oldest first: ages decrease (weakly) toward the newest entry.
+        assert!(ages[0].1 >= ages[2].1);
+
+        // keep_last 0 still tracks the currently published snapshot.
+        let t = EngineTelemetry::new(true);
+        t.note_published(0, 0);
+        t.note_published(1, 0);
+        let ages = t.snapshot_ages();
+        assert_eq!(ages.len(), 1);
+        assert_eq!(ages[0].0, 1);
+    }
+
+    #[test]
+    fn histograms_iterate_in_pipeline_order() {
+        let t = EngineTelemetry::new(true);
+        t.eval().record(10);
+        let names: Vec<&str> = t.histograms().iter().map(|(n, _)| *n).collect();
+        assert_eq!(
+            names,
+            ["eval", "compile", "product_bfs", "repair", "snapshot_publish"]
+        );
+        assert_eq!(t.histograms()[0].1.count(), 1);
+    }
+}

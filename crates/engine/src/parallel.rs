@@ -19,12 +19,18 @@
 //! each of which may itself fan out onto this pool.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
 
 use automata::DenseNfa;
 use graphdb::{
     eval_csr, eval_csr_range, eval_csr_range_budgeted, Answer, CsrAdjacency, EvalScratch, NodeId,
     SweepBudget, SweepInterrupt, SweepState,
 };
+use telemetry::{ParallelBreakdown, WorkerTiming};
+
+fn as_us(d: Duration) -> u64 {
+    d.as_micros().min(u64::MAX as u128) as u64
+}
 
 /// Number of worker threads the hardware supports (≥ 1).
 pub fn available_threads() -> usize {
@@ -171,6 +177,212 @@ pub fn eval_csr_parallel_budgeted(
     Ok(answer)
 }
 
+/// [`eval_csr_parallel`] with per-worker timing: returns, alongside the
+/// answer, how each worker's wall time split between claiming chunks off the
+/// shared cursor and the product-BFS sweep proper, plus the single-threaded
+/// merge cost.  Timing happens only at chunk boundaries (two `Instant` reads
+/// per chunk, never per pop), so the breakdown variant stays within noise of
+/// the plain one; the hot path itself is untouched.
+pub fn eval_csr_parallel_breakdown(
+    csr: &CsrAdjacency,
+    query: &DenseNfa,
+    threads: usize,
+) -> (Answer, ParallelBreakdown) {
+    let num_nodes = csr.num_nodes();
+    let threads = threads.min(num_nodes.max(1));
+    csr.domain()
+        .check_compatible(query.alphabet())
+        .expect("query automaton must be over the database domain");
+    if threads <= 1 {
+        let sweep_start = Instant::now();
+        let mut scratch = EvalScratch::new(csr, query);
+        let mut pairs = Vec::new();
+        eval_csr_range(csr, query, 0..num_nodes as u32, &mut scratch, &mut pairs);
+        let merge_start = Instant::now();
+        let answer: Answer = pairs
+            .into_iter()
+            .map(|(x, y)| (x as NodeId, y as NodeId))
+            .collect();
+        let breakdown = ParallelBreakdown {
+            workers: vec![WorkerTiming {
+                worker: 0,
+                chunks: 1,
+                acquire_us: 0,
+                sweep_us: as_us(merge_start.duration_since(sweep_start)),
+            }],
+            merge_us: as_us(merge_start.elapsed()),
+        };
+        return (answer, breakdown);
+    }
+
+    let chunk = (num_nodes / (threads * 8)).clamp(1, 1024);
+    let cursor = AtomicUsize::new(0);
+
+    let results: Vec<(Vec<(u32, u32)>, WorkerTiming)> = std::thread::scope(|scope| {
+        let cursor = &cursor;
+        let workers: Vec<_> = (0..threads)
+            .map(|worker| {
+                scope.spawn(move || {
+                    let mut scratch = EvalScratch::new(csr, query);
+                    let mut pairs = Vec::new();
+                    let mut timing = WorkerTiming {
+                        worker: worker as u32,
+                        ..WorkerTiming::default()
+                    };
+                    let mut acquire = Duration::ZERO;
+                    let mut sweep = Duration::ZERO;
+                    loop {
+                        let acquire_start = Instant::now();
+                        let lo = cursor.fetch_add(chunk, Ordering::Relaxed);
+                        let sweep_start = Instant::now();
+                        acquire += sweep_start.duration_since(acquire_start);
+                        if lo >= num_nodes {
+                            break;
+                        }
+                        let hi = (lo + chunk).min(num_nodes);
+                        timing.chunks += 1;
+                        eval_csr_range(csr, query, lo as u32..hi as u32, &mut scratch, &mut pairs);
+                        sweep += sweep_start.elapsed();
+                    }
+                    timing.acquire_us = as_us(acquire);
+                    timing.sweep_us = as_us(sweep);
+                    (pairs, timing)
+                })
+            })
+            .collect();
+        workers
+            .into_iter()
+            .map(|w| w.join().expect("evaluation worker panicked"))
+            .collect()
+    });
+
+    let merge_start = Instant::now();
+    let mut workers = Vec::with_capacity(results.len());
+    let mut answer = Answer::new();
+    for (pairs, timing) in results {
+        workers.push(timing);
+        answer.extend(pairs.into_iter().map(|(x, y)| (x as NodeId, y as NodeId)));
+    }
+    let breakdown = ParallelBreakdown {
+        workers,
+        merge_us: as_us(merge_start.elapsed()),
+    };
+    (answer, breakdown)
+}
+
+/// Budgeted variant of [`eval_csr_parallel_breakdown`]: the budgeted sweep
+/// with the same per-worker chunk-acquire / sweep / merge attribution.  On
+/// interrupt the partial breakdown is discarded with the partial answers.
+pub fn eval_csr_parallel_budgeted_breakdown(
+    csr: &CsrAdjacency,
+    query: &DenseNfa,
+    threads: usize,
+    budget: &SweepBudget,
+    progress: &SweepState,
+) -> Result<(Answer, ParallelBreakdown), SweepInterrupt> {
+    let num_nodes = csr.num_nodes();
+    let threads = threads.min(num_nodes.max(1));
+    csr.domain()
+        .check_compatible(query.alphabet())
+        .expect("query automaton must be over the database domain");
+    if threads <= 1 {
+        let sweep_start = Instant::now();
+        let mut scratch = EvalScratch::new(csr, query);
+        let mut pairs = Vec::new();
+        eval_csr_range_budgeted(
+            csr,
+            query,
+            0..num_nodes as u32,
+            &mut scratch,
+            &mut pairs,
+            budget,
+            progress,
+        )?;
+        let merge_start = Instant::now();
+        let answer: Answer = pairs
+            .into_iter()
+            .map(|(x, y)| (x as NodeId, y as NodeId))
+            .collect();
+        let breakdown = ParallelBreakdown {
+            workers: vec![WorkerTiming {
+                worker: 0,
+                chunks: 1,
+                acquire_us: 0,
+                sweep_us: as_us(merge_start.duration_since(sweep_start)),
+            }],
+            merge_us: as_us(merge_start.elapsed()),
+        };
+        return Ok((answer, breakdown));
+    }
+
+    let chunk = (num_nodes / (threads * 8)).clamp(1, 1024);
+    let cursor = AtomicUsize::new(0);
+
+    let results: Vec<Result<(Vec<(u32, u32)>, WorkerTiming), SweepInterrupt>> =
+        std::thread::scope(|scope| {
+            let cursor = &cursor;
+            let workers: Vec<_> = (0..threads)
+                .map(|worker| {
+                    scope.spawn(move || {
+                        let mut scratch = EvalScratch::new(csr, query);
+                        let mut pairs = Vec::new();
+                        let mut timing = WorkerTiming {
+                            worker: worker as u32,
+                            ..WorkerTiming::default()
+                        };
+                        let mut acquire = Duration::ZERO;
+                        let mut sweep = Duration::ZERO;
+                        loop {
+                            if let Some(why) = progress.interrupt() {
+                                return Err(why);
+                            }
+                            let acquire_start = Instant::now();
+                            let lo = cursor.fetch_add(chunk, Ordering::Relaxed);
+                            let sweep_start = Instant::now();
+                            acquire += sweep_start.duration_since(acquire_start);
+                            if lo >= num_nodes {
+                                break;
+                            }
+                            let hi = (lo + chunk).min(num_nodes);
+                            timing.chunks += 1;
+                            eval_csr_range_budgeted(
+                                csr,
+                                query,
+                                lo as u32..hi as u32,
+                                &mut scratch,
+                                &mut pairs,
+                                budget,
+                                progress,
+                            )?;
+                            sweep += sweep_start.elapsed();
+                        }
+                        timing.acquire_us = as_us(acquire);
+                        timing.sweep_us = as_us(sweep);
+                        Ok((pairs, timing))
+                    })
+                })
+                .collect();
+            workers
+                .into_iter()
+                .map(|w| w.join().expect("evaluation worker panicked"))
+                .collect()
+        });
+
+    let merge_start = Instant::now();
+    let mut workers = Vec::with_capacity(results.len());
+    let mut answer = Answer::new();
+    for result in results {
+        let (pairs, timing) = result?;
+        workers.push(timing);
+        answer.extend(pairs.into_iter().map(|(x, y)| (x as NodeId, y as NodeId)));
+    }
+    let breakdown = ParallelBreakdown {
+        workers,
+        merge_us: as_us(merge_start.elapsed()),
+    };
+    Ok((answer, breakdown))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -219,6 +431,50 @@ mod tests {
         let csr = db.csr_out();
         let query = dense(&db, "a*");
         assert!(eval_csr_parallel(&csr, &query, 4).is_empty());
+    }
+
+    #[test]
+    fn breakdown_variant_is_answer_identical_and_attributes_workers() {
+        let db = sample_db();
+        let csr = db.csr_out();
+        for q in ["a·(b·a+c)*", "c*", "a+b·c?"] {
+            let query = dense(&db, q);
+            let seq = eval_csr(&csr, &query);
+            for threads in [1, 3] {
+                let (answer, breakdown) = eval_csr_parallel_breakdown(&csr, &query, threads);
+                assert_eq!(seq, answer, "{q} x{threads}");
+                assert!(!breakdown.workers.is_empty());
+                assert!(breakdown.workers.len() <= threads.max(1));
+                let chunks: u64 = breakdown.workers.iter().map(|w| w.chunks).sum();
+                assert!(chunks >= 1, "{q} x{threads}: no chunks claimed");
+            }
+        }
+    }
+
+    #[test]
+    fn budgeted_breakdown_matches_and_respects_interrupts() {
+        let db = sample_db();
+        let csr = db.csr_out();
+        let query = dense(&db, "a·(b·a+c)*");
+        let progress = SweepState::new();
+        let (answer, _) = eval_csr_parallel_budgeted_breakdown(
+            &csr,
+            &query,
+            4,
+            &SweepBudget::unlimited(),
+            &progress,
+        )
+        .expect("unlimited budget never interrupts");
+        assert_eq!(answer, eval_csr(&csr, &query));
+
+        let strict = SweepBudget {
+            max_visited: Some(0),
+            ..SweepBudget::unlimited()
+        };
+        let tripped = SweepState::new();
+        let err = eval_csr_parallel_budgeted_breakdown(&csr, &query, 4, &strict, &tripped)
+            .unwrap_err();
+        assert!(matches!(err, SweepInterrupt::VisitLimit));
     }
 
     #[test]

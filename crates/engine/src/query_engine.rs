@@ -14,6 +14,7 @@
 use std::collections::VecDeque;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
+use std::time::Instant;
 
 use automata::{DenseNfa, DenseReverse, Nfa};
 use graphdb::{
@@ -27,6 +28,7 @@ use crate::cache::CompileCache;
 use crate::delta::{delta_pairs, deletion_repair_budgeted, DeletionRepairReport};
 use crate::error::EngineError;
 use crate::fingerprint::{fingerprint_regex, Fingerprint};
+use crate::metrics::EngineTelemetry;
 use crate::parallel::available_threads;
 use crate::snapshot::{bump, AdhocReader, AnswerCache, EngineSnapshot, SharedStats};
 
@@ -51,6 +53,13 @@ pub struct EngineConfig {
     /// without unbounded growth; see
     /// [`QueryEngine::retained_snapshots`].
     pub snapshot_keep_last: usize,
+    /// Whether timing telemetry ([`crate::EngineTelemetry`]: latency
+    /// histograms, snapshot-age gauges, trace spans) is collected.  `true`
+    /// by default — recording happens only at phase and chunk boundaries,
+    /// so the overhead is noise (the `experiments -- metrics` bench guard
+    /// pins it under 5%) — but `false` removes every `Instant` call from
+    /// the evaluation paths entirely.
+    pub telemetry: bool,
 }
 
 impl Default for EngineConfig {
@@ -60,6 +69,7 @@ impl Default for EngineConfig {
             parallel_threshold: 256,
             answer_cache_capacity: 256,
             snapshot_keep_last: 0,
+            telemetry: true,
         }
     }
 }
@@ -374,6 +384,9 @@ pub struct QueryEngine {
     /// ([`EngineConfig::snapshot_keep_last`]); empty when retention is off.
     retained: VecDeque<Arc<EngineSnapshot>>,
     stats: Arc<SharedStats>,
+    /// Timing telemetry, shared with every published snapshot (like
+    /// `stats`); collection gated by [`EngineConfig::telemetry`].
+    telemetry: Arc<EngineTelemetry>,
 }
 
 impl QueryEngine {
@@ -386,6 +399,7 @@ impl QueryEngine {
     pub fn with_config(db: GraphDb, config: EngineConfig) -> Self {
         let csr_out = Arc::new(db.csr_out());
         let answers = Arc::new(AnswerCache::new(config.answer_cache_capacity));
+        let telemetry = Arc::new(EngineTelemetry::new(config.telemetry));
         QueryEngine {
             db,
             revision: 0,
@@ -399,6 +413,7 @@ impl QueryEngine {
             published: None,
             retained: VecDeque::new(),
             stats: Arc::new(SharedStats::default()),
+            telemetry,
         }
     }
 
@@ -433,6 +448,12 @@ impl QueryEngine {
         assemble_stats(&self.compile, &self.answers, &self.stats)
     }
 
+    /// Timing telemetry (latency histograms, snapshot-age gauges), shared
+    /// with every published snapshot.
+    pub fn telemetry(&self) -> &EngineTelemetry {
+        &self.telemetry
+    }
+
     /// The frozen outgoing adjacency at the current revision.
     pub fn csr_out(&self) -> &CsrAdjacency {
         &self.csr_out
@@ -453,6 +474,7 @@ impl QueryEngine {
                 return snapshot.clone();
             }
         }
+        let publish_start = self.telemetry.enabled().then(Instant::now);
         for idx in 0..self.views.len() {
             self.materialize_entry(idx);
         }
@@ -474,6 +496,7 @@ impl QueryEngine {
             self.compile.clone(),
             self.answers.clone(),
             self.stats.clone(),
+            self.telemetry.clone(),
         ));
         self.published = Some(snapshot.clone());
         if self.config.snapshot_keep_last > 0 {
@@ -483,6 +506,11 @@ impl QueryEngine {
                 self.retained.pop_front();
                 bump(&self.stats.snapshot_dropped);
             }
+        }
+        if let Some(start) = publish_start {
+            self.telemetry.snapshot_publish().record_duration(start.elapsed());
+            self.telemetry
+                .note_published(self.revision, self.config.snapshot_keep_last);
         }
         snapshot
     }
@@ -514,6 +542,8 @@ impl QueryEngine {
             compile: &self.compile,
             answers: &self.answers,
             stats: &self.stats,
+            telemetry: &self.telemetry,
+            trace: None,
         }
     }
 
@@ -996,6 +1026,7 @@ impl QueryEngine {
 
         let (old_csr_out, old_csr_in) = old_csrs.expect("frozen above: repair edges exist");
         let new_csr_out: &CsrAdjacency = &self.csr_out;
+        let repair_start = self.telemetry.enabled().then(Instant::now);
         let sweep = budget.to_sweep();
         let progress = SweepState::new();
         shard_repair_jobs(self.config.threads, &self.stats, &mut jobs, |job| {
@@ -1040,6 +1071,9 @@ impl QueryEngine {
         self.stats
             .deletion_rederived_sources
             .fetch_add(rederived, Ordering::Relaxed);
+        if let Some(start) = repair_start {
+            self.telemetry.repair().record_duration(start.elapsed());
+        }
         Ok(())
     }
 
@@ -1104,6 +1138,7 @@ impl QueryEngine {
         // Phase 2: one delta sweep per (view, inserted edge) on the pool.
         let csr_out: &CsrAdjacency = &self.csr_out;
         let csr_in = self.csr_in.as_ref().expect("frozen above when edges exist");
+        let repair_start = self.telemetry.enabled().then(Instant::now);
         let sweep = budget.to_sweep();
         let progress = SweepState::new();
         shard_repair_jobs(self.config.threads, &self.stats, &mut jobs, |job| {
@@ -1123,6 +1158,9 @@ impl QueryEngine {
         for idx in dropped {
             self.views[idx].extension = None;
             bump(&self.stats.repair_budget_drops);
+        }
+        if let Some(start) = repair_start {
+            self.telemetry.repair().record_duration(start.elapsed());
         }
     }
 }

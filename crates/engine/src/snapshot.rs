@@ -18,18 +18,28 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock, RwLock};
+use std::time::{Duration, Instant};
 
 use automata::dense::FxHashMap;
 use automata::{Alphabet, DenseNfa, Nfa};
 use graphdb::{Answer, CsrAdjacency, MaterializedViews, SweepState};
 use regexlang::Regex;
+use telemetry::{ParallelBreakdown, Phase, Span, TraceContext};
 
 use crate::budget::QueryBudget;
 use crate::cache::CompileCache;
 use crate::error::EngineError;
 use crate::fingerprint::{fingerprint_nfa, fingerprint_regex, Fingerprint};
-use crate::parallel::{available_threads, eval_csr_parallel, eval_csr_parallel_budgeted};
+use crate::metrics::EngineTelemetry;
+use crate::parallel::{
+    available_threads, eval_csr_parallel, eval_csr_parallel_breakdown,
+    eval_csr_parallel_budgeted, eval_csr_parallel_budgeted_breakdown,
+};
 use crate::query_engine::{EngineConfig, EngineStats};
+
+fn as_us(d: Duration) -> u64 {
+    d.as_micros().min(u64::MAX as u128) as u64
+}
 
 /// Compile-time proof that the read handle crosses threads.
 const _: () = {
@@ -274,9 +284,50 @@ pub(crate) struct AdhocReader<'a> {
     pub compile: &'a CompileCache,
     pub answers: &'a AnswerCache,
     pub stats: &'a SharedStats,
+    /// Shared timing telemetry; histogram recording is gated by its
+    /// `enabled` flag ([`EngineConfig::telemetry`]).
+    pub telemetry: &'a EngineTelemetry,
+    /// Per-query trace, when the caller asked for one.  Tracing is honored
+    /// independently of the passive histogram flag — the caller opted in
+    /// explicitly for this query.
+    pub trace: Option<&'a TraceContext>,
 }
 
 impl AdhocReader<'_> {
+    /// Whether this evaluation needs any `Instant` reads at all.
+    fn timed(&self) -> bool {
+        self.telemetry.enabled() || self.trace.is_some()
+    }
+
+    /// Records the end of a product-BFS phase: top-level `ProductBfs` and
+    /// `ChunkMerge` spans (non-overlapping: the merge time is carved out of
+    /// the measured interval), per-worker detail spans, and the sweep
+    /// histogram.
+    fn finish_bfs(&self, started: Instant, breakdown: Option<&ParallelBreakdown>) {
+        let total_us = as_us(started.elapsed());
+        let merge_us = breakdown.map_or(0, |b| b.merge_us).min(total_us);
+        let bfs_us = total_us - merge_us;
+        if self.telemetry.enabled() {
+            self.telemetry.product_bfs().record(bfs_us);
+        }
+        if let (Some(trace), Some(breakdown)) = (self.trace, breakdown) {
+            let start_us = as_us(started.saturating_duration_since(trace.origin()));
+            trace.record_span(Span {
+                phase: Phase::ProductBfs,
+                worker: None,
+                start_us,
+                duration_us: bfs_us,
+            });
+            trace.record_span(Span {
+                phase: Phase::ChunkMerge,
+                worker: None,
+                start_us: start_us + bfs_us,
+                duration_us: merge_us,
+            });
+            breakdown.record_into(trace);
+        }
+    }
+
     pub fn eval_on_csr(&self, dense: &DenseNfa) -> Answer {
         let threads = threads_for(self.config, self.csr_out.num_nodes());
         if threads > 1 {
@@ -284,28 +335,82 @@ impl AdhocReader<'_> {
         } else {
             bump(&self.stats.sequential_evals);
         }
-        eval_csr_parallel(self.csr_out, dense, threads)
+        if let Some(_trace) = self.trace {
+            let started = Instant::now();
+            let (answer, breakdown) = eval_csr_parallel_breakdown(self.csr_out, dense, threads);
+            self.finish_bfs(started, Some(&breakdown));
+            answer
+        } else if self.telemetry.enabled() {
+            let started = Instant::now();
+            let answer = eval_csr_parallel(self.csr_out, dense, threads);
+            self.finish_bfs(started, None);
+            answer
+        } else {
+            eval_csr_parallel(self.csr_out, dense, threads)
+        }
     }
 
     pub fn eval_regex(&self, query: &Regex) -> Arc<Answer> {
+        let started = self.timed().then(Instant::now);
         let domain = self.csr_out.domain();
         let fp = fingerprint_regex(domain, query);
         if let Some(cached) = self.answers.get(fp, self.revision) {
+            self.finish_eval(started);
             return cached;
         }
+        let compile_started = self.timed().then(Instant::now);
         let dense = self.compile.compile_regex(domain, query);
+        self.finish_compile(compile_started);
         let answer = Arc::new(self.eval_on_csr(&dense));
-        self.answers.put(fp, self.revision, answer)
+        let answer = self.answers.put(fp, self.revision, answer);
+        self.finish_eval(started);
+        answer
     }
 
     pub fn eval_nfa(&self, query: &Nfa) -> Arc<Answer> {
+        let started = self.timed().then(Instant::now);
         let fp = fingerprint_nfa(query);
         if let Some(cached) = self.answers.get(fp, self.revision) {
+            self.finish_eval(started);
             return cached;
         }
+        let compile_started = self.timed().then(Instant::now);
         let dense = self.compile.compile_nfa(query);
+        self.finish_compile(compile_started);
         let answer = Arc::new(self.eval_on_csr(&dense));
-        self.answers.put(fp, self.revision, answer)
+        let answer = self.answers.put(fp, self.revision, answer);
+        self.finish_eval(started);
+        answer
+    }
+
+    /// Records the whole-evaluation histogram sample (`started` spans from
+    /// fingerprinting to the cached/merged answer).
+    fn finish_eval(&self, started: Option<Instant>) {
+        if let Some(started) = started {
+            if self.telemetry.enabled() {
+                self.telemetry.eval().record_duration(started.elapsed());
+            }
+        }
+    }
+
+    /// Records the compile histogram sample and the `Compile` trace span.
+    fn finish_compile(&self, started: Option<Instant>) {
+        if let Some(started) = started {
+            if self.telemetry.enabled() {
+                self.telemetry.compile().record_duration(started.elapsed());
+            }
+            if let Some(trace) = self.trace {
+                trace.record(Phase::Compile, started);
+            }
+        }
+    }
+
+    /// Records the `CacheLookup` trace span (fingerprint + answer-cache
+    /// probe).
+    fn finish_lookup(&self, started: Option<Instant>) {
+        if let (Some(started), Some(trace)) = (started, self.trace) {
+            trace.record(Phase::CacheLookup, started);
+        }
     }
 
     /// Budgeted product-BFS over the pinned CSR.  An unlimited budget takes
@@ -327,12 +432,28 @@ impl AdhocReader<'_> {
         }
         let sweep = budget.to_sweep();
         let progress = SweepState::new();
-        eval_csr_parallel_budgeted(self.csr_out, dense, threads, &sweep, &progress).map_err(
-            |why| {
-                bump(&self.stats.budget_interrupted_evals);
-                EngineError::from_interrupt(why, progress.visited())
-            },
-        )
+        let result = if let Some(_trace) = self.trace {
+            let started = Instant::now();
+            eval_csr_parallel_budgeted_breakdown(self.csr_out, dense, threads, &sweep, &progress)
+                .map(|(answer, breakdown)| {
+                    self.finish_bfs(started, Some(&breakdown));
+                    answer
+                })
+        } else if self.telemetry.enabled() {
+            let started = Instant::now();
+            eval_csr_parallel_budgeted(self.csr_out, dense, threads, &sweep, &progress).map(
+                |answer| {
+                    self.finish_bfs(started, None);
+                    answer
+                },
+            )
+        } else {
+            eval_csr_parallel_budgeted(self.csr_out, dense, threads, &sweep, &progress)
+        };
+        result.map_err(|why| {
+            bump(&self.stats.budget_interrupted_evals);
+            EngineError::from_interrupt(why, progress.visited())
+        })
     }
 
     /// Budgeted, fallible regex evaluation: compile failures surface as
@@ -344,14 +465,22 @@ impl AdhocReader<'_> {
         query: &Regex,
         budget: &QueryBudget,
     ) -> Result<Arc<Answer>, EngineError> {
+        let started = self.timed().then(Instant::now);
         let domain = self.csr_out.domain();
         let fp = fingerprint_regex(domain, query);
-        if let Some(cached) = self.answers.get(fp, self.revision) {
+        let cached = self.answers.get(fp, self.revision);
+        self.finish_lookup(started);
+        if let Some(cached) = cached {
+            self.finish_eval(started);
             return Ok(cached);
         }
+        let compile_started = self.timed().then(Instant::now);
         let dense = self.compile.try_compile_regex(domain, query)?;
+        self.finish_compile(compile_started);
         let answer = Arc::new(self.eval_on_csr_budgeted(&dense, budget)?);
-        Ok(self.answers.put(fp, self.revision, answer))
+        let answer = self.answers.put(fp, self.revision, answer);
+        self.finish_eval(started);
+        Ok(answer)
     }
 
     /// Budgeted, fallible automaton-form evaluation.
@@ -360,13 +489,21 @@ impl AdhocReader<'_> {
         query: &Nfa,
         budget: &QueryBudget,
     ) -> Result<Arc<Answer>, EngineError> {
+        let started = self.timed().then(Instant::now);
         let fp = fingerprint_nfa(query);
-        if let Some(cached) = self.answers.get(fp, self.revision) {
+        let cached = self.answers.get(fp, self.revision);
+        self.finish_lookup(started);
+        if let Some(cached) = cached {
+            self.finish_eval(started);
             return Ok(cached);
         }
+        let compile_started = self.timed().then(Instant::now);
         let dense = self.compile.compile_nfa(query);
+        self.finish_compile(compile_started);
         let answer = Arc::new(self.eval_on_csr_budgeted(&dense, budget)?);
-        Ok(self.answers.put(fp, self.revision, answer))
+        let answer = self.answers.put(fp, self.revision, answer);
+        self.finish_eval(started);
+        Ok(answer)
     }
 }
 
@@ -445,6 +582,9 @@ pub struct EngineSnapshot {
     compile: Arc<CompileCache>,
     answers: Arc<AnswerCache>,
     stats: Arc<SharedStats>,
+    telemetry: Arc<EngineTelemetry>,
+    /// When this snapshot was built, for the pinned-snapshot-age gauges.
+    published_at: Instant,
 }
 
 impl EngineSnapshot {
@@ -459,6 +599,7 @@ impl EngineSnapshot {
         compile: Arc<CompileCache>,
         answers: Arc<AnswerCache>,
         stats: Arc<SharedStats>,
+        telemetry: Arc<EngineTelemetry>,
     ) -> Self {
         EngineSnapshot {
             revision,
@@ -474,6 +615,8 @@ impl EngineSnapshot {
             compile,
             answers,
             stats,
+            telemetry,
+            published_at: Instant::now(),
         }
     }
 
@@ -526,6 +669,18 @@ impl EngineSnapshot {
         crate::query_engine::assemble_stats(&self.compile, &self.answers, &self.stats)
     }
 
+    /// Timing telemetry of the engine this snapshot belongs to (shared with
+    /// the writer and every sibling snapshot, like [`stats`](Self::stats)).
+    pub fn telemetry(&self) -> &EngineTelemetry {
+        &self.telemetry
+    }
+
+    /// How long ago this snapshot was published — the age a reader pinned
+    /// to it is serving at.
+    pub fn age(&self) -> Duration {
+        self.published_at.elapsed()
+    }
+
     /// The shared ad-hoc read path, borrowed over this snapshot's pinned
     /// state.
     fn adhoc(&self) -> AdhocReader<'_> {
@@ -536,6 +691,17 @@ impl EngineSnapshot {
             compile: &self.compile,
             answers: &self.answers,
             stats: &self.stats,
+            telemetry: &self.telemetry,
+            trace: None,
+        }
+    }
+
+    /// [`adhoc`](Self::adhoc) with a per-query trace attached: every phase
+    /// of the evaluation records a span into `trace`.
+    fn adhoc_traced<'a>(&'a self, trace: &'a TraceContext) -> AdhocReader<'a> {
+        AdhocReader {
+            trace: Some(trace),
+            ..self.adhoc()
         }
     }
 
@@ -576,6 +742,25 @@ impl EngineSnapshot {
     ) -> Result<Arc<Answer>, EngineError> {
         let expr = regexlang::parse(query)?;
         self.eval_regex_budgeted(&expr, budget)
+    }
+
+    /// [`eval_str_budgeted`](Self::eval_str_budgeted) with per-query span
+    /// tracing: each phase of the pipeline — parse, cache lookup, compile,
+    /// product-BFS, chunk merge — records a span into `trace`, with
+    /// per-worker chunk-acquire/sweep detail spans when the parallel pool
+    /// runs.  Top-level spans are non-overlapping, so their sum compared to
+    /// [`telemetry::TraceContext::total_us`] measures untraced overhead.
+    /// The answer (and any error) is identical to the untraced call.
+    pub fn eval_str_traced(
+        &self,
+        query: &str,
+        budget: &QueryBudget,
+        trace: &TraceContext,
+    ) -> Result<Arc<Answer>, EngineError> {
+        let parse_started = Instant::now();
+        let expr = regexlang::parse(query)?;
+        trace.record(Phase::Parse, parse_started);
+        self.adhoc_traced(trace).eval_regex_budgeted(&expr, budget)
     }
 
     /// Budgeted, fallible variant of [`eval_regex`](Self::eval_regex).

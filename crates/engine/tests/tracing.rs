@@ -1,0 +1,139 @@
+//! Telemetry suite: span tracing through the snapshot explain surface and
+//! the engine latency histograms.  The load-bearing invariants:
+//!
+//! * a traced evaluation is answer-identical to the untraced call and its
+//!   top-level spans are non-overlapping, so their sum never exceeds the
+//!   trace's wall time,
+//! * cache hits trace as `parse`/`cache_lookup` without re-running compile
+//!   or the product-BFS,
+//! * `EngineConfig { telemetry: false, .. }` leaves every histogram empty
+//!   while explicit per-query tracing keeps working,
+//! * publish/eval/repair histograms fill in as the engine does that work,
+//!   and the pinned-snapshot-age gauges mirror `snapshot_keep_last`.
+
+use automata::Alphabet;
+use engine::{EngineConfig, Phase, QueryBudget, QueryEngine, TraceContext};
+use graphdb::GraphDb;
+
+fn abc() -> Alphabet {
+    Alphabet::from_chars(['a', 'b', 'c']).unwrap()
+}
+
+fn chain_db(n: usize) -> GraphDb {
+    let mut db = GraphDb::new(abc());
+    for i in 0..n {
+        db.add_edge_named(&format!("v{i}"), "a", &format!("v{}", i + 1));
+    }
+    db.add_edge_named(&format!("v{n}"), "b", "v0");
+    db
+}
+
+fn forced_parallel() -> EngineConfig {
+    EngineConfig { threads: 4, parallel_threshold: 0, ..EngineConfig::default() }
+}
+
+fn phases(trace: &TraceContext, top_level_only: bool) -> Vec<Phase> {
+    trace
+        .spans()
+        .iter()
+        .filter(|s| !top_level_only || s.worker.is_none())
+        .map(|s| s.phase)
+        .collect()
+}
+
+#[test]
+fn traced_eval_is_answer_identical_with_nonoverlapping_top_level_spans() {
+    let mut engine = QueryEngine::with_config(chain_db(300), forced_parallel());
+    let snapshot = engine.publish_snapshot();
+
+    // Trace the cold run (the warm one would be a cache hit with no sweep).
+    let trace = TraceContext::new(7);
+    let traced = snapshot.eval_str_traced("a*·b?", &QueryBudget::unlimited(), &trace).unwrap();
+    let untraced = snapshot.eval_str_budgeted("a*·b?", &QueryBudget::unlimited()).unwrap();
+    assert_eq!(*traced, *untraced);
+    assert_eq!(trace.trace_id(), 7);
+
+    let top = phases(&trace, true);
+    for phase in [Phase::Parse, Phase::CacheLookup, Phase::Compile, Phase::ProductBfs, Phase::ChunkMerge] {
+        assert!(top.contains(&phase), "missing {phase:?} in {top:?}");
+    }
+    // Forced-parallel run: per-worker detail spans ride along.
+    let detail: Vec<Phase> = phases(&trace, false);
+    assert!(detail.iter().any(|p| *p == Phase::ChunkAcquire), "{detail:?}");
+
+    // Top-level spans partition the pipeline: their sum is bounded by the
+    // whole trace's wall time (worker spans overlap and are excluded).
+    assert!(trace.top_level_sum_us() <= trace.total_us().max(1));
+    assert_eq!(trace.dropped(), 0);
+}
+
+#[test]
+fn cache_hit_traces_lookup_without_reevaluation() {
+    let mut engine = QueryEngine::with_config(chain_db(50), EngineConfig::default());
+    let snapshot = engine.publish_snapshot();
+    let warm = snapshot.eval_str_budgeted("a·a", &QueryBudget::unlimited()).unwrap();
+
+    let trace = TraceContext::new(1);
+    let hit = snapshot.eval_str_traced("a·a", &QueryBudget::unlimited(), &trace).unwrap();
+    assert_eq!(*hit, *warm);
+
+    let top = phases(&trace, true);
+    assert!(top.contains(&Phase::Parse), "{top:?}");
+    assert!(top.contains(&Phase::CacheLookup), "{top:?}");
+    assert!(!top.contains(&Phase::Compile), "cache hit must not recompile: {top:?}");
+    assert!(!top.contains(&Phase::ProductBfs), "cache hit must not re-sweep: {top:?}");
+}
+
+#[test]
+fn disabling_telemetry_silences_histograms_but_not_tracing() {
+    let config = EngineConfig { telemetry: false, ..forced_parallel() };
+    let mut engine = QueryEngine::with_config(chain_db(300), config);
+    let snapshot = engine.publish_snapshot();
+
+    let trace = TraceContext::new(2);
+    snapshot.eval_str_traced("a*", &QueryBudget::unlimited(), &trace).unwrap();
+    snapshot.eval_str_budgeted("a·b", &QueryBudget::unlimited()).unwrap();
+
+    assert!(!snapshot.telemetry().enabled());
+    for (name, histogram) in snapshot.telemetry().histograms() {
+        assert!(histogram.is_empty(), "{name} recorded despite telemetry: false");
+    }
+    // Tracing is an explicit per-query opt-in and still works.
+    assert!(!trace.spans().is_empty());
+    assert!(trace.spans().iter().any(|s| s.phase == Phase::ProductBfs));
+}
+
+#[test]
+fn histograms_and_snapshot_ages_fill_in_with_work() {
+    let mut engine = QueryEngine::with_config(chain_db(300), forced_parallel());
+    let snapshot = engine.publish_snapshot();
+    snapshot.eval_str_budgeted("a*", &QueryBudget::unlimited()).unwrap();
+    snapshot.eval_str_budgeted("a*", &QueryBudget::unlimited()).unwrap(); // cache hit
+    {
+        let telemetry = snapshot.telemetry();
+        assert_eq!(telemetry.eval().count(), 2, "both evals (hit and miss) time end-to-end");
+        assert_eq!(telemetry.compile().count(), 1, "only the miss compiles");
+        assert_eq!(telemetry.product_bfs().count(), 1, "only the miss sweeps");
+    }
+    drop(snapshot);
+
+    // A mutation over a materialized view exercises the repair path;
+    // republishing records another publish.
+    engine.register_view("star", regexlang::parse("a*").unwrap());
+    assert!(engine.view_extension("star").is_some());
+    engine.add_edge_named("v0", "c", "v1");
+    let snapshot = engine.publish_snapshot();
+
+    let telemetry = snapshot.telemetry();
+    assert!(telemetry.repair().count() >= 1, "mutation repair must be timed");
+    assert_eq!(telemetry.snapshot_publish().count(), 2);
+
+    let ages = telemetry.snapshot_ages();
+    assert!(!ages.is_empty());
+    assert!(telemetry.oldest_snapshot_age_s() >= 0.0);
+    assert!(snapshot.age().as_secs() < 60, "published_at is per-snapshot");
+
+    // Percentiles come from real recordings: p99 is bounded by the max.
+    assert!(telemetry.eval().percentile(0.99) >= telemetry.eval().percentile(0.50));
+    assert!(telemetry.eval().percentile(0.99) <= telemetry.eval().max_us().max(1));
+}

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! rpq-server [--addr HOST:PORT] [--labels a,b,c] [--max-inflight N] [--timeout-ms MS]
+//!            [--slow-query-ms MS] [--no-telemetry]
 //! ```
 //!
 //! Starts with an empty database over the given edge-label alphabet; load
@@ -15,6 +16,11 @@
 //! {"id":2,"ok":true,"revision":1,"count":1,"truncated":false,"pairs":[[0,2]]}
 //! ```
 //!
+//! Observability is built in: `{"op":"query","q":"a·b","trace":true}`
+//! returns a per-phase `trace` breakdown, `{"op":"metrics"}` returns latency
+//! histograms and snapshot-age gauges (add `"format":"prometheus"` for text
+//! exposition), and `{"op":"stats"}` drains the slow-query log.
+//!
 //! A client `{"op":"shutdown"}` frame drains and stops the process.
 
 use automata::Alphabet;
@@ -24,7 +30,7 @@ use service::{Server, ServiceConfig};
 fn usage() -> ! {
     eprintln!(
         "usage: rpq-server [--addr HOST:PORT] [--labels a,b,c] \
-         [--max-inflight N] [--timeout-ms MS]"
+         [--max-inflight N] [--timeout-ms MS] [--slow-query-ms MS] [--no-telemetry]"
     );
     std::process::exit(2);
 }
@@ -51,6 +57,11 @@ fn main() {
                 config.default_timeout_ms =
                     value("--timeout-ms").parse().unwrap_or_else(|_| usage())
             }
+            "--slow-query-ms" => {
+                config.slow_query_threshold_ms =
+                    value("--slow-query-ms").parse().unwrap_or_else(|_| usage())
+            }
+            "--no-telemetry" => config.engine.telemetry = false,
             "--help" | "-h" => usage(),
             _ => usage(),
         }

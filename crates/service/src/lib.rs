@@ -65,7 +65,15 @@ pub struct ServiceConfig {
     pub max_result_pairs: usize,
     /// How long a graceful shutdown waits for in-flight queries.
     pub drain_timeout_ms: u64,
-    /// Engine tuning; must pass [`EngineConfig::validate`].
+    /// Queries slower than this land in the slow-query log (drained through
+    /// the `stats` op).  0 logs every query — useful in tests, noisy in
+    /// production.
+    pub slow_query_threshold_ms: u64,
+    /// Ring capacity of the slow-query log: the newest entries win; evicted
+    /// ones are counted, never silently lost.
+    pub slow_query_log_capacity: usize,
+    /// Engine tuning; must pass [`EngineConfig::validate`].  Its
+    /// `telemetry` flag also gates the service-side latency histograms.
     pub engine: EngineConfig,
 }
 
@@ -81,6 +89,8 @@ impl Default for ServiceConfig {
             max_frame_bytes: 1 << 20,
             max_result_pairs: 100_000,
             drain_timeout_ms: 5_000,
+            slow_query_threshold_ms: 250,
+            slow_query_log_capacity: 128,
             engine: EngineConfig::serving(),
         }
     }
@@ -110,6 +120,11 @@ impl ServiceConfig {
         if self.max_batch_edges == 0 {
             return Err(invalid("max_batch_edges must be at least 1"));
         }
+        if self.slow_query_log_capacity == 0 {
+            return Err(invalid(
+                "slow_query_log_capacity must be at least 1 (raise the threshold to silence it)",
+            ));
+        }
         self.engine.validate()
     }
 }
@@ -132,6 +147,7 @@ mod tests {
             ("max_frame_bytes", Box::new(|c| c.max_frame_bytes = 0)),
             ("max_result_pairs", Box::new(|c| c.max_result_pairs = 0)),
             ("max_batch_edges", Box::new(|c| c.max_batch_edges = 0)),
+            ("slow_query_log_capacity", Box::new(|c| c.slow_query_log_capacity = 0)),
             ("engine.threads", Box::new(|c| c.engine.threads = 0)),
             ("engine.answer_cache_capacity", Box::new(|c| c.engine.answer_cache_capacity = 0)),
         ];

@@ -38,6 +38,13 @@ pub enum Request {
         max_visited: Option<u64>,
         /// Cap on returned pairs (the full count is still reported).
         limit: Option<usize>,
+        /// When true the response carries a `trace` object: per-phase spans
+        /// (parse / cache_lookup / compile / product_bfs / chunk_merge, plus
+        /// per-worker detail) and their totals — the explain surface.
+        trace: bool,
+        /// Caller-supplied trace id, echoed in the trace object so clients
+        /// can correlate across systems; the server allocates one if absent.
+        trace_id: Option<u64>,
     },
     /// Insert a batch of `[from, label, to]` name triples atomically.
     AddEdges {
@@ -65,6 +72,12 @@ pub enum Request {
     },
     /// Service + engine counters.
     Stats,
+    /// Latency histograms, snapshot-age gauges, and slow-query-log depth.
+    Metrics {
+        /// `None`/`"json"` returns structured summaries; `"prometheus"`
+        /// returns text exposition (format 0.0.4) in an `exposition` field.
+        format: Option<String>,
+    },
     /// Liveness probe.
     Health,
     /// Ask the server to stop accepting work and drain.
@@ -143,6 +156,8 @@ fn parse_request(value: &Value) -> Result<Request, ProtocolError> {
             timeout_ms: value.get("timeout_ms").and_then(Value::as_u64),
             max_visited: value.get("max_visited").and_then(Value::as_u64),
             limit: value.get("limit").and_then(Value::as_u64).map(|n| n as usize),
+            trace: value.get("trace").and_then(Value::as_bool).unwrap_or(false),
+            trace_id: value.get("trace_id").and_then(Value::as_u64),
         }),
         "add_edges" => Ok(Request::AddEdges { edges: parse_edges(value.get("edges"))? }),
         "remove_edges" => Ok(Request::RemoveEdges { edges: parse_edges(value.get("edges"))? }),
@@ -152,6 +167,9 @@ fn parse_request(value: &Value) -> Result<Request, ProtocolError> {
         }),
         "view" => Ok(Request::View { name: required_str(value, "name")? }),
         "stats" => Ok(Request::Stats),
+        "metrics" => Ok(Request::Metrics {
+            format: value.get("format").and_then(Value::as_str).map(str::to_string),
+        }),
         "health" => Ok(Request::Health),
         "shutdown" => Ok(Request::Shutdown),
         other => Err(ProtocolError {
@@ -220,8 +238,27 @@ mod tests {
                 timeout_ms: Some(50),
                 max_visited: None,
                 limit: Some(10),
+                trace: false,
+                trace_id: None,
             }
         );
+    }
+
+    #[test]
+    fn trace_flags_and_metrics_frames_parse() {
+        let (_, req) = parse_frame(r#"{"op":"query","q":"a","trace":true,"trace_id":4242}"#);
+        match req.unwrap() {
+            Request::Query { trace, trace_id, .. } => {
+                assert!(trace);
+                assert_eq!(trace_id, Some(4242));
+            }
+            other => panic!("expected query, got {other:?}"),
+        }
+
+        let (_, req) = parse_frame(r#"{"op":"metrics"}"#);
+        assert_eq!(req.unwrap(), Request::Metrics { format: None });
+        let (_, req) = parse_frame(r#"{"op":"metrics","format":"prometheus"}"#);
+        assert_eq!(req.unwrap(), Request::Metrics { format: Some("prometheus".into()) });
     }
 
     #[test]

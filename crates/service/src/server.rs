@@ -29,6 +29,10 @@
 //!   bound.
 //! * Shutdown is graceful: the gate closes, queued writes drain, in-flight
 //!   queries finish (up to `drain_timeout_ms`), and every thread is joined.
+//! * Observability rides the same paths: query/eval/write latency
+//!   histograms and the slow-query log (gated by the engine `telemetry`
+//!   flag), per-query span tracing on request (`"trace": true`), and a
+//!   `metrics` op exposing both JSON summaries and Prometheus text.
 //!
 //! [`try_send`]: std::sync::mpsc::SyncSender::try_send
 
@@ -43,6 +47,7 @@ use std::time::{Duration, Instant};
 use engine::{EngineError, EngineSnapshot, QueryBudget, QueryEngine};
 use graphdb::GraphDb;
 use serde_json::Value;
+use telemetry::{next_trace_id, prometheus, Histogram, Phase, SlowQueryLog, TraceContext};
 
 use crate::protocol::{parse_frame, render_err, render_ok, Request};
 use crate::ServiceConfig;
@@ -125,6 +130,53 @@ fn bump(counter: &AtomicU64) {
     counter.fetch_add(1, Ordering::Relaxed);
 }
 
+fn as_us(d: Duration) -> u64 {
+    d.as_micros().min(u64::MAX as u128) as u64
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry
+
+/// Service-side timing state: request-scoped latency histograms plus the
+/// slow-query log.  Collection is gated by the engine's `telemetry` flag
+/// (one switch disables every `Instant::now()` on the serving path too);
+/// per-query tracing is an explicit opt-in and keeps working regardless.
+struct ServiceTelemetry {
+    enabled: bool,
+    /// Whole query handling: admission to rendered response.
+    query_latency: Histogram,
+    /// The engine-evaluation portion alone; `query - eval` is service
+    /// overhead (framing, rendering, result capping).
+    eval_latency: Histogram,
+    /// Writer-thread batches: apply + snapshot publish.
+    write_latency: Histogram,
+    slow_log: SlowQueryLog,
+}
+
+impl ServiceTelemetry {
+    fn new(config: &ServiceConfig) -> Self {
+        ServiceTelemetry {
+            enabled: config.engine.telemetry,
+            query_latency: Histogram::new(),
+            eval_latency: Histogram::new(),
+            write_latency: Histogram::new(),
+            slow_log: SlowQueryLog::new(
+                config.slow_query_threshold_ms.saturating_mul(1_000),
+                config.slow_query_log_capacity,
+            ),
+        }
+    }
+
+    /// `(name, histogram)` pairs for the metrics op, request path first.
+    fn histograms(&self) -> [(&'static str, &Histogram); 3] {
+        [
+            ("query", &self.query_latency),
+            ("eval", &self.eval_latency),
+            ("write", &self.write_latency),
+        ]
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Writer queue
 
@@ -167,11 +219,15 @@ fn apply_write(engine: &mut QueryEngine, op: &WriteOp) -> Result<(), EngineError
 /// (shutdown), publishing one snapshot per applied batch.
 fn writer_loop(mut engine: QueryEngine, jobs: Receiver<WriteJob>, shared: Arc<Shared>) {
     for job in jobs.iter() {
+        let started = shared.telemetry.enabled.then(Instant::now);
         match apply_write(&mut engine, &job.op) {
             Ok(()) => {
                 let snapshot = engine.publish_snapshot();
                 *shared.snapshot.write().expect("snapshot lock poisoned") = snapshot.clone();
                 bump(&shared.stats.writes_applied);
+                if let Some(started) = started {
+                    shared.telemetry.write_latency.record_duration(started.elapsed());
+                }
                 let _ = job.reply.send(Ok(WriteSummary {
                     revision: snapshot.revision(),
                     num_nodes: snapshot.num_nodes(),
@@ -192,6 +248,7 @@ struct Shared {
     config: ServiceConfig,
     snapshot: RwLock<Arc<EngineSnapshot>>,
     stats: ServiceStats,
+    telemetry: ServiceTelemetry,
     in_flight: AtomicUsize,
     shutdown: AtomicBool,
     /// `None` once shutdown begins: dropping the last sender lets the
@@ -311,6 +368,47 @@ fn pairs_payload(answer: &graphdb::Answer, cap: usize) -> (Vec<Value>, usize, bo
     (pairs, total, truncated)
 }
 
+/// Renders a completed trace as the wire-level `trace` object: identity,
+/// wall time, per-phase totals (top-level, non-overlapping spans only), and
+/// the raw span list with per-worker detail.
+fn trace_value(trace: &TraceContext) -> Value {
+    let spans = trace.spans();
+    let mut phase_totals: Vec<(String, Value)> = Vec::new();
+    for phase in Phase::ALL {
+        let total: u64 = spans
+            .iter()
+            .filter(|s| s.phase == phase && s.worker.is_none())
+            .map(|s| s.duration_us)
+            .sum();
+        if total > 0 || spans.iter().any(|s| s.phase == phase && s.worker.is_none()) {
+            phase_totals.push((phase.as_str().to_string(), Value::Int(total as i128)));
+        }
+    }
+    let span_values: Vec<Value> = spans
+        .iter()
+        .map(|s| {
+            Value::Object(vec![
+                ("phase".to_string(), Value::String(s.phase.as_str().to_string())),
+                (
+                    "worker".to_string(),
+                    s.worker.map_or(Value::Null, |w| Value::Int(w as i128)),
+                ),
+                ("start_us".to_string(), Value::Int(s.start_us as i128)),
+                ("duration_us".to_string(), Value::Int(s.duration_us as i128)),
+            ])
+        })
+        .collect();
+    Value::Object(vec![
+        ("trace_id".to_string(), Value::Int(trace.trace_id() as i128)),
+        ("total_us".to_string(), Value::Int(trace.total_us() as i128)),
+        ("top_level_us".to_string(), Value::Int(trace.top_level_sum_us() as i128)),
+        ("dropped_spans".to_string(), Value::Int(trace.dropped() as i128)),
+        ("phase_totals".to_string(), Value::Object(phase_totals)),
+        ("spans".to_string(), Value::Array(span_values)),
+    ])
+}
+
+#[allow(clippy::too_many_arguments)]
 fn handle_query(
     shared: &Shared,
     id: Option<i64>,
@@ -318,6 +416,8 @@ fn handle_query(
     timeout_ms: Option<u64>,
     max_visited: Option<u64>,
     limit: Option<usize>,
+    trace: bool,
+    trace_id: Option<u64>,
 ) -> String {
     let config = &shared.config;
     if shared.shutdown.load(Ordering::SeqCst) {
@@ -332,26 +432,43 @@ fn handle_query(
             Some(RETRY_AFTER_MS),
         );
     };
+    let telemetry = &shared.telemetry;
+    // One switch: with telemetry off and no trace requested, the query path
+    // makes zero clock calls (the overhead-guard contract).
+    let started = (telemetry.enabled || trace).then(Instant::now);
     let timeout = timeout_ms.unwrap_or(config.default_timeout_ms).min(config.max_timeout_ms);
     let mut budget = QueryBudget::with_timeout(Duration::from_millis(timeout));
     if let Some(cap) = max_visited {
         budget = budget.max_visited(cap);
     }
     let snapshot = shared.pinned_snapshot();
-    match snapshot.eval_str_budgeted(q, &budget) {
+    let trace_ctx = trace.then(|| TraceContext::new(trace_id.unwrap_or_else(next_trace_id)));
+    let eval_started = started.map(|_| Instant::now());
+    let result = match &trace_ctx {
+        Some(trace) => snapshot.eval_str_traced(q, &budget, trace),
+        None => snapshot.eval_str_budgeted(q, &budget),
+    };
+    let eval_us = eval_started.map(|at| as_us(at.elapsed()));
+    let response = match result {
         Ok(answer) => {
             bump(&shared.stats.queries_ok);
             let cap = limit.unwrap_or(usize::MAX).min(config.max_result_pairs);
             let (pairs, total, truncated) = pairs_payload(&answer, cap);
-            render_ok(
-                id,
-                vec![
-                    ("revision".to_string(), Value::Int(snapshot.revision() as i128)),
-                    ("count".to_string(), Value::Int(total as i128)),
-                    ("truncated".to_string(), Value::Bool(truncated)),
-                    ("pairs".to_string(), Value::Array(pairs)),
-                ],
-            )
+            let mut fields = vec![
+                ("revision".to_string(), Value::Int(snapshot.revision() as i128)),
+                ("count".to_string(), Value::Int(total as i128)),
+                ("truncated".to_string(), Value::Bool(truncated)),
+                ("pairs".to_string(), Value::Array(pairs)),
+            ];
+            if let Some(us) = eval_us {
+                // Lets clients split round-trip time into queue-wait vs
+                // evaluation without a second request.
+                fields.push(("eval_us".to_string(), Value::Int(us as i128)));
+            }
+            if let Some(trace) = &trace_ctx {
+                fields.push(("trace".to_string(), trace_value(trace)));
+            }
+            render_ok(id, fields)
         }
         Err(e) => {
             if e.is_budget_interrupt() {
@@ -361,6 +478,190 @@ fn handle_query(
             }
             render_err(id, e.code(), &e.to_string(), None)
         }
+    };
+    if let Some(started) = started {
+        let total_us = as_us(started.elapsed());
+        if telemetry.enabled {
+            telemetry.query_latency.record(total_us);
+            if let Some(us) = eval_us {
+                telemetry.eval_latency.record(us);
+            }
+            telemetry.slow_log.observe(
+                trace_ctx.as_ref().map_or(0, |t| t.trace_id()),
+                q,
+                total_us,
+                snapshot.revision(),
+            );
+        }
+    }
+    response
+}
+
+/// Summarizes one histogram for the JSON metrics payload.
+fn histogram_summary(hist: &Histogram) -> Value {
+    Value::Object(vec![
+        ("count".to_string(), Value::Int(hist.count() as i128)),
+        ("p50_ms".to_string(), Value::Float(hist.percentile_ms(0.50))),
+        ("p90_ms".to_string(), Value::Float(hist.percentile_ms(0.90))),
+        ("p99_ms".to_string(), Value::Float(hist.percentile_ms(0.99))),
+        ("max_ms".to_string(), Value::Float(hist.max_us() as f64 / 1_000.0)),
+        ("mean_ms".to_string(), Value::Float(hist.mean_us() / 1_000.0)),
+    ])
+}
+
+/// Renders the full Prometheus text exposition: engine + service duration
+/// histograms, the service counters, and the snapshot-age gauges.
+fn prometheus_exposition(shared: &Shared, snapshot: &EngineSnapshot) -> String {
+    let mut out = String::new();
+    for (name, hist) in snapshot.telemetry().histograms() {
+        prometheus::render_duration_histogram(
+            &mut out,
+            &format!("rpq_engine_{name}_duration_seconds"),
+            &format!("Engine {name} phase latency."),
+            hist,
+        );
+    }
+    for (name, hist) in shared.telemetry.histograms() {
+        prometheus::render_duration_histogram(
+            &mut out,
+            &format!("rpq_service_{name}_duration_seconds"),
+            &format!("Service {name} latency."),
+            hist,
+        );
+    }
+    let stats = shared.stats.snapshot(shared.in_flight.load(Ordering::Relaxed) as u64);
+    let counters: [(&str, &str, u64); 8] = [
+        ("rpq_queries_ok_total", "Queries answered successfully.", stats.queries_ok),
+        ("rpq_queries_rejected_total", "Queries rejected by admission.", stats.queries_rejected),
+        (
+            "rpq_queries_interrupted_total",
+            "Queries interrupted by their budget.",
+            stats.queries_interrupted,
+        ),
+        ("rpq_queries_failed_total", "Queries failed by engine errors.", stats.queries_failed),
+        ("rpq_writes_applied_total", "Mutation batches applied.", stats.writes_applied),
+        ("rpq_writes_rejected_total", "Mutation batches rejected.", stats.writes_rejected),
+        ("rpq_frames_total", "Frames parsed and dispatched.", stats.frames),
+        (
+            "rpq_slow_queries_total",
+            "Queries over the slow-query threshold.",
+            shared.telemetry.slow_log.total_observed(),
+        ),
+    ];
+    for (name, help, value) in counters {
+        prometheus::render_counter(&mut out, name, help, value);
+    }
+    prometheus::render_gauge(
+        &mut out,
+        "rpq_in_flight_queries",
+        "Queries evaluating right now.",
+        stats.in_flight as f64,
+    );
+    prometheus::render_gauge(
+        &mut out,
+        "rpq_snapshot_age_seconds",
+        "Age of the currently served snapshot.",
+        snapshot.age().as_secs_f64(),
+    );
+    let ages: Vec<(String, f64)> = snapshot
+        .telemetry()
+        .snapshot_ages()
+        .into_iter()
+        .map(|(revision, age)| (revision.to_string(), age))
+        .collect();
+    prometheus::render_labelled_gauge(
+        &mut out,
+        "rpq_retained_snapshot_age_seconds",
+        "Age per retained (pinned) snapshot revision.",
+        "revision",
+        &ages,
+    );
+    prometheus::render_gauge(
+        &mut out,
+        "rpq_slow_query_log_depth",
+        "Slow-query entries waiting to be drained.",
+        shared.telemetry.slow_log.len() as f64,
+    );
+    out
+}
+
+fn handle_metrics(shared: &Shared, id: Option<i64>, format: Option<&str>) -> String {
+    let snapshot = shared.pinned_snapshot();
+    match format {
+        Some("prometheus") => render_ok(
+            id,
+            vec![
+                ("format".to_string(), Value::String("prometheus".to_string())),
+                (
+                    "exposition".to_string(),
+                    Value::String(prometheus_exposition(shared, &snapshot)),
+                ),
+            ],
+        ),
+        None | Some("json") => {
+            let engine_hists: Vec<(String, Value)> = snapshot
+                .telemetry()
+                .histograms()
+                .iter()
+                .map(|(name, hist)| (name.to_string(), histogram_summary(hist)))
+                .collect();
+            let service_hists: Vec<(String, Value)> = shared
+                .telemetry
+                .histograms()
+                .iter()
+                .map(|(name, hist)| (name.to_string(), histogram_summary(hist)))
+                .collect();
+            let ages: Vec<Value> = snapshot
+                .telemetry()
+                .snapshot_ages()
+                .into_iter()
+                .map(|(revision, age)| {
+                    Value::Object(vec![
+                        ("revision".to_string(), Value::Int(revision as i128)),
+                        ("age_s".to_string(), Value::Float(age)),
+                    ])
+                })
+                .collect();
+            let slow = &shared.telemetry.slow_log;
+            render_ok(
+                id,
+                vec![
+                    ("revision".to_string(), Value::Int(snapshot.revision() as i128)),
+                    (
+                        "telemetry_enabled".to_string(),
+                        Value::Bool(snapshot.telemetry().enabled()),
+                    ),
+                    ("engine".to_string(), Value::Object(engine_hists)),
+                    ("service".to_string(), Value::Object(service_hists)),
+                    (
+                        "snapshot_age_s".to_string(),
+                        Value::Float(snapshot.age().as_secs_f64()),
+                    ),
+                    ("snapshot_ages".to_string(), Value::Array(ages)),
+                    (
+                        "slow_query_log".to_string(),
+                        Value::Object(vec![
+                            (
+                                "threshold_ms".to_string(),
+                                Value::Int((slow.threshold_us() / 1_000) as i128),
+                            ),
+                            ("capacity".to_string(), Value::Int(slow.capacity() as i128)),
+                            ("pending".to_string(), Value::Int(slow.len() as i128)),
+                            (
+                                "total_observed".to_string(),
+                                Value::Int(slow.total_observed() as i128),
+                            ),
+                        ]),
+                    ),
+                ],
+            )
+        }
+        Some(other) => render_err(
+            id,
+            "parse_error",
+            &format!("unsupported metrics format {other:?} (use \"json\" or \"prometheus\")"),
+            None,
+        ),
     }
 }
 
@@ -462,6 +763,27 @@ fn stats_fields(shared: &Shared) -> Vec<(String, Value)> {
                 ("snapshot_dropped".to_string(), int(engine_stats.snapshot_dropped)),
             ]),
         ),
+        (
+            // Draining: each entry is reported exactly once across all
+            // `stats` calls (concurrent observers keep accumulating).
+            "slow_queries".to_string(),
+            Value::Array(
+                shared
+                    .telemetry
+                    .slow_log
+                    .drain()
+                    .into_iter()
+                    .map(|entry| {
+                        Value::Object(vec![
+                            ("trace_id".to_string(), int(entry.trace_id)),
+                            ("query".to_string(), Value::String(entry.query)),
+                            ("elapsed_us".to_string(), int(entry.elapsed_us)),
+                            ("revision".to_string(), int(entry.revision)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
     ]
 }
 
@@ -486,8 +808,8 @@ fn dispatch(shared: &Shared, line: &str) -> Dispatch {
     };
     bump(&shared.stats.frames);
     let response = match request {
-        Request::Query { q, timeout_ms, max_visited, limit } => {
-            handle_query(shared, id, &q, timeout_ms, max_visited, limit)
+        Request::Query { q, timeout_ms, max_visited, limit, trace, trace_id } => {
+            handle_query(shared, id, &q, timeout_ms, max_visited, limit, trace, trace_id)
         }
         Request::AddEdges { edges } => {
             let applied = edges.len();
@@ -520,6 +842,7 @@ fn dispatch(shared: &Shared, line: &str) -> Dispatch {
             }
         }
         Request::Stats => render_ok(id, stats_fields(shared)),
+        Request::Metrics { format } => handle_metrics(shared, id, format.as_deref()),
         Request::Health => {
             let snapshot = shared.pinned_snapshot();
             render_ok(
@@ -628,10 +951,12 @@ impl Server {
         listener.set_nonblocking(true)?;
 
         let (writer_tx, writer_rx) = sync_channel(config.writer_queue_depth);
+        let telemetry = ServiceTelemetry::new(&config);
         let shared = Arc::new(Shared {
             config,
             snapshot: RwLock::new(first_snapshot),
             stats: ServiceStats::default(),
+            telemetry,
             in_flight: AtomicUsize::new(0),
             shutdown: AtomicBool::new(false),
             writer: Mutex::new(Some(writer_tx)),

@@ -1,0 +1,279 @@
+//! Observability against a live server: trace-id propagation over the TCP
+//! round trip, the explain (`trace`) payload shape, the metrics op in both
+//! formats, and the slow-query log under concurrent readers.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use automata::Alphabet;
+use graphdb::GraphDb;
+use serde_json::Value;
+use service::{Server, ServiceConfig};
+
+// ---------------------------------------------------------------------------
+// Harness (same shape as the fault-injection suite)
+
+fn chain_db(n: usize) -> GraphDb {
+    let mut db = GraphDb::new(Alphabet::from_chars(['a', 'b']).unwrap());
+    for i in 0..n {
+        db.add_edge_named(&format!("v{i}"), "a", &format!("v{}", i + 1));
+    }
+    db
+}
+
+fn test_config() -> ServiceConfig {
+    ServiceConfig {
+        engine: engine::EngineConfig { threads: 2, ..engine::EngineConfig::default() },
+        ..ServiceConfig::default()
+    }
+}
+
+struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(server: &Server) -> Client {
+        let stream = TcpStream::connect(server.addr()).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .expect("read timeout");
+        let reader = BufReader::new(stream.try_clone().expect("clone"));
+        Client { writer: stream, reader }
+    }
+
+    fn roundtrip(&mut self, line: &str) -> Value {
+        self.writer.write_all(line.as_bytes()).expect("send");
+        self.writer.write_all(b"\n").expect("send newline");
+        let mut reply = String::new();
+        let n = self.reader.read_line(&mut reply).expect("recv");
+        assert!(n > 0, "server closed the connection unexpectedly");
+        serde_json::from_str(reply.trim_end()).expect("response is valid JSON")
+    }
+}
+
+fn assert_ok(response: &Value) {
+    assert_eq!(response["ok"].as_bool(), Some(true), "expected ok: {response:?}");
+}
+
+// ---------------------------------------------------------------------------
+// Tracing
+
+#[test]
+fn traced_queries_return_a_phase_breakdown_and_echo_trace_ids() {
+    let server = Server::start(chain_db(300), test_config()).unwrap();
+    let mut client = Client::connect(&server);
+
+    // Caller-supplied trace id comes back verbatim.
+    let response =
+        client.roundtrip(r#"{"id":1,"op":"query","q":"a*","trace":true,"trace_id":4242}"#);
+    assert_ok(&response);
+    let trace = &response["trace"];
+    assert_eq!(trace["trace_id"].as_u64(), Some(4242));
+
+    // The explain surface: every pipeline phase of a cold evaluation shows
+    // up as a top-level total, and their sum is bounded by the wall time.
+    let totals = &trace["phase_totals"];
+    for phase in ["parse", "cache_lookup", "compile", "product_bfs", "chunk_merge"] {
+        assert!(totals[phase].as_u64().is_some(), "missing {phase}: {response:?}");
+    }
+    let total_us = trace["total_us"].as_u64().expect("total_us");
+    let top_level_us = trace["top_level_us"].as_u64().expect("top_level_us");
+    assert!(top_level_us <= total_us.max(1), "{top_level_us} > {total_us}");
+    assert!(trace["spans"].as_array().is_some_and(|s| !s.is_empty()));
+    assert_eq!(trace["dropped_spans"].as_u64(), Some(0));
+    // Success responses carry the eval/queue-wait split input.
+    assert!(response["eval_us"].as_u64().is_some());
+
+    // Absent trace_id: the server allocates a nonzero one.
+    let response = client.roundtrip(r#"{"id":2,"op":"query","q":"a·a","trace":true}"#);
+    assert_ok(&response);
+    let allocated = response["trace"]["trace_id"].as_u64().expect("allocated id");
+    assert!(allocated > 0);
+
+    // Untraced queries carry no trace object at all.
+    let response = client.roundtrip(r#"{"id":3,"op":"query","q":"a"}"#);
+    assert_ok(&response);
+    assert!(response["trace"].as_object().is_none());
+
+    server.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Metrics op
+
+#[test]
+fn metrics_op_reports_histograms_in_both_formats() {
+    let server = Server::start(chain_db(100), test_config()).unwrap();
+    let mut client = Client::connect(&server);
+    for i in 0..5 {
+        let response = client.roundtrip(&format!(r#"{{"id":{i},"op":"query","q":"a*"}}"#));
+        assert_ok(&response);
+    }
+    let response = client.roundtrip(r#"{"op":"add_edges","edges":[["x","a","y"]]}"#);
+    assert_ok(&response);
+
+    // JSON: engine + service histograms with non-zero counts after load.
+    let response = client.roundtrip(r#"{"op":"metrics"}"#);
+    assert_ok(&response);
+    assert_eq!(response["telemetry_enabled"].as_bool(), Some(true));
+    assert_eq!(response["engine"]["eval"]["count"].as_u64(), Some(5));
+    assert_eq!(response["engine"]["compile"]["count"].as_u64(), Some(1), "4 of 5 were cache hits");
+    assert!(response["engine"]["snapshot_publish"]["count"].as_u64().unwrap_or(0) >= 2);
+    assert_eq!(response["service"]["query"]["count"].as_u64(), Some(5));
+    assert_eq!(response["service"]["eval"]["count"].as_u64(), Some(5));
+    assert_eq!(response["service"]["write"]["count"].as_u64(), Some(1));
+    let p50 = response["service"]["query"]["p50_ms"].as_f64().expect("p50_ms");
+    let p99 = response["service"]["query"]["p99_ms"].as_f64().expect("p99_ms");
+    assert!(p50 <= p99, "percentiles must be monotone: {p50} > {p99}");
+    assert!(response["snapshot_age_s"].as_f64().is_some());
+    assert!(response["snapshot_ages"].as_array().is_some_and(|a| !a.is_empty()));
+
+    // Prometheus: well-formed exposition text with the expected families.
+    let response = client.roundtrip(r#"{"op":"metrics","format":"prometheus"}"#);
+    assert_ok(&response);
+    let text = response["exposition"].as_str().expect("exposition text");
+    for needle in [
+        "# TYPE rpq_engine_eval_duration_seconds histogram",
+        "# TYPE rpq_service_query_duration_seconds histogram",
+        "rpq_queries_ok_total 5",
+        "rpq_writes_applied_total 1",
+        "# TYPE rpq_snapshot_age_seconds gauge",
+        "rpq_retained_snapshot_age_seconds{revision=",
+    ] {
+        assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+    }
+    for line in text.lines() {
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (_, value) = line.rsplit_once(' ').unwrap_or_else(|| panic!("no value: {line}"));
+        value.parse::<f64>().unwrap_or_else(|_| panic!("bad value on line: {line}"));
+    }
+
+    // Unknown format fails the frame, not the connection.
+    let response = client.roundtrip(r#"{"op":"metrics","format":"xml"}"#);
+    assert_eq!(response["ok"].as_bool(), Some(false));
+    assert!(client.roundtrip(r#"{"op":"health"}"#)["ok"].as_bool().unwrap());
+
+    server.shutdown();
+}
+
+#[test]
+fn disabled_telemetry_keeps_serving_and_reports_empty_histograms() {
+    let mut config = test_config();
+    config.engine.telemetry = false;
+    let server = Server::start(chain_db(50), config).unwrap();
+    let mut client = Client::connect(&server);
+    let response = client.roundtrip(r#"{"op":"query","q":"a*"}"#);
+    assert_ok(&response);
+    assert!(response["eval_us"].as_u64().is_none(), "no timing when disabled");
+
+    let response = client.roundtrip(r#"{"op":"metrics"}"#);
+    assert_ok(&response);
+    assert_eq!(response["telemetry_enabled"].as_bool(), Some(false));
+    assert_eq!(response["service"]["query"]["count"].as_u64(), Some(0));
+    assert_eq!(response["engine"]["eval"]["count"].as_u64(), Some(0));
+
+    // Explicit tracing still works — it is per-query opt-in, not gated.
+    let response = client.roundtrip(r#"{"op":"query","q":"a·a","trace":true,"trace_id":9}"#);
+    assert_ok(&response);
+    assert_eq!(response["trace"]["trace_id"].as_u64(), Some(9));
+
+    server.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Slow-query log
+
+#[test]
+fn slow_query_log_drains_once_through_stats() {
+    let mut config = test_config();
+    config.slow_query_threshold_ms = 0; // log every query
+    config.slow_query_log_capacity = 4;
+    let server = Server::start(chain_db(50), config).unwrap();
+    let mut client = Client::connect(&server);
+
+    for i in 0..6 {
+        let response =
+            client.roundtrip(&format!(r#"{{"op":"query","q":"a*","trace":true,"trace_id":{}}}"#, i + 100));
+        assert_ok(&response);
+    }
+
+    // Capacity 4 with 6 observations: the newest 4 survive, evictions are
+    // reflected in the metrics counter (total observed stays 6).
+    let response = client.roundtrip(r#"{"op":"metrics"}"#);
+    assert_eq!(response["slow_query_log"]["pending"].as_u64(), Some(4));
+    assert_eq!(response["slow_query_log"]["total_observed"].as_u64(), Some(6));
+
+    let response = client.roundtrip(r#"{"op":"stats"}"#);
+    assert_ok(&response);
+    let slow = response["slow_queries"].as_array().expect("slow_queries").to_vec();
+    assert_eq!(slow.len(), 4);
+    for entry in &slow {
+        assert_eq!(entry["query"].as_str(), Some("a*"));
+        assert!(entry["elapsed_us"].as_u64().is_some());
+        assert!(entry["trace_id"].as_u64().unwrap() >= 100, "newest entries win");
+    }
+    // Ring order: oldest surviving entry first.
+    assert_eq!(slow[0]["trace_id"].as_u64(), Some(102));
+    assert_eq!(slow[3]["trace_id"].as_u64(), Some(105));
+
+    // Draining is exactly-once: a second stats call reports nothing.
+    let response = client.roundtrip(r#"{"op":"stats"}"#);
+    assert_eq!(response["slow_queries"].as_array().map(|s| s.len()), Some(0));
+
+    server.shutdown();
+}
+
+#[test]
+fn slow_query_log_stays_consistent_under_concurrent_readers() {
+    let mut config = test_config();
+    config.slow_query_threshold_ms = 0;
+    config.slow_query_log_capacity = 8;
+    let server = Server::start(chain_db(30), config).unwrap();
+
+    const WRITERS: usize = 4;
+    const QUERIES_PER_WRITER: usize = 10;
+    let mut drained = 0usize;
+    std::thread::scope(|scope| {
+        let server = &server;
+        let handles: Vec<_> = (0..WRITERS)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut client = Client::connect(server);
+                    for _ in 0..QUERIES_PER_WRITER {
+                        assert_ok(&client.roundtrip(r#"{"op":"query","q":"a·a"}"#));
+                    }
+                })
+            })
+            .collect();
+        // A concurrent drainer: stats calls race the observers without
+        // panicking, duplicating, or wedging anything.
+        let mut client = Client::connect(server);
+        while handles.iter().any(|h| !h.is_finished()) {
+            let response = client.roundtrip(r#"{"op":"stats"}"#);
+            assert_ok(&response);
+            drained += response["slow_queries"].as_array().map_or(0, |s| s.len());
+        }
+        for handle in handles {
+            handle.join().expect("writer client");
+        }
+    });
+
+    // Final drain: everything observed was reported at most once, and
+    // nothing beyond what was actually sent.
+    let mut client = Client::connect(&server);
+    let response = client.roundtrip(r#"{"op":"stats"}"#);
+    drained += response["slow_queries"].as_array().map_or(0, |s| s.len());
+    assert!(drained <= WRITERS * QUERIES_PER_WRITER, "{drained} drained of 40 sent");
+    let response = client.roundtrip(r#"{"op":"metrics"}"#);
+    assert_eq!(
+        response["slow_query_log"]["total_observed"].as_u64(),
+        Some((WRITERS * QUERIES_PER_WRITER) as u64)
+    );
+
+    server.shutdown();
+}

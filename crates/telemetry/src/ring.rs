@@ -1,0 +1,108 @@
+//! A bounded, drainable ring buffer for recent events.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// A capacity-bounded FIFO retaining the most recent items: pushing onto a
+/// full ring evicts the oldest entry. All methods take `&self` (internal
+/// mutex), so producers and drainers can share it freely.
+#[derive(Debug)]
+pub struct RingBuffer<T> {
+    capacity: usize,
+    inner: Mutex<VecDeque<T>>,
+    evicted: AtomicU64,
+}
+
+impl<T> RingBuffer<T> {
+    /// Creates a ring retaining at most `capacity` items. A capacity of 0
+    /// makes every push a no-op.
+    pub fn new(capacity: usize) -> Self {
+        RingBuffer {
+            capacity,
+            inner: Mutex::new(VecDeque::with_capacity(capacity.min(1024))),
+            evicted: AtomicU64::new(0),
+        }
+    }
+
+    /// Appends `item`, evicting the oldest entry if the ring is full.
+    pub fn push(&self, item: T) {
+        if self.capacity == 0 {
+            self.evicted.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if inner.len() == self.capacity {
+            inner.pop_front();
+            self.evicted.fetch_add(1, Ordering::Relaxed);
+        }
+        inner.push_back(item);
+    }
+
+    /// Removes and returns every retained item, oldest first.
+    pub fn drain(&self) -> Vec<T> {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.drain(..).collect()
+    }
+
+    /// Number of items currently retained.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// True when nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The retention capacity this ring was created with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total items evicted (or dropped, for capacity 0) since creation.
+    pub fn evicted(&self) -> u64 {
+        self.evicted.load(Ordering::Relaxed)
+    }
+}
+
+impl<T: Clone> RingBuffer<T> {
+    /// A copy of the retained items, oldest first, without draining.
+    pub fn snapshot(&self) -> Vec<T> {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .cloned()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retains_most_recent_up_to_capacity() {
+        let ring = RingBuffer::new(3);
+        for i in 0..7 {
+            ring.push(i);
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.evicted(), 4);
+        assert_eq!(ring.snapshot(), vec![4, 5, 6]);
+        assert_eq!(ring.drain(), vec![4, 5, 6]);
+        assert!(ring.is_empty());
+        assert_eq!(ring.evicted(), 4, "drain does not evict");
+    }
+
+    #[test]
+    fn zero_capacity_drops_everything() {
+        let ring = RingBuffer::new(0);
+        ring.push(1);
+        ring.push(2);
+        assert!(ring.is_empty());
+        assert_eq!(ring.evicted(), 2);
+        assert_eq!(ring.drain(), Vec::<i32>::new());
+    }
+}

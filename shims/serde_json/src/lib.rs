@@ -224,7 +224,14 @@ fn write_value(value: &Value, out: &mut String, indent: Option<usize>, depth: us
         Value::Int(i) => out.push_str(&i.to_string()),
         Value::Float(x) => {
             if x.is_finite() {
-                out.push_str(&format!("{x}"));
+                let rendered = format!("{x}");
+                out.push_str(&rendered);
+                // Integral floats format without a decimal point ("0", not
+                // "0.0"); keep the float-ness on the wire so the value
+                // re-parses as Float, not Int.
+                if !rendered.contains(['.', 'e', 'E']) {
+                    out.push_str(".0");
+                }
             } else {
                 out.push_str("null");
             }
@@ -356,6 +363,21 @@ mod tests {
         assert_eq!(from_str("1.5e3").unwrap().as_f64(), Some(1500.0));
         assert_eq!(v["count"].as_f64(), Some(42.0));
         assert_eq!(v["flags"].as_array().map(<[Value]>::len), Some(2));
+    }
+
+    #[test]
+    fn integral_floats_stay_floats_on_the_wire() {
+        // A `Float(0.0)` must render as "0.0", not "0" — otherwise the value
+        // re-parses as Int and snapshot diffs see the type flip.
+        let v = json!({ "rejection_rate": 0.0, "neg": -0.0, "big": 1e21, "half": 0.5 });
+        let s = to_string(&v).unwrap();
+        assert!(s.contains("\"rejection_rate\":0.0"), "got {s}");
+        assert!(s.contains("\"half\":0.5"), "got {s}");
+        let parsed = from_str(&s).unwrap();
+        assert!(matches!(parsed["rejection_rate"], Value::Float(_)));
+        assert!(matches!(parsed["neg"], Value::Float(_)));
+        assert!(matches!(parsed["big"], Value::Float(_)));
+        assert_eq!(parsed, v);
     }
 
     #[test]
