@@ -21,8 +21,9 @@
 //! (`experiments e6`) skip the snapshot to stay fast; `experiments bench`
 //! emits only the snapshot, and `experiments rewriting` / `experiments
 //! concurrent` / `experiments deletion` / `experiments service` /
-//! `experiments metrics` run those CI smoke workloads alone (honoring
-//! `BENCH_THREADS` for the reader and client counts).  The `metrics` smoke
+//! `experiments metrics` / `experiments parallel` run those CI smoke
+//! workloads alone (honoring `BENCH_THREADS` for the reader, client, and
+//! worker counts).  The `metrics` smoke
 //! doubles as the telemetry overhead guard: it exits nonzero if enabling
 //! collection costs more than 5% on the |V| = 1000 eval workload, or if a
 //! traced query's explain payload fails to account for the wall time.
@@ -125,6 +126,16 @@ fn main() {
         // Like the other smokes, the committed snapshot is left untouched.
         println!("\n================ telemetry overhead + explain surface (smoke) ================");
         metrics_rows();
+    } else if args.iter().any(|a| a == "parallel") {
+        // `experiments parallel`: the production-scale parallel-evaluation
+        // workload alone (the CI "Parallel scaling smoke" step, run with
+        // BENCH_THREADS=4) — the work-stealing pool vs the sequential
+        // evaluator on a |V| = 10^5 power-law graph, with a GitHub warning
+        // annotation if the pool fails to reach a 1.2x speedup at more than
+        // one thread.  Like the other smokes, the committed snapshot is
+        // left untouched.
+        println!("\n================ parallel scaling (smoke) ================");
+        parallel_scale_rows(true);
     }
 }
 
@@ -342,17 +353,21 @@ fn bench_rpq_json() {
                 json!({
                     "worker": w.worker,
                     "chunks": w.chunks,
+                    "steals": w.steals,
+                    "visited": w.visited,
                     "acquire_ms": to_ms(w.acquire_us),
                     "sweep_ms": to_ms(w.sweep_us),
                 })
             })
             .collect();
         println!(
-            "parallel breakdown        : acquire {:.3} ms + sweep {:.3} ms across {} worker(s), merge {:.3} ms",
+            "parallel breakdown        : acquire {:.3} ms + sweep {:.3} ms across {} worker(s), merge {:.3} ms, {} chunk(s) / {} steal(s)",
             to_ms(breakdown.total_acquire_us()),
             to_ms(breakdown.total_sweep_us()),
             breakdown.workers.len(),
-            to_ms(breakdown.merge_us)
+            to_ms(breakdown.merge_us),
+            breakdown.total_chunks(),
+            breakdown.total_steals()
         );
         parallel_breakdown.push(json!({
             "workload": "random_graph_v2000_e8000",
@@ -360,8 +375,19 @@ fn bench_rpq_json() {
             "merge_ms": to_ms(breakdown.merge_us),
             "total_acquire_ms": to_ms(breakdown.total_acquire_us()),
             "total_sweep_ms": to_ms(breakdown.total_sweep_us()),
+            "total_chunks": breakdown.total_chunks(),
+            "total_steals": breakdown.total_steals(),
             "workers": workers,
         }));
+    }
+
+    // Production-scale parallel evaluation on the generator families
+    // (power-law hubs with Zipfian labels, community blocks); rows land in
+    // the same two sections so the regression diff covers them.
+    {
+        let (scale_parallel, scale_breakdown) = parallel_scale_rows(false);
+        parallel.extend(scale_parallel);
+        parallel_breakdown.extend(scale_breakdown);
     }
 
     // Incremental maintenance: per-edge delta repair of a cached view
@@ -470,6 +496,151 @@ fn bench_rpq_json() {
             std::process::exit(1);
         }
     }
+}
+
+/// Production-scale parallel evaluation on the generator families: the
+/// work-stealing pool vs the sequential evaluator on a |V| = 10^5 power-law
+/// graph with Zipfian labels (hub-heavy degree distributions are the worst
+/// case for fixed-size source chunking) and — in full-bench runs — a
+/// community-structured graph of the same size (dense blocks with sparse
+/// bridges, the cache-friendly case).  The query anchors on labels from the
+/// Zipf tail, so the product BFS is selective per source but still sweeps
+/// all 10^5 sources.  Returns the JSON rows for the `parallel` and
+/// `parallel_breakdown` sections of `BENCH_rpq.json`; also runs standalone
+/// as `experiments parallel` (the CI "Parallel scaling smoke" step).  When
+/// `smoke` is set, the community workload is skipped to stay fast and a
+/// GitHub `::warning::` annotation is emitted if the pool fails to reach a
+/// 1.2x speedup at more than one thread.  Setting `RPQ_BENCH_1M=1` adds a
+/// |V| = 10^6 power-law row (too slow for every CI run; for production-size
+/// measurements on demand).
+fn parallel_scale_rows(smoke: bool) -> (Vec<Value>, Vec<Value>) {
+    use engine::{eval_csr_parallel, eval_csr_parallel_breakdown};
+    use graphdb::{
+        community_graph, eval_csr, power_law_graph, CommunityGraphConfig, PowerLawGraphConfig,
+    };
+
+    let mut parallel = Vec::new();
+    let mut breakdown_rows = Vec::new();
+    let domain = automata::Alphabet::from_chars(['a', 'b', 'c', 'd', 'e', 'f', 'g', 'h'])
+        .expect("distinct");
+    // Under the Zipf label distribution (exponent 1.0) the late-alphabet
+    // labels are the rare tail: the h anchor keeps most sources' BFS
+    // shallow, and the (f+g)* closure walks a sparse ~11% subgraph, so the
+    // sweep cost is spread across per-source frontiers instead of one giant
+    // reachable set.
+    let query = regexlang::parse("h·(f+g)*·e").expect("scale query parses");
+    let max_threads = bench_threads();
+    let mut thread_counts = vec![1usize, 2, 4];
+    if !thread_counts.contains(&max_threads) {
+        thread_counts.push(max_threads);
+    }
+
+    let mut measure = |workload: &str, db: &graphdb::GraphDb, counts: &[usize]| {
+        let nfa = regexlang::thompson(&query, db.domain()).expect("query over the domain");
+        let frozen = automata::DenseNfa::from_nfa(&nfa);
+        let csr = db.csr_out();
+        let top = *counts.last().expect("at least one thread count");
+        let sequential_ms = time_ms(2, || eval_csr(&csr, &frozen).len());
+        for &threads in counts {
+            let parallel_ms = time_ms(2, || eval_csr_parallel(&csr, &frozen, threads).len());
+            println!(
+                "{workload:<26}: sequential {sequential_ms:.3} ms, parallel {parallel_ms:.3} ms on {threads} thread(s) ({})",
+                speedup_label(sequential_ms, parallel_ms)
+            );
+            parallel.push(json!({
+                "workload": workload,
+                "threads": threads,
+                "sequential_ms": sequential_ms,
+                "parallel_ms": parallel_ms,
+                "speedup": speedup_json(sequential_ms, parallel_ms),
+            }));
+            if smoke && threads == top && threads > 1 {
+                match speedup(sequential_ms, parallel_ms) {
+                    Some(ratio) if ratio < 1.2 => println!(
+                        "::warning title=parallel scaling::{workload}: only {ratio:.2}x over \
+                         sequential at {threads} threads (< 1.2x)"
+                    ),
+                    _ => {}
+                }
+            }
+        }
+
+        // One instrumented run at the largest thread count: per-worker
+        // chunk/steal/acquire/sweep detail plus the merge, so scaling
+        // plateaus are attributable from the snapshot alone.
+        let (answer, breakdown) = eval_csr_parallel_breakdown(&csr, &frozen, top);
+        std::hint::black_box(answer.len());
+        let to_ms = |us: u64| us as f64 / 1e3;
+        let workers: Vec<Value> = breakdown
+            .workers
+            .iter()
+            .map(|w| {
+                json!({
+                    "worker": w.worker,
+                    "chunks": w.chunks,
+                    "steals": w.steals,
+                    "visited": w.visited,
+                    "acquire_ms": to_ms(w.acquire_us),
+                    "sweep_ms": to_ms(w.sweep_us),
+                })
+            })
+            .collect();
+        println!(
+            "  breakdown @{top} thread(s) : acquire {:.3} ms + sweep {:.3} ms, merge {:.3} ms, {} chunk(s) / {} steal(s)",
+            to_ms(breakdown.total_acquire_us()),
+            to_ms(breakdown.total_sweep_us()),
+            to_ms(breakdown.merge_us),
+            breakdown.total_chunks(),
+            breakdown.total_steals()
+        );
+        breakdown_rows.push(json!({
+            "workload": workload,
+            "threads": top,
+            "merge_ms": to_ms(breakdown.merge_us),
+            "total_acquire_ms": to_ms(breakdown.total_acquire_us()),
+            "total_sweep_ms": to_ms(breakdown.total_sweep_us()),
+            "total_chunks": breakdown.total_chunks(),
+            "total_steals": breakdown.total_steals(),
+            "workers": workers,
+        }));
+    };
+
+    let power = power_law_graph(
+        &domain,
+        &PowerLawGraphConfig {
+            num_nodes: 100_000,
+            num_edges: 400_000,
+            label_exponent: 1.0,
+        },
+        42,
+    );
+    measure("power_law_v100000_e400000", &power, &thread_counts);
+    if !smoke {
+        let community = community_graph(
+            &domain,
+            &CommunityGraphConfig {
+                num_communities: 100,
+                community_size: 1_000,
+                num_edges: 400_000,
+                intra_fraction: 0.9,
+            },
+            42,
+        );
+        measure("community_c100_s1000_e400000", &community, &[max_threads.max(2)]);
+    }
+    if std::env::var_os("RPQ_BENCH_1M").is_some() {
+        let big = power_law_graph(
+            &domain,
+            &PowerLawGraphConfig {
+                num_nodes: 1_000_000,
+                num_edges: 4_000_000,
+                label_exponent: 1.0,
+            },
+            42,
+        );
+        measure("power_law_v1000000_e4000000", &big, &[max_threads.max(2)]);
+    }
+    (parallel, breakdown_rows)
 }
 
 /// Non-monotone incremental maintenance: per-edge DRed deletion repair
@@ -1081,6 +1252,7 @@ fn diff_bench_snapshots(old: &Value, new: &Value) {
                     field.as_str(),
                     "dense_ms"
                         | "parallel_ms"
+                        | "merge_ms"
                         | "delta_repair_ms"
                         | "delta_delete_ms"
                         | "concurrent_reader_ms"

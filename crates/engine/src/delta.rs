@@ -222,16 +222,16 @@ pub fn deletion_repair(
 
     // Phase 1 — over-delete: the delta sweeps on the *pre-deletion*
     // adjacencies enumerate every cached pair with a witness crossing a
-    // deleted edge.
-    let mut affected_sources: Vec<NodeId> = Vec::new();
+    // deleted edge.  Candidates are collected first and removed in one
+    // batched sweep — per-pair removal from the sorted-vector answer would
+    // degrade to O(answer × candidates).
+    let mut candidates: Vec<(NodeId, NodeId)> = Vec::new();
     for &(from, label, to) in removed {
-        for pair in delta_pairs(old_csr_out, old_csr_in, query, rev, from, label, to) {
-            if pairs.remove(&pair) {
-                report.overdeleted_pairs += 1;
-                affected_sources.push(pair.0);
-            }
-        }
+        candidates.extend(delta_pairs(old_csr_out, old_csr_in, query, rev, from, label, to));
     }
+    let overdeleted = pairs.remove_batch(&candidates);
+    report.overdeleted_pairs = overdeleted.len() as u64;
+    let mut affected_sources: Vec<NodeId> = overdeleted.into_iter().map(|(x, _)| x).collect();
     if affected_sources.is_empty() {
         return report; // no witness crossed any deleted edge
     }
@@ -275,16 +275,14 @@ pub fn deletion_repair_budgeted(
 ) -> Result<DeletionRepairReport, SweepInterrupt> {
     let mut report = DeletionRepairReport::default();
 
-    let mut affected_sources: Vec<NodeId> = Vec::new();
+    let mut candidates: Vec<(NodeId, NodeId)> = Vec::new();
     for &(from, label, to) in removed {
         progress.poll(budget)?;
-        for pair in delta_pairs(old_csr_out, old_csr_in, query, rev, from, label, to) {
-            if pairs.remove(&pair) {
-                report.overdeleted_pairs += 1;
-                affected_sources.push(pair.0);
-            }
-        }
+        candidates.extend(delta_pairs(old_csr_out, old_csr_in, query, rev, from, label, to));
     }
+    let overdeleted = pairs.remove_batch(&candidates);
+    report.overdeleted_pairs = overdeleted.len() as u64;
+    let mut affected_sources: Vec<NodeId> = overdeleted.into_iter().map(|(x, _)| x).collect();
     if affected_sources.is_empty() {
         return Ok(report);
     }

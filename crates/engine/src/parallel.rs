@@ -1,30 +1,51 @@
-//! Scoped-thread parallel RPQ evaluation.
+//! Scoped-thread parallel RPQ evaluation with a work-stealing scheduler.
 //!
 //! [`graphdb::eval_csr`] runs one independent product-BFS per source node;
 //! nothing is shared between sources except the read-only query automaton
-//! and CSR adjacency.  That makes the source range embarrassingly parallel:
-//! this module shards it across a hand-rolled work pool —
-//! `std::thread::scope` workers pulling fixed-size chunks off an atomic
-//! cursor (no external thread-pool crates exist in this environment) — with
-//! one [`EvalScratch`] and one private answer buffer per worker, merged into
-//! the final answer set after the scope joins.
+//! and CSR adjacency.  That makes the source range embarrassingly parallel,
+//! but the seed's pool (fixed-size chunks off one atomic cursor, merged into
+//! a `BTreeSet`) did not scale: `parallel_breakdown` measured ~3× the
+//! sequential sweep work spread across workers plus a ~250 ms
+//! single-threaded merge at |V|=2000.  This module is the rebuilt read path
+//! (no external thread-pool crates exist in this environment, so the pool is
+//! still hand-rolled on `std::thread::scope`):
 //!
-//! Chunked self-scheduling (rather than one static slice per worker) keeps
-//! the pool balanced when source costs are skewed, e.g. when a hub node's
-//! BFS touches most of the graph while leaf sources finish immediately.
+//! * **Degree-weighted chunks** — the source range is pre-split into chunks
+//!   of roughly equal *frontier mass* (node count + out-degree sum, the
+//!   cheap static proxy for sweep cost), so a hub-heavy span of a power-law
+//!   graph becomes many small chunks instead of one fat one.
+//! * **Work stealing** — each worker starts with a contiguous block of
+//!   chunks in its own deque (preserving source locality) and pops from the
+//!   front; a worker that runs dry steals from the *back* of a victim's
+//!   deque.  Steal and chunk counts are reported per worker through
+//!   [`WorkerTiming`].
+//! * **Sorted runs, k-way merge** — each worker sorts its private
+//!   `Vec<(u32, u32)>` run in parallel before joining; the runs are disjoint
+//!   by construction (every source belongs to exactly one chunk), so the
+//!   final merge is a duplicate-free k-way merge into the sorted-vector
+//!   [`Answer`] ([`graphdb::SortedPairs`]) — no re-hashing, no tree
+//!   insertion.
+//!
+//! The domain-compatibility check runs **once** per evaluation, on the
+//! caller's thread (with the caller's message), before any worker spawns —
+//! including on the `threads <= 1` sequential path, which previously
+//! re-validated inside `eval_csr`; the chunk sweeps use the `_prechecked`
+//! range evaluators.
 //!
 //! The evaluator only ever *reads* its inputs (`CsrAdjacency`, `DenseNfa`),
 //! both of which are `Send + Sync`, so it is callable from any thread —
 //! including concurrently from several [`crate::EngineSnapshot`] readers,
 //! each of which may itself fan out onto this pool.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::collections::VecDeque;
+use std::ops::Range;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use automata::DenseNfa;
 use graphdb::{
-    eval_csr, eval_csr_range, eval_csr_range_budgeted, Answer, CsrAdjacency, EvalScratch, NodeId,
-    SweepBudget, SweepInterrupt, SweepState,
+    eval_csr_range_budgeted_prechecked, eval_csr_range_prechecked, Answer, CsrAdjacency,
+    EvalScratch, SweepBudget, SweepInterrupt, SweepState,
 };
 use telemetry::{ParallelBreakdown, WorkerTiming};
 
@@ -39,326 +60,208 @@ pub fn available_threads() -> usize {
         .unwrap_or(1)
 }
 
-/// Evaluates `query` over `csr` with `threads` workers, sharding the
-/// per-source product-BFS range.  Answer-identical to [`eval_csr`] (each
-/// source's sweep is independent and workers only read shared state);
-/// `threads <= 1` falls through to the sequential evaluator.
-pub fn eval_csr_parallel(csr: &CsrAdjacency, query: &DenseNfa, threads: usize) -> Answer {
-    let num_nodes = csr.num_nodes();
-    let threads = threads.min(num_nodes.max(1));
-    if threads <= 1 {
-        return eval_csr(csr, query);
+/// Chunks each worker's deque is seeded with.  Enough granularity that
+/// stealing can rebalance a skewed tail, few enough that deque traffic is
+/// negligible against even the smallest sweeps.
+const CHUNKS_PER_WORKER: usize = 16;
+
+/// Splits the source range into chunks of roughly equal frontier mass,
+/// weighting node `v` as `1 + out_degree(v)`.  Uniform graphs get uniform
+/// chunks; on a power-law graph a hub's span shrinks to a few nodes so no
+/// single chunk serializes the tail of the pool.
+fn weighted_chunks(csr: &CsrAdjacency, threads: usize) -> Vec<Range<u32>> {
+    let num_nodes = csr.num_nodes() as u32;
+    let total_weight = (csr.num_nodes() + csr.num_edges()) as u64;
+    let target = (total_weight / (threads * CHUNKS_PER_WORKER) as u64).max(1);
+    let mut chunks = Vec::with_capacity(threads * CHUNKS_PER_WORKER + 1);
+    let (mut lo, mut weight) = (0u32, 0u64);
+    for node in 0..num_nodes {
+        weight += 1 + csr.out_degree(node) as u64;
+        if weight >= target {
+            chunks.push(lo..node + 1);
+            lo = node + 1;
+            weight = 0;
+        }
     }
-    // Fail on the caller's thread (with the caller's message) rather than
-    // poisoning a worker join.
-    csr.domain()
-        .check_compatible(query.alphabet())
-        .expect("query automaton must be over the database domain");
-
-    // Chunks small enough to self-balance, large enough that the atomic
-    // cursor stays cold: aim for ~8 chunks per worker.
-    let chunk = (num_nodes / (threads * 8)).clamp(1, 1024);
-    let cursor = AtomicUsize::new(0);
-
-    let buffers: Vec<Vec<(u32, u32)>> = std::thread::scope(|scope| {
-        let workers: Vec<_> = (0..threads)
-            .map(|_| {
-                scope.spawn(|| {
-                    let mut scratch = EvalScratch::new(csr, query);
-                    let mut pairs = Vec::new();
-                    loop {
-                        let lo = cursor.fetch_add(chunk, Ordering::Relaxed);
-                        if lo >= num_nodes {
-                            break;
-                        }
-                        let hi = (lo + chunk).min(num_nodes);
-                        eval_csr_range(csr, query, lo as u32..hi as u32, &mut scratch, &mut pairs);
-                    }
-                    pairs
-                })
-            })
-            .collect();
-        workers
-            .into_iter()
-            .map(|w| w.join().expect("evaluation worker panicked"))
-            .collect()
-    });
-
-    buffers
-        .into_iter()
-        .flatten()
-        .map(|(x, y)| (x as NodeId, y as NodeId))
-        .collect()
+    if lo < num_nodes {
+        chunks.push(lo..num_nodes);
+    }
+    chunks
 }
 
-/// Budgeted variant of [`eval_csr_parallel`]: every worker charges pops to
-/// the shared `progress`, and the first tripped limit makes all workers stop
-/// at their next chunk boundary (or mid-chunk at the next cooperative
-/// check).  On interrupt the partial answers are discarded and the interrupt
-/// cause is returned; `progress.visited()` carries the partial-work count.
-pub fn eval_csr_parallel_budgeted(
+/// Per-worker chunk deques with back-stealing.
+///
+/// All chunks are placed before any worker starts and none are produced
+/// during the run, so termination is trivial: a full scan finding every
+/// deque empty means every chunk is owned by some worker already.
+struct StealQueues {
+    deques: Vec<Mutex<VecDeque<Range<u32>>>>,
+}
+
+impl StealQueues {
+    /// Distributes `chunks` contiguously across `threads` deques, so each
+    /// worker's initial block covers adjacent sources (cache locality) and
+    /// steals take from the far end of a victim's block.
+    fn new(chunks: Vec<Range<u32>>, threads: usize) -> Self {
+        let per = chunks.len().div_ceil(threads).max(1);
+        let mut deques: Vec<VecDeque<Range<u32>>> =
+            (0..threads).map(|_| VecDeque::new()).collect();
+        for (i, chunk) in chunks.into_iter().enumerate() {
+            deques[(i / per).min(threads - 1)].push_back(chunk);
+        }
+        StealQueues {
+            deques: deques.into_iter().map(Mutex::new).collect(),
+        }
+    }
+
+    /// The next chunk for `worker`: front of its own deque, else the back of
+    /// the first non-empty victim.  Returns the chunk and whether it was
+    /// stolen; `None` means the pool is drained.
+    fn next(&self, worker: usize) -> Option<(Range<u32>, bool)> {
+        let pop = |victim: usize, back: bool| {
+            let mut deque = self.deques[victim].lock().unwrap_or_else(|e| e.into_inner());
+            if back {
+                deque.pop_back()
+            } else {
+                deque.pop_front()
+            }
+        };
+        if let Some(chunk) = pop(worker, false) {
+            return Some((chunk, false));
+        }
+        let n = self.deques.len();
+        for hop in 1..n {
+            if let Some(chunk) = pop((worker + hop) % n, true) {
+                return Some((chunk, true));
+            }
+        }
+        None
+    }
+}
+
+/// The shared pool core behind all four public entry points.  `BUDGETED`
+/// compiles the budget checks out of the un-budgeted path entirely.
+///
+/// Always returns the breakdown — on interrupt the partial answers are
+/// discarded but the per-worker counters (chunks, steals, visited, timings)
+/// survive, so callers can report *where* the partial work happened.
+fn run_pool<const BUDGETED: bool>(
     csr: &CsrAdjacency,
     query: &DenseNfa,
     threads: usize,
     budget: &SweepBudget,
     progress: &SweepState,
-) -> Result<Answer, SweepInterrupt> {
+) -> (Result<Answer, SweepInterrupt>, ParallelBreakdown) {
     let num_nodes = csr.num_nodes();
-    let threads = threads.min(num_nodes.max(1));
-    if threads <= 1 {
-        // Sequential path: one worker, one scratch, the whole source range.
-        csr.domain()
-            .check_compatible(query.alphabet())
-            .expect("query automaton must be over the database domain");
-        let mut scratch = EvalScratch::new(csr, query);
-        let mut pairs = Vec::new();
-        eval_csr_range_budgeted(
-            csr,
-            query,
-            0..num_nodes as u32,
-            &mut scratch,
-            &mut pairs,
-            budget,
-            progress,
-        )?;
-        return Ok(pairs
-            .into_iter()
-            .map(|(x, y)| (x as NodeId, y as NodeId))
-            .collect());
-    }
+    let threads = threads.min(num_nodes.max(1)).max(1);
+    // The single validation of the whole evaluation: on the caller's thread,
+    // with the caller-facing message, before any worker spawns.
     csr.domain()
         .check_compatible(query.alphabet())
         .expect("query automaton must be over the database domain");
 
-    let chunk = (num_nodes / (threads * 8)).clamp(1, 1024);
-    let cursor = AtomicUsize::new(0);
-
-    let buffers: Vec<Result<Vec<(u32, u32)>, SweepInterrupt>> = std::thread::scope(|scope| {
-        let workers: Vec<_> = (0..threads)
-            .map(|_| {
-                scope.spawn(|| {
-                    let mut scratch = EvalScratch::new(csr, query);
-                    let mut pairs = Vec::new();
-                    loop {
-                        // A trip in any worker stops the others at their next
-                        // chunk boundary.
-                        if let Some(why) = progress.interrupt() {
-                            return Err(why);
-                        }
-                        let lo = cursor.fetch_add(chunk, Ordering::Relaxed);
-                        if lo >= num_nodes {
-                            break;
-                        }
-                        let hi = (lo + chunk).min(num_nodes);
-                        eval_csr_range_budgeted(
-                            csr,
-                            query,
-                            lo as u32..hi as u32,
-                            &mut scratch,
-                            &mut pairs,
-                            budget,
-                            progress,
-                        )?;
-                    }
-                    Ok(pairs)
-                })
-            })
-            .collect();
-        workers
-            .into_iter()
-            .map(|w| w.join().expect("evaluation worker panicked"))
-            .collect()
-    });
-
-    let mut answer = Answer::new();
-    for buffer in buffers {
-        answer.extend(buffer?.into_iter().map(|(x, y)| (x as NodeId, y as NodeId)));
-    }
-    Ok(answer)
-}
-
-/// [`eval_csr_parallel`] with per-worker timing: returns, alongside the
-/// answer, how each worker's wall time split between claiming chunks off the
-/// shared cursor and the product-BFS sweep proper, plus the single-threaded
-/// merge cost.  Timing happens only at chunk boundaries (two `Instant` reads
-/// per chunk, never per pop), so the breakdown variant stays within noise of
-/// the plain one; the hot path itself is untouched.
-pub fn eval_csr_parallel_breakdown(
-    csr: &CsrAdjacency,
-    query: &DenseNfa,
-    threads: usize,
-) -> (Answer, ParallelBreakdown) {
-    let num_nodes = csr.num_nodes();
-    let threads = threads.min(num_nodes.max(1));
-    csr.domain()
-        .check_compatible(query.alphabet())
-        .expect("query automaton must be over the database domain");
     if threads <= 1 {
         let sweep_start = Instant::now();
         let mut scratch = EvalScratch::new(csr, query);
         let mut pairs = Vec::new();
-        eval_csr_range(csr, query, 0..num_nodes as u32, &mut scratch, &mut pairs);
+        let sources = 0..num_nodes as u32;
+        let mut timing = WorkerTiming {
+            worker: 0,
+            chunks: 1,
+            ..WorkerTiming::default()
+        };
+        let swept: Result<(), SweepInterrupt> = if BUDGETED {
+            eval_csr_range_budgeted_prechecked(
+                csr, query, sources, &mut scratch, &mut pairs, budget, progress,
+            )
+            .map(|charged| timing.visited = charged)
+        } else {
+            eval_csr_range_prechecked(csr, query, sources, &mut scratch, &mut pairs);
+            Ok(())
+        };
+        if let Err(why) = swept {
+            timing.sweep_us = as_us(sweep_start.elapsed());
+            let breakdown = ParallelBreakdown {
+                workers: vec![timing],
+                merge_us: 0,
+            };
+            return (Err(why), breakdown);
+        }
+        pairs.sort_unstable();
         let merge_start = Instant::now();
-        let answer: Answer = pairs
-            .into_iter()
-            .map(|(x, y)| (x as NodeId, y as NodeId))
-            .collect();
+        timing.sweep_us = as_us(merge_start.duration_since(sweep_start));
+        let answer = Answer::from_sorted_runs(vec![pairs]);
         let breakdown = ParallelBreakdown {
-            workers: vec![WorkerTiming {
-                worker: 0,
-                chunks: 1,
-                acquire_us: 0,
-                sweep_us: as_us(merge_start.duration_since(sweep_start)),
-            }],
+            workers: vec![timing],
             merge_us: as_us(merge_start.elapsed()),
         };
-        return (answer, breakdown);
+        return (Ok(answer), breakdown);
     }
 
-    let chunk = (num_nodes / (threads * 8)).clamp(1, 1024);
-    let cursor = AtomicUsize::new(0);
-
-    let results: Vec<(Vec<(u32, u32)>, WorkerTiming)> = std::thread::scope(|scope| {
-        let cursor = &cursor;
-        let workers: Vec<_> = (0..threads)
-            .map(|worker| {
-                scope.spawn(move || {
-                    let mut scratch = EvalScratch::new(csr, query);
-                    let mut pairs = Vec::new();
-                    let mut timing = WorkerTiming {
-                        worker: worker as u32,
-                        ..WorkerTiming::default()
-                    };
-                    let mut acquire = Duration::ZERO;
-                    let mut sweep = Duration::ZERO;
-                    loop {
-                        let acquire_start = Instant::now();
-                        let lo = cursor.fetch_add(chunk, Ordering::Relaxed);
-                        let sweep_start = Instant::now();
-                        acquire += sweep_start.duration_since(acquire_start);
-                        if lo >= num_nodes {
-                            break;
-                        }
-                        let hi = (lo + chunk).min(num_nodes);
-                        timing.chunks += 1;
-                        eval_csr_range(csr, query, lo as u32..hi as u32, &mut scratch, &mut pairs);
-                        sweep += sweep_start.elapsed();
-                    }
-                    timing.acquire_us = as_us(acquire);
-                    timing.sweep_us = as_us(sweep);
-                    (pairs, timing)
-                })
-            })
-            .collect();
-        workers
-            .into_iter()
-            .map(|w| w.join().expect("evaluation worker panicked"))
-            .collect()
-    });
-
-    let merge_start = Instant::now();
-    let mut workers = Vec::with_capacity(results.len());
-    let mut answer = Answer::new();
-    for (pairs, timing) in results {
-        workers.push(timing);
-        answer.extend(pairs.into_iter().map(|(x, y)| (x as NodeId, y as NodeId)));
-    }
-    let breakdown = ParallelBreakdown {
-        workers,
-        merge_us: as_us(merge_start.elapsed()),
-    };
-    (answer, breakdown)
-}
-
-/// Budgeted variant of [`eval_csr_parallel_breakdown`]: the budgeted sweep
-/// with the same per-worker chunk-acquire / sweep / merge attribution.  On
-/// interrupt the partial breakdown is discarded with the partial answers.
-pub fn eval_csr_parallel_budgeted_breakdown(
-    csr: &CsrAdjacency,
-    query: &DenseNfa,
-    threads: usize,
-    budget: &SweepBudget,
-    progress: &SweepState,
-) -> Result<(Answer, ParallelBreakdown), SweepInterrupt> {
-    let num_nodes = csr.num_nodes();
-    let threads = threads.min(num_nodes.max(1));
-    csr.domain()
-        .check_compatible(query.alphabet())
-        .expect("query automaton must be over the database domain");
-    if threads <= 1 {
-        let sweep_start = Instant::now();
-        let mut scratch = EvalScratch::new(csr, query);
-        let mut pairs = Vec::new();
-        eval_csr_range_budgeted(
-            csr,
-            query,
-            0..num_nodes as u32,
-            &mut scratch,
-            &mut pairs,
-            budget,
-            progress,
-        )?;
-        let merge_start = Instant::now();
-        let answer: Answer = pairs
-            .into_iter()
-            .map(|(x, y)| (x as NodeId, y as NodeId))
-            .collect();
-        let breakdown = ParallelBreakdown {
-            workers: vec![WorkerTiming {
-                worker: 0,
-                chunks: 1,
-                acquire_us: 0,
-                sweep_us: as_us(merge_start.duration_since(sweep_start)),
-            }],
-            merge_us: as_us(merge_start.elapsed()),
-        };
-        return Ok((answer, breakdown));
-    }
-
-    let chunk = (num_nodes / (threads * 8)).clamp(1, 1024);
-    let cursor = AtomicUsize::new(0);
-
-    let results: Vec<Result<(Vec<(u32, u32)>, WorkerTiming), SweepInterrupt>> =
+    let queues = StealQueues::new(weighted_chunks(csr, threads), threads);
+    let results: Vec<(Result<Vec<(u32, u32)>, SweepInterrupt>, WorkerTiming)> =
         std::thread::scope(|scope| {
-            let cursor = &cursor;
+            let queues = &queues;
             let workers: Vec<_> = (0..threads)
                 .map(|worker| {
                     scope.spawn(move || {
                         let mut scratch = EvalScratch::new(csr, query);
-                        let mut pairs = Vec::new();
+                        let mut pairs: Vec<(u32, u32)> = Vec::new();
                         let mut timing = WorkerTiming {
                             worker: worker as u32,
                             ..WorkerTiming::default()
                         };
                         let mut acquire = Duration::ZERO;
                         let mut sweep = Duration::ZERO;
+                        let mut failed: Option<SweepInterrupt> = None;
                         loop {
-                            if let Some(why) = progress.interrupt() {
-                                return Err(why);
+                            if BUDGETED {
+                                // A trip in any worker stops the others at
+                                // their next chunk boundary.
+                                if let Some(why) = progress.interrupt() {
+                                    failed = Some(why);
+                                    break;
+                                }
                             }
                             let acquire_start = Instant::now();
-                            let lo = cursor.fetch_add(chunk, Ordering::Relaxed);
+                            let job = queues.next(worker);
                             let sweep_start = Instant::now();
                             acquire += sweep_start.duration_since(acquire_start);
-                            if lo >= num_nodes {
-                                break;
-                            }
-                            let hi = (lo + chunk).min(num_nodes);
+                            let Some((chunk, stolen)) = job else { break };
                             timing.chunks += 1;
-                            eval_csr_range_budgeted(
-                                csr,
-                                query,
-                                lo as u32..hi as u32,
-                                &mut scratch,
-                                &mut pairs,
-                                budget,
-                                progress,
-                            )?;
+                            timing.steals += stolen as u64;
+                            if BUDGETED {
+                                match eval_csr_range_budgeted_prechecked(
+                                    csr, query, chunk, &mut scratch, &mut pairs, budget,
+                                    progress,
+                                ) {
+                                    Ok(charged) => timing.visited += charged,
+                                    Err(why) => {
+                                        failed = Some(why);
+                                        break;
+                                    }
+                                }
+                            } else {
+                                eval_csr_range_prechecked(
+                                    csr, query, chunk, &mut scratch, &mut pairs,
+                                );
+                            }
                             sweep += sweep_start.elapsed();
+                        }
+                        if failed.is_none() {
+                            // Sort the private run while sibling workers are
+                            // still sweeping: the post-join merge then only
+                            // k-way-merges pre-sorted, disjoint runs.
+                            let sort_start = Instant::now();
+                            pairs.sort_unstable();
+                            sweep += sort_start.elapsed();
                         }
                         timing.acquire_us = as_us(acquire);
                         timing.sweep_us = as_us(sweep);
-                        Ok((pairs, timing))
+                        match failed {
+                            Some(why) => (Err(why), timing),
+                            None => (Ok(pairs), timing),
+                        }
                     })
                 })
                 .collect();
@@ -368,26 +271,96 @@ pub fn eval_csr_parallel_budgeted_breakdown(
                 .collect()
         });
 
-    let merge_start = Instant::now();
     let mut workers = Vec::with_capacity(results.len());
-    let mut answer = Answer::new();
-    for result in results {
-        let (pairs, timing) = result?;
+    let mut runs = Vec::with_capacity(results.len());
+    let mut failed: Option<SweepInterrupt> = None;
+    for (run, timing) in results {
         workers.push(timing);
-        answer.extend(pairs.into_iter().map(|(x, y)| (x as NodeId, y as NodeId)));
+        match run {
+            Ok(pairs) => runs.push(pairs),
+            Err(why) => failed = failed.or(Some(why)),
+        }
     }
+    if let Some(why) = failed {
+        let breakdown = ParallelBreakdown {
+            workers,
+            merge_us: 0,
+        };
+        return (Err(why), breakdown);
+    }
+    let merge_start = Instant::now();
+    let answer = Answer::from_sorted_runs(runs);
     let breakdown = ParallelBreakdown {
         workers,
         merge_us: as_us(merge_start.elapsed()),
     };
-    Ok((answer, breakdown))
+    (Ok(answer), breakdown)
+}
+
+/// Evaluates `query` over `csr` with `threads` workers, sharding the
+/// per-source product-BFS range over the work-stealing pool.
+/// Answer-identical to [`graphdb::eval_csr`] (each source's sweep is
+/// independent and workers only read shared state); `threads <= 1` runs the
+/// same pipeline on the caller's thread without spawning.
+pub fn eval_csr_parallel(csr: &CsrAdjacency, query: &DenseNfa, threads: usize) -> Answer {
+    eval_csr_parallel_breakdown(csr, query, threads).0
+}
+
+/// Budgeted variant of [`eval_csr_parallel`]: every worker charges pops to
+/// the shared `progress`, and the first tripped limit makes all workers stop
+/// at their next chunk boundary (or mid-chunk at the next cooperative
+/// check).  On interrupt the partial answers are discarded and the interrupt
+/// cause is returned; `progress.visited()` carries the aggregate
+/// partial-work count (use [`eval_csr_parallel_budgeted_breakdown`] for the
+/// per-worker split).
+pub fn eval_csr_parallel_budgeted(
+    csr: &CsrAdjacency,
+    query: &DenseNfa,
+    threads: usize,
+    budget: &SweepBudget,
+    progress: &SweepState,
+) -> Result<Answer, SweepInterrupt> {
+    run_pool::<true>(csr, query, threads, budget, progress).0
+}
+
+/// [`eval_csr_parallel`] with per-worker attribution: how each worker's wall
+/// time split between claiming chunks and sweeping, how many chunks it
+/// processed and stole, plus the post-join k-way merge cost.  Timing happens
+/// only at chunk boundaries (two `Instant` reads per chunk, never per pop),
+/// so the breakdown stays within noise of the plain variant.
+pub fn eval_csr_parallel_breakdown(
+    csr: &CsrAdjacency,
+    query: &DenseNfa,
+    threads: usize,
+) -> (Answer, ParallelBreakdown) {
+    let unlimited = SweepBudget::unlimited();
+    let progress = SweepState::new();
+    let (result, breakdown) = run_pool::<false>(csr, query, threads, &unlimited, &progress);
+    (
+        result.expect("unlimited sweeps cannot be interrupted"),
+        breakdown,
+    )
+}
+
+/// Budgeted variant of [`eval_csr_parallel_breakdown`].  The breakdown is
+/// returned *alongside* the result — even on interrupt — so callers see the
+/// per-worker partial-work counts ([`WorkerTiming::visited`], accurate to
+/// the budget check interval), not just the shared aggregate in `progress`.
+pub fn eval_csr_parallel_budgeted_breakdown(
+    csr: &CsrAdjacency,
+    query: &DenseNfa,
+    threads: usize,
+    budget: &SweepBudget,
+    progress: &SweepState,
+) -> (Result<Answer, SweepInterrupt>, ParallelBreakdown) {
+    run_pool::<true>(csr, query, threads, budget, progress)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use automata::Alphabet;
-    use graphdb::GraphDb;
+    use graphdb::{eval_csr, power_law_graph, GraphDb, PowerLawGraphConfig};
 
     fn sample_db() -> GraphDb {
         let mut db = GraphDb::new(Alphabet::from_chars(['a', 'b', 'c']).unwrap());
@@ -418,6 +391,29 @@ mod tests {
     }
 
     #[test]
+    fn parallel_matches_sequential_on_a_hubby_graph() {
+        // Power-law degree skew is exactly what the degree-weighted chunks +
+        // stealing are for; the answer must still be bit-identical.
+        let db = power_law_graph(
+            &Alphabet::from_chars(['a', 'b', 'c']).unwrap(),
+            &PowerLawGraphConfig {
+                num_nodes: 300,
+                num_edges: 1200,
+                label_exponent: 1.0,
+            },
+            17,
+        );
+        let csr = db.csr_out();
+        for q in ["a·b", "(a+b)·c?", "c*·a"] {
+            let query = dense(&db, q);
+            let seq = eval_csr(&csr, &query);
+            for threads in [2, 4, 7] {
+                assert_eq!(seq, eval_csr_parallel(&csr, &query, threads), "{q} x{threads}");
+            }
+        }
+    }
+
+    #[test]
     fn zero_threads_degrades_to_sequential() {
         let db = sample_db();
         let csr = db.csr_out();
@@ -434,6 +430,31 @@ mod tests {
     }
 
     #[test]
+    fn weighted_chunks_cover_the_range_in_order() {
+        let db = power_law_graph(
+            &Alphabet::from_chars(['a']).unwrap(),
+            &PowerLawGraphConfig {
+                num_nodes: 500,
+                num_edges: 3000,
+                label_exponent: 0.0,
+            },
+            3,
+        );
+        let csr = db.csr_out();
+        for threads in [1, 2, 4] {
+            let chunks = weighted_chunks(&csr, threads);
+            assert!(!chunks.is_empty());
+            let mut expect = 0u32;
+            for chunk in &chunks {
+                assert_eq!(chunk.start, expect, "chunks must tile the range");
+                assert!(chunk.end > chunk.start);
+                expect = chunk.end;
+            }
+            assert_eq!(expect as usize, csr.num_nodes());
+        }
+    }
+
+    #[test]
     fn breakdown_variant_is_answer_identical_and_attributes_workers() {
         let db = sample_db();
         let csr = db.csr_out();
@@ -445,26 +466,76 @@ mod tests {
                 assert_eq!(seq, answer, "{q} x{threads}");
                 assert!(!breakdown.workers.is_empty());
                 assert!(breakdown.workers.len() <= threads.max(1));
-                let chunks: u64 = breakdown.workers.iter().map(|w| w.chunks).sum();
-                assert!(chunks >= 1, "{q} x{threads}: no chunks claimed");
+                assert!(breakdown.total_chunks() >= 1, "{q} x{threads}: no chunks claimed");
+                // Every chunk is processed exactly once across the pool.
+                if threads > 1 {
+                    let placed = weighted_chunks(&csr, threads.min(csr.num_nodes())).len() as u64;
+                    assert_eq!(breakdown.total_chunks(), placed, "{q} x{threads}");
+                }
             }
         }
     }
 
     #[test]
-    fn budgeted_breakdown_matches_and_respects_interrupts() {
+    fn starved_workers_steal_from_their_neighbors() {
+        // 2 nodes, 2 workers: each deque gets one single-source chunk (the
+        // weighting can't split further), but 64 workers against 5 nodes
+        // leaves most deques empty, so any work the empty-deque workers do
+        // must show up as steals... unless the seeded workers drain
+        // everything first.  Either way the counters must be consistent:
+        // chunks processed ≥ chunks stolen, and the answer exact.
+        let db = sample_db();
+        let csr = db.csr_out();
+        let query = dense(&db, "(a+b+c)*");
+        let (answer, breakdown) = eval_csr_parallel_breakdown(&csr, &query, 64);
+        assert_eq!(answer, eval_csr(&csr, &query));
+        assert!(breakdown.total_chunks() >= breakdown.total_steals());
+        let processed: u64 = breakdown.workers.iter().map(|w| w.chunks).sum();
+        assert_eq!(processed, breakdown.total_chunks());
+    }
+
+    #[test]
+    fn budgeted_breakdown_matches_and_reports_per_worker_work() {
         let db = sample_db();
         let csr = db.csr_out();
         let query = dense(&db, "a·(b·a+c)*");
         let progress = SweepState::new();
-        let (answer, _) = eval_csr_parallel_budgeted_breakdown(
+        let (result, breakdown) = eval_csr_parallel_budgeted_breakdown(
             &csr,
             &query,
             4,
             &SweepBudget::unlimited(),
             &progress,
-        )
-        .expect("unlimited budget never interrupts");
+        );
+        let answer = result.expect("unlimited budget never interrupts");
+        assert_eq!(answer, eval_csr(&csr, &query));
+        // On success every pop is charged and attributed: the per-worker
+        // counts sum to the shared aggregate exactly.
+        assert_eq!(breakdown.total_visited(), progress.visited());
+        assert!(progress.visited() > 0);
+
+        let strict = SweepBudget {
+            max_visited: Some(0),
+            ..SweepBudget::unlimited()
+        };
+        let tripped = SweepState::new();
+        let (result, breakdown) =
+            eval_csr_parallel_budgeted_breakdown(&csr, &query, 4, &strict, &tripped);
+        assert!(matches!(result.unwrap_err(), SweepInterrupt::VisitLimit));
+        // The breakdown survives the interrupt (that is its point): worker
+        // entries exist even though the answers were discarded.
+        assert!(!breakdown.workers.is_empty());
+    }
+
+    #[test]
+    fn budgeted_plain_variant_still_interrupts() {
+        let db = sample_db();
+        let csr = db.csr_out();
+        let query = dense(&db, "a·(b·a+c)*");
+        let progress = SweepState::new();
+        let answer =
+            eval_csr_parallel_budgeted(&csr, &query, 4, &SweepBudget::unlimited(), &progress)
+                .expect("unlimited budget never interrupts");
         assert_eq!(answer, eval_csr(&csr, &query));
 
         let strict = SweepBudget {
@@ -472,8 +543,7 @@ mod tests {
             ..SweepBudget::unlimited()
         };
         let tripped = SweepState::new();
-        let err = eval_csr_parallel_budgeted_breakdown(&csr, &query, 4, &strict, &tripped)
-            .unwrap_err();
+        let err = eval_csr_parallel_budgeted(&csr, &query, 4, &strict, &tripped).unwrap_err();
         assert!(matches!(err, SweepInterrupt::VisitLimit));
     }
 

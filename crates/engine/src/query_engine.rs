@@ -136,6 +136,11 @@ pub struct EngineStats {
     pub parallel_evals: u64,
     /// Evaluations that ran sequentially (small graph or 1 thread).
     pub sequential_evals: u64,
+    /// Source-range chunks processed across all parallel-pool workers.
+    pub parallel_chunks: u64,
+    /// Of those, chunks a worker stole from a sibling's deque after its own
+    /// ran dry — the work-stealing scheduler rebalancing skewed sweeps.
+    pub parallel_steals: u64,
     /// Ad-hoc answers evicted by the capacity bound of the answer cache.
     pub answer_evictions: u64,
     /// Mutations whose delta repairs ran on the worker pool (one count per
@@ -191,6 +196,8 @@ pub(crate) fn assemble_stats(
         view_delta_repairs: shared.view_delta_repairs.load(Ordering::Relaxed),
         parallel_evals: shared.parallel_evals.load(Ordering::Relaxed),
         sequential_evals: shared.sequential_evals.load(Ordering::Relaxed),
+        parallel_chunks: shared.parallel_chunks.load(Ordering::Relaxed),
+        parallel_steals: shared.parallel_steals.load(Ordering::Relaxed),
         parallel_repairs: shared.parallel_repairs.load(Ordering::Relaxed),
         identity_cover_pairs: shared.identity_cover_pairs.load(Ordering::Relaxed),
         view_deletion_repairs: shared.view_deletion_repairs.load(Ordering::Relaxed),
@@ -1115,9 +1122,9 @@ impl QueryEngine {
                 if num_nodes > prev_num_nodes && entry.nfa.any_final(entry.nfa.start()) {
                     let (_, pairs) = entry.extension.as_mut().expect("validated by the caller");
                     let pairs = Arc::make_mut(pairs);
-                    for v in prev_num_nodes..num_nodes {
-                        pairs.insert((v, v));
-                    }
+                    // New node ids sort past every cached pair, so this
+                    // lands on the sorted-vector append fast path.
+                    pairs.extend((prev_num_nodes..num_nodes).map(|v| (v, v)));
                     stats
                         .identity_cover_pairs
                         .fetch_add((num_nodes - prev_num_nodes) as u64, Ordering::Relaxed);

@@ -32,8 +32,7 @@ use crate::error::EngineError;
 use crate::fingerprint::{fingerprint_nfa, fingerprint_regex, Fingerprint};
 use crate::metrics::EngineTelemetry;
 use crate::parallel::{
-    available_threads, eval_csr_parallel, eval_csr_parallel_breakdown,
-    eval_csr_parallel_budgeted, eval_csr_parallel_budgeted_breakdown,
+    available_threads, eval_csr_parallel_breakdown, eval_csr_parallel_budgeted_breakdown,
 };
 use crate::query_engine::{EngineConfig, EngineStats};
 
@@ -74,6 +73,8 @@ pub(crate) struct SharedStats {
     pub view_delta_repairs: AtomicU64,
     pub parallel_evals: AtomicU64,
     pub sequential_evals: AtomicU64,
+    pub parallel_chunks: AtomicU64,
+    pub parallel_steals: AtomicU64,
     pub parallel_repairs: AtomicU64,
     pub identity_cover_pairs: AtomicU64,
     pub view_deletion_repairs: AtomicU64,
@@ -328,6 +329,18 @@ impl AdhocReader<'_> {
         }
     }
 
+    /// Folds the pool's scheduler counters (chunks processed, chunks stolen)
+    /// into the shared stats, which back both `stats()` and the Prometheus
+    /// `metrics` op.
+    fn note_scheduler(&self, breakdown: &ParallelBreakdown) {
+        self.stats
+            .parallel_chunks
+            .fetch_add(breakdown.total_chunks(), Ordering::Relaxed);
+        self.stats
+            .parallel_steals
+            .fetch_add(breakdown.total_steals(), Ordering::Relaxed);
+    }
+
     pub fn eval_on_csr(&self, dense: &DenseNfa) -> Answer {
         let threads = threads_for(self.config, self.csr_out.num_nodes());
         if threads > 1 {
@@ -335,19 +348,16 @@ impl AdhocReader<'_> {
         } else {
             bump(&self.stats.sequential_evals);
         }
-        if let Some(_trace) = self.trace {
-            let started = Instant::now();
-            let (answer, breakdown) = eval_csr_parallel_breakdown(self.csr_out, dense, threads);
+        // The breakdown variant is within noise of the plain one (timing at
+        // chunk boundaries only), so every path takes it and the scheduler
+        // counters stay live even with tracing and telemetry off.
+        let timed = (self.trace.is_some() || self.telemetry.enabled()).then(Instant::now);
+        let (answer, breakdown) = eval_csr_parallel_breakdown(self.csr_out, dense, threads);
+        self.note_scheduler(&breakdown);
+        if let Some(started) = timed {
             self.finish_bfs(started, Some(&breakdown));
-            answer
-        } else if self.telemetry.enabled() {
-            let started = Instant::now();
-            let answer = eval_csr_parallel(self.csr_out, dense, threads);
-            self.finish_bfs(started, None);
-            answer
-        } else {
-            eval_csr_parallel(self.csr_out, dense, threads)
         }
+        answer
     }
 
     pub fn eval_regex(&self, query: &Regex) -> Arc<Answer> {
@@ -432,24 +442,16 @@ impl AdhocReader<'_> {
         }
         let sweep = budget.to_sweep();
         let progress = SweepState::new();
-        let result = if let Some(_trace) = self.trace {
-            let started = Instant::now();
-            eval_csr_parallel_budgeted_breakdown(self.csr_out, dense, threads, &sweep, &progress)
-                .map(|(answer, breakdown)| {
-                    self.finish_bfs(started, Some(&breakdown));
-                    answer
-                })
-        } else if self.telemetry.enabled() {
-            let started = Instant::now();
-            eval_csr_parallel_budgeted(self.csr_out, dense, threads, &sweep, &progress).map(
-                |answer| {
-                    self.finish_bfs(started, None);
-                    answer
-                },
-            )
-        } else {
-            eval_csr_parallel_budgeted(self.csr_out, dense, threads, &sweep, &progress)
-        };
+        let timed = (self.trace.is_some() || self.telemetry.enabled()).then(Instant::now);
+        let (result, breakdown) =
+            eval_csr_parallel_budgeted_breakdown(self.csr_out, dense, threads, &sweep, &progress);
+        // The breakdown survives an interrupt, so the scheduler counters
+        // (and, with tracing on, the per-worker partial-work spans) reflect
+        // budget-killed evaluations too.
+        self.note_scheduler(&breakdown);
+        if let (Some(started), Ok(_)) = (timed, &result) {
+            self.finish_bfs(started, Some(&breakdown));
+        }
         result.map_err(|why| {
             bump(&self.stats.budget_interrupted_evals);
             EngineError::from_interrupt(why, progress.visited())

@@ -12,11 +12,23 @@ use std::collections::{BTreeSet, VecDeque};
 use automata::{DenseNfa, Nfa, StateId};
 use regexlang::{thompson, Regex};
 
+use crate::answer::SortedPairs;
 use crate::budget::{SweepBudget, SweepInterrupt, SweepState, SWEEP_CHECK_INTERVAL};
 use crate::graph::{CsrAdjacency, GraphDb, NodeId};
 
 /// The answer to a path query: a set of ordered node pairs.
-pub type Answer = BTreeSet<(NodeId, NodeId)>;
+///
+/// Backed by the sorted-vector [`SortedPairs`] representation (the seed used
+/// a `BTreeSet`); iteration order and the set-shaped API are unchanged, but
+/// bulk construction from the parallel evaluator's per-worker runs is a
+/// k-way merge instead of tree insertion.  The seed representation survives
+/// as [`AnswerSet`] for differential testing.
+pub type Answer = SortedPairs;
+
+/// The seed's answer representation, kept as the differential oracle: the
+/// property suites evaluate each query through both representations and
+/// require identical pair sets.
+pub type AnswerSet = BTreeSet<(NodeId, NodeId)>;
 
 /// Evaluates an automaton-form query over the database.
 ///
@@ -27,9 +39,10 @@ pub type Answer = BTreeSet<(NodeId, NodeId)>;
 /// The implementation runs on the dense core: the query is frozen into a
 /// [`DenseNfa`] (ε-closures precomputed once, CSR successor lists), the
 /// database adjacency into a CSR array, and each per-source product-BFS
-/// tracks visited `(node, state)` pairs in one flat `u64` bitmap indexed by
-/// `node * num_states + state`, unset pair-by-pair between sources so no
-/// per-source allocation or full clear happens.
+/// tracks visited `(node, state)` pairs in a per-node word-aligned `u64`
+/// bitmap so successor state-sets are marked a word at a time, unset
+/// word-by-word between sources so no per-source allocation or full clear
+/// happens.
 pub fn eval_automaton(db: &GraphDb, query: &Nfa) -> Answer {
     eval_dense(db, &DenseNfa::from_nfa(query))
 }
@@ -45,98 +58,188 @@ pub fn eval_dense(db: &GraphDb, query: &DenseNfa) -> Answer {
 /// benchmarks) build the CSR once.  The adjacency carries its database's
 /// domain, so incompatible query alphabets fail loudly here too.
 pub fn eval_csr(csr: &CsrAdjacency, query: &DenseNfa) -> Answer {
+    check_domain(csr, query);
     let mut scratch = EvalScratch::new(csr, query);
     let mut pairs = Vec::new();
-    eval_csr_range(csr, query, 0..csr.num_nodes() as u32, &mut scratch, &mut pairs);
-    pairs
-        .into_iter()
-        .map(|(x, y)| (x as NodeId, y as NodeId))
-        .collect()
+    eval_csr_range_prechecked(csr, query, 0..csr.num_nodes() as u32, &mut scratch, &mut pairs);
+    pairs.sort_unstable();
+    Answer::from_sorted_runs(vec![pairs])
+}
+
+/// Panics (on the caller's thread, with the caller-facing message) unless
+/// `query`'s alphabet is compatible with the database domain behind `csr`.
+///
+/// The range evaluators below are *prechecked*: they trust their caller to
+/// have validated once, so the parallel pool doesn't re-validate per chunk.
+fn check_domain(csr: &CsrAdjacency, query: &DenseNfa) {
+    csr.domain()
+        .check_compatible(query.alphabet())
+        .expect("query automaton must be over the database domain");
 }
 
 /// Dense visited bitmap over `(node, state)` product pairs with an
-/// `O(visited)` reset: the set bits are journaled so unmarking costs one
-/// pass over what the sweep touched, not `O(V·Q)`.
+/// `O(visited)` reset: dirty words are journaled so unmarking costs one pass
+/// over what the sweep touched, not `O(V·Q)`.
+///
+/// The layout is word-aligned per node — each node owns
+/// [`ProductVisited::stride`] consecutive `u64` words covering its state
+/// bits — so a whole successor state-set can be tested-and-marked with one
+/// [`ProductVisited::visit_word`] per word instead of one
+/// [`ProductVisited::visit`] per state.
 ///
 /// This is the shared core of every product sweep — the forward evaluation
 /// below and the backward/forward delta sweeps of the `engine` crate.
 #[derive(Debug)]
 pub struct ProductVisited {
-    num_states: usize,
+    stride: usize,
     words: Vec<u64>,
-    set_bits: Vec<usize>,
+    dirty_words: Vec<usize>,
 }
 
 impl ProductVisited {
     /// Allocates a bitmap for sweeps of a `num_states`-state automaton over
     /// a `num_nodes`-node graph.
     pub fn new(num_nodes: usize, num_states: usize) -> Self {
-        let num_states = num_states.max(1);
+        let stride = num_states.max(1).div_ceil(64);
         ProductVisited {
-            num_states,
-            words: vec![0u64; (num_nodes * num_states).div_ceil(64)],
-            set_bits: Vec::new(),
+            stride,
+            words: vec![0u64; num_nodes * stride],
+            dirty_words: Vec::new(),
         }
+    }
+
+    /// Words per node: `ceil(num_states / 64)`.
+    pub fn stride(&self) -> usize {
+        self.stride
     }
 
     /// Marks `(node, state)`, returning `true` if it was unvisited.
     #[inline]
     pub fn visit(&mut self, node: u32, state: u32) -> bool {
-        let idx = node as usize * self.num_states + state as usize;
-        let mask = 1u64 << (idx % 64);
-        if self.words[idx / 64] & mask != 0 {
+        let word = node as usize * self.stride + (state as usize >> 6);
+        let mask = 1u64 << (state & 63);
+        let w = &mut self.words[word];
+        if *w & mask != 0 {
             return false;
         }
-        self.words[idx / 64] |= mask;
-        self.set_bits.push(idx);
+        if *w == 0 {
+            self.dirty_words.push(word);
+        }
+        *w |= mask;
         true
     }
 
-    /// Unmarks everything the last sweep visited, in `O(visited)`.
-    pub fn reset(&mut self) {
-        for &idx in &self.set_bits {
-            self.words[idx / 64] &= !(1 << (idx % 64));
+    /// Marks every state of `mask` (bits `word * 64 ..`) at `node` in one
+    /// operation, returning the bits that were previously unvisited.
+    #[inline]
+    pub fn visit_word(&mut self, node: u32, word: usize, mask: u64) -> u64 {
+        let at = node as usize * self.stride + word;
+        let w = &mut self.words[at];
+        let new = mask & !*w;
+        if new != 0 {
+            if *w == 0 {
+                self.dirty_words.push(at);
+            }
+            *w |= new;
         }
-        self.set_bits.clear();
+        new
+    }
+
+    /// Unmarks everything the last sweep visited, in `O(visited words)`.
+    pub fn reset(&mut self) {
+        for &word in &self.dirty_words {
+            self.words[word] = 0;
+        }
+        self.dirty_words.clear();
     }
 }
 
 /// Reusable per-worker buffers for [`eval_csr_range`]: the [`ProductVisited`]
-/// bitmap, the per-source found-target flags, and the BFS queue.
+/// bitmap, the per-source found-target flags, the BFS queue, and the
+/// per-`(state, label)` successor word table the widened inner loop reads.
 ///
 /// One scratch serves any number of `eval_csr_range` calls against the same
-/// `(csr, query)` shape; the parallel evaluator in the `engine` crate keeps
-/// one per worker thread.
+/// `(csr, query)` pair — the successor table is compiled from *that* query,
+/// so a scratch must not be reused across different automata.  The parallel
+/// evaluator in the `engine` crate keeps one per worker thread.
 #[derive(Debug)]
 pub struct EvalScratch {
     visited: ProductVisited,
     found: Vec<bool>,
     found_nodes: Vec<u32>,
     queue: VecDeque<(u32, u32)>,
+    /// `ceil(num_states / 64)` — words per node / per successor set.
+    stride: usize,
+    num_symbols: usize,
+    /// `(state * num_symbols + symbol) * stride ..` holds the ε-closed
+    /// successor state-set of `state` under `symbol` as a bitmap.
+    succ_words: Vec<u64>,
+    /// Final-state bitmap (`stride` words), so "did this word of new states
+    /// hit a final state" is one AND instead of a per-state query.
+    finals_words: Vec<u64>,
 }
 
 impl EvalScratch {
-    /// Allocates buffers sized for product sweeps of `query` over `csr`.
+    /// Allocates buffers sized for product sweeps of `query` over `csr` and
+    /// compiles the query's successor lists into word-level bitmaps.
     pub fn new(csr: &CsrAdjacency, query: &DenseNfa) -> Self {
         let num_nodes = csr.num_nodes();
+        let num_states = query.num_states().max(1);
+        let num_symbols = query.num_symbols().max(1);
+        let stride = num_states.div_ceil(64);
+        let mut succ_words = vec![0u64; num_states * num_symbols * stride];
+        for state in 0..query.num_states() {
+            for symbol in 0..query.num_symbols() {
+                let base = (state * num_symbols + symbol) * stride;
+                for &q in query.closed_successors(state as u32, symbol) {
+                    succ_words[base + (q as usize >> 6)] |= 1u64 << (q & 63);
+                }
+            }
+        }
+        let mut finals_words = vec![0u64; stride];
+        for state in 0..query.num_states() {
+            if query.is_final(state as u32) {
+                finals_words[state >> 6] |= 1u64 << (state & 63);
+            }
+        }
         EvalScratch {
             visited: ProductVisited::new(num_nodes, query.num_states()),
             found: vec![false; num_nodes],
             found_nodes: Vec::new(),
             queue: VecDeque::new(),
+            stride,
+            num_symbols,
+            succ_words,
+            finals_words,
         }
     }
 }
 
 /// Runs the per-source product-BFS of [`eval_csr`] for the sources in
 /// `sources` only, pushing every answer pair `(source, target)` onto `pairs`
-/// (unordered, duplicate-free within one call).
+/// (grouped by ascending source; targets unordered within a source;
+/// duplicate-free within one call).
 ///
 /// This is the shardable core of RPQ evaluation: each source's sweep is
 /// independent, so disjoint ranges can run on different threads against the
 /// same shared `csr` and `query`, each with its own [`EvalScratch`] and
 /// output buffer.
 pub fn eval_csr_range(
+    csr: &CsrAdjacency,
+    query: &DenseNfa,
+    sources: std::ops::Range<u32>,
+    scratch: &mut EvalScratch,
+    pairs: &mut Vec<(u32, u32)>,
+) {
+    check_domain(csr, query);
+    eval_csr_range_prechecked(csr, query, sources, scratch, pairs);
+}
+
+/// [`eval_csr_range`] without the domain-compatibility check: for callers —
+/// the parallel pool above all — that validated the `(csr, query)` pair once
+/// and then shard it into many range calls.  Passing an unvalidated pair
+/// panics on an out-of-range symbol instead of the label-oriented message.
+pub fn eval_csr_range_prechecked(
     csr: &CsrAdjacency,
     query: &DenseNfa,
     sources: std::ops::Range<u32>,
@@ -153,13 +256,16 @@ pub fn eval_csr_range(
 
 /// Budgeted variant of [`eval_csr_range`]: the same sharded product-BFS, but
 /// checking `budget` against the shared `progress` every
-/// [`SWEEP_CHECK_INTERVAL`] pops.
+/// [`SWEEP_CHECK_INTERVAL`] pops.  Returns the pops this call charged to
+/// `progress`, so a parallel worker can attribute partial work to itself and
+/// not just to the shared aggregate.
 ///
 /// On interrupt the scratch buffers are reset (reusable for the next call),
 /// `pairs` keeps the answers of the sources completed *before* the
 /// interrupted one, and the error carries the cause; `progress.visited()`
-/// reports the partial work.  Workers sharing one `progress` all observe the
-/// first trip, so a deadline stops the whole evaluation, not one shard.
+/// reports the aggregate partial work.  Workers sharing one `progress` all
+/// observe the first trip, so a deadline stops the whole evaluation, not one
+/// shard.
 pub fn eval_csr_range_budgeted(
     csr: &CsrAdjacency,
     query: &DenseNfa,
@@ -168,12 +274,30 @@ pub fn eval_csr_range_budgeted(
     pairs: &mut Vec<(u32, u32)>,
     budget: &SweepBudget,
     progress: &SweepState,
-) -> Result<(), SweepInterrupt> {
+) -> Result<u64, SweepInterrupt> {
+    check_domain(csr, query);
+    eval_csr_range_budgeted_prechecked(csr, query, sources, scratch, pairs, budget, progress)
+}
+
+/// [`eval_csr_range_budgeted`] without the domain-compatibility check (see
+/// [`eval_csr_range_prechecked`]).
+pub fn eval_csr_range_budgeted_prechecked(
+    csr: &CsrAdjacency,
+    query: &DenseNfa,
+    sources: std::ops::Range<u32>,
+    scratch: &mut EvalScratch,
+    pairs: &mut Vec<(u32, u32)>,
+    budget: &SweepBudget,
+    progress: &SweepState,
+) -> Result<u64, SweepInterrupt> {
     eval_csr_range_impl::<true>(csr, query, sources, scratch, pairs, budget, progress)
 }
 
 /// The shared product-BFS core.  `BUDGETED` is a compile-time switch so the
 /// un-budgeted hot path carries no counter or branch for the checks.
+/// Returns the pops charged to `progress` (0 when un-budgeted; on interrupt
+/// the partial interval since the last charge, at most
+/// [`SWEEP_CHECK_INTERVAL`] pops, is unattributed).
 fn eval_csr_range_impl<const BUDGETED: bool>(
     csr: &CsrAdjacency,
     query: &DenseNfa,
@@ -182,21 +306,24 @@ fn eval_csr_range_impl<const BUDGETED: bool>(
     pairs: &mut Vec<(u32, u32)>,
     budget: &SweepBudget,
     progress: &SweepState,
-) -> Result<(), SweepInterrupt> {
-    csr.domain()
-        .check_compatible(query.alphabet())
-        .expect("query automaton must be over the database domain");
+) -> Result<u64, SweepInterrupt> {
     let EvalScratch {
         visited,
         found,
         found_nodes,
         queue,
+        stride,
+        num_symbols,
+        succ_words,
+        finals_words,
     } = scratch;
+    let (stride, num_symbols) = (*stride, *num_symbols);
 
     let start_accepts = query.any_final(query.start());
     // Pops since the last charge; persists across sources so many tiny
     // sweeps still reach the check interval.
     let mut since_check: u64 = 0;
+    let mut charged: u64 = 0;
     for source in sources {
         queue.clear();
         for &q in query.start() {
@@ -222,20 +349,36 @@ fn eval_csr_range_impl<const BUDGETED: bool>(
                         queue.clear();
                         return Err(why);
                     }
+                    charged += since_check;
                     since_check = 0;
                 }
             }
+            let row = state as usize * num_symbols;
             for (label, next_node) in csr.edges_from(node) {
-                // ε-closures are folded into the successor lists, so one
-                // lookup replaces the per-edge closure recomputation of the
-                // tree-based evaluator.
-                for &q in query.closed_successors(state, label as usize) {
-                    if visited.visit(next_node, q) {
+                // ε-closures are folded into the successor lists, and the
+                // lists into per-word bitmaps: each 64-state word of the
+                // successor set is tested-and-marked in one visit_word call,
+                // with final-state detection one AND against the finals
+                // bitmap, instead of a per-state loop.
+                let base = (row + label as usize) * stride;
+                for w in 0..stride {
+                    let mask = succ_words[base + w];
+                    if mask == 0 {
+                        continue;
+                    }
+                    let new = visited.visit_word(next_node, w, mask);
+                    if new == 0 {
+                        continue;
+                    }
+                    if new & finals_words[w] != 0 && !found[next_node as usize] {
+                        found[next_node as usize] = true;
+                        found_nodes.push(next_node);
+                    }
+                    let mut bits = new;
+                    while bits != 0 {
+                        let q = (w as u32) * 64 + bits.trailing_zeros();
+                        bits &= bits - 1;
                         queue.push_back((next_node, q));
-                        if query.is_final(q) && !found[next_node as usize] {
-                            found[next_node as usize] = true;
-                            found_nodes.push(next_node);
-                        }
                     }
                 }
             }
@@ -252,20 +395,23 @@ fn eval_csr_range_impl<const BUDGETED: bool>(
     if BUDGETED && since_check > 0 {
         // Account the tail so `progress.visited()` is accurate; the range is
         // complete, so a trip here only affects sibling shards.
-        let _ = progress.charge(budget, since_check);
+        if progress.charge(budget, since_check).is_ok() {
+            charged += since_check;
+        }
     }
-    Ok(())
+    Ok(charged)
 }
 
 /// The seed's tree-based evaluator (`BTreeSet` visited pairs, per-edge
-/// singleton ε-closure recomputation).  Retained as the differential baseline
-/// for [`eval_automaton`]; see the property tests and the `rpq_eval`
-/// benchmark.
-pub fn eval_automaton_baseline(db: &GraphDb, query: &Nfa) -> Answer {
+/// singleton ε-closure recomputation) returning the seed's [`AnswerSet`]
+/// representation.  Retained as the differential baseline for
+/// [`eval_automaton`] — both the algorithm *and* the answer representation
+/// are the old path; see the property tests and the `rpq_eval` benchmark.
+pub fn eval_automaton_baseline(db: &GraphDb, query: &Nfa) -> AnswerSet {
     db.domain()
         .check_compatible(query.alphabet())
         .expect("query automaton must be over the database domain");
-    let mut answer = Answer::new();
+    let mut answer = AnswerSet::new();
     let start_config = query.start_configuration();
     let accepts_here = |states: &BTreeSet<StateId>| states.iter().any(|&s| query.is_final(s));
 
@@ -485,13 +631,16 @@ mod tests {
         let budget = SweepBudget::unlimited();
         let progress = SweepState::new();
         let mut budgeted = Vec::new();
-        eval_csr_range_budgeted(&csr, &dense, 0..n, &mut scratch, &mut budgeted, &budget, &progress)
-            .expect("unlimited budget never interrupts");
+        let charged = eval_csr_range_budgeted(
+            &csr, &dense, 0..n, &mut scratch, &mut budgeted, &budget, &progress,
+        )
+        .expect("unlimited budget never interrupts");
         plain.sort_unstable();
         budgeted.sort_unstable();
         assert_eq!(plain, budgeted);
-        // The tail flush accounted the pops.
+        // The tail flush accounted the pops, and this call charged them all.
         assert!(progress.visited() > 0);
+        assert_eq!(charged, progress.visited());
     }
 
     #[test]
@@ -570,5 +719,67 @@ mod tests {
         db.add_edge_named("a", "x", "b");
         let ans = eval_str(&db, "x");
         assert_eq!(ans.len(), 1);
+    }
+
+    #[test]
+    fn wide_automata_cross_word_boundaries_correctly() {
+        // Concatenating > 64 single-symbol factors yields an NFA with well
+        // over 64 states, so the visited bitmap and successor table span
+        // multiple words per node.  A chain graph of the same length then
+        // has exactly one answer: (start, end).
+        let domain = Alphabet::from_chars(['x']).unwrap();
+        let mut db = GraphDb::new(domain);
+        let hops = 80usize;
+        for i in 0..hops {
+            db.add_edge_named(&format!("v{i}"), "x", &format!("v{}", i + 1));
+        }
+        let query = "x·".repeat(hops - 1) + "x";
+        let nfa = query_nfa(&db, &regexlang::parse(&query).unwrap());
+        let dense = DenseNfa::from_nfa(&nfa);
+        assert!(dense.num_states() > 64, "need a multi-word automaton");
+        let ans = eval_csr(&db.csr_out(), &dense);
+        assert_eq!(ans.len(), 1);
+        assert!(ans.contains(&pair(&db, "v0", &format!("v{hops}"))));
+    }
+
+    #[test]
+    fn differential_sorted_pairs_vs_btreeset_on_random_cases() {
+        // The satellite differential: the SortedPairs-backed evaluator must
+        // agree, pair for pair, with the seed's BTreeSet-based baseline on
+        // hundreds of random (graph, query) cases.
+        use crate::generator::{random_graph, RandomGraphConfig};
+
+        let queries = [
+            "a",
+            "a·b",
+            "a·(b·a+c)*",
+            "c*",
+            "(a+b)*·c",
+            "ε",
+            "∅",
+            "a+b·c?",
+            "(a+b+c)*",
+            "a?·b*",
+        ];
+        let mut cases = 0usize;
+        for seed in 0..7u64 {
+            for &(nodes, edges) in &[(5usize, 12usize), (17, 60), (33, 140)] {
+                let cfg = RandomGraphConfig {
+                    num_nodes: nodes,
+                    num_edges: edges,
+                };
+                let db = random_graph(&abc_domain(), &cfg, seed);
+                for q in queries {
+                    let nfa = query_nfa(&db, &regexlang::parse(q).unwrap());
+                    let new_path = eval_automaton(&db, &nfa);
+                    let old_path = eval_automaton_baseline(&db, &nfa);
+                    let as_set: AnswerSet = new_path.iter().copied().collect();
+                    assert_eq!(as_set, old_path, "seed {seed} v{nodes} q {q}");
+                    assert_eq!(new_path.len(), old_path.len());
+                    cases += 1;
+                }
+            }
+        }
+        assert!(cases >= 200, "differential must cover 200+ cases, ran {cases}");
     }
 }

@@ -48,6 +48,152 @@ pub fn random_graph(domain: &Alphabet, config: &RandomGraphConfig, seed: u64) ->
     db
 }
 
+/// Integer-arithmetic Zipf sampler over `n` ranks: rank `k` (0-based) is
+/// drawn with probability proportional to `1 / (k+1)^exponent`.
+///
+/// Exponent 0 degenerates to the uniform distribution.  The cumulative
+/// weights are pre-scaled to `u64` ticks so sampling is one `gen_range` plus
+/// a binary search — no floating-point RNG support needed.
+struct ZipfSampler {
+    cumulative: Vec<u64>,
+}
+
+impl ZipfSampler {
+    fn new(n: usize, exponent: f64) -> Self {
+        assert!(n > 0, "Zipf sampler needs at least one rank");
+        assert!(exponent >= 0.0, "Zipf exponent must be nonnegative");
+        const SCALE: f64 = 1e9;
+        let mut cumulative = Vec::with_capacity(n);
+        let mut total = 0u64;
+        for k in 0..n {
+            let weight = SCALE / ((k + 1) as f64).powf(exponent);
+            total += (weight as u64).max(1);
+            cumulative.push(total);
+        }
+        ZipfSampler { cumulative }
+    }
+
+    fn sample(&self, rng: &mut StdRng) -> usize {
+        let total = *self.cumulative.last().expect("nonempty");
+        let tick = rng.gen_range(0..total);
+        self.cumulative.partition_point(|&c| c <= tick)
+    }
+}
+
+/// Parameters for the power-law (preferential-attachment) generator.
+#[derive(Debug, Clone)]
+pub struct PowerLawGraphConfig {
+    /// Number of nodes.
+    pub num_nodes: usize,
+    /// Number of edges.
+    pub num_edges: usize,
+    /// Zipf exponent of the label distribution: 0 is uniform, ~1 gives the
+    /// skew real-world label frequencies show (a few hot labels, a long
+    /// rare tail).
+    pub label_exponent: f64,
+}
+
+impl Default for PowerLawGraphConfig {
+    fn default() -> Self {
+        Self {
+            num_nodes: 50,
+            num_edges: 200,
+            label_exponent: 1.0,
+        }
+    }
+}
+
+/// Generates a scale-free edge-labeled graph by preferential attachment:
+/// both endpoints of each edge are drawn from a repeated-endpoints urn (each
+/// node seeded once, both endpoints of every placed edge re-added), so
+/// high-degree nodes keep attracting edges and the degree distribution grows
+/// a power-law tail — the shape web graphs and citation networks show, and
+/// the worst case for fixed-size parallel chunking.  Labels are Zipfian per
+/// [`PowerLawGraphConfig::label_exponent`].
+pub fn power_law_graph(domain: &Alphabet, config: &PowerLawGraphConfig, seed: u64) -> GraphDb {
+    assert!(!domain.is_empty(), "label domain must be nonempty");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut db = GraphDb::new(domain.clone());
+    for _ in 0..config.num_nodes.max(1) {
+        db.add_node();
+    }
+    let n = db.num_nodes();
+    let labels = ZipfSampler::new(domain.len(), config.label_exponent);
+    // The urn: every node once (so isolated nodes stay reachable), then both
+    // endpoints of each placed edge.
+    let mut endpoints: Vec<usize> = (0..n).collect();
+    endpoints.reserve(2 * config.num_edges);
+    for _ in 0..config.num_edges {
+        let from = endpoints[rng.gen_range(0..endpoints.len())];
+        let to = endpoints[rng.gen_range(0..endpoints.len())];
+        let label = automata::Symbol(labels.sample(&mut rng) as u32);
+        db.add_edge(from, label, to);
+        endpoints.push(from);
+        endpoints.push(to);
+    }
+    db
+}
+
+/// Parameters for the community (blocked) generator.
+#[derive(Debug, Clone)]
+pub struct CommunityGraphConfig {
+    /// Number of communities (blocks).
+    pub num_communities: usize,
+    /// Nodes per community.
+    pub community_size: usize,
+    /// Number of edges.
+    pub num_edges: usize,
+    /// Probability that an edge stays inside its source's community.
+    pub intra_fraction: f64,
+}
+
+impl Default for CommunityGraphConfig {
+    fn default() -> Self {
+        Self {
+            num_communities: 5,
+            community_size: 10,
+            num_edges: 200,
+            intra_fraction: 0.9,
+        }
+    }
+}
+
+/// Generates a community-structured graph: `num_communities` blocks of
+/// `community_size` nodes, with each edge staying inside its source's block
+/// with probability [`CommunityGraphConfig::intra_fraction`] and crossing to
+/// a uniformly random *other* block otherwise.  Dense blocks with sparse
+/// bridges localize BFS frontiers, the favorable case for per-chunk cache
+/// locality.
+pub fn community_graph(domain: &Alphabet, config: &CommunityGraphConfig, seed: u64) -> GraphDb {
+    assert!(!domain.is_empty(), "label domain must be nonempty");
+    assert!(
+        (0.0..=1.0).contains(&config.intra_fraction),
+        "intra_fraction must be a probability"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut db = GraphDb::new(domain.clone());
+    let communities = config.num_communities.max(1);
+    let size = config.community_size.max(1);
+    for _ in 0..communities * size {
+        db.add_node();
+    }
+    for _ in 0..config.num_edges {
+        let home = rng.gen_range(0..communities);
+        let from = home * size + rng.gen_range(0..size);
+        let target_community = if communities > 1 && !rng.gen_bool(config.intra_fraction) {
+            // A uniformly random community other than `home`.
+            let hop = rng.gen_range(1..communities);
+            (home + hop) % communities
+        } else {
+            home
+        };
+        let to = target_community * size + rng.gen_range(0..size);
+        let label = automata::Symbol(rng.gen_range(0..domain.len()) as u32);
+        db.add_edge(from, label, to);
+    }
+    db
+}
+
 /// Generates a rooted tree-shaped database (every non-root node has exactly
 /// one parent), mimicking a web-site or document hierarchy.
 pub fn tree_graph(domain: &Alphabet, num_nodes: usize, seed: u64) -> GraphDb {
@@ -156,6 +302,111 @@ mod tests {
             g1.edges().collect::<Vec<_>>(),
             g3.edges().collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn power_law_graph_is_deterministic_and_sized() {
+        let cfg = PowerLawGraphConfig {
+            num_nodes: 200,
+            num_edges: 800,
+            label_exponent: 1.1,
+        };
+        let g1 = power_law_graph(&abc(), &cfg, 7);
+        let g2 = power_law_graph(&abc(), &cfg, 7);
+        assert_eq!(g1.num_nodes(), 200);
+        assert_eq!(g1.num_edges(), 800);
+        assert_eq!(
+            g1.edges().collect::<Vec<_>>(),
+            g2.edges().collect::<Vec<_>>()
+        );
+        let g3 = power_law_graph(&abc(), &cfg, 8);
+        assert_ne!(
+            g1.edges().collect::<Vec<_>>(),
+            g3.edges().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn power_law_max_degree_dwarfs_uniform_at_equal_edge_count() {
+        let (nodes, edges) = (2000usize, 8000usize);
+        let uniform = random_graph(
+            &abc(),
+            &RandomGraphConfig {
+                num_nodes: nodes,
+                num_edges: edges,
+            },
+            21,
+        );
+        let power = power_law_graph(
+            &abc(),
+            &PowerLawGraphConfig {
+                num_nodes: nodes,
+                num_edges: edges,
+                label_exponent: 1.0,
+            },
+            21,
+        );
+        let max_total_degree = |g: &GraphDb| {
+            let mut degree = vec![0u32; g.num_nodes()];
+            for e in g.edges() {
+                degree[e.from] += 1;
+                degree[e.to] += 1;
+            }
+            degree.into_iter().max().unwrap_or(0)
+        };
+        let u = max_total_degree(&uniform);
+        let p = max_total_degree(&power);
+        assert!(
+            p >= 3 * u,
+            "preferential attachment must grow hubs: power-law max {p} vs uniform max {u}"
+        );
+    }
+
+    #[test]
+    fn zipf_labels_skew_toward_the_first_rank() {
+        let cfg = PowerLawGraphConfig {
+            num_nodes: 500,
+            num_edges: 6000,
+            label_exponent: 1.2,
+        };
+        let g = power_law_graph(&abc(), &cfg, 3);
+        let mut counts = vec![0usize; 3];
+        for e in g.edges() {
+            counts[e.label.0 as usize] += 1;
+        }
+        assert!(
+            counts[0] > 2 * counts[2],
+            "rank-0 label must dominate the tail: {counts:?}"
+        );
+        assert_eq!(counts.iter().sum::<usize>(), 6000);
+    }
+
+    #[test]
+    fn community_graph_is_deterministic_and_mostly_intra() {
+        let cfg = CommunityGraphConfig {
+            num_communities: 8,
+            community_size: 25,
+            num_edges: 2000,
+            intra_fraction: 0.9,
+        };
+        let g1 = community_graph(&abc(), &cfg, 5);
+        let g2 = community_graph(&abc(), &cfg, 5);
+        assert_eq!(g1.num_nodes(), 200);
+        assert_eq!(g1.num_edges(), 2000);
+        assert_eq!(
+            g1.edges().collect::<Vec<_>>(),
+            g2.edges().collect::<Vec<_>>()
+        );
+        let intra = g1
+            .edges()
+            .filter(|e| e.from / 25 == e.to / 25)
+            .count();
+        // 90% nominal; leave generous slack for sampling noise.
+        assert!(
+            intra as f64 >= 0.8 * 2000.0,
+            "expected mostly intra-community edges, got {intra}/2000"
+        );
+        assert!(intra < 2000, "some edges must cross communities");
     }
 
     #[test]

@@ -389,6 +389,18 @@ impl CsrAdjacency {
         self.offsets.len() - 1
     }
 
+    /// Number of edges (rows of the CSR).
+    pub fn num_edges(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Out-degree of `node` — the cost proxy the parallel scheduler uses to
+    /// build frontier-mass-weighted chunks.
+    #[inline]
+    pub fn out_degree(&self, node: u32) -> u32 {
+        self.offsets[node as usize + 1] - self.offsets[node as usize]
+    }
+
     /// The `(label index, target)` pairs leaving `node`.
     #[inline]
     pub fn edges_from(&self, node: u32) -> impl Iterator<Item = (u32, u32)> + '_ {

@@ -34,6 +34,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod answer;
 pub mod budget;
 pub mod eval;
 pub mod generator;
@@ -42,13 +43,16 @@ pub mod paths;
 pub mod theory;
 pub mod views;
 
+pub use answer::SortedPairs;
 pub use budget::{SweepBudget, SweepInterrupt, SweepState, SWEEP_CHECK_INTERVAL};
 pub use eval::{
     eval_automaton, eval_automaton_baseline, eval_csr, eval_csr_range, eval_csr_range_budgeted,
-    eval_dense, eval_regex, eval_str, render_answer, Answer, EvalScratch, ProductVisited,
+    eval_csr_range_budgeted_prechecked, eval_csr_range_prechecked, eval_dense, eval_regex,
+    eval_str, render_answer, Answer, AnswerSet, EvalScratch, ProductVisited,
 };
 pub use generator::{
-    layered_graph, random_graph, travel_graph, tree_graph, RandomGraphConfig,
+    community_graph, layered_graph, power_law_graph, random_graph, travel_graph, tree_graph,
+    CommunityGraphConfig, PowerLawGraphConfig, RandomGraphConfig,
 };
 pub use graph::{CsrAdjacency, Edge, GraphDb, GraphError, NodeId};
 pub use paths::{witness_automaton, witness_regex, PathWitness};

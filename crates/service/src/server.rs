@@ -530,7 +530,8 @@ fn prometheus_exposition(shared: &Shared, snapshot: &EngineSnapshot) -> String {
         );
     }
     let stats = shared.stats.snapshot(shared.in_flight.load(Ordering::Relaxed) as u64);
-    let counters: [(&str, &str, u64); 8] = [
+    let engine_stats = snapshot.stats();
+    let counters: [(&str, &str, u64); 10] = [
         ("rpq_queries_ok_total", "Queries answered successfully.", stats.queries_ok),
         ("rpq_queries_rejected_total", "Queries rejected by admission.", stats.queries_rejected),
         (
@@ -546,6 +547,16 @@ fn prometheus_exposition(shared: &Shared, snapshot: &EngineSnapshot) -> String {
             "rpq_slow_queries_total",
             "Queries over the slow-query threshold.",
             shared.telemetry.slow_log.total_observed(),
+        ),
+        (
+            "rpq_parallel_chunks_total",
+            "Source-range chunks processed by parallel-pool workers.",
+            engine_stats.parallel_chunks,
+        ),
+        (
+            "rpq_parallel_steals_total",
+            "Chunks stolen between parallel-pool workers.",
+            engine_stats.parallel_steals,
         ),
     ];
     for (name, help, value) in counters {
@@ -754,6 +765,8 @@ fn stats_fields(shared: &Shared) -> Vec<(String, Value)> {
                 ("compile_misses".to_string(), int(engine_stats.compile_misses)),
                 ("parallel_evals".to_string(), int(engine_stats.parallel_evals)),
                 ("sequential_evals".to_string(), int(engine_stats.sequential_evals)),
+                ("parallel_chunks".to_string(), int(engine_stats.parallel_chunks)),
+                ("parallel_steals".to_string(), int(engine_stats.parallel_steals)),
                 (
                     "budget_interrupted_evals".to_string(),
                     int(engine_stats.budget_interrupted_evals),

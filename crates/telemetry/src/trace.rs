@@ -174,16 +174,24 @@ pub fn next_trace_id() -> u64 {
     NEXT.fetch_add(1, Ordering::Relaxed)
 }
 
-/// Accumulated timing for one worker of the parallel evaluation pool.
+/// Accumulated timing and scheduler counters for one worker of the parallel
+/// evaluation pool.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct WorkerTiming {
     /// Worker index within the pool.
     pub worker: u32,
-    /// Chunks claimed from the shared cursor.
+    /// Chunks processed by this worker (own deque plus stolen).
     pub chunks: u64,
-    /// Microseconds spent acquiring chunks (cursor fetch + range setup).
+    /// Of those, chunks stolen from another worker's deque after this
+    /// worker's own ran dry.
+    pub steals: u64,
+    /// Product states popped by this worker's budgeted sweeps (0 for
+    /// un-budgeted runs; accurate to the budget check interval).
+    pub visited: u64,
+    /// Microseconds spent acquiring chunks (deque pops + steal scans).
     pub acquire_us: u64,
-    /// Microseconds spent in the product-BFS sweep proper.
+    /// Microseconds spent in the product-BFS sweep proper (including the
+    /// final sort of this worker's run).
     pub sweep_us: u64,
 }
 
@@ -226,6 +234,21 @@ impl ParallelBreakdown {
     /// Total microseconds across workers spent sweeping.
     pub fn total_sweep_us(&self) -> u64 {
         self.workers.iter().map(|w| w.sweep_us).sum()
+    }
+
+    /// Total chunks processed across workers.
+    pub fn total_chunks(&self) -> u64 {
+        self.workers.iter().map(|w| w.chunks).sum()
+    }
+
+    /// Total chunks stolen across workers.
+    pub fn total_steals(&self) -> u64 {
+        self.workers.iter().map(|w| w.steals).sum()
+    }
+
+    /// Total product states popped across workers' budgeted sweeps.
+    pub fn total_visited(&self) -> u64 {
+        self.workers.iter().map(|w| w.visited).sum()
     }
 }
 
@@ -293,13 +316,30 @@ mod tests {
     fn breakdown_totals_and_span_recording() {
         let breakdown = ParallelBreakdown {
             workers: vec![
-                WorkerTiming { worker: 0, chunks: 3, acquire_us: 5, sweep_us: 100 },
-                WorkerTiming { worker: 1, chunks: 2, acquire_us: 7, sweep_us: 90 },
+                WorkerTiming {
+                    worker: 0,
+                    chunks: 3,
+                    steals: 1,
+                    visited: 400,
+                    acquire_us: 5,
+                    sweep_us: 100,
+                },
+                WorkerTiming {
+                    worker: 1,
+                    chunks: 2,
+                    steals: 0,
+                    visited: 300,
+                    acquire_us: 7,
+                    sweep_us: 90,
+                },
             ],
             merge_us: 12,
         };
         assert_eq!(breakdown.total_acquire_us(), 12);
         assert_eq!(breakdown.total_sweep_us(), 190);
+        assert_eq!(breakdown.total_chunks(), 5);
+        assert_eq!(breakdown.total_steals(), 1);
+        assert_eq!(breakdown.total_visited(), 700);
         let trace = TraceContext::new(1);
         breakdown.record_into(&trace);
         let spans = trace.spans();
