@@ -1,0 +1,103 @@
+//! Rule `ordering`: every non-`SeqCst` atomic memory ordering must carry a
+//! `// ordering:` justification comment.
+//!
+//! Accepted justification shapes:
+//!
+//! - a trailing `// ordering: <why>` on the same line as the use;
+//! - a standalone `// ordering: <why>` comment line, which covers the rest
+//!   of its enclosing brace block (placed at module level it blankets the
+//!   whole file — telemetry's Relaxed histogram counters are justified
+//!   once this way).
+//!
+//! `SeqCst` needs no comment: it is the default the rule pushes toward
+//! whenever a weaker ordering is not worth explaining.
+
+use crate::scan::SourceFile;
+use crate::workspace::Workspace;
+use crate::{push_unless_suppressed, Finding};
+
+const RULE: &str = "ordering";
+
+/// Non-SeqCst orderings that require justification.
+const WEAK: &[&str] = &[
+    "Ordering::Relaxed",
+    "Ordering::Acquire",
+    "Ordering::Release",
+    "Ordering::AcqRel",
+];
+
+/// Runs the rule over every non-shim crate's sources.
+pub fn check(ws: &Workspace) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for krate in ws.non_shims() {
+        for file in &krate.sources {
+            findings.extend(check_file(file));
+        }
+    }
+    findings
+}
+
+/// Runs the rule over one file.
+pub fn check_file(file: &SourceFile) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    // Depths of active standalone `// ordering:` blankets.
+    let mut blankets: Vec<usize> = Vec::new();
+    for (idx, line) in file.lines.iter().enumerate() {
+        blankets.retain(|&d| line.depth_start >= d);
+        if line.code.trim_start().starts_with('}') {
+            blankets.retain(|&d| d < line.depth_start);
+        }
+        let has_note = line.comment.contains("ordering:");
+        if has_note && line.code.trim().is_empty() {
+            blankets.push(line.depth_start);
+            continue;
+        }
+        if line.in_test {
+            continue;
+        }
+        for weak in WEAK {
+            if line.code.contains(weak) && !has_note && blankets.is_empty() {
+                push_unless_suppressed(
+                    &mut findings,
+                    file,
+                    idx,
+                    Finding {
+                        rule: RULE,
+                        path: file.path.clone(),
+                        line: idx + 1,
+                        message: format!(
+                            "`{weak}` without a `// ordering:` justification — \
+                             explain why this is safe, or use SeqCst"
+                        ),
+                    },
+                );
+            }
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_line_note_justifies() {
+        let src = "fn f(c: &AtomicU64) {\n    c.fetch_add(1, Ordering::Relaxed); // ordering: monotonic counter, no sync\n}\n";
+        assert!(check_file(&SourceFile::parse("x.rs", src)).is_empty());
+    }
+
+    #[test]
+    fn block_blanket_covers_rest_of_block() {
+        let src = "fn f(c: &AtomicU64) {\n    // ordering: pure statistics, readers tolerate staleness\n    c.fetch_add(1, Ordering::Relaxed);\n    c.load(Ordering::Relaxed);\n}\nfn g(c: &AtomicU64) {\n    c.load(Ordering::Relaxed);\n}\n";
+        let findings = check_file(&SourceFile::parse("x.rs", src));
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].line, 7);
+    }
+
+    #[test]
+    fn seqcst_needs_nothing() {
+        let src = "fn f(c: &AtomicU64) {\n    c.store(1, Ordering::SeqCst);\n}\n";
+        assert!(check_file(&SourceFile::parse("x.rs", src)).is_empty());
+    }
+}

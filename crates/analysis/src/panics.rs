@@ -1,0 +1,173 @@
+//! Rule `panic`: no panic sites in service request-handling paths or in
+//! engine `try_*` function bodies.
+//!
+//! Flags `.unwrap()`, `.expect(`, `panic!(`, `unreachable!(`, `todo!(`,
+//! `unimplemented!(`, and slice/index expressions (`x[i]`, `x[..n]`) —
+//! the indexing operator panics on out-of-range just as surely as
+//! `unwrap` does.  `debug_assert!`/`assert!` are deliberately not flagged:
+//! assertions on internal invariants are the *documented* panic channel.
+//!
+//! Scope: every non-test function in `crates/service/src` (excluding
+//! `src/bin/`), and every `try_*` function in `crates/engine/src` — the
+//! fallible API's whole contract is that it returns errors instead of
+//! panicking.  Escape hatch: `// lint: allow(panic) — <why>`.
+
+use crate::scan::SourceFile;
+use crate::workspace::Workspace;
+use crate::{push_unless_suppressed, Finding};
+
+const RULE: &str = "panic";
+
+/// Named panic tokens searched for in comment-stripped, literal-blanked code.
+const TOKENS: &[&str] = &[
+    ".unwrap()",
+    ".expect(",
+    "panic!(",
+    "unreachable!(",
+    "todo!(",
+    "unimplemented!(",
+];
+
+/// Runs the rule over the workspace: all of `service` (minus bins), and
+/// the `try_*` surface of `engine`.
+pub fn check(ws: &Workspace) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for krate in ws.non_shims() {
+        match krate.name.as_str() {
+            "service" => {
+                for file in &krate.sources {
+                    if file.path.contains("/bin/") {
+                        continue;
+                    }
+                    findings.extend(check_file(file));
+                }
+            }
+            "engine" => {
+                for file in &krate.sources {
+                    findings.extend(check_file(file));
+                }
+            }
+            _ => {}
+        }
+    }
+    findings
+}
+
+/// Runs the rule over one file.  Scope is derived from the path label:
+/// under `crates/engine/` only `try_*` functions are checked; everywhere
+/// else every non-test function is in scope (service files and fixtures).
+pub fn check_file(file: &SourceFile) -> Vec<Finding> {
+    let engine_scoped = file.path.contains("crates/engine/");
+    let mut findings = Vec::new();
+    for func in &file.functions {
+        if func.in_test {
+            continue;
+        }
+        if engine_scoped && !func.name.starts_with("try_") {
+            continue;
+        }
+        for idx in func.body_start..=func.body_end.min(file.lines.len().saturating_sub(1)) {
+            let line = &file.lines[idx];
+            if line.in_test {
+                continue;
+            }
+            for token in TOKENS {
+                if line.code.contains(token) {
+                    push_unless_suppressed(
+                        &mut findings,
+                        file,
+                        idx,
+                        Finding {
+                            rule: RULE,
+                            path: file.path.clone(),
+                            line: idx + 1,
+                            message: format!(
+                                "`{}` in panic-free fn `{}` — return an error instead, \
+                                 or justify with `// lint: allow(panic) — <why>`",
+                                token.trim_start_matches('.'),
+                                func.name
+                            ),
+                        },
+                    );
+                }
+            }
+            if let Some(col) = index_expr(&line.code) {
+                push_unless_suppressed(
+                    &mut findings,
+                    file,
+                    idx,
+                    Finding {
+                        rule: RULE,
+                        path: file.path.clone(),
+                        line: idx + 1,
+                        message: format!(
+                            "index expression at column {} in panic-free fn `{}` can panic — \
+                             use `.get()`/pattern matching, or justify with \
+                             `// lint: allow(panic) — <why>`",
+                            col + 1,
+                            func.name
+                        ),
+                    },
+                );
+            }
+        }
+    }
+    findings
+}
+
+/// Finds the first slice/index expression on a code line: a `[` whose
+/// preceding non-space character ends a value expression (identifier,
+/// `)`, or `]`).  Array literals, types, attributes, and macro brackets
+/// (`vec![`) all have non-value predecessors and never match.
+fn index_expr(code: &str) -> Option<usize> {
+    const KEYWORDS: &[&str] = &[
+        "let", "mut", "ref", "in", "if", "while", "match", "return", "break", "else", "move",
+    ];
+    let chars: Vec<char> = code.chars().collect();
+    for (i, &c) in chars.iter().enumerate() {
+        if c != '[' {
+            continue;
+        }
+        let Some(prev_at) = chars[..i].iter().rposition(|c| !c.is_whitespace()) else {
+            continue;
+        };
+        let p = chars[prev_at];
+        if !(p.is_alphanumeric() || p == '_' || p == ')' || p == ']') {
+            continue;
+        }
+        // `let [a, b] = …` and friends are patterns, not index expressions.
+        let mut start = prev_at;
+        while start > 0 && (chars[start - 1].is_alphanumeric() || chars[start - 1] == '_') {
+            start -= 1;
+        }
+        let word: String = chars[start..=prev_at].iter().collect();
+        if KEYWORDS.contains(&word.as_str()) {
+            continue;
+        }
+        return Some(i);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_heuristic() {
+        assert!(index_expr("let x = arr[i];").is_some());
+        assert!(index_expr("let y = f()[0];").is_some());
+        assert!(index_expr("let a = [0u8; 4];").is_none());
+        assert!(index_expr("#[derive(Debug)]").is_none());
+        assert!(index_expr("let v = vec![1, 2];").is_none());
+        assert!(index_expr("let [a, b] = pair;").is_none());
+        assert!(index_expr("fn f(x: &[u8]) {").is_none());
+    }
+
+    #[test]
+    fn unwrap_or_else_is_not_unwrap() {
+        let src = "fn handle() {\n    let x = y.unwrap_or_else(|| 0);\n}\n";
+        let file = SourceFile::parse("crates/service/src/x.rs", src);
+        assert!(check_file(&file).is_empty());
+    }
+}

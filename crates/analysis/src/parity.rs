@@ -1,0 +1,100 @@
+//! Rule `try-parity`: every panicking public method on `QueryEngine` must
+//! have a fallible `try_` twin.
+//!
+//! "Panicking" is read off the method's own contract: a `# Panics` section
+//! in its doc comment.  The rule keeps the serving layer honest — if a
+//! mutation or query can panic on bad input, callers holding untrusted
+//! input must have a `try_*` spelling that returns `EngineError` instead.
+
+use crate::scan::SourceFile;
+use crate::workspace::Workspace;
+use crate::{push_unless_suppressed, Finding};
+use std::collections::HashSet;
+
+const RULE: &str = "try-parity";
+
+/// Runs the rule over the engine crate's `QueryEngine` impl.
+pub fn check(ws: &Workspace) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    if let Some(engine) = ws.by_name("engine") {
+        for file in &engine.sources {
+            if file.path.ends_with("query_engine.rs") {
+                findings.extend(check_file(file));
+            }
+        }
+    }
+    findings
+}
+
+/// Runs the rule over one file containing an `impl QueryEngine` block.
+pub fn check_file(file: &SourceFile) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let Some((start, end, _)) = file.impl_span("impl QueryEngine") else {
+        return findings;
+    };
+    let in_impl = |header: usize| header > start && header <= end;
+    let names: HashSet<&str> = file
+        .functions
+        .iter()
+        .filter(|f| in_impl(f.header))
+        .map(|f| f.name.as_str())
+        .collect();
+    for func in &file.functions {
+        if !in_impl(func.header) || !func.is_pub || func.in_test {
+            continue;
+        }
+        if func.name.starts_with("try_") || !func.doc.contains("# Panics") {
+            continue;
+        }
+        let twin = format!("try_{}", func.name);
+        if !names.contains(twin.as_str()) {
+            push_unless_suppressed(
+                &mut findings,
+                file,
+                func.header,
+                Finding {
+                    rule: RULE,
+                    path: file.path.clone(),
+                    line: func.header + 1,
+                    message: format!(
+                        "panicking method `{}` has no fallible twin `{twin}` — \
+                         add one so serving code can avoid the panic path",
+                        func.name
+                    ),
+                },
+            );
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn missing_twin_fires_present_twin_passes() {
+        let src = "\
+impl QueryEngine {
+    /// Adds an edge.
+    ///
+    /// # Panics
+    /// Panics on unknown labels.
+    pub fn add_edge(&mut self) {}
+
+    /// Removes an edge.
+    ///
+    /// # Panics
+    /// Panics on unknown labels.
+    pub fn remove_edge(&mut self) {}
+
+    /// Fallible twin.
+    pub fn try_remove_edge(&mut self) {}
+}
+";
+        let file = SourceFile::parse("crates/engine/src/query_engine.rs", src);
+        let findings = check_file(&file);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("add_edge"));
+    }
+}

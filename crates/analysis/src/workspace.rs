@@ -1,0 +1,204 @@
+//! Workspace discovery: manifests, crate metadata, and scanned sources.
+
+use crate::scan::SourceFile;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// A parsed (subset of a) `Cargo.toml`.
+#[derive(Debug, Default)]
+pub struct Manifest {
+    /// The `[package] name` value.
+    pub name: String,
+    /// Dependency crate names from `[dependencies]`.
+    pub dependencies: Vec<String>,
+    /// Dependency crate names from `[dev-dependencies]`.
+    pub dev_dependencies: Vec<String>,
+}
+
+/// One workspace member: its manifest plus every scanned `src/` file.
+#[derive(Debug)]
+pub struct CrateInfo {
+    /// Crate name from the manifest.
+    pub name: String,
+    /// Crate root directory, workspace-relative (`crates/engine`, `shims/rand`, `.`).
+    pub rel_path: String,
+    /// Whether the crate lives under `shims/`.
+    pub is_shim: bool,
+    /// The parsed manifest.
+    pub manifest: Manifest,
+    /// Scanned `src/**/*.rs` files (lib + bins), path-labelled relative to
+    /// the workspace root.  Empty for shims — shims are layering-only.
+    pub sources: Vec<SourceFile>,
+}
+
+/// The whole workspace, ready for the rules to walk.
+#[derive(Debug)]
+pub struct Workspace {
+    /// Absolute workspace root.
+    pub root: PathBuf,
+    /// Every member crate (non-shims carry sources; shims are manifest-only).
+    pub crates: Vec<CrateInfo>,
+}
+
+impl Workspace {
+    /// Loads the workspace rooted at `root`: the root package plus every
+    /// `crates/*` and `shims/*` member with a `Cargo.toml`.
+    pub fn load(root: &Path) -> Result<Workspace, String> {
+        let mut crates = Vec::new();
+        // Root package (`rewriting-rpq`) first.
+        let root_manifest = root.join("Cargo.toml");
+        if root_manifest.is_file() {
+            let manifest = parse_manifest(&read(&root_manifest)?);
+            if !manifest.name.is_empty() {
+                let sources = scan_sources(root, &root.join("src"))?;
+                crates.push(CrateInfo {
+                    name: manifest.name.clone(),
+                    rel_path: ".".to_string(),
+                    is_shim: false,
+                    manifest,
+                    sources,
+                });
+            }
+        }
+        for (dir, is_shim) in [("crates", false), ("shims", true)] {
+            let base = root.join(dir);
+            if !base.is_dir() {
+                continue;
+            }
+            let mut entries: Vec<PathBuf> = fs::read_dir(&base)
+                .map_err(|e| format!("read {}: {e}", base.display()))?
+                .filter_map(|e| e.ok().map(|e| e.path()))
+                .filter(|p| p.join("Cargo.toml").is_file())
+                .collect();
+            entries.sort();
+            for crate_dir in entries {
+                let manifest = parse_manifest(&read(&crate_dir.join("Cargo.toml"))?);
+                let sources = if is_shim {
+                    Vec::new()
+                } else {
+                    scan_sources(root, &crate_dir.join("src"))?
+                };
+                let rel = crate_dir
+                    .strip_prefix(root)
+                    .unwrap_or(&crate_dir)
+                    .to_string_lossy()
+                    .into_owned();
+                crates.push(CrateInfo {
+                    name: manifest.name.clone(),
+                    rel_path: rel,
+                    is_shim,
+                    manifest,
+                    sources,
+                });
+            }
+        }
+        Ok(Workspace { root: root.to_path_buf(), crates }.canonical())
+    }
+
+    fn canonical(mut self) -> Workspace {
+        self.crates.sort_by(|a, b| a.name.cmp(&b.name));
+        self
+    }
+
+    /// Non-shim crates only.
+    pub fn non_shims(&self) -> impl Iterator<Item = &CrateInfo> {
+        self.crates.iter().filter(|c| !c.is_shim)
+    }
+
+    /// Looks a crate up by name.
+    pub fn by_name(&self, name: &str) -> Option<&CrateInfo> {
+        self.crates.iter().find(|c| c.name == name)
+    }
+}
+
+impl Workspace {
+    /// Builds a workspace from pre-scanned parts (used by fixture tests).
+    pub fn from_parts(crates: Vec<CrateInfo>) -> Workspace {
+        Workspace { root: PathBuf::from("."), crates }
+    }
+}
+
+fn read(path: &Path) -> Result<String, String> {
+    fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))
+}
+
+/// Recursively scans `src_dir` for `.rs` files, labelling each with its
+/// workspace-relative path.
+fn scan_sources(root: &Path, src_dir: &Path) -> Result<Vec<SourceFile>, String> {
+    let mut files = Vec::new();
+    if !src_dir.is_dir() {
+        return Ok(files);
+    }
+    let mut stack = vec![src_dir.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let mut entries: Vec<PathBuf> = fs::read_dir(&dir)
+            .map_err(|e| format!("read {}: {e}", dir.display()))?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .collect();
+        entries.sort();
+        for entry in entries {
+            if entry.is_dir() {
+                stack.push(entry);
+            } else if entry.extension().is_some_and(|e| e == "rs") {
+                let rel = entry
+                    .strip_prefix(root)
+                    .unwrap_or(&entry)
+                    .to_string_lossy()
+                    .replace('\\', "/");
+                files.push(SourceFile::parse(&rel, &read(&entry)?));
+            }
+        }
+    }
+    files.sort_by(|a, b| a.path.cmp(&b.path));
+    Ok(files)
+}
+
+/// Parses the TOML subset the workspace actually uses: `[package] name`,
+/// and dependency names from `[dependencies]` / `[dev-dependencies]`.
+/// `[workspace.dependencies]` and every other section are ignored.
+pub fn parse_manifest(text: &str) -> Manifest {
+    let mut manifest = Manifest::default();
+    let mut section = String::new();
+    for raw in text.lines() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line.starts_with('[') {
+            section = line.trim_matches(|c| c == '[' || c == ']').to_string();
+            continue;
+        }
+        let Some(eq) = line.find('=') else { continue };
+        let key = line[..eq].trim();
+        let value = line[eq + 1..].trim();
+        match section.as_str() {
+            "package" if key == "name" => {
+                manifest.name = value.trim_matches('"').to_string();
+            }
+            "dependencies" => manifest.dependencies.push(dep_name(key)),
+            "dev-dependencies" => manifest.dev_dependencies.push(dep_name(key)),
+            _ => {}
+        }
+    }
+    manifest
+}
+
+/// `serde_json.workspace` → `serde_json`; plain keys pass through.
+fn dep_name(key: &str) -> String {
+    key.split('.').next().unwrap_or(key).to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manifest_subset_parses() {
+        let m = parse_manifest(
+            "[package]\nname = \"engine\"\n\n[dependencies]\nautomata = { path = \"../automata\" }\nserde.workspace = true\n\n[dev-dependencies]\nproptest = { path = \"../../shims/proptest\" }\n\n[workspace.dependencies]\nignored = \"1\"\n",
+        );
+        assert_eq!(m.name, "engine");
+        assert_eq!(m.dependencies, vec!["automata", "serde"]);
+        assert_eq!(m.dev_dependencies, vec!["proptest"]);
+    }
+}

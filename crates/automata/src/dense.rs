@@ -701,7 +701,7 @@ impl DenseDfa {
             (0..self.num_states).flat_map(|s| {
                 (0..self.num_symbols).filter_map(move |a| {
                     let t = self.table[s * self.num_symbols + a];
-                    (t != DEAD).then(|| (s, Symbol(a as u32), t as usize))
+                    (t != DEAD).then_some((s, Symbol(a as u32), t as usize))
                 })
             }),
         )
@@ -836,7 +836,7 @@ impl DenseDfa {
         for &t in &self.table {
             table.push(if t == DEAD { sink } else { t });
         }
-        table.extend(std::iter::repeat(sink).take(k));
+        table.extend(std::iter::repeat_n(sink, k));
         let mut finals = BitSet::new(n);
         for f in self.finals.iter() {
             finals.insert(f);

@@ -374,12 +374,12 @@ impl Dfa {
         counts[self.initial] = 1;
         for _ in 0..len {
             let mut next = vec![0u128; self.num_states()];
-            for s in 0..self.num_states() {
-                if counts[s] == 0 {
+            for (s, &count) in counts.iter().enumerate() {
+                if count == 0 {
                     continue;
                 }
                 for (_, to) in self.transitions_from(s) {
-                    next[to] = next[to].saturating_add(counts[s]);
+                    next[to] = next[to].saturating_add(count);
                 }
             }
             counts = next;

@@ -258,7 +258,7 @@ impl Nfa {
         let mut seen: BTreeSet<StateId> = self.initial.clone();
         let mut queue: VecDeque<StateId> = self.initial.iter().copied().collect();
         while let Some(s) = queue.pop_front() {
-            for (_, tos) in &self.transitions[s] {
+            for tos in self.transitions[s].values() {
                 for &t in tos {
                     if seen.insert(t) {
                         queue.push_back(t);
@@ -334,8 +334,10 @@ impl Nfa {
     pub fn shortest_word(&self) -> Option<Vec<Symbol>> {
         // BFS over states, tracking the symbol-labeled predecessor edges.
         // ε-edges contribute no symbol.
-        let mut dist: Vec<Option<(Option<(StateId, Symbol)>, Option<StateId>)>> =
-            vec![None; self.num_states()];
+        /// Predecessor record of a BFS-visited state: reached either through
+        /// a symbol edge `(from, symbol)` or through an ε edge from `from`.
+        type Predecessor = (Option<(StateId, Symbol)>, Option<StateId>);
+        let mut dist: Vec<Option<Predecessor>> = vec![None; self.num_states()];
         let mut queue = VecDeque::new();
         for &s in &self.initial {
             dist[s] = Some((None, None));

@@ -1437,7 +1437,7 @@ fn e7_lower_bound_family() -> Value {
         let width = enc.row_width();
         // The unique single-row tiling word: s · m^(width-2) · f.
         let mut word: Vec<&str> = vec!["s"];
-        word.extend(std::iter::repeat("m").take(width - 2));
+        word.extend(std::iter::repeat_n("m", width - 2));
         word.push("f");
         let accepted = enc.word_in_rewriting(&word);
         // No shorter word of tiling shape exists: the only shorter candidate

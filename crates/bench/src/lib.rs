@@ -6,7 +6,7 @@
 //! DESIGN.md / EXPERIMENTS.md.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod workloads;
 

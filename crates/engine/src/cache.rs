@@ -51,6 +51,10 @@ impl Default for CompileCache {
 }
 
 impl CompileCache {
+    // ordering: Relaxed throughout this impl — hit/miss tallies are
+    // monotone statistics; the compiled automata themselves are published
+    // through the shard RwLocks, never through these counters.
+
     /// Creates an empty cache.
     pub fn new() -> Self {
         Self::default()
@@ -103,7 +107,17 @@ impl CompileCache {
         regex: &Regex,
     ) -> Result<Arc<DenseNfa>, EngineError> {
         let fp = fingerprint_regex(domain, regex);
-        if let Some(dense) = self.shard(fp).read().expect("compile shard poisoned").get(&fp) {
+        // A poisoned shard still holds a coherent map (inserts mutate it
+        // only in complete steps under the guard); recover rather than
+        // letting one panicked compiler thread wedge every query.  The
+        // guard is a statement temporary: it is released before the miss
+        // path re-enters the shard through `get_or_insert`.
+        if let Some(dense) = self
+            .shard(fp)
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .get(&fp)
+        {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(dense.clone());
         }

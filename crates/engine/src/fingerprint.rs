@@ -65,7 +65,7 @@ fn write_alphabet(fp: &mut Fp2, alphabet: &automata::Alphabet) {
 /// parser), so two structurally equal expressions fingerprint equally even
 /// when built through different constructors.
 pub fn fingerprint_regex(domain: &automata::Alphabet, regex: &Regex) -> Fingerprint {
-    let mut fp = Fp2::new(0x5245_4745_58_u64); // "REGEX"
+    let mut fp = Fp2::new(0x0052_4547_4558_u64); // "REGEX"
     write_alphabet(&mut fp, domain);
     fp.write_str(&regex.to_string());
     fp.finish()
@@ -73,7 +73,7 @@ pub fn fingerprint_regex(domain: &automata::Alphabet, regex: &Regex) -> Fingerpr
 
 /// Fingerprint of an NFA's transition structure and alphabet.
 pub fn fingerprint_nfa(nfa: &Nfa) -> Fingerprint {
-    let mut fp = Fp2::new(0x4e46_41_u64); // "NFA"
+    let mut fp = Fp2::new(0x004e_4641_u64); // "NFA"
     write_alphabet(&mut fp, nfa.alphabet());
     fp.write_u64(nfa.num_states() as u64);
     for &s in nfa.initial_states() {
@@ -103,7 +103,7 @@ pub fn fingerprint_nfa(nfa: &Nfa) -> Fingerprint {
 /// lets the compile cache intern the frozen dense form without constructing
 /// a tree NFA per call.
 pub fn fingerprint_dfa(target: &automata::Alphabet, dfa: &automata::Dfa) -> Fingerprint {
-    let mut fp = Fp2::new(0x4446_41_u64); // "DFA"
+    let mut fp = Fp2::new(0x0044_4641_u64); // "DFA"
     write_alphabet(&mut fp, target);
     fp.write_u64(dfa.num_states() as u64);
     fp.write_u64(dfa.initial_state() as u64);

@@ -63,6 +63,8 @@ impl EngineTelemetry {
 
     /// Whether timing collection is on ([`crate::EngineConfig::telemetry`]).
     pub fn enabled(&self) -> bool {
+        // ordering: Relaxed — the flag is set once at construction and only
+        // read thereafter; it gates whether clocks are read, nothing else.
         self.enabled.load(Ordering::Relaxed)
     }
 

@@ -199,7 +199,8 @@ fn run_pool<const BUDGETED: bool>(
     }
 
     let queues = StealQueues::new(weighted_chunks(csr, threads), threads);
-    let results: Vec<(Result<Vec<(u32, u32)>, SweepInterrupt>, WorkerTiming)> =
+    type WorkerOutcome = (Result<Vec<(u32, u32)>, SweepInterrupt>, WorkerTiming);
+    let results: Vec<WorkerOutcome> =
         std::thread::scope(|scope| {
             let queues = &queues;
             let workers: Vec<_> = (0..threads)

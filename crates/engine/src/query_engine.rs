@@ -176,6 +176,10 @@ pub struct EngineStats {
     /// Snapshots aged out of the retention window (they stay alive only as
     /// long as some reader still holds their `Arc`).
     pub snapshot_dropped: u64,
+    /// Cached answers evicted because their revision retired from the
+    /// retention window — the writer compacts the shared answer cache each
+    /// time the window's oldest revision advances.
+    pub answer_compactions: u64,
 }
 
 /// Folds the shared atomic counters into one [`EngineStats`] value.
@@ -184,6 +188,9 @@ pub(crate) fn assemble_stats(
     answers: &AnswerCache,
     shared: &SharedStats,
 ) -> EngineStats {
+    // ordering: Relaxed throughout — this folds independent monotone
+    // counters into one advisory snapshot; cross-counter consistency is
+    // not promised to observers.
     EngineStats {
         compile_hits: compile.hits(),
         compile_misses: compile.misses(),
@@ -208,6 +215,7 @@ pub(crate) fn assemble_stats(
         repair_budget_drops: shared.repair_budget_drops.load(Ordering::Relaxed),
         snapshot_retained: shared.snapshot_retained.load(Ordering::Relaxed),
         snapshot_dropped: shared.snapshot_dropped.load(Ordering::Relaxed),
+        answer_compactions: answers.compactions.load(Ordering::Relaxed),
     }
 }
 
@@ -509,9 +517,21 @@ impl QueryEngine {
         if self.config.snapshot_keep_last > 0 {
             self.retained.push_back(snapshot.clone());
             bump(&self.stats.snapshot_retained);
+            let mut window_advanced = false;
             while self.retained.len() > self.config.snapshot_keep_last {
                 self.retained.pop_front();
                 bump(&self.stats.snapshot_dropped);
+                window_advanced = true;
+            }
+            // A retired revision can never be asked for again through the
+            // engine's own window: compact the shared answer cache so a
+            // long-pinned reader's leftovers stop occupying capacity.
+            // Readers still holding older snapshot `Arc`s keep evaluating
+            // correctly — they just re-compute instead of hitting cache.
+            if window_advanced {
+                if let Some(oldest) = self.retained.front() {
+                    self.answers.compact_older_than(oldest.revision());
+                }
             }
         }
         if let Some(start) = publish_start {
@@ -562,11 +582,19 @@ impl QueryEngine {
 
     /// Evaluates a regex query over the database, through the compile and
     /// answer caches.
+    ///
+    /// # Panics
+    /// Panics when the query mentions a label outside the domain; use
+    /// [`try_eval_regex`](Self::try_eval_regex) to handle that as an error.
     pub fn eval_regex(&mut self, query: &Regex) -> Arc<Answer> {
         self.adhoc().eval_regex(query)
     }
 
     /// Evaluates a query written in the paper's concrete syntax.
+    ///
+    /// # Panics
+    /// Panics on a malformed query or an out-of-domain label; use
+    /// [`try_eval_str`](Self::try_eval_str) to handle both as errors.
     pub fn eval_str(&mut self, query: &str) -> Arc<Answer> {
         let expr = regexlang::parse(query).expect("query must parse");
         self.eval_regex(&expr)
@@ -574,6 +602,10 @@ impl QueryEngine {
 
     /// Evaluates an automaton-form query over the database, through the
     /// compile and answer caches.
+    ///
+    /// # Panics
+    /// Panics when the automaton's alphabet falls outside the domain; use
+    /// [`try_eval_nfa`](Self::try_eval_nfa) to handle that as an error.
     pub fn eval_nfa(&mut self, query: &Nfa) -> Arc<Answer> {
         self.adhoc().eval_nfa(query)
     }
@@ -582,6 +614,18 @@ impl QueryEngine {
     /// out-of-domain labels surface as [`EngineError`] instead of panicking.
     pub fn try_eval_str(&mut self, query: &str) -> Result<Arc<Answer>, EngineError> {
         self.eval_str_budgeted(query, &QueryBudget::unlimited())
+    }
+
+    /// Fallible variant of [`eval_regex`](Self::eval_regex): out-of-domain
+    /// labels surface as [`EngineError`] instead of panicking.
+    pub fn try_eval_regex(&mut self, query: &Regex) -> Result<Arc<Answer>, EngineError> {
+        self.eval_regex_budgeted(query, &QueryBudget::unlimited())
+    }
+
+    /// Fallible variant of [`eval_nfa`](Self::eval_nfa): an incompatible
+    /// alphabet surfaces as [`EngineError`] instead of panicking.
+    pub fn try_eval_nfa(&mut self, query: &Nfa) -> Result<Arc<Answer>, EngineError> {
+        self.eval_nfa_budgeted(query, &QueryBudget::unlimited())
     }
 
     /// Budgeted, fallible evaluation of a concrete-syntax query.  An
@@ -731,8 +775,19 @@ impl QueryEngine {
     /// Panics on out-of-range endpoints or a label outside the domain; use
     /// [`try_add_edges`](Self::try_add_edges) to handle those as errors.
     pub fn add_edge(&mut self, from: NodeId, label: automata::Symbol, to: NodeId) {
+        self.try_add_edge(from, label, to).unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Fallible variant of [`add_edge`](Self::add_edge): out-of-range
+    /// endpoints and unknown labels surface as [`EngineError`] instead of
+    /// panicking, with the engine untouched on `Err`.
+    pub fn try_add_edge(
+        &mut self,
+        from: NodeId,
+        label: automata::Symbol,
+        to: NodeId,
+    ) -> Result<(), EngineError> {
         self.try_add_edges(&[(from, label, to)])
-            .unwrap_or_else(|e| panic!("{e}"));
     }
 
     /// Inserts an edge between named nodes (creating them on demand, like
@@ -741,8 +796,19 @@ impl QueryEngine {
     /// # Panics
     /// Panics on a label outside the domain.
     pub fn add_edge_named(&mut self, from: &str, label: &str, to: &str) {
+        self.try_add_edge_named(from, label, to).unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Fallible variant of [`add_edge_named`](Self::add_edge_named): an
+    /// unknown label surfaces as [`EngineError`] instead of panicking, with
+    /// the engine untouched on `Err`.
+    pub fn try_add_edge_named(
+        &mut self,
+        from: &str,
+        label: &str,
+        to: &str,
+    ) -> Result<(), EngineError> {
         self.try_add_edges_named(&[(from, label, to)])
-            .unwrap_or_else(|e| panic!("{e}"));
     }
 
     /// Inserts a batch of edges under a single revision bump, refreezing the
@@ -875,7 +941,19 @@ impl QueryEngine {
     /// # Panics
     /// Panics if the edge is not present in the database.
     pub fn remove_edge(&mut self, from: NodeId, label: automata::Symbol, to: NodeId) {
-        self.remove_edges(&[(from, label, to)]);
+        self.try_remove_edge(from, label, to).unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Fallible variant of [`remove_edge`](Self::remove_edge): a missing
+    /// occurrence surfaces as [`EngineError::EdgeNotPresent`] instead of
+    /// panicking, with the engine untouched on `Err`.
+    pub fn try_remove_edge(
+        &mut self,
+        from: NodeId,
+        label: automata::Symbol,
+        to: NodeId,
+    ) -> Result<(), EngineError> {
+        self.try_remove_edges(&[(from, label, to)])
     }
 
     /// Removes one occurrence of an edge between named nodes (mirroring
@@ -885,8 +963,20 @@ impl QueryEngine {
     /// Panics on unknown node names, a label outside the domain, or an edge
     /// that is not present.
     pub fn remove_edge_named(&mut self, from: &str, label: &str, to: &str) {
+        self.try_remove_edge_named(from, label, to).unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Fallible variant of [`remove_edge_named`](Self::remove_edge_named):
+    /// unknown names, unknown labels, and missing occurrences surface as
+    /// [`EngineError`] instead of panicking, with the engine untouched on
+    /// `Err`.
+    pub fn try_remove_edge_named(
+        &mut self,
+        from: &str,
+        label: &str,
+        to: &str,
+    ) -> Result<(), EngineError> {
         self.try_remove_edges_named(&[(from, label, to)])
-            .unwrap_or_else(|e| panic!("{e}"));
     }
 
     /// Fallible batch removal between named nodes: every name and label is
@@ -941,6 +1031,9 @@ impl QueryEngine {
         edges: &[(NodeId, automata::Symbol, NodeId)],
         budget: &QueryBudget,
     ) -> Result<(), EngineError> {
+        // ordering: Relaxed for every stats counter below — monotone
+        // tallies read only by advisory stats()/metrics snapshots; the
+        // repaired extensions are published via `&mut self`, not atomics.
         if edges.is_empty() {
             return Ok(());
         }
@@ -1031,7 +1124,21 @@ impl QueryEngine {
             .view_deletion_repairs
             .fetch_add(jobs.len() as u64, Ordering::Relaxed);
 
-        let (old_csr_out, old_csr_in) = old_csrs.expect("frozen above: repair edges exist");
+        let Some((old_csr_out, old_csr_in)) = old_csrs else {
+            // Unreachable in practice: `targets` is non-empty only when
+            // `repair_edges` is, and that is exactly when the CSRs froze
+            // above.  Degrade by invalidating the queued extensions (they
+            // re-materialize on next access) instead of panicking
+            // mid-mutation with the graph already changed.
+            let queued: Vec<usize> = jobs.iter().map(|job| job.target.view_idx).collect();
+            drop(jobs);
+            for idx in queued {
+                if let Some(view) = self.views.get_mut(idx) {
+                    view.extension = None;
+                }
+            }
+            return Ok(());
+        };
         let new_csr_out: &CsrAdjacency = &self.csr_out;
         let repair_start = self.telemetry.enabled().then(Instant::now);
         let sweep = budget.to_sweep();
@@ -1069,7 +1176,9 @@ impl QueryEngine {
             .collect();
         drop(jobs);
         for idx in dropped {
-            self.views[idx].extension = None;
+            if let Some(view) = self.views.get_mut(idx) {
+                view.extension = None;
+            }
             bump(&self.stats.repair_budget_drops);
         }
         self.stats
@@ -1090,6 +1199,9 @@ impl QueryEngine {
         new_edges: &[(NodeId, automata::Symbol, NodeId)],
         budget: &QueryBudget,
     ) {
+        // ordering: Relaxed for every stats counter below — monotone
+        // tallies read only by advisory stats()/metrics snapshots; the
+        // repaired extensions are published via `&mut self`, not atomics.
         self.revision += 1;
         self.csr_out = Arc::new(self.db.csr_out());
         // Retire the published snapshot; existing reader handles stay valid
@@ -1163,7 +1275,9 @@ impl QueryEngine {
             .collect();
         drop(jobs);
         for idx in dropped {
-            self.views[idx].extension = None;
+            if let Some(view) = self.views.get_mut(idx) {
+                view.extension = None;
+            }
             bump(&self.stats.repair_budget_drops);
         }
         if let Some(start) = repair_start {

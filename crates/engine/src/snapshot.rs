@@ -89,6 +89,9 @@ pub(crate) struct SharedStats {
 
 #[inline]
 pub(crate) fn bump(counter: &AtomicU64) {
+    // ordering: Relaxed — every counter routed through here is a monotone
+    // statistic read by stats()/metrics observers; no data is published
+    // through it.
     counter.fetch_add(1, Ordering::Relaxed);
 }
 
@@ -140,9 +143,14 @@ pub(crate) struct AnswerCache {
     pub misses: AtomicU64,
     pub evictions: AtomicU64,
     pub stale_evictions: AtomicU64,
+    pub compactions: AtomicU64,
 }
 
 impl AnswerCache {
+    // ordering: Relaxed throughout this impl — the LRU tick and last_used
+    // stamps only bias victim selection (an approximate clock is fine), and
+    // the hit/miss/eviction tallies are monotone statistics.  Answers are
+    // published through the map's RwLock, never through these atomics.
     pub fn new(capacity: usize) -> Self {
         AnswerCache {
             capacity,
@@ -152,7 +160,30 @@ impl AnswerCache {
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             stale_evictions: AtomicU64::new(0),
+            compactions: AtomicU64::new(0),
         }
+    }
+
+    /// Evicts every entry tagged with a revision strictly older than
+    /// `oldest_live`, returning how many were dropped (also added to the
+    /// `compactions` counter).
+    ///
+    /// Called by the writer when the retention window advances: once the
+    /// oldest retained snapshot moves past a revision, no reader the engine
+    /// still serves can ask at that revision again — lazy lookup-time
+    /// eviction would otherwise leave a long-pinned reader's answers
+    /// resident until capacity pressure happened to select them.
+    pub fn compact_older_than(&self, oldest_live: u64) -> u64 {
+        // Writer-side housekeeping; recover from reader poison (the map is
+        // only ever mutated in complete steps under the guard).
+        let mut map = self.map.write().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let before = map.len();
+        map.retain(|_, entry| entry.revision >= oldest_live);
+        let evicted = (before - map.len()) as u64;
+        if evicted > 0 {
+            self.compactions.fetch_add(evicted, Ordering::Relaxed);
+        }
+        evicted
     }
 
     /// Number of resident answers (always within the capacity bound).
@@ -333,6 +364,7 @@ impl AdhocReader<'_> {
     /// into the shared stats, which back both `stats()` and the Prometheus
     /// `metrics` op.
     fn note_scheduler(&self, breakdown: &ParallelBreakdown) {
+        // ordering: Relaxed — scheduler tallies are monotone statistics.
         self.stats
             .parallel_chunks
             .fetch_add(breakdown.total_chunks(), Ordering::Relaxed);

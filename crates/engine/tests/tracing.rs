@@ -59,7 +59,7 @@ fn traced_eval_is_answer_identical_with_nonoverlapping_top_level_spans() {
     }
     // Forced-parallel run: per-worker detail spans ride along.
     let detail: Vec<Phase> = phases(&trace, false);
-    assert!(detail.iter().any(|p| *p == Phase::ChunkAcquire), "{detail:?}");
+    assert!(detail.contains(&Phase::ChunkAcquire), "{detail:?}");
 
     // Top-level spans partition the pipeline: their sum is bounded by the
     // whole trace's wall time (worker spans overlap and are excluded).

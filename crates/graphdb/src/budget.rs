@@ -85,6 +85,11 @@ pub struct SweepState {
 }
 
 impl SweepState {
+    // ordering: Relaxed throughout this impl — visited counts, the cancel
+    // flag, and the sticky trip code are budget *advice*: a worker may see a
+    // trip a few pops late, which only over-counts the partial-work stat.
+    // No data is published through these atomics.
+
     /// Fresh progress for one evaluation.
     pub fn new() -> Self {
         Self::default()

@@ -166,7 +166,7 @@ mod tests {
         let alpha = Alphabet::from_chars(['a']).unwrap();
         let r = nfa_to_regex(&Nfa::epsilon(alpha));
         assert!(r.is_nullable());
-        assert_eq!(thompson_auto(&r).accepts(&[]), true);
+        assert!(thompson_auto(&r).accepts(&[]));
     }
 
     #[test]

@@ -107,7 +107,7 @@ fn assert_rewriting_identical(dense: &MaximalRewriting, tree: &MaximalRewriting,
 
 #[test]
 fn paper_examples_agree_with_baseline() {
-    let problems = vec![
+    let problems = [
         RewriteProblem::parse("a·(b·a+c)*", [("e1", "a"), ("e2", "a·c*·b"), ("e3", "c")])
             .unwrap(),
         RewriteProblem::parse("a·(b·a+c)*", [("e1", "a"), ("e2", "a·c*·b")]).unwrap(),

@@ -140,7 +140,8 @@ mod tests {
 
     #[test]
     fn each_degenerate_knob_is_rejected() {
-        let cases: Vec<(&str, Box<dyn Fn(&mut ServiceConfig)>)> = vec![
+        type Breaker = Box<dyn Fn(&mut ServiceConfig)>;
+        let cases: Vec<(&str, Breaker)> = vec![
             ("max_inflight", Box::new(|c| c.max_inflight = 0)),
             ("writer_queue_depth", Box::new(|c| c.writer_queue_depth = 0)),
             ("max_timeout_ms", Box::new(|c| c.max_timeout_ms = 0)),

@@ -114,11 +114,11 @@ fn parse_edges(value: Option<&Value>) -> Result<Vec<(String, String, String)>, P
                 .map(str::to_string)
                 .ok_or_else(|| ProtocolError::parse("edge endpoints and labels must be strings"))
         });
-        edges.push((
-            parts.next().unwrap()?,
-            parts.next().unwrap()?,
-            parts.next().unwrap()?,
-        ));
+        let (Some(from), Some(label), Some(to)) = (parts.next(), parts.next(), parts.next())
+        else {
+            return Err(ProtocolError::parse("each edge must be a [from, label, to] array"));
+        };
+        edges.push((from?, label?, to?));
     }
     Ok(edges)
 }
@@ -186,13 +186,27 @@ fn id_value(id: Option<i64>) -> Value {
     }
 }
 
+/// Serializes a response value plus trailing newline.  The shim renderer
+/// has no failure modes today, but the serving path must stay panic-free
+/// even if one appears, so a render failure degrades to a hand-written
+/// `internal_error` frame instead of unwinding the connection thread.
+fn render_line(value: &Value) -> String {
+    let mut line = serde_json::to_string(value).unwrap_or_else(|_| {
+        concat!(
+            "{\"id\":null,\"ok\":false,\"error\":{\"code\":\"internal_error\",",
+            "\"message\":\"response serialization failed\"}}"
+        )
+        .to_string()
+    });
+    line.push('\n');
+    line
+}
+
 /// Renders a success response: `{"id":…,"ok":true, …fields}` plus newline.
 pub fn render_ok(id: Option<i64>, fields: Vec<(String, Value)>) -> String {
     let mut entries = vec![("id".to_string(), id_value(id)), ("ok".to_string(), Value::Bool(true))];
     entries.extend(fields);
-    let mut line = serde_json::to_string(&Value::Object(entries)).expect("shim render is infallible");
-    line.push('\n');
-    line
+    render_line(&Value::Object(entries))
 }
 
 /// Renders a failure response: `{"id":…,"ok":false,"error":{…}}` plus
@@ -217,9 +231,7 @@ pub fn render_err(
     if let Some(ms) = retry_after_ms {
         entries.push(("retry_after_ms".to_string(), Value::Int(ms as i128)));
     }
-    let mut line = serde_json::to_string(&Value::Object(entries)).expect("shim render is infallible");
-    line.push('\n');
-    line
+    render_line(&Value::Object(entries))
 }
 
 #[cfg(test)]

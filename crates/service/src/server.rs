@@ -108,6 +108,8 @@ pub struct ServiceStatsSnapshot {
 
 impl ServiceStats {
     fn snapshot(&self, in_flight: u64) -> ServiceStatsSnapshot {
+        // ordering: Relaxed — advisory fold of monotone counters; a snapshot
+        // may mix adjacent updates, which stats consumers tolerate.
         let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
         ServiceStatsSnapshot {
             connections: load(&self.connections),
@@ -127,6 +129,7 @@ impl ServiceStats {
 }
 
 fn bump(counter: &AtomicU64) {
+    // ordering: Relaxed — monotone statistic; nothing is published through it.
     counter.fetch_add(1, Ordering::Relaxed);
 }
 
@@ -223,7 +226,13 @@ fn writer_loop(mut engine: QueryEngine, jobs: Receiver<WriteJob>, shared: Arc<Sh
         match apply_write(&mut engine, &job.op) {
             Ok(()) => {
                 let snapshot = engine.publish_snapshot();
-                *shared.snapshot.write().expect("snapshot lock poisoned") = snapshot.clone();
+                // A poisoned slot still holds a valid Arc (the swap is the
+                // only write and cannot unwind mid-store): recover it
+                // rather than cascading the panic through the writer.
+                *shared
+                    .snapshot
+                    .write()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner) = snapshot.clone();
                 bump(&shared.stats.writes_applied);
                 if let Some(started) = started {
                     shared.telemetry.write_latency.record_duration(started.elapsed());
@@ -258,7 +267,12 @@ struct Shared {
 
 impl Shared {
     fn pinned_snapshot(&self) -> Arc<EngineSnapshot> {
-        self.snapshot.read().expect("snapshot lock poisoned").clone()
+        // Poison cannot leave a torn value here (the slot only ever holds
+        // a complete Arc), so readers recover instead of panicking.
+        self.snapshot
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone()
     }
 }
 
@@ -267,6 +281,11 @@ struct Permit<'a>(&'a AtomicUsize);
 
 impl<'a> Permit<'a> {
     fn acquire(gate: &'a AtomicUsize, max: usize) -> Option<Self> {
+        // ordering: the successful CAS is Acquire to pair with the Release
+        // decrement in Drop, so everything a finished query did under its
+        // slot happens-before the slot's reuse.  The seed load and the CAS
+        // failure path are Relaxed: they only feed the next CAS attempt,
+        // which re-validates the count.
         let mut current = gate.load(Ordering::Relaxed);
         loop {
             if current >= max {
@@ -287,6 +306,8 @@ impl<'a> Permit<'a> {
 
 impl Drop for Permit<'_> {
     fn drop(&mut self) {
+        // ordering: Release — pairs with the Acquire CAS in `acquire` so the
+        // released slot's work is visible to whoever re-occupies it.
         self.0.fetch_sub(1, Ordering::Release);
     }
 }
@@ -334,6 +355,7 @@ fn read_frame(
         };
         if let Some(newline) = chunk.iter().position(|&b| b == b'\n') {
             if !oversized {
+                // lint: allow(panic) — `newline` is position() on this same chunk
                 buf.extend_from_slice(&chunk[..newline]);
             }
             reader.consume(newline + 1);
@@ -529,6 +551,7 @@ fn prometheus_exposition(shared: &Shared, snapshot: &EngineSnapshot) -> String {
             hist,
         );
     }
+    // ordering: Relaxed — in_flight is an advisory gauge in a metrics dump.
     let stats = shared.stats.snapshot(shared.in_flight.load(Ordering::Relaxed) as u64);
     let engine_stats = snapshot.stats();
     let counters: [(&str, &str, u64); 10] = [
@@ -695,7 +718,13 @@ fn handle_write(shared: &Shared, id: Option<i64>, op: WriteOp, applied: usize) -
             );
         }
     }
-    let sender = shared.writer.lock().expect("writer lock poisoned").clone();
+    // The slot only ever holds a complete Option<SyncSender>; recover from
+    // poison instead of panicking inside a connection thread.
+    let sender = shared
+        .writer
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .clone();
     let Some(sender) = sender else {
         return render_err(id, "shutting_down", "server is draining", None);
     };
@@ -733,6 +762,7 @@ fn handle_write(shared: &Shared, id: Option<i64>, op: WriteOp, applied: usize) -
 
 fn stats_fields(shared: &Shared) -> Vec<(String, Value)> {
     let snapshot = shared.pinned_snapshot();
+    // ordering: Relaxed — in_flight is an advisory gauge in a stats reply.
     let service = shared.stats.snapshot(shared.in_flight.load(Ordering::Relaxed) as u64);
     let engine_stats = snapshot.stats();
     let int = |n: u64| Value::Int(n as i128);
@@ -774,6 +804,7 @@ fn stats_fields(shared: &Shared) -> Vec<(String, Value)> {
                 ("repair_budget_drops".to_string(), int(engine_stats.repair_budget_drops)),
                 ("snapshot_retained".to_string(), int(engine_stats.snapshot_retained)),
                 ("snapshot_dropped".to_string(), int(engine_stats.snapshot_dropped)),
+                ("answer_compactions".to_string(), int(engine_stats.answer_compactions)),
             ]),
         ),
         (
@@ -865,6 +896,7 @@ fn dispatch(shared: &Shared, line: &str) -> Dispatch {
                     ("revision".to_string(), Value::Int(snapshot.revision() as i128)),
                     (
                         "in_flight".to_string(),
+                        // ordering: Relaxed — advisory gauge in a health reply.
                         Value::Int(shared.in_flight.load(Ordering::Relaxed) as i128),
                     ),
                 ],
@@ -1024,6 +1056,7 @@ impl Server {
 
     /// Current service counters.
     pub fn stats(&self) -> ServiceStatsSnapshot {
+        // ordering: Relaxed — in_flight is an advisory gauge in a stats call.
         self.shared
             .stats
             .snapshot(self.shared.in_flight.load(Ordering::Relaxed) as u64)
@@ -1039,9 +1072,17 @@ impl Server {
     fn wind_down(&mut self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
         // Dropping the sender lets the writer drain its queue and exit.
-        *self.shared.writer.lock().expect("writer lock poisoned") = None;
+        // Recover from poison: shutdown must proceed even if a connection
+        // thread died, and the slot only ever holds a complete Option.
+        *self
+            .shared
+            .writer
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = None;
         let drain_deadline =
             Instant::now() + Duration::from_millis(self.shared.config.drain_timeout_ms);
+        // ordering: Relaxed — drain polling; a late-observed decrement only
+        // costs one extra 2ms sleep, and the deadline bounds the wait anyway.
         while self.shared.in_flight.load(Ordering::Relaxed) > 0
             && Instant::now() < drain_deadline
         {

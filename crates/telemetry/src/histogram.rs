@@ -1,5 +1,9 @@
 //! Lock-free log-bucketed latency histogram.
 
+
+// ordering: Relaxed throughout — the histogram is monotone statistics shared
+// with detached observers; counts may arrive late or torn across buckets, and
+// a snapshot that mixes adjacent recordings is still a valid histogram.
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Number of sub-bucket bits: each power-of-two octave is split into

@@ -1,5 +1,8 @@
 //! A bounded, drainable ring buffer for recent events.
 
+
+// ordering: Relaxed throughout — the eviction counter is advisory telemetry;
+// the buffer itself is guarded by its mutex, so no atomic carries ordering.
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;

@@ -1,5 +1,8 @@
 //! The slow-query log: a bounded ring of recent over-threshold queries.
 
+
+// ordering: Relaxed throughout — threshold reads and drop counters are
+// advisory telemetry; a racing reconfiguration may miss one entry either way.
 use crate::ring::RingBuffer;
 use std::sync::atomic::{AtomicU64, Ordering};
 

@@ -1,5 +1,8 @@
 //! Per-query span tracing.
 
+
+// ordering: Relaxed throughout — trace-id allocation only needs uniqueness
+// (fetch_add is atomic at any ordering) and drop counters are advisory.
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;

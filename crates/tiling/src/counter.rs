@@ -86,7 +86,7 @@ impl CounterBlock {
 /// so tests can validate the structure on small widths without materializing
 /// the doubly exponential case.
 pub fn counter_word(width: u32) -> Vec<CounterBlock> {
-    assert!(width >= 1 && width <= 20, "width {width} out of supported range");
+    assert!((1..=20).contains(&width), "width {width} out of supported range");
     let configs: u64 = 1u64 << width;
     let mut out = Vec::with_capacity((width as usize) * configs as usize);
     for j in 0..configs {
@@ -186,7 +186,7 @@ mod tests {
         // (checked end-to-end for n = 1 here; the bench pushes further).
         let enc = exponential_family(1);
         let word = enc.shortest_tiling_word().expect("single-row tiling exists");
-        assert_eq!(word.len(), expected_shortest_rewriting_length(1) as usize);
+        assert_eq!(word.len(), expected_shortest_rewriting_length(1));
     }
 
     #[test]

@@ -186,7 +186,7 @@ impl EncodedTiling {
     /// Interprets a `Δ`-word as a row-major tiling of width `2^n`.
     pub fn word_to_tiling(&self, tiles: &[String]) -> Option<crate::solver::Tiling> {
         let width = self.row_width();
-        if tiles.is_empty() || tiles.len() % width != 0 {
+        if tiles.is_empty() || !tiles.len().is_multiple_of(width) {
             return None;
         }
         Some(tiles.chunks(width).map(|row| row.to_vec()).collect())

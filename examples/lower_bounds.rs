@@ -63,7 +63,7 @@ fn main() {
         let enc = exponential_family(n);
         let width = enc.row_width();
         let mut word: Vec<&str> = vec!["s"];
-        word.extend(std::iter::repeat("m").take(width - 2));
+        word.extend(std::iter::repeat_n("m", width - 2));
         word.push("f");
         let accepted = enc.word_in_rewriting(&word);
         println!(

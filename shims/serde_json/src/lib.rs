@@ -335,7 +335,7 @@ mod tests {
 
     #[test]
     fn escapes_quotes_and_controls() {
-        let s = to_string(&"a\"b\\c\nd").unwrap();
+        let s = to_string("a\"b\\c\nd").unwrap();
         assert_eq!(s, "\"a\\\"b\\\\c\\nd\"");
     }
 

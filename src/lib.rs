@@ -16,7 +16,7 @@
 //! * [`tiling`] — the lower-bound constructions (§3.2).
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub use automata;
 pub use engine;

@@ -82,7 +82,7 @@ fn decoded_words_check_out_as_tilings() {
     assert_eq!(tiling.len(), 2);
     assert!(check_tiling(&system, 2, &tiling));
     // Words of the wrong length do not decode.
-    assert!(enc.word_to_tiling(&word[..3].to_vec()).is_none());
+    assert!(enc.word_to_tiling(&word[..3]).is_none());
 }
 
 #[test]
