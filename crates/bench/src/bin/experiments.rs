@@ -126,6 +126,17 @@ fn main() {
         // Like the other smokes, the committed snapshot is left untouched.
         println!("\n================ telemetry overhead + explain surface (smoke) ================");
         metrics_rows();
+    } else if args.iter().any(|a| a == "interactive") {
+        // `experiments interactive`: the point-lookup workload alone (the
+        // CI "Interactive bench smoke" step) — single-pair bidirectional
+        // lookups and single-source sweeps through a published engine
+        // snapshot on the |V| = 10^5 power-law graph, vs the amortized cost
+        // of materializing the full answer, with a GitHub warning
+        // annotation if the pair p99 fails to stay 10x under the full
+        // materialization.  Like the other smokes, the committed snapshot
+        // is left untouched.
+        println!("\n================ interactive point lookups (smoke) ================");
+        interactive_rows(true);
     } else if args.iter().any(|a| a == "parallel") {
         // `experiments parallel`: the production-scale parallel-evaluation
         // workload alone (the CI "Parallel scaling smoke" step, run with
@@ -470,6 +481,10 @@ fn bench_rpq_json() {
     // End-to-end serving latency through the TCP service layer.
     let service = service_rows();
 
+    // Interactive point lookups: single-pair and single-source evaluation
+    // through a published snapshot vs amortized full materialization.
+    let interactive = interactive_rows(false);
+
     let value = json!({
         "determinization": determinization,
         "eval": eval,
@@ -480,6 +495,7 @@ fn bench_rpq_json() {
         "rewriting": rewriting,
         "concurrent": concurrent,
         "service": service,
+        "interactive": interactive,
     });
     if let Some(previous) = &previous {
         diff_bench_snapshots(previous, &value);
@@ -1087,6 +1103,111 @@ fn service_rows() -> Vec<Value> {
     })]
 }
 
+/// Interactive point lookups on the |V| = 10^5 power-law workload:
+/// single-pair bidirectional (meet-in-the-middle) lookups and single-source
+/// sweeps through a published `EngineSnapshot`, against the amortized cost
+/// of materializing the full answer set once.  The pair lookups sample
+/// random (source, target) endpoints — reachable and not — so the p99
+/// covers both early meets and drained cones; every lookup is a fresh
+/// search (pair verdicts are never cached and each sampled source is
+/// distinct with high probability).  Returns the JSON rows for the
+/// `interactive` section of `BENCH_rpq.json`; also runs standalone as
+/// `experiments interactive` (the CI "Interactive bench smoke" step).
+/// When `smoke` is set, fewer lookups are sampled and a GitHub
+/// `::warning::` annotation is emitted if the pair p99 is not at least 10x
+/// below the full materialization time.
+fn interactive_rows(smoke: bool) -> Vec<Value> {
+    use engine::QueryEngine;
+    use graphdb::{eval_csr, power_law_graph, PowerLawGraphConfig};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    let domain = automata::Alphabet::from_chars(['a', 'b', 'c', 'd', 'e', 'f', 'g', 'h'])
+        .expect("distinct");
+    // Same selective scale query as the parallel workload: the h anchor
+    // keeps forward cones shallow, which is exactly the regime interactive
+    // lookups are built for.
+    let query = "h·(f+g)*·e";
+    let db = power_law_graph(
+        &domain,
+        &PowerLawGraphConfig {
+            num_nodes: 100_000,
+            num_edges: 400_000,
+            label_exponent: 1.0,
+        },
+        42,
+    );
+    let num_nodes = db.num_nodes();
+
+    // The amortized reference: one full materialization of the answer set.
+    let expr = regexlang::parse(query).expect("interactive query parses");
+    let nfa = regexlang::thompson(&expr, db.domain()).expect("query over the domain");
+    let frozen = automata::DenseNfa::from_nfa(&nfa);
+    let csr = db.csr_out();
+    let full_materialize_ms = time_ms(2, || eval_csr(&csr, &frozen).len());
+
+    let mut engine = QueryEngine::new(db);
+    let snapshot = engine.publish_snapshot();
+    let percentile = |sorted: &[f64], p: usize| sorted[(sorted.len() - 1) * p / 100];
+
+    let pair_lookups = if smoke { 100 } else { 200 };
+    let mut rng = StdRng::seed_from_u64(4242);
+    let mut pair_ms: Vec<f64> = (0..pair_lookups)
+        .map(|_| {
+            let s = rng.gen_range(0..num_nodes);
+            let t = rng.gen_range(0..num_nodes);
+            let t0 = Instant::now();
+            std::hint::black_box(snapshot.eval_pair_str(query, s, t));
+            t0.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    pair_ms.sort_by(f64::total_cmp);
+    let pair_p50_ms = percentile(&pair_ms, 50);
+    let pair_p99_ms = percentile(&pair_ms, 99);
+
+    let from_sweeps = if smoke { 50 } else { 100 };
+    let mut from_ms: Vec<f64> = (0..from_sweeps)
+        .map(|_| {
+            let s = rng.gen_range(0..num_nodes);
+            let t0 = Instant::now();
+            std::hint::black_box(snapshot.eval_from_str(query, s, None).targets.len());
+            t0.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    from_ms.sort_by(f64::total_cmp);
+    let from_p50_ms = percentile(&from_ms, 50);
+    let from_p99_ms = percentile(&from_ms, 99);
+
+    println!(
+        "interactive |V|=100000    : full materialize {full_materialize_ms:.3} ms; \
+         pair p50 {pair_p50_ms:.4} ms / p99 {pair_p99_ms:.4} ms ({} lookups, {}); \
+         from p50 {from_p50_ms:.4} ms / p99 {from_p99_ms:.4} ms ({} sweeps)",
+        pair_lookups,
+        speedup_label(full_materialize_ms, pair_p99_ms),
+        from_sweeps
+    );
+    if smoke {
+        match speedup(full_materialize_ms, pair_p99_ms) {
+            Some(ratio) if ratio < 10.0 => println!(
+                "::warning title=interactive latency::single-pair p99 only {ratio:.1}x \
+                 under full materialization (< 10x)"
+            ),
+            _ => {}
+        }
+    }
+    vec![json!({
+        "workload": "power_law_v100000_e400000",
+        "full_materialize_ms": full_materialize_ms,
+        "pair_lookups": pair_lookups,
+        "pair_p50_ms": pair_p50_ms,
+        "interactive_pair_p99_ms": pair_p99_ms,
+        "from_sweeps": from_sweeps,
+        "from_p50_ms": from_p50_ms,
+        "from_p99_ms": from_p99_ms,
+        "speedup": speedup_json(full_materialize_ms, pair_p99_ms),
+    })]
+}
+
 /// Observability smoke + overhead guard (the CI "Metrics smoke" step,
 /// `experiments metrics`).  Two halves, both of which panic — exiting
 /// nonzero — on failure:
@@ -1257,6 +1378,7 @@ fn diff_bench_snapshots(old: &Value, new: &Value) {
                         | "delta_delete_ms"
                         | "concurrent_reader_ms"
                         | "service_p99_ms"
+                        | "interactive_pair_p99_ms"
                 );
                 compared += 1;
                 let change = (new_ms - old_ms) / old_ms.max(f64::MIN_POSITIVE) * 100.0;

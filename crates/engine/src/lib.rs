@@ -182,6 +182,23 @@
 //! boundaries, never inside the pop loop (`experiments -- metrics` asserts
 //! the on/off difference stays under 5%).
 //!
+//! ## The interactive read path
+//!
+//! Full materialization answers "all pairs"; interactive callers usually
+//! ask two narrower questions.  [`EngineSnapshot::eval_pair_str`] answers
+//! "is `t` reachable from `s`?" with a bidirectional meet-in-the-middle
+//! search (forward over the outgoing CSR from `(s, q₀)`, backward over the
+//! incoming CSR from the accepting states, always expanding the smaller
+//! frontier) that exits on the first frontier intersection.
+//! [`EngineSnapshot::eval_from_str`] answers "what is reachable from `s`?"
+//! — optionally top-k via `limit` — with a product-BFS seeded only at `s`.
+//! Both are served without any search when a materialized answer is
+//! resident: the full extension in the ad-hoc answer cache, or a complete
+//! single-source drain in the **point-query cache** (keyed
+//! `(query, source)`, same exact-revision regime as the answer cache, so
+//! DRed deletions can never leak a stale target list).  Partial results —
+//! limit-truncated or budget-interrupted — are never cached.
+//!
 //! # Examples
 //!
 //! The full lifecycle — build a database, register a view, publish a
@@ -253,6 +270,9 @@ pub use parallel::{
 };
 pub use query_engine::{EngineConfig, EngineStats, QueryEngine};
 pub use snapshot::EngineSnapshot;
+// Re-exported so interactive-read-path callers (`eval_from_str` returns a
+// `Reachable`) don't need a direct `graphdb` dependency.
+pub use graphdb::Reachable;
 // Re-exported so engine users can consume traces and breakdowns without a
 // direct `telemetry` dependency.
 pub use telemetry::{ParallelBreakdown, Phase, Span, TraceContext, WorkerTiming};

@@ -42,6 +42,10 @@ pub struct EngineTelemetry {
     repair: Histogram,
     /// `publish_snapshot` calls that actually built a snapshot.
     snapshot_publish: Histogram,
+    /// Interactive point lookups (`eval_pair_*`/`eval_from_*`), end to end —
+    /// cache and extension fast paths included, so the histogram shows the
+    /// served latency, not just fresh-search cost.
+    interactive: Histogram,
     /// Publish instants of the snapshots the engine currently retains
     /// (`snapshot_keep_last` window plus the current one), oldest first —
     /// the source of the pinned-snapshot-age gauges.
@@ -57,6 +61,7 @@ impl EngineTelemetry {
             product_bfs: Histogram::new(),
             repair: Histogram::new(),
             snapshot_publish: Histogram::new(),
+            interactive: Histogram::new(),
             published: Mutex::new(Vec::new()),
         }
     }
@@ -93,15 +98,21 @@ impl EngineTelemetry {
         &self.snapshot_publish
     }
 
+    /// Interactive point-lookup latency (pair and single-source reads).
+    pub fn interactive(&self) -> &Histogram {
+        &self.interactive
+    }
+
     /// `(name, histogram)` pairs of every engine histogram, in pipeline
     /// order — the iteration surface the service metrics op renders from.
-    pub fn histograms(&self) -> [(&'static str, &Histogram); 5] {
+    pub fn histograms(&self) -> [(&'static str, &Histogram); 6] {
         [
             ("eval", &self.eval),
             ("compile", &self.compile),
             ("product_bfs", &self.product_bfs),
             ("repair", &self.repair),
             ("snapshot_publish", &self.snapshot_publish),
+            ("interactive", &self.interactive),
         ]
     }
 
@@ -177,7 +188,7 @@ mod tests {
         let names: Vec<&str> = t.histograms().iter().map(|(n, _)| *n).collect();
         assert_eq!(
             names,
-            ["eval", "compile", "product_bfs", "repair", "snapshot_publish"]
+            ["eval", "compile", "product_bfs", "repair", "snapshot_publish", "interactive"]
         );
         assert_eq!(t.histograms()[0].1.count(), 1);
     }

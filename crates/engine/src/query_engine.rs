@@ -30,7 +30,7 @@ use crate::error::EngineError;
 use crate::fingerprint::{fingerprint_regex, Fingerprint};
 use crate::metrics::EngineTelemetry;
 use crate::parallel::available_threads;
-use crate::snapshot::{bump, AdhocReader, AnswerCache, EngineSnapshot, SharedStats};
+use crate::snapshot::{bump, AdhocReader, AnswerCache, EngineSnapshot, PointCache, SharedStats};
 
 /// Tuning knobs of a [`QueryEngine`].
 #[derive(Debug, Clone)]
@@ -180,12 +180,32 @@ pub struct EngineStats {
     /// retention window — the writer compacts the shared answer cache each
     /// time the window's oldest revision advances.
     pub answer_compactions: u64,
+    /// Interactive lookups served from the point-query cache at the exact
+    /// revision.
+    pub point_hits: u64,
+    /// Interactive point-query cache probes that found no resident
+    /// (exact-revision) target list.
+    pub point_misses: u64,
+    /// Point-query cache entries evicted because their revision retired
+    /// from the retention window (the DRed-safety compaction that runs
+    /// beside `answer_compactions`).
+    pub point_compactions: u64,
+    /// Single-pair lookups answered by a fresh bidirectional
+    /// meet-in-the-middle search (cache-served lookups are not counted).
+    pub pair_evals: u64,
+    /// Single-source lookups answered by a fresh seeded product-BFS
+    /// (cache-served lookups are not counted).
+    pub from_evals: u64,
+    /// Interactive lookups served out of a full materialized extension
+    /// resident in the ad-hoc answer cache.
+    pub point_extension_hits: u64,
 }
 
 /// Folds the shared atomic counters into one [`EngineStats`] value.
 pub(crate) fn assemble_stats(
     compile: &CompileCache,
     answers: &AnswerCache,
+    points: &PointCache,
     shared: &SharedStats,
 ) -> EngineStats {
     // ordering: Relaxed throughout — this folds independent monotone
@@ -216,6 +236,12 @@ pub(crate) fn assemble_stats(
         snapshot_retained: shared.snapshot_retained.load(Ordering::Relaxed),
         snapshot_dropped: shared.snapshot_dropped.load(Ordering::Relaxed),
         answer_compactions: answers.compactions.load(Ordering::Relaxed),
+        point_hits: points.hits.load(Ordering::Relaxed),
+        point_misses: points.misses.load(Ordering::Relaxed),
+        point_compactions: points.compactions.load(Ordering::Relaxed),
+        pair_evals: shared.pair_evals.load(Ordering::Relaxed),
+        from_evals: shared.from_evals.load(Ordering::Relaxed),
+        point_extension_hits: shared.point_extension_hits.load(Ordering::Relaxed),
     }
 }
 
@@ -392,6 +418,10 @@ pub struct QueryEngine {
     /// Shared ad-hoc answer cache (see [`AnswerCache`] for the revision and
     /// eviction protocol).
     answers: Arc<AnswerCache>,
+    /// Shared point-query cache backing the snapshots' interactive read
+    /// path (`(query, source)` → complete target list, same revision
+    /// regime as `answers`).
+    points: Arc<PointCache>,
     /// The snapshot published for the current `(revision, views_epoch)`,
     /// if any — invalidated by every mutation and view-set change.
     published: Option<Arc<EngineSnapshot>>,
@@ -414,6 +444,7 @@ impl QueryEngine {
     pub fn with_config(db: GraphDb, config: EngineConfig) -> Self {
         let csr_out = Arc::new(db.csr_out());
         let answers = Arc::new(AnswerCache::new(config.answer_cache_capacity));
+        let points = Arc::new(PointCache::new(config.answer_cache_capacity));
         let telemetry = Arc::new(EngineTelemetry::new(config.telemetry));
         QueryEngine {
             db,
@@ -425,6 +456,7 @@ impl QueryEngine {
             compile: Arc::new(CompileCache::new()),
             views: Vec::new(),
             answers,
+            points,
             published: None,
             retained: VecDeque::new(),
             stats: Arc::new(SharedStats::default()),
@@ -460,7 +492,7 @@ impl QueryEngine {
 
     /// Cache/evaluation counters, shared with every published snapshot.
     pub fn stats(&self) -> EngineStats {
-        assemble_stats(&self.compile, &self.answers, &self.stats)
+        assemble_stats(&self.compile, &self.answers, &self.points, &self.stats)
     }
 
     /// Timing telemetry (latency histograms, snapshot-age gauges), shared
@@ -501,15 +533,21 @@ impl QueryEngine {
                 (v.name.clone(), pairs.clone())
             })
             .collect();
+        // The snapshot's bidirectional single-pair evaluator needs the
+        // incoming adjacency; freeze it from the current database (the
+        // writer's own lazily-frozen `csr_in` may be absent or already
+        // consumed by a deletion, so the snapshot gets its own freeze).
         let snapshot = Arc::new(EngineSnapshot::new(
             self.revision,
             self.views_epoch,
             self.config.clone(),
             self.csr_out.clone(),
+            Arc::new(self.db.csr_in()),
             self.db.num_nodes(),
             views,
             self.compile.clone(),
             self.answers.clone(),
+            self.points.clone(),
             self.stats.clone(),
             self.telemetry.clone(),
         ));
@@ -531,6 +569,12 @@ impl QueryEngine {
             if window_advanced {
                 if let Some(oldest) = self.retained.front() {
                     self.answers.compact_older_than(oldest.revision());
+                    // The point-query cache follows the same regime — in
+                    // particular this is what keeps DRed deletion repair
+                    // honest for interactive lookups: a target list cached
+                    // before a deletion can outlive every reader of its
+                    // revision only until the window advances past it.
+                    self.points.compact_older_than(oldest.revision());
                 }
             }
         }

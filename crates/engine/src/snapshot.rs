@@ -22,7 +22,11 @@ use std::time::{Duration, Instant};
 
 use automata::dense::FxHashMap;
 use automata::{Alphabet, DenseNfa, Nfa};
-use graphdb::{Answer, CsrAdjacency, MaterializedViews, SweepState};
+use graphdb::{
+    eval_csr_from, eval_csr_from_budgeted, eval_csr_pair, eval_csr_pair_budgeted, Answer,
+    CsrAdjacency, EvalScratch, MaterializedViews, NodeId, PairScratch, PairTimings, Reachable,
+    SweepState,
+};
 use regexlang::Regex;
 use telemetry::{ParallelBreakdown, Phase, Span, TraceContext};
 
@@ -45,6 +49,7 @@ const _: () = {
     const fn assert_send_sync<T: Send + Sync>() {}
     assert_send_sync::<EngineSnapshot>();
     assert_send_sync::<AnswerCache>();
+    assert_send_sync::<PointCache>();
     assert_send_sync::<SharedStats>();
 };
 
@@ -85,6 +90,9 @@ pub(crate) struct SharedStats {
     pub repair_budget_drops: AtomicU64,
     pub snapshot_retained: AtomicU64,
     pub snapshot_dropped: AtomicU64,
+    pub pair_evals: AtomicU64,
+    pub from_evals: AtomicU64,
+    pub point_extension_hits: AtomicU64,
 }
 
 #[inline]
@@ -298,6 +306,193 @@ impl AnswerCache {
             },
         );
         answer
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The concurrent point-query cache
+
+/// One cached single-source answer: the complete, sorted target list of one
+/// `(query, source)` at one revision.
+#[derive(Debug)]
+struct PointEntry {
+    revision: u64,
+    last_used: AtomicU64,
+    targets: Arc<Vec<NodeId>>,
+}
+
+/// The point-query cache: `(query fingerprint, source node)` →
+/// revision-tagged *complete* reachable-target list, bounded by an LRU
+/// capacity.
+///
+/// This is the interactive-read-path sibling of [`AnswerCache`], with the
+/// same revision regime — exact-revision hits only, stale (older) entries
+/// evicted at lookup, newer entries never clobbered or displaced by pinned
+/// older readers, and writer-driven [`PointCache::compact_older_than`] when
+/// the retention window advances.  The exact-revision tag is what makes DRed
+/// deletions safe here: a deletion bumps the revision like an insertion
+/// does, so a target list that *shrank* can never be served from the old
+/// entry while pinned readers at the old revision keep their hits.
+///
+/// Only **complete** target lists are admitted (a drained single-source
+/// frontier) — a `limit`-truncated or budget-interrupted sweep is a partial
+/// verdict and must never be cached, because a later lookup with a larger
+/// `limit` (or a pair probe for an absent target) would read absence into
+/// the truncation.
+#[derive(Debug)]
+pub(crate) struct PointCache {
+    capacity: usize,
+    tick: AtomicU64,
+    map: RwLock<FxHashMap<(Fingerprint, u32), PointEntry>>,
+    pub hits: AtomicU64,
+    pub misses: AtomicU64,
+    pub evictions: AtomicU64,
+    pub stale_evictions: AtomicU64,
+    pub compactions: AtomicU64,
+}
+
+impl PointCache {
+    // ordering: Relaxed throughout this impl — same contract as AnswerCache:
+    // the LRU tick and last_used stamps only bias victim selection and the
+    // tallies are monotone statistics; target lists are published through
+    // the map's RwLock, never through these atomics.
+    pub fn new(capacity: usize) -> Self {
+        PointCache {
+            capacity,
+            tick: AtomicU64::new(0),
+            map: RwLock::new(FxHashMap::default()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            stale_evictions: AtomicU64::new(0),
+            compactions: AtomicU64::new(0),
+        }
+    }
+
+    /// Evicts every entry tagged with a revision strictly older than
+    /// `oldest_live`, returning how many were dropped (also added to the
+    /// `compactions` counter).  Called beside
+    /// [`AnswerCache::compact_older_than`] when the retention window
+    /// advances.
+    pub fn compact_older_than(&self, oldest_live: u64) -> u64 {
+        let mut map = self.map.write().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let before = map.len();
+        map.retain(|_, entry| entry.revision >= oldest_live);
+        let evicted = (before - map.len()) as u64;
+        if evicted > 0 {
+            self.compactions.fetch_add(evicted, Ordering::Relaxed);
+        }
+        evicted
+    }
+
+    /// Number of resident target lists (always within the capacity bound).
+    #[cfg(test)]
+    pub fn len(&self) -> usize {
+        self.map.read().expect("point cache poisoned").len()
+    }
+
+    fn next_tick(&self) -> u64 {
+        self.tick.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Looks up the complete target list of `(fp, source)` at `revision`,
+    /// bumping its LRU clock.  A resident entry from an *older* revision is
+    /// evicted on the spot; a *newer* one is left alone and the lookup
+    /// misses.
+    pub fn get(&self, fp: Fingerprint, source: u32, revision: u64) -> Option<Arc<Vec<NodeId>>> {
+        let key = (fp, source);
+        {
+            let map = self.map.read().expect("point cache poisoned");
+            match map.get(&key) {
+                Some(entry) if entry.revision == revision => {
+                    entry.last_used.store(self.next_tick(), Ordering::Relaxed);
+                    bump(&self.hits);
+                    return Some(entry.targets.clone());
+                }
+                Some(entry) if entry.revision < revision => {
+                    // Stale: fall through to evict under the write lock.
+                }
+                _ => {
+                    bump(&self.misses);
+                    return None;
+                }
+            }
+        }
+        let mut map = self.map.write().expect("point cache poisoned");
+        match map.get(&key) {
+            Some(entry) if entry.revision == revision => {
+                entry.last_used.store(self.next_tick(), Ordering::Relaxed);
+                bump(&self.hits);
+                Some(entry.targets.clone())
+            }
+            Some(entry) if entry.revision < revision => {
+                map.remove(&key);
+                bump(&self.stale_evictions);
+                bump(&self.misses);
+                None
+            }
+            _ => {
+                bump(&self.misses);
+                None
+            }
+        }
+    }
+
+    /// Inserts a *complete* target list computed at `revision`, evicting
+    /// (stale-first, then least-recently-used) at capacity; capacity 0
+    /// disables caching.  Returns the canonical resident `Arc` (a racing
+    /// inserter's copy is adopted), mirroring [`AnswerCache::put`].
+    pub fn put(
+        &self,
+        fp: Fingerprint,
+        source: u32,
+        revision: u64,
+        targets: Arc<Vec<NodeId>>,
+    ) -> Arc<Vec<NodeId>> {
+        if self.capacity == 0 {
+            return targets;
+        }
+        let key = (fp, source);
+        let mut map = self.map.write().expect("point cache poisoned");
+        if let Some(entry) = map.get(&key) {
+            if entry.revision == revision {
+                entry.last_used.store(self.next_tick(), Ordering::Relaxed);
+                return entry.targets.clone();
+            }
+            if entry.revision > revision {
+                // A newer reader's live list owns this slot; the pinned
+                // older reader's result just goes uncached.
+                return targets;
+            }
+        }
+        if !map.contains_key(&key) && map.len() >= self.capacity {
+            let victim = map
+                .iter()
+                .filter(|(_, entry)| entry.revision < revision)
+                .min_by_key(|(_, entry)| entry.last_used.load(Ordering::Relaxed))
+                .or_else(|| {
+                    map.iter()
+                        .filter(|(_, entry)| entry.revision == revision)
+                        .min_by_key(|(_, entry)| entry.last_used.load(Ordering::Relaxed))
+                })
+                .map(|(&key, _)| key);
+            match victim {
+                Some(victim) => {
+                    map.remove(&victim);
+                    bump(&self.evictions);
+                }
+                None => return targets,
+            }
+        }
+        map.insert(
+            key,
+            PointEntry {
+                revision,
+                last_used: AtomicU64::new(self.next_tick()),
+                targets: targets.clone(),
+            },
+        );
+        targets
     }
 }
 
@@ -609,12 +804,16 @@ pub struct EngineSnapshot {
     views_epoch: u64,
     config: EngineConfig,
     csr_out: Arc<CsrAdjacency>,
+    /// The frozen *incoming* adjacency at this revision — the backward half
+    /// of the bidirectional single-pair evaluator.
+    csr_in: Arc<CsrAdjacency>,
     num_nodes: usize,
     views: Vec<SnapshotView>,
     /// The Σ_E view graph over the captured extensions, built on first use.
     materialized: OnceLock<Arc<MaterializedViews>>,
     compile: Arc<CompileCache>,
     answers: Arc<AnswerCache>,
+    points: Arc<PointCache>,
     stats: Arc<SharedStats>,
     telemetry: Arc<EngineTelemetry>,
     /// When this snapshot was built, for the pinned-snapshot-age gauges.
@@ -628,10 +827,12 @@ impl EngineSnapshot {
         views_epoch: u64,
         config: EngineConfig,
         csr_out: Arc<CsrAdjacency>,
+        csr_in: Arc<CsrAdjacency>,
         num_nodes: usize,
         views: Vec<(String, Arc<Answer>)>,
         compile: Arc<CompileCache>,
         answers: Arc<AnswerCache>,
+        points: Arc<PointCache>,
         stats: Arc<SharedStats>,
         telemetry: Arc<EngineTelemetry>,
     ) -> Self {
@@ -640,6 +841,7 @@ impl EngineSnapshot {
             views_epoch,
             config,
             csr_out,
+            csr_in,
             num_nodes,
             views: views
                 .into_iter()
@@ -648,6 +850,7 @@ impl EngineSnapshot {
             materialized: OnceLock::new(),
             compile,
             answers,
+            points,
             stats,
             telemetry,
             published_at: Instant::now(),
@@ -700,7 +903,7 @@ impl EngineSnapshot {
     /// Cache/evaluation counters of the engine this snapshot belongs to
     /// (shared with the writer and every sibling snapshot).
     pub fn stats(&self) -> EngineStats {
-        crate::query_engine::assemble_stats(&self.compile, &self.answers, &self.stats)
+        crate::query_engine::assemble_stats(&self.compile, &self.answers, &self.points, &self.stats)
     }
 
     /// Timing telemetry of the engine this snapshot belongs to (shared with
@@ -813,6 +1016,379 @@ impl EngineSnapshot {
         budget: &QueryBudget,
     ) -> Result<Arc<Answer>, EngineError> {
         self.adhoc().eval_nfa_budgeted(query, budget)
+    }
+
+    // -- the interactive read path --------------------------------------
+
+    /// Bounds-checks an interactive lookup argument against this revision's
+    /// node count.
+    fn check_node(&self, node: NodeId) -> Result<u32, EngineError> {
+        if node >= self.num_nodes {
+            return Err(EngineError::NodeOutOfRange {
+                node,
+                num_nodes: self.num_nodes,
+            });
+        }
+        Ok(node as u32)
+    }
+
+    /// Records one interactive point lookup — whichever path served it —
+    /// into the `interactive` histogram.
+    fn finish_interactive(&self, started: Option<Instant>) {
+        if let Some(started) = started {
+            if self.telemetry.enabled() {
+                self.telemetry
+                    .interactive()
+                    .record_duration(started.elapsed());
+            }
+        }
+    }
+
+    /// Applies a `limit` to a *complete* target list served from a cache:
+    /// truncating below the full count reports `complete: false`, while a
+    /// limit equal to the count stays `complete: true` (the full set is
+    /// known, so nothing was left behind — unlike a fresh search, which
+    /// stops at the k-th target without learning whether more exist).
+    fn clamp_targets(mut targets: Vec<NodeId>, limit: Option<usize>) -> Reachable {
+        match limit {
+            Some(k) if k < targets.len() => {
+                targets.truncate(k);
+                Reachable {
+                    targets,
+                    complete: false,
+                }
+            }
+            _ => Reachable {
+                targets,
+                complete: true,
+            },
+        }
+    }
+
+    /// Is `target` reachable from `source` along a path spelling a word of
+    /// `query`?
+    ///
+    /// The lookup is served from a materialized answer when one is resident
+    /// at this revision — the full extension in the ad-hoc answer cache
+    /// (binary search on the sorted pair list) or a complete single-source
+    /// drain in the point-query cache — and otherwise answered by a
+    /// bidirectional meet-in-the-middle search that exits on the first
+    /// frontier intersection, never materializing the full answer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the query fails to parse, uses a label outside the domain,
+    /// or either node id is out of range.  Use
+    /// [`try_eval_pair_str`](Self::try_eval_pair_str) for the fallible
+    /// variant.
+    pub fn eval_pair_str(&self, query: &str, source: NodeId, target: NodeId) -> bool {
+        self.try_eval_pair_str(query, source, target)
+            .unwrap_or_else(|e| panic!("eval_pair_str failed: {e}"))
+    }
+
+    /// Fallible variant of [`eval_pair_str`](Self::eval_pair_str): parse
+    /// failures, out-of-domain labels, and out-of-range node ids surface as
+    /// [`EngineError`] instead of panicking.
+    pub fn try_eval_pair_str(
+        &self,
+        query: &str,
+        source: NodeId,
+        target: NodeId,
+    ) -> Result<bool, EngineError> {
+        self.eval_pair_str_budgeted(query, source, target, &QueryBudget::unlimited())
+    }
+
+    /// Budgeted single-pair lookup.  A budget interrupt surfaces as the
+    /// matching [`EngineError`] and **never caches a partial verdict** — an
+    /// interrupted bidirectional search leaves both caches untouched, so a
+    /// retry answers from scratch.
+    pub fn eval_pair_str_budgeted(
+        &self,
+        query: &str,
+        source: NodeId,
+        target: NodeId,
+        budget: &QueryBudget,
+    ) -> Result<bool, EngineError> {
+        let expr = regexlang::parse(query)?;
+        self.eval_pair_impl(&expr, source, target, budget, None)
+    }
+
+    /// [`eval_pair_str_budgeted`](Self::eval_pair_str_budgeted) with
+    /// per-query span tracing: parse, the materialized-answer probe
+    /// (`meet_check`), compile, and the two halves of the bidirectional
+    /// search (`bidir_forward`/`bidir_backward`) each record a span into
+    /// `trace`.  The verdict (and any error) is identical to the untraced
+    /// call.
+    pub fn eval_pair_str_traced(
+        &self,
+        query: &str,
+        source: NodeId,
+        target: NodeId,
+        budget: &QueryBudget,
+        trace: &TraceContext,
+    ) -> Result<bool, EngineError> {
+        let parse_started = Instant::now();
+        let expr = regexlang::parse(query)?;
+        trace.record(Phase::Parse, parse_started);
+        self.eval_pair_impl(&expr, source, target, budget, Some(trace))
+    }
+
+    fn eval_pair_impl(
+        &self,
+        query: &Regex,
+        source: NodeId,
+        target: NodeId,
+        budget: &QueryBudget,
+        trace: Option<&TraceContext>,
+    ) -> Result<bool, EngineError> {
+        let source_u = self.check_node(source)?;
+        let target_u = self.check_node(target)?;
+        let timed = self.telemetry.enabled() || trace.is_some();
+        let started = timed.then(Instant::now);
+        let domain = self.csr_out.domain();
+        let fp = fingerprint_regex(domain, query);
+
+        // Probe materialized answers before searching: the full extension
+        // (ad-hoc answer cache), then a complete single-source drain
+        // (point-query cache).  Both are exact-revision, so a verdict
+        // served here is as fresh as a fresh search.
+        let probe_started = timed.then(Instant::now);
+        let served = if let Some(full) = self.answers.get(fp, self.revision) {
+            bump(&self.stats.point_extension_hits);
+            Some(full.contains(&(source, target)))
+        } else {
+            self.points
+                .get(fp, source_u, self.revision)
+                .map(|targets| targets.binary_search(&target).is_ok())
+        };
+        if let (Some(trace), Some(probe_started)) = (trace, probe_started) {
+            trace.record(Phase::MeetCheck, probe_started);
+        }
+        if let Some(verdict) = served {
+            self.finish_interactive(started);
+            return Ok(verdict);
+        }
+
+        // Fresh bidirectional meet-in-the-middle search.
+        bump(&self.stats.pair_evals);
+        let compile_started = timed.then(Instant::now);
+        let dense = self.compile.try_compile_regex(domain, query)?;
+        let reverse = dense.reverse_closed();
+        if let Some(compile_started) = compile_started {
+            if self.telemetry.enabled() {
+                self.telemetry
+                    .compile()
+                    .record_duration(compile_started.elapsed());
+            }
+            if let Some(trace) = trace {
+                trace.record(Phase::Compile, compile_started);
+            }
+        }
+        let mut scratch = PairScratch::new(&self.csr_out, &dense);
+        let search_started = timed.then(Instant::now);
+        let connected = if budget.is_unlimited() && trace.is_none() {
+            eval_csr_pair(
+                &self.csr_out,
+                &self.csr_in,
+                &dense,
+                &reverse,
+                source_u,
+                target_u,
+                &mut scratch,
+            )
+        } else {
+            let sweep = budget.to_sweep();
+            let progress = SweepState::new();
+            let mut timings = PairTimings::default();
+            let result = eval_csr_pair_budgeted(
+                &self.csr_out,
+                &self.csr_in,
+                &dense,
+                &reverse,
+                source_u,
+                target_u,
+                &mut scratch,
+                &sweep,
+                &progress,
+                trace.is_some().then_some(&mut timings),
+            );
+            match result {
+                Ok(connected) => {
+                    if let (Some(trace), Some(search_started)) = (trace, search_started) {
+                        let start_us =
+                            as_us(search_started.saturating_duration_since(trace.origin()));
+                        trace.record_span(Span {
+                            phase: Phase::BidirForward,
+                            worker: None,
+                            start_us,
+                            duration_us: timings.forward_us,
+                        });
+                        trace.record_span(Span {
+                            phase: Phase::BidirBackward,
+                            worker: None,
+                            start_us: start_us + timings.forward_us,
+                            duration_us: timings.backward_us,
+                        });
+                    }
+                    connected
+                }
+                Err(why) => {
+                    bump(&self.stats.budget_interrupted_evals);
+                    return Err(EngineError::from_interrupt(why, progress.visited()));
+                }
+            }
+        };
+        self.finish_interactive(started);
+        Ok(connected)
+    }
+
+    /// All nodes reachable from `source` along paths spelling words of
+    /// `query`, sorted ascending, optionally stopping early after `limit`
+    /// distinct targets (top-k).
+    ///
+    /// Served from the ad-hoc answer cache or the point-query cache when a
+    /// materialized answer is resident at this revision; otherwise a
+    /// single-source product-BFS runs, seeded only at `source`, and — when
+    /// it drains completely — populates the point-query cache for later
+    /// lookups (including [`eval_pair_str`](Self::eval_pair_str) probes).
+    /// Limit-truncated sweeps report `complete: false` and are never cached.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the query fails to parse, uses a label outside the domain,
+    /// or `source` is out of range.  Use
+    /// [`try_eval_from_str`](Self::try_eval_from_str) for the fallible
+    /// variant.
+    pub fn eval_from_str(&self, query: &str, source: NodeId, limit: Option<usize>) -> Reachable {
+        self.try_eval_from_str(query, source, limit)
+            .unwrap_or_else(|e| panic!("eval_from_str failed: {e}"))
+    }
+
+    /// Fallible variant of [`eval_from_str`](Self::eval_from_str): parse
+    /// failures, out-of-domain labels, and an out-of-range source surface as
+    /// [`EngineError`] instead of panicking.
+    pub fn try_eval_from_str(
+        &self,
+        query: &str,
+        source: NodeId,
+        limit: Option<usize>,
+    ) -> Result<Reachable, EngineError> {
+        self.eval_from_str_budgeted(query, source, limit, &QueryBudget::unlimited())
+    }
+
+    /// Budgeted single-source sweep.  A budget interrupt surfaces as the
+    /// matching [`EngineError`]; interrupted (like limit-truncated) sweeps
+    /// never populate the point-query cache.
+    pub fn eval_from_str_budgeted(
+        &self,
+        query: &str,
+        source: NodeId,
+        limit: Option<usize>,
+        budget: &QueryBudget,
+    ) -> Result<Reachable, EngineError> {
+        let expr = regexlang::parse(query)?;
+        self.eval_from_impl(&expr, source, limit, budget, None)
+    }
+
+    /// [`eval_from_str_budgeted`](Self::eval_from_str_budgeted) with
+    /// per-query span tracing: parse, the materialized-answer probe
+    /// (`meet_check`), compile, and the single-source sweep (`product_bfs`)
+    /// each record a span into `trace`.  The answer (and any error) is
+    /// identical to the untraced call.
+    pub fn eval_from_str_traced(
+        &self,
+        query: &str,
+        source: NodeId,
+        limit: Option<usize>,
+        budget: &QueryBudget,
+        trace: &TraceContext,
+    ) -> Result<Reachable, EngineError> {
+        let parse_started = Instant::now();
+        let expr = regexlang::parse(query)?;
+        trace.record(Phase::Parse, parse_started);
+        self.eval_from_impl(&expr, source, limit, budget, Some(trace))
+    }
+
+    fn eval_from_impl(
+        &self,
+        query: &Regex,
+        source: NodeId,
+        limit: Option<usize>,
+        budget: &QueryBudget,
+        trace: Option<&TraceContext>,
+    ) -> Result<Reachable, EngineError> {
+        let source_u = self.check_node(source)?;
+        let timed = self.telemetry.enabled() || trace.is_some();
+        let started = timed.then(Instant::now);
+        let domain = self.csr_out.domain();
+        let fp = fingerprint_regex(domain, query);
+
+        // Probe materialized answers: slice the source's row out of a full
+        // extension, or take a complete single-source drain verbatim.
+        let probe_started = timed.then(Instant::now);
+        let served = if let Some(full) = self.answers.get(fp, self.revision) {
+            bump(&self.stats.point_extension_hits);
+            let pairs = full.as_slice();
+            let lo = pairs.partition_point(|&(x, _)| x < source);
+            let hi = pairs.partition_point(|&(x, _)| x <= source);
+            Some(pairs[lo..hi].iter().map(|&(_, y)| y).collect::<Vec<_>>())
+        } else {
+            self.points
+                .get(fp, source_u, self.revision)
+                .map(|targets| targets.as_ref().clone())
+        };
+        if let (Some(trace), Some(probe_started)) = (trace, probe_started) {
+            trace.record(Phase::MeetCheck, probe_started);
+        }
+        if let Some(targets) = served {
+            self.finish_interactive(started);
+            return Ok(Self::clamp_targets(targets, limit));
+        }
+
+        // Fresh single-source sweep, seeded only at `source`.
+        bump(&self.stats.from_evals);
+        let compile_started = timed.then(Instant::now);
+        let dense = self.compile.try_compile_regex(domain, query)?;
+        if let Some(compile_started) = compile_started {
+            if self.telemetry.enabled() {
+                self.telemetry
+                    .compile()
+                    .record_duration(compile_started.elapsed());
+            }
+            if let Some(trace) = trace {
+                trace.record(Phase::Compile, compile_started);
+            }
+        }
+        let mut scratch = EvalScratch::new(&self.csr_out, &dense);
+        let search_started = timed.then(Instant::now);
+        let result = if budget.is_unlimited() {
+            eval_csr_from(&self.csr_out, &dense, source_u, limit, &mut scratch)
+        } else {
+            let sweep = budget.to_sweep();
+            let progress = SweepState::new();
+            eval_csr_from_budgeted(
+                &self.csr_out,
+                &dense,
+                source_u,
+                limit,
+                &mut scratch,
+                &sweep,
+                &progress,
+            )
+            .map_err(|why| {
+                bump(&self.stats.budget_interrupted_evals);
+                EngineError::from_interrupt(why, progress.visited())
+            })?
+        };
+        if let (Some(trace), Some(search_started)) = (trace, search_started) {
+            trace.record(Phase::ProductBfs, search_started);
+        }
+        if result.complete {
+            self.points
+                .put(fp, source_u, self.revision, Arc::new(result.targets.clone()));
+        }
+        self.finish_interactive(started);
+        Ok(result)
     }
 
     /// The captured view extensions as a [`MaterializedViews`], ready for
@@ -933,5 +1509,84 @@ mod tests {
         assert!(cache.get(3, 1).is_some(), "new entry resident");
         assert_eq!(cache.len(), 2);
         assert_eq!(cache.evictions.load(Ordering::Relaxed), 1);
+    }
+
+    // -- the point-query cache ------------------------------------------
+
+    #[test]
+    fn point_cache_is_keyed_by_query_and_source() {
+        let cache = PointCache::new(4);
+        cache.put(1, 0, 0, Arc::new(vec![2, 3]));
+        cache.put(1, 1, 0, Arc::new(vec![5]));
+        assert_eq!(*cache.get(1, 0, 0).expect("source 0 resident"), vec![2, 3]);
+        assert_eq!(*cache.get(1, 1, 0).expect("source 1 resident"), vec![5]);
+        assert!(cache.get(1, 2, 0).is_none(), "unseen source misses");
+        assert!(cache.get(2, 0, 0).is_none(), "unseen query misses");
+        assert_eq!(cache.hits.load(Ordering::Relaxed), 2);
+        assert_eq!(cache.misses.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn point_stale_lookup_evicts_the_entry() {
+        let cache = PointCache::new(4);
+        cache.put(7, 3, 0, Arc::new(vec![1]));
+        assert_eq!(cache.len(), 1);
+        // Same (query, source), later revision — a deletion may have
+        // shrunk the target list, so the entry is gone after the lookup.
+        assert!(cache.get(7, 3, 1).is_none());
+        assert_eq!(cache.len(), 0);
+        assert_eq!(cache.stale_evictions.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn point_older_readers_never_clobber_newer_lists() {
+        let cache = PointCache::new(4);
+        let newer = Arc::new(vec![8, 9]);
+        cache.put(9, 0, 5, newer.clone());
+        // A reader pinned at revision 2: miss, newer entry untouched.
+        assert!(cache.get(9, 0, 2).is_none());
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.stale_evictions.load(Ordering::Relaxed), 0);
+        // Its insert does not displace the newer list…
+        let old = Arc::new(Vec::new());
+        let kept = cache.put(9, 0, 2, old.clone());
+        assert!(Arc::ptr_eq(&kept, &old), "older list stays uncached");
+        // …which the revision-5 reader still hits.
+        let hit = cache.get(9, 0, 5).expect("newer entry survived");
+        assert!(Arc::ptr_eq(&hit, &newer));
+    }
+
+    #[test]
+    fn point_capacity_eviction_prefers_stale_entries() {
+        let cache = PointCache::new(2);
+        cache.put(1, 0, 0, Arc::new(vec![1])); // stale after "mutation"
+        cache.put(2, 0, 1, Arc::new(vec![2])); // live
+        cache.get(1, 0, 0); // touch the stale entry so plain LRU would keep it
+        cache.get(1, 0, 0);
+        cache.put(3, 0, 1, Arc::new(vec![3])); // at capacity: must evict (1, 0)
+        assert!(cache.get(2, 0, 1).is_some(), "live entry survived");
+        assert!(cache.get(3, 0, 1).is_some(), "new entry resident");
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn point_compaction_drops_everything_below_the_window() {
+        let cache = PointCache::new(8);
+        cache.put(1, 0, 0, Arc::new(vec![1]));
+        cache.put(2, 0, 1, Arc::new(vec![2]));
+        cache.put(3, 0, 2, Arc::new(vec![3]));
+        assert_eq!(cache.compact_older_than(2), 2);
+        assert_eq!(cache.len(), 1);
+        assert!(cache.get(3, 0, 2).is_some(), "in-window entry survived");
+        assert_eq!(cache.compactions.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn point_cache_capacity_zero_disables_caching() {
+        let cache = PointCache::new(0);
+        cache.put(1, 0, 0, Arc::new(vec![1]));
+        assert_eq!(cache.len(), 0);
+        assert!(cache.get(1, 0, 0).is_none());
     }
 }

@@ -9,7 +9,7 @@
 
 use std::collections::{BTreeSet, VecDeque};
 
-use automata::{DenseNfa, Nfa, StateId};
+use automata::{DenseNfa, DenseReverse, Nfa, StateId};
 use regexlang::{thompson, Regex};
 
 use crate::answer::SortedPairs;
@@ -143,6 +143,23 @@ impl ProductVisited {
             *w |= new;
         }
         new
+    }
+
+    /// Whether `(node, state)` is marked (no mutation).
+    #[inline]
+    pub fn contains(&self, node: u32, state: u32) -> bool {
+        let word = node as usize * self.stride + (state as usize >> 6);
+        self.words[word] & (1u64 << (state & 63)) != 0
+    }
+
+    /// The visited bitmap word `word` (state bits `word * 64 ..`) of `node`.
+    ///
+    /// The bidirectional pair evaluator ANDs a forward expansion's new bits
+    /// against the *other* direction's word to detect a meet without a
+    /// per-state loop.
+    #[inline]
+    pub fn word(&self, node: u32, word: usize) -> u64 {
+        self.words[node as usize * self.stride + word]
     }
 
     /// Unmarks everything the last sweep visited, in `O(visited words)`.
@@ -400,6 +417,479 @@ fn eval_csr_range_impl<const BUDGETED: bool>(
         }
     }
     Ok(charged)
+}
+
+/// The result of a single-source sweep: the targets reachable from one
+/// source under the query, plus whether that list is the *complete* answer.
+///
+/// `complete` is `false` exactly when a `limit` stopped the sweep the moment
+/// the k-th target was found — including the boundary case where the k-th
+/// target happened to be the last one, since deciding that would require
+/// draining the frontier anyway.  Callers use `complete` as the "safe to
+/// cache as the full answer" bit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Reachable {
+    /// Reachable target nodes, sorted ascending, duplicate-free.
+    pub targets: Vec<NodeId>,
+    /// `true` iff the frontier drained, so `targets` is the full answer set
+    /// for this source.
+    pub complete: bool,
+}
+
+/// Single-source product-BFS: the targets reachable from `source` under
+/// `query`, stopping early once `limit` targets are found (top-k).
+///
+/// This is the per-source body of [`eval_csr_range`] restricted to one seed
+/// `(source, q₀)`; unlike the full sweep it never touches the other `|V|-1`
+/// sources, so a point lookup costs one BFS instead of a materialization.
+/// Targets are returned sorted ascending (the BFS discovers them in
+/// traversal order; *which* k targets are kept under a `limit` is
+/// unspecified beyond being genuine answers).
+///
+/// # Panics
+///
+/// Panics if `query` is not over the database domain behind `csr`, or if
+/// `source >= csr.num_nodes()`.
+pub fn eval_csr_from(
+    csr: &CsrAdjacency,
+    query: &DenseNfa,
+    source: u32,
+    limit: Option<usize>,
+    scratch: &mut EvalScratch,
+) -> Reachable {
+    check_domain(csr, query);
+    let unlimited = SweepBudget::unlimited();
+    let progress = SweepState::new();
+    eval_csr_from_impl::<false>(csr, query, source, limit, scratch, &unlimited, &progress)
+        .expect("unlimited sweeps cannot be interrupted")
+}
+
+/// Budgeted variant of [`eval_csr_from`]: checks `budget` against `progress`
+/// every [`SWEEP_CHECK_INTERVAL`] pops.  On interrupt the scratch is reset
+/// (reusable) and no partial result escapes — an interrupted point lookup
+/// must never be mistaken for a verdict.
+///
+/// # Panics
+///
+/// Panics if `query` is not over the database domain behind `csr`, or if
+/// `source >= csr.num_nodes()`.
+pub fn eval_csr_from_budgeted(
+    csr: &CsrAdjacency,
+    query: &DenseNfa,
+    source: u32,
+    limit: Option<usize>,
+    scratch: &mut EvalScratch,
+    budget: &SweepBudget,
+    progress: &SweepState,
+) -> Result<Reachable, SweepInterrupt> {
+    check_domain(csr, query);
+    eval_csr_from_impl::<true>(csr, query, source, limit, scratch, budget, progress)
+}
+
+fn eval_csr_from_impl<const BUDGETED: bool>(
+    csr: &CsrAdjacency,
+    query: &DenseNfa,
+    source: u32,
+    limit: Option<usize>,
+    scratch: &mut EvalScratch,
+    budget: &SweepBudget,
+    progress: &SweepState,
+) -> Result<Reachable, SweepInterrupt> {
+    assert!(
+        (source as usize) < csr.num_nodes(),
+        "source node {source} out of range for a {}-node database",
+        csr.num_nodes()
+    );
+    let EvalScratch {
+        visited,
+        found,
+        found_nodes,
+        queue,
+        stride,
+        num_symbols,
+        succ_words,
+        finals_words,
+    } = scratch;
+    let (stride, num_symbols) = (*stride, *num_symbols);
+    let cap = limit.unwrap_or(usize::MAX);
+
+    queue.clear();
+    let mut since_check: u64 = 0;
+    let mut complete = true;
+    'sweep: {
+        if cap == 0 {
+            complete = false;
+            break 'sweep;
+        }
+        for &q in query.start() {
+            visited.visit(source, q);
+            queue.push_back((source, q));
+        }
+        if query.any_final(query.start()) {
+            found[source as usize] = true;
+            found_nodes.push(source);
+            if found_nodes.len() >= cap {
+                complete = false;
+                break 'sweep;
+            }
+        }
+        while let Some((node, state)) = queue.pop_front() {
+            if BUDGETED {
+                since_check += 1;
+                if since_check >= SWEEP_CHECK_INTERVAL {
+                    if let Err(why) = progress.charge(budget, since_check) {
+                        visited.reset();
+                        for &target in found_nodes.iter() {
+                            found[target as usize] = false;
+                        }
+                        found_nodes.clear();
+                        queue.clear();
+                        return Err(why);
+                    }
+                    since_check = 0;
+                }
+            }
+            let row = state as usize * num_symbols;
+            for (label, next_node) in csr.edges_from(node) {
+                let base = (row + label as usize) * stride;
+                for w in 0..stride {
+                    let mask = succ_words[base + w];
+                    if mask == 0 {
+                        continue;
+                    }
+                    let new = visited.visit_word(next_node, w, mask);
+                    if new == 0 {
+                        continue;
+                    }
+                    if new & finals_words[w] != 0 && !found[next_node as usize] {
+                        found[next_node as usize] = true;
+                        found_nodes.push(next_node);
+                        if found_nodes.len() >= cap {
+                            complete = false;
+                            break 'sweep;
+                        }
+                    }
+                    let mut bits = new;
+                    while bits != 0 {
+                        let q = (w as u32) * 64 + bits.trailing_zeros();
+                        bits &= bits - 1;
+                        queue.push_back((next_node, q));
+                    }
+                }
+            }
+        }
+    }
+    if BUDGETED && since_check > 0 {
+        // Tail accounting only — the result below stands either way.
+        let _ = progress.charge(budget, since_check);
+    }
+    let mut targets: Vec<NodeId> = found_nodes.iter().map(|&t| t as NodeId).collect();
+    targets.sort_unstable();
+    visited.reset();
+    for &target in found_nodes.iter() {
+        found[target as usize] = false;
+    }
+    found_nodes.clear();
+    queue.clear();
+    Ok(Reachable { targets, complete })
+}
+
+/// Wall-clock split of one bidirectional pair sweep, filled only when the
+/// caller passes `Some` — the untraced path makes **zero** clock calls, so
+/// tracing stays strictly opt-in (the telemetry overhead contract).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PairTimings {
+    /// Microseconds spent expanding forward rounds (out of the source).
+    pub forward_us: u64,
+    /// Microseconds spent expanding backward rounds (into the target).
+    pub backward_us: u64,
+}
+
+/// Reusable buffers for [`eval_csr_pair`]: one [`ProductVisited`] bitmap and
+/// one frontier per direction, plus the same per-`(state, label)` successor
+/// word table [`EvalScratch`] compiles.
+///
+/// Like [`EvalScratch`], one scratch serves any number of pair sweeps
+/// against the same `(csr, query)` pair but must not be reused across
+/// different automata.
+#[derive(Debug)]
+pub struct PairScratch {
+    forward: ProductVisited,
+    backward: ProductVisited,
+    fwd_frontier: Vec<(u32, u32)>,
+    bwd_frontier: Vec<(u32, u32)>,
+    next_frontier: Vec<(u32, u32)>,
+    stride: usize,
+    num_symbols: usize,
+    succ_words: Vec<u64>,
+}
+
+impl PairScratch {
+    /// Allocates buffers sized for bidirectional sweeps of `query` over a
+    /// database with `csr`'s node count and compiles the query's successor
+    /// lists into word-level bitmaps.
+    pub fn new(csr: &CsrAdjacency, query: &DenseNfa) -> Self {
+        let num_nodes = csr.num_nodes();
+        let num_states = query.num_states().max(1);
+        let num_symbols = query.num_symbols().max(1);
+        let stride = num_states.div_ceil(64);
+        let mut succ_words = vec![0u64; num_states * num_symbols * stride];
+        for state in 0..query.num_states() {
+            for symbol in 0..query.num_symbols() {
+                let base = (state * num_symbols + symbol) * stride;
+                for &q in query.closed_successors(state as u32, symbol) {
+                    succ_words[base + (q as usize >> 6)] |= 1u64 << (q & 63);
+                }
+            }
+        }
+        PairScratch {
+            forward: ProductVisited::new(num_nodes, query.num_states()),
+            backward: ProductVisited::new(num_nodes, query.num_states()),
+            fwd_frontier: Vec::new(),
+            bwd_frontier: Vec::new(),
+            next_frontier: Vec::new(),
+            stride,
+            num_symbols,
+            succ_words,
+        }
+    }
+}
+
+/// Bidirectional meet-in-the-middle single-pair evaluation: whether `(source,
+/// target)` is in the answer of `query`.
+///
+/// Runs a forward product-BFS from `(source, q₀)` over `csr_out` and a
+/// backward product-BFS from every `(target, f)` with `f` accepting over
+/// `csr_in` + the query's [`DenseReverse`], expanding whichever frontier is
+/// currently smaller one level at a time and exiting the moment the two
+/// visited sets intersect.  A product state `(v, q)` is backward-visited iff
+/// some path `v ⇝ target` spells a word taking `q` into an accepting state,
+/// so forward ∩ backward ≠ ∅ is exactly "a witness path exists" — each side
+/// explores only its own reachable cone instead of the whole product.
+///
+/// `csr_in` must be the incoming-adjacency freeze of the same database as
+/// `csr_out` ([`GraphDb::csr_in`]), and `reverse` must be
+/// `query.reverse_closed()`.
+///
+/// # Panics
+///
+/// Panics if `query` is not over the database domain behind `csr_out`, or if
+/// `source`/`target` are out of range.
+pub fn eval_csr_pair(
+    csr_out: &CsrAdjacency,
+    csr_in: &CsrAdjacency,
+    query: &DenseNfa,
+    reverse: &DenseReverse,
+    source: u32,
+    target: u32,
+    scratch: &mut PairScratch,
+) -> bool {
+    check_domain(csr_out, query);
+    let unlimited = SweepBudget::unlimited();
+    let progress = SweepState::new();
+    eval_csr_pair_impl::<false>(
+        csr_out, csr_in, query, reverse, source, target, scratch, &unlimited, &progress, None,
+    )
+    .expect("unlimited sweeps cannot be interrupted")
+}
+
+/// Budgeted variant of [`eval_csr_pair`]: checks `budget` against `progress`
+/// every [`SWEEP_CHECK_INTERVAL`] frontier expansions (both directions
+/// charge the same shared progress).  On interrupt the scratch is reset and
+/// no verdict escapes — an interrupted search proves nothing in either
+/// direction.  When `timings` is `Some`, per-direction wall time is
+/// accumulated into it; when `None` the sweep makes no clock calls.
+///
+/// # Panics
+///
+/// Panics if `query` is not over the database domain behind `csr_out`, or if
+/// `source`/`target` are out of range.
+#[allow(clippy::too_many_arguments)]
+pub fn eval_csr_pair_budgeted(
+    csr_out: &CsrAdjacency,
+    csr_in: &CsrAdjacency,
+    query: &DenseNfa,
+    reverse: &DenseReverse,
+    source: u32,
+    target: u32,
+    scratch: &mut PairScratch,
+    budget: &SweepBudget,
+    progress: &SweepState,
+    timings: Option<&mut PairTimings>,
+) -> Result<bool, SweepInterrupt> {
+    check_domain(csr_out, query);
+    eval_csr_pair_impl::<true>(
+        csr_out, csr_in, query, reverse, source, target, scratch, budget, progress, timings,
+    )
+}
+
+/// Wrapper that guarantees the scratch is clean on *every* exit path of the
+/// sweep below, including meets and interrupts mid-round.
+#[allow(clippy::too_many_arguments)]
+fn eval_csr_pair_impl<const BUDGETED: bool>(
+    csr_out: &CsrAdjacency,
+    csr_in: &CsrAdjacency,
+    query: &DenseNfa,
+    reverse: &DenseReverse,
+    source: u32,
+    target: u32,
+    scratch: &mut PairScratch,
+    budget: &SweepBudget,
+    progress: &SweepState,
+    timings: Option<&mut PairTimings>,
+) -> Result<bool, SweepInterrupt> {
+    let num_nodes = csr_out.num_nodes();
+    assert!(
+        (source as usize) < num_nodes && (target as usize) < num_nodes,
+        "pair ({source}, {target}) out of range for a {num_nodes}-node database"
+    );
+    let verdict = pair_sweep::<BUDGETED>(
+        csr_out, csr_in, query, reverse, source, target, scratch, budget, progress, timings,
+    );
+    scratch.forward.reset();
+    scratch.backward.reset();
+    scratch.fwd_frontier.clear();
+    scratch.bwd_frontier.clear();
+    scratch.next_frontier.clear();
+    verdict
+}
+
+#[allow(clippy::too_many_arguments)]
+fn pair_sweep<const BUDGETED: bool>(
+    csr_out: &CsrAdjacency,
+    csr_in: &CsrAdjacency,
+    query: &DenseNfa,
+    reverse: &DenseReverse,
+    source: u32,
+    target: u32,
+    scratch: &mut PairScratch,
+    budget: &SweepBudget,
+    progress: &SweepState,
+    mut timings: Option<&mut PairTimings>,
+) -> Result<bool, SweepInterrupt> {
+    // Zero-length witness: ε ∈ L(query) answers (v, v) for every node.
+    if source == target && query.any_final(query.start()) {
+        return Ok(true);
+    }
+    let PairScratch {
+        forward,
+        backward,
+        fwd_frontier,
+        bwd_frontier,
+        next_frontier,
+        stride,
+        num_symbols,
+        succ_words,
+    } = scratch;
+    let (stride, num_symbols) = (*stride, *num_symbols);
+
+    for &q in query.start() {
+        if forward.visit(source, q) {
+            fwd_frontier.push((source, q));
+        }
+    }
+    for q in 0..query.num_states() as u32 {
+        if query.is_final(q) && backward.visit(target, q) {
+            bwd_frontier.push((target, q));
+        }
+    }
+    // The seeds cannot already meet: source == target with an accepting
+    // start state returned above, and start states at `source` are disjoint
+    // from final states at `target` otherwise.
+
+    let mut since_check: u64 = 0;
+    loop {
+        if fwd_frontier.is_empty() || bwd_frontier.is_empty() {
+            break;
+        }
+        // Alternate on the cheaper side: expanding the smaller frontier
+        // keeps the product of explored cones (and thus total work) minimal,
+        // the classic bidirectional-search heuristic.
+        let forward_side = fwd_frontier.len() <= bwd_frontier.len();
+        let round_start = timings.as_ref().map(|_| std::time::Instant::now());
+        let mut met = false;
+        if forward_side {
+            'fwd: for &(node, state) in fwd_frontier.iter() {
+                if BUDGETED {
+                    since_check += 1;
+                    if since_check >= SWEEP_CHECK_INTERVAL {
+                        progress.charge(budget, since_check)?;
+                        since_check = 0;
+                    }
+                }
+                let row = state as usize * num_symbols;
+                for (label, next_node) in csr_out.edges_from(node) {
+                    let base = (row + label as usize) * stride;
+                    for w in 0..stride {
+                        let mask = succ_words[base + w];
+                        if mask == 0 {
+                            continue;
+                        }
+                        let new = forward.visit_word(next_node, w, mask);
+                        if new == 0 {
+                            continue;
+                        }
+                        if new & backward.word(next_node, w) != 0 {
+                            met = true;
+                            break 'fwd;
+                        }
+                        let mut bits = new;
+                        while bits != 0 {
+                            let q = (w as u32) * 64 + bits.trailing_zeros();
+                            bits &= bits - 1;
+                            next_frontier.push((next_node, q));
+                        }
+                    }
+                }
+            }
+            std::mem::swap(fwd_frontier, next_frontier);
+        } else {
+            'bwd: for &(node, state) in bwd_frontier.iter() {
+                if BUDGETED {
+                    since_check += 1;
+                    if since_check >= SWEEP_CHECK_INTERVAL {
+                        progress.charge(budget, since_check)?;
+                        since_check = 0;
+                    }
+                }
+                // (node, state) reaches acceptance at `target`; an edge
+                // `pred -label-> node` extends every automaton predecessor
+                // `p` with `state ∈ closed_successors(p, label)`.
+                for (label, pred) in csr_in.edges_from(node) {
+                    for &p in reverse.closed_predecessors(state, label as usize) {
+                        if backward.visit(pred, p) {
+                            if forward.contains(pred, p) {
+                                met = true;
+                                break 'bwd;
+                            }
+                            next_frontier.push((pred, p));
+                        }
+                    }
+                }
+            }
+            std::mem::swap(bwd_frontier, next_frontier);
+        }
+        next_frontier.clear();
+        if let (Some(t), Some(start)) = (timings.as_deref_mut(), round_start) {
+            let us = start.elapsed().as_micros() as u64;
+            if forward_side {
+                t.forward_us += us;
+            } else {
+                t.backward_us += us;
+            }
+        }
+        if met {
+            if BUDGETED && since_check > 0 {
+                let _ = progress.charge(budget, since_check);
+            }
+            return Ok(true);
+        }
+    }
+    if BUDGETED && since_check > 0 {
+        // Tail accounting only — a drained frontier is a definitive "no".
+        let _ = progress.charge(budget, since_check);
+    }
+    Ok(false)
 }
 
 /// The seed's tree-based evaluator (`BTreeSet` visited pairs, per-edge

@@ -46,6 +46,48 @@ pub enum Request {
         /// can correlate across systems; the server allocates one if absent.
         trace_id: Option<u64>,
     },
+    /// Single-pair reachability probe: is node `to` reachable from node
+    /// `from` along a path matching `q`?  Served by the snapshot's
+    /// interactive read path (materialized-answer probe, then bidirectional
+    /// meet-in-the-middle search) — never a full materialization.
+    SinglePair {
+        /// Query text in the concrete regex syntax.
+        q: String,
+        /// Source node id (as reported by mutation responses).
+        from: usize,
+        /// Target node id.
+        to: usize,
+        /// Per-request deadline in milliseconds (clamped like `query`).
+        timeout_ms: Option<u64>,
+        /// Cap on visited product pairs.
+        max_visited: Option<u64>,
+        /// When true the response carries a `trace` object with the
+        /// interactive phases (`meet_check`, `bidir_forward`,
+        /// `bidir_backward`) alongside parse/compile.
+        trace: bool,
+        /// Caller-supplied trace id, echoed in the trace object.
+        trace_id: Option<u64>,
+    },
+    /// Single-source sweep: all nodes reachable from `from` along paths
+    /// matching `q`, optionally stopping early after `limit` targets
+    /// (top-k).  Served by the snapshot's interactive read path.
+    ReachableFrom {
+        /// Query text in the concrete regex syntax.
+        q: String,
+        /// Source node id.
+        from: usize,
+        /// Stop after this many distinct targets (the response's
+        /// `truncated` flag reports whether the sweep stopped early).
+        limit: Option<usize>,
+        /// Per-request deadline in milliseconds (clamped like `query`).
+        timeout_ms: Option<u64>,
+        /// Cap on visited product pairs.
+        max_visited: Option<u64>,
+        /// When true the response carries a `trace` object.
+        trace: bool,
+        /// Caller-supplied trace id, echoed in the trace object.
+        trace_id: Option<u64>,
+    },
     /// Insert a batch of `[from, label, to]` name triples atomically.
     AddEdges {
         /// Edge triples; unknown node names are created, unknown labels
@@ -130,6 +172,15 @@ fn required_str(obj: &Value, key: &str) -> Result<String, ProtocolError> {
         .ok_or_else(|| ProtocolError::parse(format!("\"{key}\" must be a string")))
 }
 
+fn required_node(obj: &Value, key: &str) -> Result<usize, ProtocolError> {
+    obj.get(key)
+        .and_then(Value::as_u64)
+        .map(|n| n as usize)
+        .ok_or_else(|| {
+            ProtocolError::parse(format!("\"{key}\" must be a non-negative integer node id"))
+        })
+}
+
 /// Parses one request line.  The request id (echoed in responses) is
 /// extracted best-effort even when the rest of the frame is malformed, so
 /// pipelining clients can correlate errors.
@@ -156,6 +207,24 @@ fn parse_request(value: &Value) -> Result<Request, ProtocolError> {
             timeout_ms: value.get("timeout_ms").and_then(Value::as_u64),
             max_visited: value.get("max_visited").and_then(Value::as_u64),
             limit: value.get("limit").and_then(Value::as_u64).map(|n| n as usize),
+            trace: value.get("trace").and_then(Value::as_bool).unwrap_or(false),
+            trace_id: value.get("trace_id").and_then(Value::as_u64),
+        }),
+        "single_pair" => Ok(Request::SinglePair {
+            q: required_str(value, "q")?,
+            from: required_node(value, "from")?,
+            to: required_node(value, "to")?,
+            timeout_ms: value.get("timeout_ms").and_then(Value::as_u64),
+            max_visited: value.get("max_visited").and_then(Value::as_u64),
+            trace: value.get("trace").and_then(Value::as_bool).unwrap_or(false),
+            trace_id: value.get("trace_id").and_then(Value::as_u64),
+        }),
+        "reachable_from" => Ok(Request::ReachableFrom {
+            q: required_str(value, "q")?,
+            from: required_node(value, "from")?,
+            limit: value.get("limit").and_then(Value::as_u64).map(|n| n as usize),
+            timeout_ms: value.get("timeout_ms").and_then(Value::as_u64),
+            max_visited: value.get("max_visited").and_then(Value::as_u64),
             trace: value.get("trace").and_then(Value::as_bool).unwrap_or(false),
             trace_id: value.get("trace_id").and_then(Value::as_u64),
         }),
@@ -288,6 +357,40 @@ mod tests {
     }
 
     #[test]
+    fn interactive_frames_parse_with_integer_node_ids() {
+        let (id, req) =
+            parse_frame(r#"{"id":2,"op":"single_pair","q":"a·b*","from":3,"to":9}"#);
+        assert_eq!(id, Some(2));
+        assert_eq!(
+            req.unwrap(),
+            Request::SinglePair {
+                q: "a·b*".into(),
+                from: 3,
+                to: 9,
+                timeout_ms: None,
+                max_visited: None,
+                trace: false,
+                trace_id: None,
+            }
+        );
+
+        let (_, req) =
+            parse_frame(r#"{"op":"reachable_from","q":"a","from":0,"limit":5,"trace":true}"#);
+        assert_eq!(
+            req.unwrap(),
+            Request::ReachableFrom {
+                q: "a".into(),
+                from: 0,
+                limit: Some(5),
+                timeout_ms: None,
+                max_visited: None,
+                trace: true,
+                trace_id: None,
+            }
+        );
+    }
+
+    #[test]
     fn malformed_frames_fail_without_panicking() {
         for bad in [
             "",
@@ -299,6 +402,14 @@ mod tests {
             r#"{"op":"add_edges","edges":[["x","a",3]]}"#,
             r#"{"op":"frobnicate"}"#,
             r#"{"q":"a"}"#,
+            r#"{"op":"single_pair","q":"a","from":0}"#,
+            r#"{"op":"single_pair","q":"a","to":1}"#,
+            r#"{"op":"single_pair","from":0,"to":1}"#,
+            r#"{"op":"single_pair","q":"a","from":-1,"to":1}"#,
+            r#"{"op":"single_pair","q":"a","from":"n0","to":1}"#,
+            r#"{"op":"reachable_from","q":"a"}"#,
+            r#"{"op":"reachable_from","from":0}"#,
+            r#"{"op":"reachable_from","q":"a","from":1.5}"#,
         ] {
             let (_, req) = parse_frame(bad);
             assert!(req.is_err(), "{bad:?} must not parse");

@@ -519,6 +519,155 @@ fn handle_query(
     response
 }
 
+/// Shared scaffolding of the two interactive ops (`single_pair` /
+/// `reachable_from`): the same admission gate, budget clamping, error
+/// mapping, and latency/slow-log accounting as `handle_query`, around an
+/// op-specific evaluation and success payload.
+#[allow(clippy::too_many_arguments)]
+fn handle_interactive<T>(
+    shared: &Shared,
+    id: Option<i64>,
+    q: &str,
+    timeout_ms: Option<u64>,
+    max_visited: Option<u64>,
+    trace: bool,
+    trace_id: Option<u64>,
+    eval: impl FnOnce(&EngineSnapshot, &QueryBudget, Option<&TraceContext>) -> Result<T, EngineError>,
+    fields_of: impl FnOnce(T) -> Vec<(String, Value)>,
+) -> String {
+    let config = &shared.config;
+    if shared.shutdown.load(Ordering::SeqCst) {
+        return render_err(id, "shutting_down", "server is draining", None);
+    }
+    let Some(_permit) = Permit::acquire(&shared.in_flight, config.max_inflight) else {
+        bump(&shared.stats.queries_rejected);
+        return render_err(
+            id,
+            "overloaded",
+            "query admission gate is full",
+            Some(RETRY_AFTER_MS),
+        );
+    };
+    let telemetry = &shared.telemetry;
+    let started = (telemetry.enabled || trace).then(Instant::now);
+    let timeout = timeout_ms.unwrap_or(config.default_timeout_ms).min(config.max_timeout_ms);
+    let mut budget = QueryBudget::with_timeout(Duration::from_millis(timeout));
+    if let Some(cap) = max_visited {
+        budget = budget.max_visited(cap);
+    }
+    let snapshot = shared.pinned_snapshot();
+    let trace_ctx = trace.then(|| TraceContext::new(trace_id.unwrap_or_else(next_trace_id)));
+    let eval_started = started.map(|_| Instant::now());
+    let result = eval(&snapshot, &budget, trace_ctx.as_ref());
+    let eval_us = eval_started.map(|at| as_us(at.elapsed()));
+    let response = match result {
+        Ok(value) => {
+            bump(&shared.stats.queries_ok);
+            let mut fields =
+                vec![("revision".to_string(), Value::Int(snapshot.revision() as i128))];
+            fields.extend(fields_of(value));
+            if let Some(us) = eval_us {
+                fields.push(("eval_us".to_string(), Value::Int(us as i128)));
+            }
+            if let Some(trace) = &trace_ctx {
+                fields.push(("trace".to_string(), trace_value(trace)));
+            }
+            render_ok(id, fields)
+        }
+        Err(e) => {
+            if e.is_budget_interrupt() {
+                bump(&shared.stats.queries_interrupted);
+            } else {
+                bump(&shared.stats.queries_failed);
+            }
+            render_err(id, e.code(), &e.to_string(), None)
+        }
+    };
+    if let Some(started) = started {
+        let total_us = as_us(started.elapsed());
+        if telemetry.enabled {
+            telemetry.query_latency.record(total_us);
+            if let Some(us) = eval_us {
+                telemetry.eval_latency.record(us);
+            }
+            telemetry.slow_log.observe(
+                trace_ctx.as_ref().map_or(0, |t| t.trace_id()),
+                q,
+                total_us,
+                snapshot.revision(),
+            );
+        }
+    }
+    response
+}
+
+#[allow(clippy::too_many_arguments)]
+fn handle_single_pair(
+    shared: &Shared,
+    id: Option<i64>,
+    q: &str,
+    from: usize,
+    to: usize,
+    timeout_ms: Option<u64>,
+    max_visited: Option<u64>,
+    trace: bool,
+    trace_id: Option<u64>,
+) -> String {
+    handle_interactive(
+        shared,
+        id,
+        q,
+        timeout_ms,
+        max_visited,
+        trace,
+        trace_id,
+        |snapshot, budget, trace_ctx| match trace_ctx {
+            Some(trace) => snapshot.eval_pair_str_traced(q, from, to, budget, trace),
+            None => snapshot.eval_pair_str_budgeted(q, from, to, budget),
+        },
+        |connected| vec![("connected".to_string(), Value::Bool(connected))],
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn handle_reachable_from(
+    shared: &Shared,
+    id: Option<i64>,
+    q: &str,
+    from: usize,
+    limit: Option<usize>,
+    timeout_ms: Option<u64>,
+    max_visited: Option<u64>,
+    trace: bool,
+    trace_id: Option<u64>,
+) -> String {
+    // The server's result-size bound applies even without a client limit;
+    // `truncated` reports early stop by either cap.
+    let cap = limit.unwrap_or(usize::MAX).min(shared.config.max_result_pairs);
+    handle_interactive(
+        shared,
+        id,
+        q,
+        timeout_ms,
+        max_visited,
+        trace,
+        trace_id,
+        |snapshot, budget, trace_ctx| match trace_ctx {
+            Some(trace) => snapshot.eval_from_str_traced(q, from, Some(cap), budget, trace),
+            None => snapshot.eval_from_str_budgeted(q, from, Some(cap), budget),
+        },
+        |result| {
+            let targets: Vec<Value> =
+                result.targets.iter().map(|&t| Value::Int(t as i128)).collect();
+            vec![
+                ("count".to_string(), Value::Int(result.targets.len() as i128)),
+                ("truncated".to_string(), Value::Bool(!result.complete)),
+                ("targets".to_string(), Value::Array(targets)),
+            ]
+        },
+    )
+}
+
 /// Summarizes one histogram for the JSON metrics payload.
 fn histogram_summary(hist: &Histogram) -> Value {
     Value::Object(vec![
@@ -805,6 +954,12 @@ fn stats_fields(shared: &Shared) -> Vec<(String, Value)> {
                 ("snapshot_retained".to_string(), int(engine_stats.snapshot_retained)),
                 ("snapshot_dropped".to_string(), int(engine_stats.snapshot_dropped)),
                 ("answer_compactions".to_string(), int(engine_stats.answer_compactions)),
+                ("point_hits".to_string(), int(engine_stats.point_hits)),
+                ("point_misses".to_string(), int(engine_stats.point_misses)),
+                ("point_compactions".to_string(), int(engine_stats.point_compactions)),
+                ("pair_evals".to_string(), int(engine_stats.pair_evals)),
+                ("from_evals".to_string(), int(engine_stats.from_evals)),
+                ("point_extension_hits".to_string(), int(engine_stats.point_extension_hits)),
             ]),
         ),
         (
@@ -854,6 +1009,22 @@ fn dispatch(shared: &Shared, line: &str) -> Dispatch {
     let response = match request {
         Request::Query { q, timeout_ms, max_visited, limit, trace, trace_id } => {
             handle_query(shared, id, &q, timeout_ms, max_visited, limit, trace, trace_id)
+        }
+        Request::SinglePair { q, from, to, timeout_ms, max_visited, trace, trace_id } => {
+            handle_single_pair(shared, id, &q, from, to, timeout_ms, max_visited, trace, trace_id)
+        }
+        Request::ReachableFrom { q, from, limit, timeout_ms, max_visited, trace, trace_id } => {
+            handle_reachable_from(
+                shared,
+                id,
+                &q,
+                from,
+                limit,
+                timeout_ms,
+                max_visited,
+                trace,
+                trace_id,
+            )
         }
         Request::AddEdges { edges } => {
             let applied = edges.len();

@@ -1,0 +1,311 @@
+//! Interactive ops against a live server: `single_pair` / `reachable_from`
+//! round trips, budget clamping (visit caps and the server-side timeout
+//! ceiling), `limit` truncation with exact counts, malformed-argument
+//! rejection that keeps the connection alive, and trace-id echo on the
+//! interactive explain surface.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use automata::Alphabet;
+use graphdb::GraphDb;
+use serde_json::Value;
+use service::{Server, ServiceConfig};
+
+// ---------------------------------------------------------------------------
+// Harness (same shape as the telemetry suite)
+
+fn chain_db(n: usize) -> GraphDb {
+    let mut db = GraphDb::new(Alphabet::from_chars(['a', 'b']).unwrap());
+    for i in 0..n {
+        db.add_edge_named(&format!("v{i}"), "a", &format!("v{}", i + 1));
+    }
+    db
+}
+
+fn test_config() -> ServiceConfig {
+    ServiceConfig {
+        engine: engine::EngineConfig { threads: 2, ..engine::EngineConfig::default() },
+        ..ServiceConfig::default()
+    }
+}
+
+struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(server: &Server) -> Client {
+        let stream = TcpStream::connect(server.addr()).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .expect("read timeout");
+        let reader = BufReader::new(stream.try_clone().expect("clone"));
+        Client { writer: stream, reader }
+    }
+
+    fn roundtrip(&mut self, line: &str) -> Value {
+        self.writer.write_all(line.as_bytes()).expect("send");
+        self.writer.write_all(b"\n").expect("send newline");
+        let mut reply = String::new();
+        let n = self.reader.read_line(&mut reply).expect("recv");
+        assert!(n > 0, "server closed the connection unexpectedly");
+        serde_json::from_str(reply.trim_end()).expect("response is valid JSON")
+    }
+}
+
+fn assert_ok(response: &Value) {
+    assert_eq!(response["ok"].as_bool(), Some(true), "expected ok: {response:?}");
+}
+
+fn error_code(response: &Value) -> &str {
+    assert_eq!(response["ok"].as_bool(), Some(false), "expected error: {response:?}");
+    response["error"]["code"].as_str().expect("error.code")
+}
+
+// ---------------------------------------------------------------------------
+// Round trips
+
+#[test]
+fn interactive_ops_round_trip_on_a_live_connection() {
+    // chain_db(10) numbers v0..v10 as node ids 0..10 in creation order.
+    let server = Server::start(chain_db(10), test_config()).unwrap();
+    let mut client = Client::connect(&server);
+
+    let response =
+        client.roundtrip(r#"{"id":1,"op":"single_pair","q":"a*","from":0,"to":7}"#);
+    assert_ok(&response);
+    assert_eq!(response["connected"].as_bool(), Some(true));
+    assert!(response["revision"].as_u64().is_some());
+
+    // The chain only runs forward: the reversed pair is a clean `false`,
+    // not an error.
+    let response =
+        client.roundtrip(r#"{"id":2,"op":"single_pair","q":"a*","from":7,"to":0}"#);
+    assert_ok(&response);
+    assert_eq!(response["connected"].as_bool(), Some(false));
+
+    let response =
+        client.roundtrip(r#"{"id":3,"op":"reachable_from","q":"a·a*","from":3}"#);
+    assert_ok(&response);
+    assert_eq!(response["count"].as_u64(), Some(7), "nodes 4..=10");
+    assert_eq!(response["truncated"].as_bool(), Some(false));
+    let targets: Vec<u64> =
+        response["targets"].as_array().expect("targets").iter().map(|t| t.as_u64().unwrap()).collect();
+    assert_eq!(targets, (4..=10).collect::<Vec<u64>>());
+
+    // Interactive answers stay revision-consistent with writes on the same
+    // connection.
+    let response = client.roundtrip(r#"{"op":"add_edges","edges":[["v10","a","v0"]]}"#);
+    assert_ok(&response);
+    let response =
+        client.roundtrip(r#"{"id":4,"op":"single_pair","q":"a*","from":7,"to":0}"#);
+    assert_ok(&response);
+    assert_eq!(response["connected"].as_bool(), Some(true), "the new back-edge closes the cycle");
+
+    server.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Limits
+
+#[test]
+fn reachable_from_truncates_with_exact_counts() {
+    let mut config = test_config();
+    config.max_result_pairs = 4;
+    let server = Server::start(chain_db(10), config).unwrap();
+    let mut client = Client::connect(&server);
+
+    // Client limit below the server cap: exactly `limit` targets come back
+    // and the truncation is flagged.
+    let response =
+        client.roundtrip(r#"{"op":"reachable_from","q":"a*","from":0,"limit":2}"#);
+    assert_ok(&response);
+    assert_eq!(response["count"].as_u64(), Some(2));
+    assert_eq!(response["truncated"].as_bool(), Some(true));
+    assert_eq!(response["targets"].as_array().map(|t| t.len()), Some(2));
+
+    // No client limit: the server's own result-size bound still applies.
+    let response = client.roundtrip(r#"{"op":"reachable_from","q":"a*","from":0}"#);
+    assert_ok(&response);
+    assert_eq!(response["count"].as_u64(), Some(4), "max_result_pairs cap");
+    assert_eq!(response["truncated"].as_bool(), Some(true));
+
+    // A cold limit that happens to match the true target count still reports
+    // truncation: the early-exited sweep cannot prove the set was done.
+    let response =
+        client.roundtrip(r#"{"op":"reachable_from","q":"a*","from":8,"limit":3}"#);
+    assert_ok(&response);
+    assert_eq!(response["count"].as_u64(), Some(3), "nodes 8, 9, 10");
+    assert_eq!(response["truncated"].as_bool(), Some(true));
+
+    // After an unlimited sweep caches the complete drain, the same limit is
+    // recognized as the whole answer.
+    let response = client.roundtrip(r#"{"op":"reachable_from","q":"a*","from":8}"#);
+    assert_ok(&response);
+    assert_eq!(response["count"].as_u64(), Some(3));
+    assert_eq!(response["truncated"].as_bool(), Some(false));
+    let response =
+        client.roundtrip(r#"{"op":"reachable_from","q":"a*","from":8,"limit":3}"#);
+    assert_ok(&response);
+    assert_eq!(response["count"].as_u64(), Some(3));
+    assert_eq!(response["truncated"].as_bool(), Some(false));
+
+    // limit 0 is a valid (if degenerate) ask: nothing comes back and the
+    // non-empty remainder is flagged as truncated.
+    let response =
+        client.roundtrip(r#"{"op":"reachable_from","q":"a*","from":0,"limit":0}"#);
+    assert_ok(&response);
+    assert_eq!(response["count"].as_u64(), Some(0));
+    assert_eq!(response["truncated"].as_bool(), Some(true));
+
+    server.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Budgets
+
+#[test]
+fn interactive_budgets_clamp_and_interrupt() {
+    // Budget checks fire every 4096 sweep pops: the chain must be longer
+    // than one check interval for a cap of 1 to ever trip.
+    let server = Server::start(chain_db(6000), test_config()).unwrap();
+    let mut client = Client::connect(&server);
+
+    let response = client
+        .roundtrip(r#"{"op":"single_pair","q":"a*","from":0,"to":6000,"max_visited":1}"#);
+    assert_eq!(error_code(&response), "visit_budget_exceeded");
+
+    let response = client
+        .roundtrip(r#"{"op":"reachable_from","q":"a*","from":0,"max_visited":1}"#);
+    assert_eq!(error_code(&response), "visit_budget_exceeded");
+
+    // The connection survives the interrupts, and an unbudgeted retry of the
+    // same lookups succeeds.
+    let response =
+        client.roundtrip(r#"{"op":"single_pair","q":"a*","from":0,"to":6000}"#);
+    assert_ok(&response);
+    assert_eq!(response["connected"].as_bool(), Some(true));
+
+    server.shutdown();
+}
+
+#[test]
+fn client_timeouts_are_clamped_to_the_server_ceiling() {
+    // max_timeout_ms = 1: whatever the client asks for is clamped to a 1 ms
+    // deadline.  A 400 000-hop chain sweep cannot finish inside it, so the
+    // interrupt is proof the 60-second request did not win.
+    let mut config = test_config();
+    config.max_timeout_ms = 1;
+    let domain = Alphabet::from_chars(['a', 'b']).unwrap();
+    let a = domain.symbol("a").expect("a in domain");
+    let mut db = GraphDb::new(domain);
+    let mut prev = db.add_node();
+    for _ in 0..400_000 {
+        let next = db.add_node();
+        db.add_edge(prev, a, next);
+        prev = next;
+    }
+    let last = prev;
+    let server = Server::start(db, config).unwrap();
+    let mut client = Client::connect(&server);
+
+    let response = client.roundtrip(&format!(
+        r#"{{"op":"single_pair","q":"a*","from":0,"to":{last},"timeout_ms":60000}}"#
+    ));
+    assert_eq!(error_code(&response), "deadline_exceeded");
+
+    let response = client
+        .roundtrip(r#"{"op":"reachable_from","q":"a*","from":0,"timeout_ms":60000}"#);
+    assert_eq!(error_code(&response), "deadline_exceeded");
+
+    server.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Malformed arguments
+
+#[test]
+fn malformed_interactive_frames_fail_the_frame_not_the_connection() {
+    let server = Server::start(chain_db(10), test_config()).unwrap();
+    let mut client = Client::connect(&server);
+
+    for (frame, why) in [
+        (r#"{"op":"single_pair","q":"a*","from":0}"#, "missing to"),
+        (r#"{"op":"single_pair","q":"a*","to":0}"#, "missing from"),
+        (r#"{"op":"single_pair","from":0,"to":1}"#, "missing q"),
+        (r#"{"op":"single_pair","q":"a*","from":-1,"to":1}"#, "negative node id"),
+        (r#"{"op":"single_pair","q":"a*","from":"v0","to":1}"#, "string node id"),
+        (r#"{"op":"reachable_from","q":"a*"}"#, "missing from"),
+        (r#"{"op":"reachable_from","from":0}"#, "missing q"),
+        (r#"{"op":"reachable_from","q":"a*","from":1.5}"#, "fractional node id"),
+    ] {
+        let response = client.roundtrip(frame);
+        assert_eq!(error_code(&response), "parse_error", "{why}: {response:?}");
+    }
+
+    // Well-formed frames with bad *semantics* map to their own codes.
+    let response =
+        client.roundtrip(r#"{"op":"single_pair","q":"a*","from":0,"to":999999}"#);
+    assert_eq!(error_code(&response), "node_out_of_range");
+    let response =
+        client.roundtrip(r#"{"op":"reachable_from","q":"a·(","from":0}"#);
+    assert_eq!(error_code(&response), "parse_error");
+
+    // Every rejection above failed only its frame: the connection still
+    // serves.
+    let response = client.roundtrip(r#"{"op":"single_pair","q":"a*","from":0,"to":1}"#);
+    assert_ok(&response);
+    assert_eq!(response["connected"].as_bool(), Some(true));
+
+    server.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Tracing
+
+#[test]
+fn interactive_traces_echo_ids_and_expose_the_bidirectional_phases() {
+    let server = Server::start(chain_db(300), test_config()).unwrap();
+    let mut client = Client::connect(&server);
+
+    // A fresh single-pair search: caller-supplied trace id comes back
+    // verbatim and the bidirectional halves show up as phases.
+    let response = client.roundtrip(
+        r#"{"id":1,"op":"single_pair","q":"a*","from":0,"to":299,"trace":true,"trace_id":777}"#,
+    );
+    assert_ok(&response);
+    let trace = &response["trace"];
+    assert_eq!(trace["trace_id"].as_u64(), Some(777));
+    let totals = &trace["phase_totals"];
+    for phase in ["parse", "meet_check", "compile", "bidir_forward", "bidir_backward"] {
+        assert!(totals[phase].as_u64().is_some(), "missing {phase}: {response:?}");
+    }
+    assert!(response["eval_us"].as_u64().is_some());
+
+    // A traced single-source sweep runs the product BFS, not the
+    // bidirectional search.
+    let response = client.roundtrip(
+        r#"{"id":2,"op":"reachable_from","q":"a·a*","from":0,"trace":true,"trace_id":778}"#,
+    );
+    assert_ok(&response);
+    let trace = &response["trace"];
+    assert_eq!(trace["trace_id"].as_u64(), Some(778));
+    assert!(trace["phase_totals"]["product_bfs"].as_u64().is_some(), "{response:?}");
+
+    // Absent trace_id: the server allocates a nonzero one.
+    let response = client.roundtrip(
+        r#"{"id":3,"op":"single_pair","q":"a·a","from":0,"to":2,"trace":true}"#,
+    );
+    assert_ok(&response);
+    assert!(response["trace"]["trace_id"].as_u64().expect("allocated id") > 0);
+
+    // Untraced interactive ops carry no trace object at all.
+    let response = client.roundtrip(r#"{"id":4,"op":"single_pair","q":"a","from":0,"to":1}"#);
+    assert_ok(&response);
+    assert!(response["trace"].as_object().is_none());
+
+    server.shutdown();
+}

@@ -36,11 +36,20 @@ pub enum Phase {
     Repair,
     /// Building and publishing an immutable engine snapshot.
     SnapshotPublish,
+    /// The forward rounds (out of the source) of a bidirectional single-pair
+    /// search.
+    BidirForward,
+    /// The backward rounds (into the target, over `csr_in` + the reversed
+    /// automaton) of a bidirectional single-pair search.
+    BidirBackward,
+    /// Probing materialized extensions and the point-query cache for a
+    /// lookup answer before falling back to a fresh search.
+    MeetCheck,
 }
 
 impl Phase {
     /// Every phase, in pipeline order.
-    pub const ALL: [Phase; 8] = [
+    pub const ALL: [Phase; 11] = [
         Phase::Parse,
         Phase::CacheLookup,
         Phase::Compile,
@@ -49,6 +58,9 @@ impl Phase {
         Phase::ChunkMerge,
         Phase::Repair,
         Phase::SnapshotPublish,
+        Phase::BidirForward,
+        Phase::BidirBackward,
+        Phase::MeetCheck,
     ];
 
     /// Stable snake_case name used on the wire and in Prometheus labels.
@@ -62,6 +74,9 @@ impl Phase {
             Phase::ChunkMerge => "chunk_merge",
             Phase::Repair => "repair",
             Phase::SnapshotPublish => "snapshot_publish",
+            Phase::BidirForward => "bidir_forward",
+            Phase::BidirBackward => "bidir_backward",
+            Phase::MeetCheck => "meet_check",
         }
     }
 }
